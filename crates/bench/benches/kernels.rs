@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the Fig. 9 kernels and the suite/transport
+//! hot paths, in both precisions — the measured counterpart of the modeled
+//! Sunway numbers (`cargo run --release --bin fig9_kernels`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grist_dycore::kernels as dk;
+use grist_dycore::operators::ScaledGeometry;
+use grist_dycore::tracer::{fct_transport_step, FctWorkspace};
+use grist_dycore::{Field2, Real, SweSolver};
+use grist_mesh::{HexMesh, Vec3, EARTH_OMEGA, EARTH_RADIUS_M};
+use grist_ml::models::TendencyCnn;
+use grist_physics::{Column, ColumnPhysicsState, ConventionalSuite};
+
+const NLEV: usize = 30;
+
+struct KernelData<R: Real> {
+    geom: ScaledGeometry<R>,
+    ke: Field2<R>,
+    dpi: Field2<R>,
+    theta: Field2<R>,
+    dphi: Field2<R>,
+    qv: Field2<R>,
+    q0: Field2<R>,
+    u: Field2<R>,
+    out_e: Field2<R>,
+    out_c: Field2<R>,
+}
+
+fn kernel_data<R: Real>(mesh: &HexMesh) -> KernelData<R> {
+    let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
+    KernelData {
+        geom: ScaledGeometry::new(mesh, EARTH_RADIUS_M, EARTH_OMEGA),
+        ke: Field2::from_fn(NLEV, nc, |k, c| R::from_f64((c % 97) as f64 + k as f64)),
+        dpi: Field2::constant(NLEV, nc, R::from_f64(800.0)),
+        theta: Field2::constant(NLEV, nc, R::from_f64(300.0)),
+        dphi: Field2::constant(NLEV, nc, R::from_f64(2200.0)),
+        qv: Field2::constant(NLEV, nc, R::from_f64(0.008)),
+        q0: Field2::zeros(NLEV, nc),
+        u: Field2::from_fn(NLEV, ne, |k, e| R::from_f64(((e + k) % 41) as f64 * 0.1)),
+        out_e: Field2::zeros(NLEV, ne),
+        out_c: Field2::zeros(NLEV, nc),
+    }
+}
+
+fn bench_fig9_kernels(c: &mut Criterion) {
+    let mesh = HexMesh::build(4);
+    let mut d64 = kernel_data::<f64>(&mesh);
+    let mut d32 = kernel_data::<f32>(&mesh);
+    let mut g = c.benchmark_group("fig9_kernels");
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::new("grad_kinetic_energy", "f64"), |b| {
+        b.iter(|| dk::grad_kinetic_energy(&mesh, &d64.geom, &d64.ke, &mut d64.out_e))
+    });
+    g.bench_function(BenchmarkId::new("grad_kinetic_energy", "f32"), |b| {
+        b.iter(|| dk::grad_kinetic_energy(&mesh, &d32.geom, &d32.ke, &mut d32.out_e))
+    });
+    g.bench_function(BenchmarkId::new("primal_normal_flux_edge", "f64"), |b| {
+        b.iter(|| {
+            dk::primal_normal_flux_edge(&mesh, &d64.geom, &d64.u, &d64.dpi, &d64.theta, &mut d64.out_e)
+        })
+    });
+    g.bench_function(BenchmarkId::new("primal_normal_flux_edge", "f32"), |b| {
+        b.iter(|| {
+            dk::primal_normal_flux_edge(&mesh, &d32.geom, &d32.u, &d32.dpi, &d32.theta, &mut d32.out_e)
+        })
+    });
+    g.bench_function(BenchmarkId::new("compute_rrr", "f64"), |b| {
+        b.iter(|| dk::compute_rrr(&d64.dpi, &d64.dphi, &d64.qv, &d64.q0, &d64.q0, &d64.theta, &mut d64.out_c))
+    });
+    g.bench_function(BenchmarkId::new("compute_rrr", "f32"), |b| {
+        b.iter(|| dk::compute_rrr(&d32.dpi, &d32.dphi, &d32.qv, &d32.q0, &d32.q0, &d32.theta, &mut d32.out_c))
+    });
+    g.finish();
+}
+
+fn bench_tracer_limiter(c: &mut Criterion) {
+    let mesh = HexMesh::build(4);
+    let geom: ScaledGeometry<f64> = ScaledGeometry::new(&mesh, EARTH_RADIUS_M, EARTH_OMEGA);
+    let r2 = EARTH_RADIUS_M * EARTH_RADIUS_M;
+    let mass0 = Field2::from_fn(1, mesh.n_cells(), |_, c| 1000.0 * mesh.cell_area[c] * r2);
+    let flux = Field2::from_fn(1, mesh.n_edges(), |_, e| {
+        let m = mesh.edge_mid[e];
+        1000.0 * 1e-5 * EARTH_RADIUS_M * Vec3::new(0.0, 0.0, 1.0).cross(m).dot(mesh.edge_normal[e])
+    });
+    let q0 = Field2::from_fn(1, mesh.n_cells(), |_, c| {
+        (-(mesh.cell_xyz[c].arc_dist(Vec3::new(1.0, 0.0, 0.0)) / 0.3).powi(2)).exp()
+    });
+    let mut ws = FctWorkspace::new(1, &mesh);
+    let mut g = c.benchmark_group("tracer");
+    g.sample_size(30);
+    g.bench_function("fct_transport_step/G4", |b| {
+        b.iter(|| {
+            let mut mass = mass0.clone();
+            let mut q = q0.clone();
+            fct_transport_step(&mesh, &geom, &mut mass, &flux, &mut q, 300.0, &mut ws);
+        })
+    });
+    g.finish();
+}
+
+fn bench_swe_step(c: &mut Criterion) {
+    let mut solver = SweSolver::<f64>::new(HexMesh::build(4));
+    let state0 = grist_dycore::swe::williamson_tc2::<f64>(&solver.mesh);
+    let mut g = c.benchmark_group("swe");
+    g.sample_size(20);
+    g.bench_function("rk3_step/G4", |b| {
+        b.iter(|| {
+            let mut s = state0.clone();
+            solver.step_rk3(&mut s, 300.0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_physics_column(c: &mut Criterion) {
+    let suite = ConventionalSuite::default();
+    let col = Column::reference(NLEV);
+    let mut g = c.benchmark_group("physics");
+    g.sample_size(30);
+    g.bench_function("conventional_column_step", |b| {
+        let mut st = ColumnPhysicsState::new(NLEV, true, 290.0);
+        b.iter(|| {
+            st.since_rad = f64::INFINITY; // force radiation every call
+            suite.step_column(&col, &mut st, 600.0, 1800.0)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ml_inference(c: &mut Criterion) {
+    let net = TendencyCnn::new(NLEV, 128, 7);
+    let x = vec![0.1f32; 5 * NLEV];
+    let mut y = vec![0.0f32; 2 * NLEV];
+    let mut g = c.benchmark_group("ml");
+    g.sample_size(30);
+    g.bench_function("tendency_cnn_infer_128ch", |b| {
+        b.iter(|| net.infer(&x, &mut y))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig9_kernels,
+    bench_tracer_limiter,
+    bench_swe_step,
+    bench_physics_column,
+    bench_ml_inference
+);
+criterion_main!(benches);

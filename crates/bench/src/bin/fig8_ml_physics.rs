@@ -1,0 +1,154 @@
+//! Regenerates **Figure 8** in shape: rainfall from the conventional vs the
+//! ML-based parameterization. The paper shows (a, b) 3-hour rain rate at
+//! high resolution, and (c–f) annual-mean rainfall at G6 and G8 — the ML
+//! suite reproduces the conventional suite's rain band at both resolutions
+//! ("resolution-adaptive": trained at one coarse-grained resolution, applied
+//! across resolutions).
+//!
+//! Here: train the ML suite once on coarse-grained fine-run data (the
+//! §3.2.1 workflow), then compare zonal-mean precipitation between the
+//! conventional and ML runs at *two* grid levels, plus a short
+//! high-resolution integration — the three panels' worth of evidence.
+
+#![allow(clippy::needless_range_loop)]
+
+use grist_bench::{fmt, Table};
+use grist_core::datagen::{generate_training_data, train_ml_suite, DataGenConfig};
+use grist_core::{spatial_correlation, GristModel, RunConfig};
+
+/// Run `hours` and return per-cell mean precip rate (mm/day).
+fn precip_run(level: u32, nlev: usize, hours: f64, suite: Option<grist_core::MlSuite>) -> (grist_mesh::HexMesh, Vec<f64>) {
+    let cfg = RunConfig::for_level(level, nlev).with_ml_physics(false);
+    let mut m = GristModel::<f64>::new(cfg);
+    if let Some(s) = suite {
+        m.set_ml_suite(s);
+    }
+    m.advance(hours * 3600.0);
+    let rate: Vec<f64> = m
+        .precip_accum
+        .iter()
+        .map(|&mm| mm / (hours / 24.0))
+        .collect();
+    (m.solver.mesh.clone(), rate)
+}
+
+/// Zonal-mean profile in `nbands` latitude bands.
+fn zonal_mean(mesh: &grist_mesh::HexMesh, field: &[f64], nbands: usize) -> Vec<f64> {
+    let mut sum = vec![0.0; nbands];
+    let mut wgt = vec![0.0; nbands];
+    for c in 0..mesh.n_cells() {
+        let lat = mesh.cell_xyz[c].lat();
+        let i = (((lat / std::f64::consts::PI + 0.5) * nbands as f64) as usize).min(nbands - 1);
+        sum[i] += field[c] * mesh.cell_area[c];
+        wgt[i] += mesh.cell_area[c];
+    }
+    sum.iter().zip(&wgt).map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 }).collect()
+}
+
+fn main() {
+    // --- train the ML suite (the §3.2 pipeline) ---
+    println!("# Figure 8 (shape): conventional vs ML-based parameterization rainfall\n");
+    println!("Training the ML suite on coarse-grained fine-run data...");
+    let data = generate_training_data(&DataGenConfig {
+        fine_level: 3,
+        coarse_level: 2,
+        nlev: 12,
+        steps_per_day: 24, // 3 test steps/day → the paper's exact 7:1 split
+        days_per_period: 1,
+        n_periods: 2,
+        cell_stride: 2,
+    });
+    let (suite, report) = train_ml_suite(&data, 16, 25, 7);
+    println!(
+        "  CNN test loss: {:.4} (untrained {:.4}); MLP test loss {:.4} (untrained {:.4}); split {:.1}:1\n",
+        report.cnn_test_loss,
+        report.cnn_test_loss_untrained,
+        report.mlp_test_loss,
+        report.mlp_test_loss_untrained,
+        report.train_test_ratio
+    );
+
+    let hours = 6.0;
+    let nbands = 12;
+    let mut t = Table::new(&[
+        "grid (analogue)",
+        "suite",
+        "global precip (mm/day)",
+        "tropics/extratropics",
+        "zonal corr vs conventional",
+    ]);
+
+    let mut shape_ok = true;
+    for (level, label) in [(2u32, "L2 (G6 analogue)"), (3u32, "L3 (G8 analogue)")] {
+        let (mesh, conv) = precip_run(level, 12, hours, None);
+        let (_, ml) = precip_run(level, 12, hours, Some(suite.clone()));
+        let zc = zonal_mean(&mesh, &conv, nbands);
+        let zm = zonal_mean(&mesh, &ml, nbands);
+        // Pearson correlation of the zonal profiles.
+        let corr = {
+            let n = nbands as f64;
+            let (ma, mb) = (zc.iter().sum::<f64>() / n, zm.iter().sum::<f64>() / n);
+            let mut cov = 0.0;
+            let mut va = 0.0;
+            let mut vb = 0.0;
+            for i in 0..nbands {
+                cov += (zc[i] - ma) * (zm[i] - mb);
+                va += (zc[i] - ma).powi(2);
+                vb += (zm[i] - mb).powi(2);
+            }
+            if va * vb > 0.0 { cov / (va * vb).sqrt() } else { 0.0 }
+        };
+        let gm = |mesh: &grist_mesh::HexMesh, f: &[f64]| -> f64 {
+            let w: f64 = mesh.cell_area.iter().sum();
+            f.iter().zip(&mesh.cell_area).map(|(v, a)| v * a).sum::<f64>() / w
+        };
+        let band_ratio = |mesh: &grist_mesh::HexMesh, f: &[f64]| -> f64 {
+            let mut tr = 0.0;
+            let mut trw = 0.0;
+            let mut ex = 0.0;
+            let mut exw = 0.0;
+            for c in 0..mesh.n_cells() {
+                let lat = mesh.cell_xyz[c].lat().to_degrees().abs();
+                if lat < 20.0 {
+                    tr += f[c] * mesh.cell_area[c];
+                    trw += mesh.cell_area[c];
+                } else if lat > 40.0 {
+                    ex += f[c] * mesh.cell_area[c];
+                    exw += mesh.cell_area[c];
+                }
+            }
+            (tr / trw) / (ex / exw).max(0.05)
+        };
+        for (name, field) in [("Conventional", &conv), ("ML-physics", &ml)] {
+            t.row(&[
+                label.to_string(),
+                name.to_string(),
+                fmt(gm(&mesh, field)),
+                fmt(band_ratio(&mesh, field)),
+                if name == "Conventional" { "1.0".into() } else { fmt(corr) },
+            ]);
+        }
+        if corr < 0.3 {
+            shape_ok = false;
+        }
+        let _ = spatial_correlation(&mesh, &conv, &ml);
+    }
+
+    // Panel (a,b) analogue: short 3-hour high-resolution integration with the
+    // (cross-resolution) ML suite stays stable and produces rain.
+    let (_, hi_ml) = precip_run(4, 12, 3.0, Some(suite.clone()));
+    let hi_finite = hi_ml.iter().all(|x| x.is_finite());
+    let hi_rain: f64 = hi_ml.iter().cloned().fold(0.0, f64::max);
+
+    t.print();
+    t.write_csv("fig8_ml_physics").expect("csv");
+    println!(
+        "\n3-hour L4 (high-res) integration with the ML suite: finite = {hi_finite}, peak rain {} mm/day",
+        fmt(hi_rain)
+    );
+    println!(
+        "Paper shape — ML suite reproduces the conventional rain band across \
+         resolutions: {}",
+        if shape_ok { "holds" } else { "DOES NOT hold" }
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates the **§3.4 mixed-precision validation hierarchy**: "We have
+//! performed a hierarchy of tests ranging from idealized tropical cyclone,
+//! supercell, baroclinic waves to real-world long-term climate simulations
+//! … we establish a 5% error threshold", gauged by the relative L2 norm of
+//! surface pressure (`ps`, mass field) and relative vorticity (`vor`,
+//! velocity field) against the double-precision gold run (§3.4.1).
+
+use grist_bench::{fmt, Table};
+use grist_core::{
+    add_baroclinic_jet, add_supercell_patch, add_tropical_cyclone, precision_gate, RunConfig,
+    TropicalCyclone,
+};
+
+fn main() {
+    let cfg = RunConfig::for_level(3, 12);
+    let hours = 6.0;
+    let sim_seconds = hours * 3600.0;
+
+    println!(
+        "# §3.4 mixed-precision gate: f32 working precision vs f64 gold, {hours} h @ G{}L{}\n",
+        cfg.level, cfg.nlev
+    );
+    let mut t = Table::new(&["case", "ps rel-L2", "vor rel-L2", "threshold", "verdict"]);
+
+    let mut run = |name: &str, gate: grist_core::PrecisionGate| {
+        let verdict = if gate.passes() { "PASS" } else { "FAIL" };
+        t.row(&[
+            name.to_string(),
+            fmt(gate.ps_error),
+            fmt(gate.vor_error),
+            fmt(gate.threshold),
+            verdict.to_string(),
+        ]);
+        assert!(gate.passes(), "{name}: mixed-precision gate failed");
+    };
+
+    run(
+        "idealized tropical cyclone",
+        precision_gate(&cfg, sim_seconds, |m| {
+            add_tropical_cyclone(m, &TropicalCyclone { rmax: 0.12, ..Default::default() })
+        }),
+    );
+    run(
+        "supercell patch",
+        precision_gate(&cfg, sim_seconds, |m| add_supercell_patch(m, 0.6, 0.3)),
+    );
+    run(
+        "baroclinic wave",
+        precision_gate(&cfg, sim_seconds, |m| add_baroclinic_jet(m, 25.0, 1.0)),
+    );
+    run("aqua-planet (rest + physics)", precision_gate(&cfg, sim_seconds, |_| {}));
+
+    t.print();
+    t.write_csv("mixed_precision_gate").expect("csv");
+    println!("\nAll cases under the paper's 5% threshold.");
+}

@@ -1,0 +1,153 @@
+//! Evaluation diagnostics: area-weighted spatial correlation (Fig. 7's
+//! metric), lat–lon binning of cell fields (the rainfall maps of Figs. 7–8),
+//! and the §3.4.1 mixed-precision acceptance gate.
+
+use crate::config::RunConfig;
+use crate::model::GristModel;
+use grist_dycore::{relative_l2_error, PrecisionMode};
+use grist_mesh::HexMesh;
+
+/// Area-weighted Pearson correlation of two cell fields — the "spatial
+/// correlation coefficient" of Fig. 7.
+pub fn spatial_correlation(mesh: &HexMesh, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), mesh.n_cells());
+    assert_eq!(b.len(), mesh.n_cells());
+    let w: &[f64] = &mesh.cell_area;
+    let wsum: f64 = w.iter().sum();
+    let mean = |x: &[f64]| -> f64 {
+        x.iter().zip(w).map(|(v, ww)| v * ww).sum::<f64>() / wsum
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..a.len() {
+        let (da, db) = (a[i] - ma, b[i] - mb);
+        cov += w[i] * da * db;
+        va += w[i] * da * da;
+        vb += w[i] * db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+/// Bin a cell field onto an `nlat × nlon` lat–lon grid (area-weighted cell
+/// averages; empty bins get the nearest-cell value).
+pub fn bin_latlon(mesh: &HexMesh, field: &[f64], nlat: usize, nlon: usize) -> Vec<Vec<f64>> {
+    let mut sum = vec![vec![0.0; nlon]; nlat];
+    let mut wgt = vec![vec![0.0; nlon]; nlat];
+    for c in 0..mesh.n_cells() {
+        let p = mesh.cell_xyz[c];
+        let i = (((p.lat() / std::f64::consts::PI + 0.5) * nlat as f64) as usize).min(nlat - 1);
+        let j = (((p.lon() / std::f64::consts::PI + 1.0) / 2.0 * nlon as f64) as usize)
+            .min(nlon - 1);
+        sum[i][j] += field[c] * mesh.cell_area[c];
+        wgt[i][j] += mesh.cell_area[c];
+    }
+    for i in 0..nlat {
+        for j in 0..nlon {
+            if wgt[i][j] > 0.0 {
+                sum[i][j] /= wgt[i][j];
+            }
+        }
+    }
+    sum
+}
+
+/// Result of the §3.4.1 mixed-precision gate.
+#[derive(Debug, Clone, Copy)]
+pub struct PrecisionGate {
+    /// Relative L2 deviation of surface pressure vs the f64 gold run.
+    pub ps_error: f64,
+    /// Relative L2 deviation of relative vorticity.
+    pub vor_error: f64,
+    /// The 5% acceptance threshold.
+    pub threshold: f64,
+}
+
+impl PrecisionGate {
+    pub fn passes(&self) -> bool {
+        self.ps_error < self.threshold && self.vor_error < self.threshold
+    }
+}
+
+/// Run the same configuration in f64 (gold) and f32 (the MIX working
+/// precision), integrating `sim_seconds`, and evaluate the gate. `seed_case`
+/// perturbs the initial state (0 = rest + moisture only).
+pub fn precision_gate(
+    config: &RunConfig,
+    sim_seconds: f64,
+    perturb: impl Fn(&mut GristModel<f64>) + Copy,
+) -> PrecisionGate {
+    let gold_cfg = config.clone().with_precision(PrecisionMode::Double);
+    let mut gold = GristModel::<f64>::new(gold_cfg.clone());
+    perturb(&mut gold);
+
+    let mut mix = GristModel::<f32>::new(gold_cfg);
+    // Mirror the perturbed initial state into the f32 run
+    // (initialization stays double precision per §3.4.3, cast once).
+    mix.state = gold.state.cast::<f32>();
+    mix.surface = gold.surface.clone();
+
+    gold.advance(sim_seconds);
+    mix.advance(sim_seconds);
+
+    let ps_error = relative_l2_error(&mix.surface_pressure(), &gold.surface_pressure());
+    let vor_g = gold.solver.vorticity_diag(&gold.state);
+    let vor_m = mix.solver.vorticity_diag(&mix.state);
+    let vor_error = relative_l2_error(&vor_m, &vor_g);
+    PrecisionGate {
+        ps_error,
+        vor_error,
+        threshold: grist_dycore::MIXED_PRECISION_ERROR_THRESHOLD,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_of_identical_fields_is_one() {
+        let mesh = HexMesh::build(2);
+        let f: Vec<f64> = (0..mesh.n_cells()).map(|c| mesh.cell_xyz[c].z).collect();
+        assert!((spatial_correlation(&mesh, &f, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_negated_field_is_minus_one() {
+        let mesh = HexMesh::build(2);
+        let f: Vec<f64> = (0..mesh.n_cells()).map(|c| mesh.cell_xyz[c].z).collect();
+        let g: Vec<f64> = f.iter().map(|x| -x + 3.0).collect();
+        assert!((spatial_correlation(&mesh, &f, &g) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_independent_patterns_is_small() {
+        let mesh = HexMesh::build(3);
+        let f: Vec<f64> = (0..mesh.n_cells()).map(|c| mesh.cell_xyz[c].z).collect();
+        let g: Vec<f64> = (0..mesh.n_cells()).map(|c| (mesh.cell_xyz[c].lon() * 5.0).sin()).collect();
+        assert!(spatial_correlation(&mesh, &f, &g).abs() < 0.2);
+    }
+
+    #[test]
+    fn latlon_binning_preserves_global_mean() {
+        let mesh = HexMesh::build(3);
+        let f: Vec<f64> = (0..mesh.n_cells()).map(|c| 2.0 + mesh.cell_xyz[c].z).collect();
+        let grid = bin_latlon(&mesh, &f, 18, 36);
+        // Flat average of bins should approximate the (area-weighted) mean.
+        let filled: Vec<f64> = grid.iter().flatten().copied().filter(|&x| x != 0.0).collect();
+        let bin_mean: f64 = filled.iter().sum::<f64>() / filled.len() as f64;
+        assert!((bin_mean - 2.0).abs() < 0.15, "bin mean {bin_mean}");
+    }
+
+    #[test]
+    fn constant_field_has_zero_variance_correlation_guard() {
+        let mesh = HexMesh::build(2);
+        let f = vec![1.0; mesh.n_cells()];
+        let g: Vec<f64> = (0..mesh.n_cells()).map(|c| mesh.cell_xyz[c].z).collect();
+        assert_eq!(spatial_correlation(&mesh, &f, &g), 0.0);
+    }
+}

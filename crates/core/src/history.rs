@@ -1,0 +1,223 @@
+//! History output: snapshotting model fields to self-describing files
+//! (a minimal stand-in for GRIST's NetCDF history stream — the paper's
+//! artifact writes `grist-*.log` + NetCDF output; this reproduction writes a
+//! simple header + little-endian f64 records with exact read-back).
+//!
+//! The grouped-parallel-I/O path of §3.1.3 is covered by
+//! `grist_runtime::pio`; [`HistoryWriter`] is the per-leader serializer those
+//! aggregated records flow through.
+
+use crate::model::GristModel;
+use grist_dycore::Real;
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One named 1-D record (per-cell surface field or flattened 2-D field).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    pub name: String,
+    pub data: Vec<f64>,
+}
+
+/// A history snapshot: model time plus records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub time_s: f64,
+    pub records: Vec<HistoryRecord>,
+}
+
+impl Snapshot {
+    /// Capture the standard surface diagnostics of a model.
+    pub fn capture<R: Real>(model: &GristModel<R>) -> Snapshot {
+        let mut records = vec![
+            HistoryRecord { name: "ps".into(), data: model.surface_pressure() },
+            HistoryRecord { name: "precip_accum".into(), data: model.precip_accum.clone() },
+        ];
+        records.push(HistoryRecord {
+            name: "gsw".into(),
+            data: model.last_diag.iter().map(|d| d.gsw).collect(),
+        });
+        records.push(HistoryRecord {
+            name: "glw".into(),
+            data: model.last_diag.iter().map(|d| d.glw).collect(),
+        });
+        records.push(HistoryRecord {
+            name: "tskin".into(),
+            data: model.surface.tskin.clone(),
+        });
+        Snapshot { time_s: model.time_s, records }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.records.iter().find(|r| r.name == name).map(|r| r.data.as_slice())
+    }
+}
+
+/// Writes snapshots under a directory, one file per snapshot.
+#[derive(Debug)]
+pub struct HistoryWriter {
+    pub dir: PathBuf,
+    pub prefix: String,
+    count: usize,
+}
+
+impl HistoryWriter {
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(HistoryWriter { dir, prefix: prefix.into(), count: 0 })
+    }
+
+    /// Write one snapshot; returns the file path.
+    pub fn write(&mut self, snap: &Snapshot) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(format!("{}-{:05}.grist", self.prefix, self.count));
+        self.count += 1;
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "GRIST-RS-HISTORY v1")?;
+        writeln!(f, "time_s {}", snap.time_s)?;
+        writeln!(f, "records {}", snap.records.len())?;
+        for r in &snap.records {
+            writeln!(f, "field {} {}", r.name, r.data.len())?;
+        }
+        writeln!(f, "data")?;
+        for r in &snap.records {
+            let bytes: Vec<u8> = r.data.iter().flat_map(|v| v.to_le_bytes()).collect();
+            f.write_all(&bytes)?;
+        }
+        Ok(path)
+    }
+}
+
+/// Read a snapshot file back (exact round-trip of [`HistoryWriter::write`]).
+pub fn read_snapshot(path: &Path) -> std::io::Result<Snapshot> {
+    let f = fs::File::open(path)?;
+    let mut reader = BufReader::new(f);
+    let mut line = String::new();
+    let mut read_line = |reader: &mut BufReader<fs::File>| -> std::io::Result<String> {
+        line.clear();
+        reader.read_line(&mut line)?;
+        Ok(line.trim_end().to_string())
+    };
+    let magic = read_line(&mut reader)?;
+    if magic != "GRIST-RS-HISTORY v1" {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let time_line = read_line(&mut reader)?;
+    let time_s: f64 = time_line
+        .strip_prefix("time_s ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad time"))?;
+    let n_line = read_line(&mut reader)?;
+    let n: usize = n_line
+        .strip_prefix("records ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad count"))?;
+    let mut metas = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fl = read_line(&mut reader)?;
+        let mut parts = fl.split_whitespace();
+        let tag = parts.next();
+        if tag != Some("field") {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad field line"));
+        }
+        let name = parts.next().unwrap_or("").to_string();
+        let len: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad len"))?;
+        metas.push((name, len));
+    }
+    let data_tag = read_line(&mut reader)?;
+    if data_tag != "data" {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "missing data tag"));
+    }
+    let mut records = Vec::with_capacity(n);
+    for (name, len) in metas {
+        let mut buf = vec![0u8; len * 8];
+        reader.read_exact(&mut buf)?;
+        let data = buf
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        records.push(HistoryRecord { name, data });
+    }
+    Ok(Snapshot { time_s, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("grist-history-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        let dir = tmpdir("roundtrip");
+        let snap = Snapshot {
+            time_s: 1234.5,
+            records: vec![
+                HistoryRecord { name: "a".into(), data: vec![1.0, -2.5, 3.25] },
+                HistoryRecord { name: "b".into(), data: vec![f64::MIN_POSITIVE, 1e300] },
+            ],
+        };
+        let mut w = HistoryWriter::new(&dir, "test").unwrap();
+        let path = w.write(&snap).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back, snap);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_numbers_files_sequentially() {
+        let dir = tmpdir("seq");
+        let snap = Snapshot { time_s: 0.0, records: vec![] };
+        let mut w = HistoryWriter::new(&dir, "run").unwrap();
+        let p0 = w.write(&snap).unwrap();
+        let p1 = w.write(&snap).unwrap();
+        assert!(p0.to_string_lossy().contains("run-00000"));
+        assert!(p1.to_string_lossy().contains("run-00001"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn model_capture_contains_the_standard_fields() {
+        let mut m = crate::model::GristModel::<f64>::new(RunConfig::for_level(2, 8));
+        m.advance(m.config.dt_phy);
+        let snap = Snapshot::capture(&m);
+        for name in ["ps", "precip_accum", "gsw", "glw", "tskin"] {
+            let rec = snap.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(rec.len(), m.n_cells());
+        }
+        assert!(snap.get("ps").unwrap().iter().all(|&p| p > 5.0e4));
+    }
+
+    #[test]
+    fn capture_write_read_through_model() {
+        let dir = tmpdir("model");
+        let mut m = crate::model::GristModel::<f64>::new(RunConfig::for_level(2, 8));
+        m.advance(m.config.dt_phy);
+        let snap = Snapshot::capture(&m);
+        let mut w = HistoryWriter::new(&dir, "aqua").unwrap();
+        let path = w.write(&snap).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.time_s, m.time_s);
+        assert_eq!(back.get("ps").unwrap(), snap.get("ps").unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.grist");
+        fs::write(&path, b"NOT A HISTORY FILE").unwrap();
+        assert!(read_snapshot(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

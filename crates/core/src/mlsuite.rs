@@ -1,0 +1,255 @@
+//! The ML-based physics suite assembled for online coupling (§3.2.3–3.2.4):
+//! the CNN tendency module (Q1/Q2), the MLP radiation diagnostic module
+//! (gsw/glw), and the conventional physics *diagnostic* module (surface
+//! precipitation from the moisture budget) — "they together form the new
+//! model physics suite".
+
+use grist_ml::models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS};
+use grist_physics::column::consts::LVAP;
+use grist_physics::surface::{bulk_fluxes, SurfaceConfig};
+use grist_physics::{Column, SurfaceDiag, Tendencies};
+use rayon::prelude::*;
+
+/// The coupled ML physics suite.
+#[derive(Debug, Clone)]
+pub struct MlSuite {
+    pub cnn: TendencyCnn,
+    pub mlp: RadiationMlp,
+    pub nlev: usize,
+}
+
+/// Output of the ML suite on one column (mirrors the conventional suite's).
+#[derive(Debug, Clone)]
+pub struct MlOutput {
+    pub tend: Tendencies,
+    pub diag: SurfaceDiag,
+}
+
+impl MlSuite {
+    /// An untrained suite (for architecture/performance work); training is
+    /// done by `datagen::train_ml_suite`.
+    pub fn untrained(nlev: usize, channels: usize, seed: u64) -> Self {
+        let mut cnn = TendencyCnn::new(nlev, channels, seed);
+        // Untrained output scaling: keep raw-network O(1) outputs at the
+        // physical scale of small tendencies so an untrained suite perturbs
+        // rather than destroys a coupled run. Training overwrites these.
+        cnn.out_norm = vec![(0.0, 1e-6); 2];
+        // Three diagnostic outputs: gsw, glw (§3.2.3) plus surface
+        // precipitation (our diagnostic-module extension — DESIGN.md).
+        let mut mlp = RadiationMlp::with_outputs(2 * nlev + 2, 3, 64, seed ^ 0x5eed);
+        mlp.out_norm = vec![(200.0, 20.0), (350.0, 20.0), (1.0, 0.5)];
+        MlSuite { cnn, mlp, nlev }
+    }
+
+    /// Build the CNN input vector `[U|V|T|Q|P] × nlev` from a column
+    /// (raw physical units; normalization is the model's).
+    pub fn cnn_input(&self, col: &Column) -> Vec<f32> {
+        let nlev = self.nlev;
+        let mut x = Vec::with_capacity(CNN_INPUT_CHANNELS * nlev);
+        x.extend(col.u.iter().map(|&v| v as f32));
+        x.extend(col.v.iter().map(|&v| v as f32));
+        x.extend(col.t.iter().map(|&v| v as f32));
+        x.extend(col.qv.iter().map(|&v| v as f32));
+        x.extend(col.p.iter().map(|&v| v as f32));
+        x
+    }
+
+    /// Build the radiation MLP input `[T | Q | tskin | coszr]`.
+    pub fn mlp_input(&self, col: &Column) -> Vec<f32> {
+        let mut x = Vec::with_capacity(2 * self.nlev + 2);
+        x.extend(col.t.iter().map(|&v| v as f32));
+        x.extend(col.qv.iter().map(|&v| v as f32));
+        x.push(col.tskin as f32);
+        x.push(col.coszr as f32);
+        x
+    }
+
+    /// Run the suite on one column.
+    pub fn step_column(&self, col: &Column) -> MlOutput {
+        let nlev = self.nlev;
+        // --- ML physical tendency module ---
+        let mut x = self.cnn_input(col);
+        self.cnn.normalize_input(&mut x);
+        let mut y = vec![0.0f32; 2 * nlev];
+        self.cnn.infer(&x, &mut y);
+        self.cnn.denormalize_output(&mut y);
+        let mut tend = Tendencies::zeros(nlev);
+        for k in 0..nlev {
+            tend.dt_dt[k] = y[k] as f64; // Q1
+            tend.dqv_dt[k] = y[nlev + k] as f64; // Q2
+        }
+
+        // --- ML radiation/surface diagnostic module ---
+        let mut rx = self.mlp_input(col);
+        self.mlp.normalize_input(&mut rx);
+        let mut r = self.mlp.infer(&rx);
+        self.mlp.denormalize_output(&mut r);
+        let gsw = (r[0] as f64).max(0.0);
+        let glw = (r[1] as f64).max(0.0);
+        // Learned precipitation diagnostic (third MLP output); if the suite
+        // was built with only the two radiation outputs, fall back to the
+        // column moisture-budget closure P = E − ∫Q2 dm.
+        let (shflx, lhflx) = bulk_fluxes(col, &SurfaceConfig::default(), 1.0);
+        let precip = if r.len() >= 3 {
+            (r[2] as f64).max(0.0)
+        } else {
+            let mut dq_int = 0.0;
+            for k in 0..nlev {
+                dq_int += tend.dqv_dt[k] * col.layer_mass(k);
+            }
+            (lhflx / LVAP - dq_int).max(0.0) * 86_400.0
+        };
+
+        MlOutput {
+            tend,
+            diag: SurfaceDiag {
+                gsw,
+                glw,
+                precip,
+                shflx,
+                lhflx,
+                tskin: col.tskin,
+                cloud_cover: 0.0,
+            },
+        }
+    }
+
+    /// Run on many columns in parallel — "a simplified, unified computational
+    /// pattern (primarily matrix multiplication)".
+    pub fn step_columns(&self, cols: &[Column]) -> Vec<MlOutput> {
+        cols.par_iter().map(|c| self.step_column(c)).collect()
+    }
+
+    /// Inference FLOPs per column (for the §4.7 comparison).
+    pub fn flops_per_column(&self) -> u64 {
+        self.cnn.flops() + self.mlp.flops()
+    }
+
+    /// Save the trained suite (both networks + normalization) to one file —
+    /// the "weight of the AI-enhanced physics suite along with its
+    /// corresponding parameter files" of the paper's artifact.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.cnn.save_to(&mut f)?;
+        self.mlp.save_to(&mut f)?;
+        Ok(())
+    }
+
+    /// Load a suite saved with [`Self::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<MlSuite> {
+        let mut f = std::fs::File::open(path)?;
+        let cnn = TendencyCnn::load_from(&mut f)?;
+        let mlp = RadiationMlp::load_from(&mut f)?;
+        let nlev = cnn.nlev;
+        Ok(MlSuite { cnn, mlp, nlev })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_suite_produces_finite_outputs() {
+        let suite = MlSuite::untrained(30, 16, 7);
+        let col = Column::reference(30);
+        let out = suite.step_column(&col);
+        assert!(out.tend.dt_dt.iter().all(|x| x.is_finite()));
+        assert!(out.tend.dqv_dt.iter().all(|x| x.is_finite()));
+        assert!(out.diag.precip >= 0.0);
+        assert!(out.diag.gsw >= 0.0 && out.diag.glw >= 0.0);
+    }
+
+    #[test]
+    fn input_layout_is_channel_major() {
+        let suite = MlSuite::untrained(5, 8, 1);
+        let mut col = Column::reference(5);
+        col.u = vec![1.0; 5];
+        col.v = vec![2.0; 5];
+        col.t = vec![3.0; 5];
+        col.qv = vec![4.0; 5];
+        col.p = vec![5.0; 5];
+        let x = suite.cnn_input(&col);
+        assert_eq!(&x[0..5], &[1.0; 5]);
+        assert_eq!(&x[5..10], &[2.0; 5]);
+        assert_eq!(&x[20..25], &[5.0; 5]);
+        let rx = suite.mlp_input(&col);
+        assert_eq!(rx.len(), 12);
+        assert_eq!(suite.mlp.n_out, 3);
+        assert_eq!(rx[10], col.tskin as f32);
+        assert_eq!(rx[11], col.coszr as f32);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let suite = MlSuite::untrained(10, 8, 3);
+        let cols: Vec<Column> = (0..8)
+            .map(|i| {
+                let mut c = Column::reference(10);
+                c.t[5] += i as f64;
+                c
+            })
+            .collect();
+        let par = suite.step_columns(&cols);
+        for (c, p) in cols.iter().zip(&par) {
+            let s = suite.step_column(c);
+            assert_eq!(s.tend.dt_dt, p.tend.dt_dt);
+        }
+    }
+
+    #[test]
+    fn learned_precip_diagnostic_is_used_and_clamped() {
+        // Pin the MLP's third output via a zero-std out-norm and check the
+        // diagnostic path (and its non-negativity clamp).
+        let mut suite = MlSuite::untrained(4, 4, 9);
+        suite.mlp.out_norm = vec![(250.0, 0.0), (340.0, 0.0), (7.5, 0.0)];
+        let col = Column::reference(4);
+        let out = suite.step_column(&col);
+        assert!((out.diag.precip - 7.5).abs() < 1e-6, "precip {}", out.diag.precip);
+        suite.mlp.out_norm[2] = (-3.0, 0.0);
+        let out = suite.step_column(&col);
+        assert_eq!(out.diag.precip, 0.0, "negative prediction must clamp");
+    }
+
+    #[test]
+    fn two_output_suite_falls_back_to_budget_closure() {
+        use grist_ml::models::RadiationMlp;
+        let mut suite = MlSuite::untrained(4, 4, 9);
+        suite.mlp = RadiationMlp::new(2 * 4 + 2, 8, 3); // gsw/glw only
+        suite.cnn.out_norm = vec![(0.0, 0.0); 2];
+        suite.cnn.out_norm[1] = (-1e-7, 0.0); // uniform drying Q2
+        let mut col = Column::reference(4);
+        col.tskin = 200.0; // suppress evaporation
+        let out = suite.step_column(&col);
+        let expected = 1e-7 * (0..4).map(|k| col.layer_mass(k)).sum::<f64>() * 86_400.0;
+        assert!(
+            (out.diag.precip - expected).abs() < 0.05 * expected,
+            "precip {} vs expected {expected}",
+            out.diag.precip
+        );
+    }
+
+    #[test]
+    fn suite_save_load_roundtrips_predictions() {
+        let suite = MlSuite::untrained(6, 8, 31);
+        let dir = std::env::temp_dir().join(format!("grist-mlsuite-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.gml");
+        suite.save(&path).unwrap();
+        let back = MlSuite::load(&path).unwrap();
+        let col = Column::reference(6);
+        let a = suite.step_column(&col);
+        let b = back.step_column(&col);
+        assert_eq!(a.tend.dt_dt, b.tend.dt_dt);
+        assert_eq!(a.diag.gsw, b.diag.gsw);
+        assert_eq!(a.diag.precip, b.diag.precip);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flops_count_covers_both_modules() {
+        let suite = MlSuite::untrained(30, 128, 1);
+        assert!(suite.flops_per_column() > suite.cnn.flops());
+        assert!(suite.flops_per_column() > 1_000_000);
+    }
+}

@@ -1,0 +1,309 @@
+//! The coupled GRIST-rs model driver: dynamical core + physics suite
+//! (conventional or ML) advancing together on the Table-2 cadence
+//! (dyn < trac < phy < rad).
+
+use crate::config::RunConfig;
+use crate::coupling::{apply_tendencies, extract_columns, SurfaceState};
+use crate::mlsuite::MlSuite;
+use grist_dycore::hevi::NhConfig;
+use grist_dycore::{NhSolver, NhState, Real, VerticalCoord};
+use grist_mesh::HexMesh;
+use grist_physics::{ColumnPhysicsState, ConventionalSuite, SurfaceDiag, Tendencies};
+
+/// Which physics suite is coupled (Table 3's "Physics" column).
+#[allow(clippy::large_enum_variant)] // one engine per model; size is irrelevant
+pub enum PhysicsEngine {
+    Conventional { suite: ConventionalSuite, states: Vec<ColumnPhysicsState> },
+    Ml(Box<MlSuite>),
+}
+
+impl PhysicsEngine {
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhysicsEngine::Conventional { .. } => "Conventional",
+            PhysicsEngine::Ml(_) => "ML-physics",
+        }
+    }
+}
+
+/// The coupled model.
+pub struct GristModel<R: Real> {
+    pub config: RunConfig,
+    pub solver: NhSolver<R>,
+    pub state: NhState<R>,
+    pub surface: SurfaceState,
+    pub physics: PhysicsEngine,
+    /// Cell latitudes/longitudes \[rad\].
+    pub lats: Vec<f64>,
+    pub lons: Vec<f64>,
+    /// Model time \[s\] since initialization.
+    pub time_s: f64,
+    /// Accumulated surface precipitation \[mm\] per cell.
+    pub precip_accum: Vec<f64>,
+    /// Most recent surface diagnostics per cell.
+    pub last_diag: Vec<SurfaceDiag>,
+    /// Most recent physics tendencies per cell (the Q1/Q2 residuals handed
+    /// to the training pipeline).
+    pub last_tendencies: Vec<Tendencies>,
+    /// Solar declination used for the insolation cycle \[rad\].
+    pub declination: f64,
+    dyn_steps_taken: usize,
+}
+
+impl<R: Real> GristModel<R> {
+    /// Build an aqua-planet model at the configured grid level, at rest.
+    pub fn new(config: RunConfig) -> Self {
+        let mesh = HexMesh::build(config.level);
+        let lats: Vec<f64> = mesh.cell_xyz.iter().map(|p| p.lat()).collect();
+        let lons: Vec<f64> = mesh.cell_xyz.iter().map(|p| p.lon()).collect();
+        let nc = mesh.n_cells();
+        let solver = NhSolver::new(
+            mesh,
+            VerticalCoord::uniform(config.nlev),
+            NhConfig { ntracers: 3, ..Default::default() },
+        );
+        let mut state = solver.isothermal_rest_state(config.t_ref, config.ps_ref);
+        // Moisten the lower troposphere (qv tracer) for a live hydrology.
+        let nlev = config.nlev;
+        for c in 0..nc {
+            for k in 0..nlev {
+                let frac = (k as f64 + 0.5) / nlev as f64; // 0 top → 1 surface
+                let q = 0.016 * frac.powi(3) * lats[c].cos().powi(2) + 1e-6;
+                state.tracers[0].set(k, c, R::from_f64(q));
+            }
+        }
+        let surface = SurfaceState::aqua_planet(&lats);
+        let physics = if config.ml_physics {
+            PhysicsEngine::Ml(Box::new(MlSuite::untrained(config.nlev, 32, 2024)))
+        } else {
+            let states = (0..nc)
+                .map(|c| ColumnPhysicsState::new(config.nlev, surface.ocean[c], surface.tskin[c]))
+                .collect();
+            PhysicsEngine::Conventional { suite: ConventionalSuite::default(), states }
+        };
+        GristModel {
+            solver,
+            state,
+            surface,
+            physics,
+            lats,
+            lons,
+            time_s: 0.0,
+            precip_accum: vec![0.0; nc],
+            last_diag: vec![SurfaceDiag::default(); nc],
+            last_tendencies: vec![Tendencies::default(); nc],
+            declination: 0.0,
+            config,
+            dyn_steps_taken: 0,
+        }
+    }
+
+    /// Add an idealized continent (rebuilding the per-column land states
+    /// for the conventional suite).
+    pub fn add_continent(&mut self, lat_range: (f64, f64), lon_range: (f64, f64)) {
+        let (lats, lons) = (self.lats.clone(), self.lons.clone());
+        self.surface.add_continent(&lats, &lons, lat_range, lon_range);
+        if let PhysicsEngine::Conventional { states, .. } = &mut self.physics {
+            for (c, st) in states.iter_mut().enumerate() {
+                *st = ColumnPhysicsState::new(
+                    self.config.nlev,
+                    self.surface.ocean[c],
+                    self.surface.tskin[c],
+                );
+            }
+        }
+    }
+
+    /// Replace the physics engine (e.g. with a trained [`MlSuite`]).
+    pub fn set_ml_suite(&mut self, suite: MlSuite) {
+        assert_eq!(suite.nlev, self.config.nlev);
+        self.physics = PhysicsEngine::Ml(Box::new(suite));
+    }
+
+    pub fn n_cells(&self) -> usize {
+        self.solver.mesh.n_cells()
+    }
+
+    /// One dynamics substep.
+    pub fn step_dyn(&mut self) {
+        let dt = self.config.dt_dyn;
+        self.solver.step(&mut self.state, dt);
+        self.time_s += dt;
+        self.dyn_steps_taken += 1;
+    }
+
+    /// One physics step over `dt_phy`, using the §3.2.4 coupling interface.
+    pub fn step_physics(&mut self) {
+        let dt_phy = self.config.dt_phy;
+        let utc_hours = (self.time_s / 3600.0) % 24.0;
+        let (lats, lons) = (&self.lats, &self.lons);
+        self.surface.update_sun(lats, lons, self.declination, utc_hours);
+        let cols = extract_columns(&mut self.solver, &self.state, &self.surface);
+
+        let (tends, diags): (Vec<Tendencies>, Vec<SurfaceDiag>) = match &mut self.physics {
+            PhysicsEngine::Conventional { suite, states } => {
+                let outs = suite.step_columns(&cols, states, dt_phy, self.config.dt_rad);
+                outs.into_iter().map(|o| (o.tend, o.diag)).unzip()
+            }
+            PhysicsEngine::Ml(suite) => {
+                let outs = suite.step_columns(&cols);
+                outs.into_iter().map(|o| (o.tend, o.diag)).unzip()
+            }
+        };
+        apply_tendencies(&mut self.solver, &mut self.state, &tends, dt_phy);
+        self.last_tendencies = tends;
+        for (c, d) in diags.iter().enumerate() {
+            self.precip_accum[c] += d.precip * dt_phy / 86_400.0; // mm/day → mm
+            // Land skin temperature persists; ocean SST is prescribed.
+            if !self.surface.ocean[c] {
+                self.surface.tskin[c] = d.tskin;
+            }
+        }
+        self.last_diag = diags;
+    }
+
+    /// Advance the coupled model by `seconds`, firing physics on its cadence.
+    pub fn advance(&mut self, seconds: f64) {
+        let n_dyn = (seconds / self.config.dt_dyn).round() as usize;
+        let dyn_per_phy = self.config.dyn_per_phy().max(1);
+        for _ in 0..n_dyn {
+            self.step_dyn();
+            if self.dyn_steps_taken.is_multiple_of(dyn_per_phy) {
+                self.step_physics();
+            }
+        }
+    }
+
+    /// Mean precipitation rate \[mm/day\] over the last physics step.
+    pub fn mean_precip_rate(&self) -> f64 {
+        if self.last_diag.is_empty() {
+            return 0.0;
+        }
+        let mesh = &self.solver.mesh;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (c, d) in self.last_diag.iter().enumerate() {
+            num += d.precip * mesh.cell_area[c];
+            den += mesh.cell_area[c];
+        }
+        num / den
+    }
+
+    /// Surface dry pressure per cell (the `ps` observable).
+    pub fn surface_pressure(&self) -> Vec<f64> {
+        self.state.surface_pressure(self.solver.vc.p_top)
+    }
+
+    /// Measure actual simulation speed: run `sim_seconds` of model time and
+    /// return SDPD = simulated-days / wall-clock-days.
+    pub fn measure_sdpd(&mut self, sim_seconds: f64) -> f64 {
+        let wall = std::time::Instant::now();
+        self.advance(sim_seconds);
+        let elapsed = wall.elapsed().as_secs_f64();
+        (sim_seconds / 86_400.0) / (elapsed / 86_400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+
+    fn small_config() -> RunConfig {
+        RunConfig::for_level(2, 10)
+    }
+
+    #[test]
+    fn model_initializes_with_moist_tropics() {
+        let m = GristModel::<f64>::new(small_config());
+        // Moisture at the lowest level should peak near the equator.
+        let nlev = m.config.nlev;
+        let eq = (0..m.n_cells()).min_by(|&a, &b| {
+            m.lats[a].abs().partial_cmp(&m.lats[b].abs()).unwrap()
+        }).unwrap();
+        let pole = (0..m.n_cells()).max_by(|&a, &b| {
+            m.lats[a].abs().partial_cmp(&m.lats[b].abs()).unwrap()
+        }).unwrap();
+        assert!(m.state.tracers[0].at(nlev - 1, eq) > m.state.tracers[0].at(nlev - 1, pole));
+    }
+
+    #[test]
+    fn coupled_model_runs_stably_with_conventional_physics() {
+        let mut m = GristModel::<f64>::new(small_config());
+        m.advance(4.0 * m.config.dt_phy);
+        assert!(m.state.u.as_slice().iter().all(|x| x.is_finite()));
+        assert!(m.state.theta_m.as_slice().iter().all(|x| x.is_finite() && *x > 0.0));
+        let ps = m.surface_pressure();
+        assert!(ps.iter().all(|&p| (8.0e4..1.2e5).contains(&p)));
+    }
+
+    #[test]
+    fn coupled_model_runs_with_untrained_ml_physics() {
+        // Untrained ML physics produces small random tendencies (initialized
+        // near zero by out-norm identity); the model must stay finite.
+        let cfg = small_config().with_ml_physics(true);
+        let mut m = GristModel::<f64>::new(cfg);
+        m.advance(2.0 * m.config.dt_phy);
+        assert!(m.state.u.as_slice().iter().all(|x| x.is_finite()));
+        assert_eq!(m.physics.label(), "ML-physics");
+    }
+
+    #[test]
+    fn physics_fires_on_the_configured_cadence() {
+        let mut m = GristModel::<f64>::new(small_config());
+        let dyn_per_phy = m.config.dyn_per_phy();
+        // One dyn step less than a physics interval: no diagnostics yet.
+        for _ in 0..dyn_per_phy - 1 {
+            m.step_dyn();
+        }
+        assert!(m.last_diag.iter().all(|d| d.glw == 0.0), "physics ran early");
+        m.step_dyn();
+        m.step_physics();
+        assert!(m.last_diag.iter().any(|d| d.glw > 0.0), "physics did not run");
+    }
+
+    #[test]
+    fn radiation_reaches_the_surface_diagnostics() {
+        let mut m = GristModel::<f64>::new(small_config());
+        m.advance(2.0 * m.config.dt_phy);
+        // Somewhere on the day side gsw must be positive, glw everywhere.
+        assert!(m.last_diag.iter().any(|d| d.gsw > 50.0));
+        assert!(m.last_diag.iter().all(|d| d.glw > 100.0));
+    }
+
+    #[test]
+    fn continent_activates_the_land_model_with_a_diurnal_cycle() {
+        let mut m = GristModel::<f64>::new(small_config());
+        m.add_continent((0.1, 0.8), (0.0, 1.5));
+        let land_cells: Vec<usize> =
+            (0..m.n_cells()).filter(|&c| !m.surface.ocean[c]).collect();
+        assert!(!land_cells.is_empty(), "continent carved no cells");
+        let t0: Vec<f64> = land_cells.iter().map(|&c| m.surface.tskin[c]).collect();
+        // Integrate across several physics steps: land tskin must evolve
+        // (prognostic), ocean tskin must stay prescribed.
+        let ocean_t0 = m.surface.tskin[(0..m.n_cells()).find(|&c| m.surface.ocean[c]).unwrap()];
+        m.advance(6.0 * m.config.dt_phy);
+        let moved = land_cells
+            .iter()
+            .zip(&t0)
+            .filter(|(&c, &t)| (m.surface.tskin[c] - t).abs() > 0.05)
+            .count();
+        assert!(
+            moved > land_cells.len() / 2,
+            "land skin temperature did not evolve ({moved}/{})",
+            land_cells.len()
+        );
+        let ocean_c = (0..m.n_cells()).find(|&c| m.surface.ocean[c]).unwrap();
+        assert_eq!(m.surface.tskin[ocean_c], ocean_t0, "SST must stay prescribed");
+    }
+
+    #[test]
+    fn f32_model_matches_f64_under_gate_for_short_run() {
+        let mut m64 = GristModel::<f64>::new(small_config());
+        let mut m32 = GristModel::<f32>::new(small_config());
+        m64.advance(2.0 * m64.config.dt_phy);
+        m32.advance(2.0 * m32.config.dt_phy);
+        let e = grist_dycore::relative_l2_error(&m32.surface_pressure(), &m64.surface_pressure());
+        assert!(e < grist_dycore::MIXED_PRECISION_ERROR_THRESHOLD, "ps deviation {e}");
+    }
+}

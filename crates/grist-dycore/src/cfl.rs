@@ -1,0 +1,159 @@
+//! Courant-number diagnostics: the stability monitors behind the Table-2
+//! timestep choices (G12 runs dyn = 4 s because the horizontal acoustic CFL
+//! at 1.5 km demands it; tracer steps stretch to 30 s because advective
+//! velocities, not sound, bound them).
+
+use crate::constants::{GRAVITY, KAPPA, P0, RDRY};
+use crate::field::Field2;
+use crate::hevi::{NhSolver, NhState};
+use crate::real::Real;
+use grist_mesh::EARTH_RADIUS_M;
+
+/// CFL summary of a state at a given timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CflReport {
+    /// Horizontal acoustic Courant number `(|u| + c_s)·Δt/Δx` (max).
+    pub acoustic: f64,
+    /// Horizontal advective Courant number `|u|·Δt/Δx` (max).
+    pub advective: f64,
+    /// Vertical Courant number `|w|·Δt/Δz` (max) — handled implicitly by
+    /// HEVI, reported for information.
+    pub vertical: f64,
+    /// Minimum dual-edge spacing \[m\].
+    pub min_dx: f64,
+}
+
+impl CflReport {
+    /// Explicit horizontal stability requires the acoustic number below the
+    /// RK3 bound (~1.7 for centred advection; we use a conservative 1).
+    pub fn horizontally_stable(&self) -> bool {
+        self.acoustic < 1.0
+    }
+}
+
+/// Sound speed from the layer temperature: `c_s = sqrt(γ R T)`.
+fn sound_speed(t: f64) -> f64 {
+    let gamma = 1.0 / (1.0 - KAPPA); // cp/cv
+    (gamma * RDRY * t).sqrt()
+}
+
+/// Evaluate the CFL report for `state` at timestep `dt`.
+pub fn cfl_report<R: Real>(solver: &mut NhSolver<R>, state: &NhState<R>, dt: f64) -> CflReport {
+    let mesh = solver.mesh.clone();
+    let nlev = solver.vc.nlev;
+    let (_p, theta, dphi, exner) = solver.diagnose_fields(state);
+    let theta = theta.clone();
+    let exner: Field2<f64> = exner.clone();
+    let dphi = dphi.clone();
+
+    let min_dx = mesh.edge_de.iter().cloned().fold(f64::INFINITY, f64::min) * EARTH_RADIUS_M;
+
+    let mut acoustic = 0.0f64;
+    let mut advective = 0.0f64;
+    for e in 0..mesh.n_edges() {
+        let dx = mesh.edge_de[e] * EARTH_RADIUS_M;
+        let [c1, c2] = mesh.edge_cells[e];
+        for k in 0..nlev {
+            let u = state.u.at(k, e).to_f64().abs();
+            let t = 0.5
+                * (theta.at(k, c1 as usize) * exner.at(k, c1 as usize)
+                    + theta.at(k, c2 as usize) * exner.at(k, c2 as usize));
+            let cs = sound_speed(t);
+            acoustic = acoustic.max((u + cs) * dt / dx);
+            advective = advective.max(u * dt / dx);
+        }
+    }
+
+    let mut vertical = 0.0f64;
+    for c in 0..mesh.n_cells() {
+        for k in 0..nlev {
+            let dz = dphi.at(k, c) / GRAVITY;
+            let w = 0.5 * (state.w.at(k, c).abs() + state.w.at(k + 1, c).abs());
+            vertical = vertical.max(w * dt / dz.max(1.0));
+        }
+    }
+    let _ = P0;
+    CflReport { acoustic, advective, vertical, min_dx }
+}
+
+/// The largest dynamics timestep with acoustic Courant number below `target`
+/// for a resting atmosphere of temperature `t0` on a grid of spacing `dx_m`.
+pub fn max_acoustic_dt(dx_m: f64, t0: f64, target: f64) -> f64 {
+    target * dx_m / sound_speed(t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hevi::NhConfig;
+    use crate::vertical::VerticalCoord;
+    use grist_mesh::HexMesh;
+
+    #[test]
+    fn sound_speed_is_earthlike() {
+        let cs = sound_speed(288.0);
+        assert!((330.0..355.0).contains(&cs), "c_s = {cs}");
+    }
+
+    #[test]
+    fn rest_state_cfl_is_purely_acoustic() {
+        let mut s = NhSolver::<f64>::new(
+            HexMesh::build(2),
+            VerticalCoord::uniform(8),
+            NhConfig::default(),
+        );
+        let st = s.isothermal_rest_state(280.0, 1.0e5);
+        let r = cfl_report(&mut s, &st, 100.0);
+        assert_eq!(r.advective, 0.0);
+        assert_eq!(r.vertical, 0.0);
+        assert!(r.acoustic > 0.0);
+        // acoustic = c_s·dt/min_dx within rounding of the per-edge dx
+        let expected = sound_speed(280.0) * 100.0 / r.min_dx;
+        assert!((r.acoustic / expected - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn g12_timestep_satisfies_the_acoustic_bound() {
+        // Table 2: G12 (min spacing ~1.47 km) runs dyn = 4 s.
+        let dt_max = max_acoustic_dt(1470.0, 260.0, 1.0);
+        assert!(dt_max > 4.0, "4 s must be acoustically stable at G12: bound {dt_max}");
+        assert!(dt_max < 8.0, "and 8 s must not be far off: bound {dt_max}");
+        // G11S doubles the spacing and the paper doubles dt to 8 s.
+        let dt_max_g11 = max_acoustic_dt(2940.0, 260.0, 1.0);
+        assert!(dt_max_g11 > 8.0);
+    }
+
+    #[test]
+    fn cfl_grows_linearly_with_dt_and_wind() {
+        let mut s = NhSolver::<f64>::new(
+            HexMesh::build(2),
+            VerticalCoord::uniform(8),
+            NhConfig::default(),
+        );
+        let mut st = s.isothermal_rest_state(280.0, 1.0e5);
+        for e in 0..s.mesh.n_edges() {
+            for k in 0..8 {
+                st.u.set(k, e, 50.0);
+            }
+        }
+        let r1 = cfl_report(&mut s, &st, 100.0);
+        let r2 = cfl_report(&mut s, &st, 200.0);
+        assert!((r2.acoustic / r1.acoustic - 2.0).abs() < 1e-9);
+        assert!((r2.advective / r1.advective - 2.0).abs() < 1e-9);
+        assert!(r1.advective > 0.0);
+    }
+
+    #[test]
+    fn run_config_timesteps_are_horizontally_stable() {
+        // The model's own default timesteps must pass their own CFL monitor.
+        let mut s = NhSolver::<f64>::new(
+            HexMesh::build(3),
+            VerticalCoord::uniform(8),
+            NhConfig::default(),
+        );
+        let st = s.isothermal_rest_state(300.0, 1.0e5);
+        // Level-3 spacing ≈ 870 km ⇒ dt 400 s gives acoustic ≈ 0.2.
+        let r = cfl_report(&mut s, &st, 400.0);
+        assert!(r.horizontally_stable(), "acoustic CFL {}", r.acoustic);
+    }
+}

@@ -1,0 +1,49 @@
+//! Physical and planetary constants shared by the dynamical core and the
+//! physics suites. Values follow the conventional dry-air atmosphere setup
+//! used by GRIST-class models.
+
+/// Earth radius \[m\].
+pub const REARTH: f64 = 6.371e6;
+/// Earth rotation rate \[rad/s\].
+pub const OMEGA: f64 = 7.292e-5;
+/// Gravitational acceleration \[m/s²\].
+pub const GRAVITY: f64 = 9.80616;
+/// Gas constant of dry air \[J/(kg·K)\].
+pub const RDRY: f64 = 287.04;
+/// Gas constant of water vapour \[J/(kg·K)\].
+pub const RVAP: f64 = 461.5;
+/// Specific heat of dry air at constant pressure \[J/(kg·K)\].
+pub const CP: f64 = 1004.64;
+/// Specific heat of dry air at constant volume \[J/(kg·K)\].
+pub const CV: f64 = CP - RDRY;
+/// Reference pressure for the Exner function \[Pa\].
+pub const P0: f64 = 1.0e5;
+/// R/cp.
+pub const KAPPA: f64 = RDRY / CP;
+/// Latent heat of vaporization \[J/kg\].
+pub const LVAP: f64 = 2.501e6;
+/// Model-top pressure used by all the paper's configurations (§4.4) \[Pa\]:
+/// 2.25 hPa, ~40 km.
+pub const P_TOP: f64 = 225.0;
+/// Reference surface pressure \[Pa\].
+pub const PS_REF: f64 = 1.0e5;
+/// Stefan–Boltzmann constant \[W/(m²·K⁴)\].
+pub const STEFAN_BOLTZMANN: f64 = 5.670374e-8;
+/// Solar constant \[W/m²\].
+pub const SOLAR_CONSTANT: f64 = 1361.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_constants_consistent() {
+        assert!((KAPPA - 2.0 / 7.0).abs() < 2e-3);
+        assert!((CV - 717.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn model_top_matches_paper() {
+        assert_eq!(P_TOP, 225.0); // 2.25 hPa
+    }
+}

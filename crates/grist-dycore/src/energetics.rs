@@ -1,0 +1,166 @@
+//! Global energy and mass budget diagnostics for the nonhydrostatic state:
+//! the conservation watch-dogs every long climate integration runs with
+//! (the paper's 10-year stability claim in §4.5 is exactly this kind of
+//! bookkeeping).
+//!
+//! Budgets are area-weighted global integrals per unit area \[J/m²\]:
+//! internal `cᵥT·δπ/g`, potential `Φ̄·δπ/g`, kinetic horizontal
+//! `K·δπ/g`, kinetic vertical `w̄²/2·δπ/g`.
+
+use crate::constants::{CV, GRAVITY};
+use crate::field::Field2;
+use crate::hevi::{NhSolver, NhState};
+use crate::operators as op;
+use crate::real::Real;
+
+/// Global energy budget snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudget {
+    /// Internal energy \[J/m²\].
+    pub internal: f64,
+    /// Potential energy \[J/m²\].
+    pub potential: f64,
+    /// Horizontal kinetic energy \[J/m²\].
+    pub kinetic_h: f64,
+    /// Vertical kinetic energy \[J/m²\].
+    pub kinetic_w: f64,
+    /// Column dry mass \[kg/m²\].
+    pub mass: f64,
+    /// Column water vapour \[kg/m²\] (tracer 0).
+    pub water: f64,
+}
+
+impl EnergyBudget {
+    pub fn total(&self) -> f64 {
+        self.internal + self.potential + self.kinetic_h + self.kinetic_w
+    }
+
+    /// Relative drift of the total energy vs a reference budget.
+    pub fn drift_from(&self, reference: &EnergyBudget) -> f64 {
+        (self.total() - reference.total()) / reference.total()
+    }
+}
+
+/// Compute the global budget of a state.
+pub fn energy_budget<R: Real>(solver: &mut NhSolver<R>, state: &NhState<R>) -> EnergyBudget {
+    let mesh = solver.mesh.clone();
+    let nlev = solver.vc.nlev;
+    let (_pres, theta, _dphi, exner) = solver.diagnose_fields(state);
+    let theta = theta.clone();
+    let exner = exner.clone();
+
+    // Horizontal KE per cell from the edge velocities.
+    let mut ke = Field2::<R>::zeros(nlev, mesh.n_cells());
+    op::kinetic_energy(&mesh, &solver.geom, &state.u, &mut ke);
+
+    let total_area: f64 = mesh.cell_area.iter().sum();
+    let mut internal = 0.0;
+    let mut potential = 0.0;
+    let mut kinetic_h = 0.0;
+    let mut kinetic_w = 0.0;
+    let mut mass = 0.0;
+    let mut water = 0.0;
+    for c in 0..mesh.n_cells() {
+        let w_area = mesh.cell_area[c] / total_area;
+        for k in 0..nlev {
+            let dm = state.dpi.at(k, c) / GRAVITY; // layer mass kg/m²
+            let t = theta.at(k, c) * exner.at(k, c);
+            let phi_mid = 0.5 * (state.phi.at(k, c) + state.phi.at(k + 1, c));
+            let w_mid = 0.5 * (state.w.at(k, c) + state.w.at(k + 1, c));
+            internal += w_area * dm * CV * t;
+            potential += w_area * dm * phi_mid;
+            kinetic_h += w_area * dm * ke.at(k, c).to_f64();
+            kinetic_w += w_area * dm * 0.5 * w_mid * w_mid;
+            mass += w_area * dm;
+            if !state.tracers.is_empty() {
+                water += w_area * dm * state.tracers[0].at(k, c).to_f64();
+            }
+        }
+    }
+    EnergyBudget { internal, potential, kinetic_h, kinetic_w, mass, water }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hevi::NhConfig;
+    use crate::vertical::VerticalCoord;
+    use grist_mesh::HexMesh;
+
+    fn solver() -> NhSolver<f64> {
+        NhSolver::new(HexMesh::build(2), VerticalCoord::uniform(10), NhConfig::default())
+    }
+
+    #[test]
+    fn rest_state_budget_has_earthlike_magnitudes() {
+        let mut s = solver();
+        let st = s.isothermal_rest_state(280.0, 1.0e5);
+        let b = energy_budget(&mut s, &st);
+        // Column mass ≈ (ps − p_top)/g ≈ 1.017e4 kg/m².
+        assert!((b.mass - (1.0e5 - 225.0) / GRAVITY).abs() < 1.0, "mass {}", b.mass);
+        // Internal energy ≈ cv·T·M ≈ 2e9 J/m².
+        assert!((1.5e9..3.0e9).contains(&b.internal), "internal {}", b.internal);
+        assert!(b.potential > 0.0 && b.potential < b.internal);
+        assert_eq!(b.kinetic_h, 0.0);
+        assert_eq!(b.kinetic_w, 0.0);
+    }
+
+    #[test]
+    fn kinetic_energy_appears_with_wind() {
+        let mut s = solver();
+        let mut st = s.isothermal_rest_state(280.0, 1.0e5);
+        for e in 0..s.mesh.n_edges() {
+            for k in 0..10 {
+                st.u.set(k, e, 10.0);
+            }
+        }
+        let b = energy_budget(&mut s, &st);
+        // K ≈ u²/2 · column mass ≈ 50 · 1.017e4 ≈ 5e5 J/m² (edge-normal
+        // components only store part of the full |V|², so allow a band).
+        assert!((1e5..2e6).contains(&b.kinetic_h), "KE {}", b.kinetic_h);
+    }
+
+    #[test]
+    fn adiabatic_dynamics_conserves_total_energy_approximately() {
+        let mut s = solver();
+        let mut st = s.isothermal_rest_state(285.0, 1.0e5);
+        // Zonal jet perturbation.
+        for e in 0..s.mesh.n_edges() {
+            let m = s.mesh.edge_mid[e];
+            let zonal = grist_mesh::Vec3::new(0.0, 0.0, 1.0).cross(m);
+            for k in 0..10 {
+                st.u.set(k, e, 15.0 * m.lat().cos() * zonal.dot(s.mesh.edge_normal[e]));
+            }
+        }
+        let b0 = energy_budget(&mut s, &st);
+        for _ in 0..30 {
+            s.step(&mut st, 120.0);
+        }
+        let b1 = energy_budget(&mut s, &st);
+        let drift = b1.drift_from(&b0).abs();
+        // Total energy (dominated by internal+potential ~3e9) must drift
+        // far less than the kinetic content (~1e5) it could spuriously
+        // create or destroy.
+        assert!(drift < 1e-4, "total energy drift {drift}");
+        // Mass and water exactly conserved.
+        assert!(((b1.mass - b0.mass) / b0.mass).abs() < 1e-12);
+        assert!(((b1.water - b0.water) / b0.water).abs() < 1e-9, "water drift");
+    }
+
+    #[test]
+    fn heating_increases_internal_energy() {
+        let mut s = solver();
+        let st0 = s.isothermal_rest_state(280.0, 1.0e5);
+        let mut st1 = st0.clone();
+        for c in 0..s.mesh.n_cells() {
+            for k in 0..10 {
+                let dpi = st1.dpi.at(k, c);
+                let th = st1.theta_m.at(k, c) / dpi;
+                st1.theta_m.set(k, c, dpi * (th + 1.0));
+            }
+        }
+        let b0 = energy_budget(&mut s, &st0);
+        let b1 = energy_budget(&mut s, &st1);
+        assert!(b1.internal > b0.internal);
+    }
+}

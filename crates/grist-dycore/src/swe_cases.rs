@@ -1,0 +1,224 @@
+//! Additional shallow-water validation cases from the Williamson et al.
+//! (1992) suite — the standard battery every C-grid dycore (GRIST included,
+//! cf. Zhang et al. 2019) is exercised on:
+//!
+//! * **TC5** — zonal flow over an isolated mountain (topographic forcing,
+//!   conservation under unsteady flow);
+//! * **TC6** — the wavenumber-4 Rossby–Haurwitz wave (a nearly-steadily
+//!   rotating global pattern; excellent nonlinear-advection stress test).
+
+use crate::constants::GRAVITY;
+use crate::field::Field2;
+use crate::real::Real;
+use crate::swe::{SweSolver, SweState};
+use grist_mesh::{HexMesh, Vec3, EARTH_OMEGA, EARTH_RADIUS_M};
+
+/// Williamson TC5: solid-body zonal flow (`u0 = 20 m/s`, `gh0 = 5960·g`)
+/// impinging on a conical mountain of height 2000 m centred at
+/// (30°N, 90°W). Returns the initial state; the mountain must be installed
+/// with [`install_tc5_mountain`].
+pub fn williamson_tc5<R: Real>(mesh: &HexMesh) -> SweState<R> {
+    let u0 = 20.0;
+    let h0 = 5960.0;
+    let h = Field2::from_fn(1, mesh.n_cells(), |_, c| {
+        let sl = mesh.cell_xyz[c].lat().sin();
+        R::from_f64(h0 - (EARTH_RADIUS_M * EARTH_OMEGA * u0 + 0.5 * u0 * u0) * sl * sl / GRAVITY)
+    });
+    let u = Field2::from_fn(1, mesh.n_edges(), |_, e| {
+        let m = mesh.edge_mid[e];
+        let v = Vec3::new(0.0, 0.0, 1.0).cross(m) * u0;
+        R::from_f64(v.dot(mesh.edge_normal[e]))
+    });
+    SweState { h, u }
+}
+
+/// Install the TC5 conical mountain into the solver's topography and remove
+/// it from the fluid depth so the free surface stays smooth initially.
+pub fn install_tc5_mountain<R: Real>(solver: &mut SweSolver<R>, state: &mut SweState<R>) {
+    let hs0 = 2000.0;
+    let rr = std::f64::consts::PI / 9.0; // mountain radius
+    let center = {
+        let (lat, lon) = (std::f64::consts::PI / 6.0, -std::f64::consts::PI / 2.0);
+        Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin())
+    };
+    for c in 0..solver.mesh.n_cells() {
+        let r = solver.mesh.cell_xyz[c].arc_dist(center).min(rr);
+        let hs = hs0 * (1.0 - r / rr);
+        solver.topo.set(0, c, R::from_f64(hs));
+        let h = state.h.at(0, c);
+        state.h.set(0, c, h - R::from_f64(hs));
+    }
+}
+
+/// Williamson TC6: the wavenumber-4 Rossby–Haurwitz wave.
+///
+/// `ψ = −a²ω sinφ + a²K cos⁴φ sinφ cos(4λ)` with the standard
+/// `ω = K = 7.848e-6 s⁻¹`, `h` from the balanced analytic height field.
+pub fn williamson_tc6<R: Real>(mesh: &HexMesh) -> SweState<R> {
+    let omega = 7.848e-6;
+    let k = 7.848e-6;
+    let r_wave = 4.0;
+    let a = EARTH_RADIUS_M;
+    let h0 = 8000.0;
+
+    // Velocity from the analytic stream function (Williamson et al. eq. 131).
+    let vel = |p: Vec3| -> Vec3 {
+        let phi = p.lat();
+        let lam = p.lon();
+        let (cphi, sphi) = (phi.cos(), phi.sin());
+        let u_zonal = a * omega * cphi
+            + a * k * cphi.powf(r_wave - 1.0)
+                * (r_wave * sphi * sphi - cphi * cphi)
+                * (r_wave * lam).cos();
+        let v_merid = -a * k * r_wave * cphi.powf(r_wave - 1.0) * sphi * (r_wave * lam).sin();
+        p.east() * u_zonal + p.north() * v_merid
+    };
+
+    // Balanced height (Williamson et al. eqs. 136–138).
+    let height = |p: Vec3| -> f64 {
+        let phi = p.lat();
+        let lam = p.lon();
+        let c2 = phi.cos() * phi.cos();
+        let r = r_wave;
+        let big_a = 0.5 * omega * (2.0 * EARTH_OMEGA + omega) * c2
+            + 0.25 * k * k * c2.powf(r)
+                * ((r + 1.0) * c2 + (2.0 * r * r - r - 2.0) - 2.0 * r * r / c2.max(1e-12));
+        let big_b = (2.0 * (EARTH_OMEGA + omega) * k) / ((r + 1.0) * (r + 2.0))
+            * c2.powf(r / 2.0)
+            * ((r * r + 2.0 * r + 2.0) - (r + 1.0) * (r + 1.0) * c2);
+        let big_c = 0.25 * k * k * c2.powf(r) * ((r + 1.0) * c2 - (r + 2.0));
+        h0 + a * a / GRAVITY
+            * (big_a + big_b * (r * lam).cos() + big_c * (2.0 * r * lam).cos())
+    };
+
+    let h = Field2::from_fn(1, mesh.n_cells(), |_, c| R::from_f64(height(mesh.cell_xyz[c])));
+    let u = Field2::from_fn(1, mesh.n_edges(), |_, e| {
+        R::from_f64(vel(mesh.edge_mid[e]).dot(mesh.edge_normal[e]))
+    });
+    SweState { h, u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swe::tc2_height_error;
+
+    #[test]
+    fn tc5_conserves_mass_and_stays_stable_over_the_mountain() {
+        let mesh = HexMesh::build(4);
+        let mut solver = SweSolver::<f64>::new(mesh);
+        let mut state = williamson_tc5::<f64>(&solver.mesh);
+        install_tc5_mountain(&mut solver, &mut state);
+        let m0 = solver.total_mass(&state);
+        let dt = 300.0;
+        for _ in 0..(12.0 * 3600.0 / dt) as usize {
+            solver.step_rk3(&mut state, dt);
+        }
+        let m1 = solver.total_mass(&state);
+        assert!(((m1 - m0) / m0).abs() < 1e-12, "mass drift {}", (m1 - m0) / m0);
+        assert!(state.h.as_slice().iter().all(|&h| h.is_finite() && h > 0.0));
+        let umax = state.u.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!(umax < 120.0, "TC5 blew up: {umax} m/s");
+    }
+
+    #[test]
+    fn tc5_mountain_excites_a_wave_train() {
+        // After half a day the flow must depart from zonal symmetry: the
+        // meridional velocity (absent initially up to discretization error)
+        // grows by an order of magnitude.
+        let mesh = HexMesh::build(4);
+        let mut solver = SweSolver::<f64>::new(mesh);
+        let mut state = williamson_tc5::<f64>(&solver.mesh);
+        install_tc5_mountain(&mut solver, &mut state);
+        let merid_energy = |s: &SweState<f64>, solver: &SweSolver<f64>| -> f64 {
+            // meridional component ≈ normal velocity on edges whose normal
+            // points mostly north-south
+            let mut e = 0.0;
+            for i in 0..solver.mesh.n_edges() {
+                let n = solver.mesh.edge_normal[i];
+                let north = solver.mesh.edge_mid[i].north();
+                let w = n.dot(north).abs();
+                if w > 0.8 {
+                    e += s.u.at(0, i) * s.u.at(0, i);
+                }
+            }
+            e
+        };
+        let e0 = merid_energy(&state, &solver);
+        for _ in 0..(12.0 * 3600.0 / 300.0) as usize {
+            solver.step_rk3(&mut state, 300.0);
+        }
+        let e1 = merid_energy(&state, &solver);
+        assert!(e1 > 1.02 * e0, "no mountain wave response: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn tc6_initial_field_is_earthlike() {
+        let mesh = HexMesh::build(4);
+        let state = williamson_tc6::<f64>(&mesh);
+        // Height between ~7.5 and ~10.7 km (standard for RH wave).
+        let hmin = state.h.min_value();
+        let hmax = state.h.max_value();
+        assert!(hmin > 7000.0 && hmax < 11_500.0, "h range [{hmin}, {hmax}]");
+        // Winds bounded by ~110 m/s.
+        let umax = state.u.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!((20.0..130.0).contains(&umax), "umax {umax}");
+    }
+
+    #[test]
+    fn tc6_wavenumber_four_pattern_present() {
+        let mesh = HexMesh::build(4);
+        let state = williamson_tc6::<f64>(&mesh);
+        // Project h along the equator onto cos(4λ): strong signal expected.
+        let mut c4 = 0.0;
+        let mut c3 = 0.0;
+        let mut norm = 0.0;
+        for c in 0..mesh.n_cells() {
+            let p = mesh.cell_xyz[c];
+            if p.lat().abs() < 0.2 {
+                let h = state.h.at(0, c);
+                c4 += h * (4.0 * p.lon()).cos();
+                c3 += h * (3.0 * p.lon()).cos();
+                norm += h.abs();
+            }
+        }
+        assert!(c4.abs() > 5.0 * c3.abs(), "wavenumber-4 not dominant: c4 {c4}, c3 {c3}");
+        assert!(norm > 0.0);
+    }
+
+    #[test]
+    fn tc6_integrates_one_day_with_bounded_height_drift() {
+        let mesh = HexMesh::build(4);
+        let mut solver = SweSolver::<f64>::new(mesh);
+        let init = williamson_tc6::<f64>(&solver.mesh);
+        let mut state = init.clone();
+        let dt = 200.0;
+        for _ in 0..(86_400.0 / dt) as usize {
+            solver.step_rk3(&mut state, dt);
+        }
+        // The RH wave rotates slowly (~90°/11 days for wavenumber 4): after
+        // one day the normalized height difference from t=0 stays modest.
+        let err = tc2_height_error(&solver.mesh, &state, &init);
+        assert!(err < 0.05, "TC6 height deviation after 1 day: {err}");
+        let e0 = solver.total_energy(&init);
+        let e1 = solver.total_energy(&state);
+        assert!(((e1 - e0) / e0).abs() < 5e-3, "TC6 energy drift {}", (e1 - e0) / e0);
+    }
+
+    #[test]
+    fn tc5_f32_stays_under_the_mixed_precision_gate() {
+        let mesh = HexMesh::build(3);
+        let mut s64 = SweSolver::<f64>::new(mesh.clone());
+        let mut st64 = williamson_tc5::<f64>(&s64.mesh);
+        install_tc5_mountain(&mut s64, &mut st64);
+        let mut s32 = SweSolver::<f32>::new(mesh);
+        let mut st32 = SweState::<f32> { h: st64.h.cast(), u: st64.u.cast() };
+        s32.topo = s64.topo.cast();
+        for _ in 0..60 {
+            s64.step_rk3(&mut st64, 300.0);
+            s32.step_rk3(&mut st32, 300.0);
+        }
+        let err = crate::real::relative_l2_error(&st32.h.to_f64_vec(), &st64.h.to_f64_vec());
+        assert!(err < crate::real::MIXED_PRECISION_ERROR_THRESHOLD, "f32 TC5 deviation {err}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Halo (ghost-cell) layout for a partitioned mesh.
+//!
+//! Given a [`Partition`], each rank owns a contiguous set of cells and needs
+//! read access to `depth` rings of neighbouring cells owned by other ranks.
+//! This module computes, per rank: the owned cells, the halo cells (grouped by
+//! owning rank), and the matching send lists — the static schedule consumed by
+//! `grist-runtime`'s gathered halo exchange (§3.1.3).
+
+use crate::hexmesh::HexMesh;
+use crate::partition::Partition;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The communication schedule of one rank.
+#[derive(Debug, Clone)]
+pub struct RankLocale {
+    pub rank: usize,
+    /// Cells this rank owns (global ids, sorted).
+    pub owned_cells: Vec<u32>,
+    /// Ghost cells this rank reads, grouped by the owning rank.
+    /// Sorted by peer rank; cell lists sorted by global id.
+    pub recv: Vec<(usize, Vec<u32>)>,
+    /// Owned cells this rank must send, grouped by destination rank.
+    pub send: Vec<(usize, Vec<u32>)>,
+    /// Edges interior to or on the boundary of the owned region
+    /// (both cells owned, or exactly one owned — the rank computes fluxes on
+    /// all of these once halos are valid).
+    pub local_edges: Vec<u32>,
+}
+
+/// Halo layouts for every rank of a partition.
+#[derive(Debug, Clone)]
+pub struct HaloLayout {
+    pub depth: usize,
+    pub locales: Vec<RankLocale>,
+}
+
+impl HaloLayout {
+    /// Build a `depth`-ring halo layout (depth ≥ 1).
+    pub fn build(mesh: &HexMesh, partition: &Partition, depth: usize) -> Self {
+        assert!(depth >= 1, "halo depth must be at least 1");
+        let n_parts = partition.n_parts;
+        let mut locales = Vec::with_capacity(n_parts);
+
+        for rank in 0..n_parts {
+            let owned: Vec<u32> = partition.cells_of(rank);
+            let owned_set: BTreeSet<u32> = owned.iter().copied().collect();
+
+            // Grow `depth` rings outward from the owned region.
+            let mut halo: BTreeSet<u32> = BTreeSet::new();
+            let mut frontier: BTreeSet<u32> = owned_set.clone();
+            for _ in 0..depth {
+                let mut next = BTreeSet::new();
+                for &c in &frontier {
+                    for &nb in mesh.cell_neighbors.row(c as usize) {
+                        if !owned_set.contains(&nb) && !halo.contains(&nb) {
+                            next.insert(nb);
+                        }
+                    }
+                }
+                halo.extend(next.iter().copied());
+                frontier = next;
+            }
+
+            let mut recv_by_rank: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+            for &c in &halo {
+                recv_by_rank
+                    .entry(partition.part[c as usize] as usize)
+                    .or_default()
+                    .push(c);
+            }
+
+            let local_edges: Vec<u32> = (0..mesh.n_edges() as u32)
+                .filter(|&e| {
+                    let [c1, c2] = mesh.edge_cells[e as usize];
+                    owned_set.contains(&c1) || owned_set.contains(&c2)
+                })
+                .collect();
+
+            locales.push(RankLocale {
+                rank,
+                owned_cells: owned,
+                recv: recv_by_rank.into_iter().collect(),
+                send: Vec::new(), // filled below
+                local_edges,
+            });
+        }
+
+        // Send lists mirror the recv lists: rank r sends to s exactly the
+        // cells s receives from r, in the same order.
+        let mut sends: Vec<BTreeMap<usize, Vec<u32>>> = vec![BTreeMap::new(); n_parts];
+        for loc in &locales {
+            for (peer, cells) in &loc.recv {
+                sends[*peer].insert(loc.rank, cells.clone());
+            }
+        }
+        for (rank, send_map) in sends.into_iter().enumerate() {
+            locales[rank].send = send_map.into_iter().collect();
+        }
+
+        HaloLayout { depth, locales }
+    }
+
+    /// Total number of cell values moved in one full exchange (sum over all
+    /// send lists) — the per-variable communication volume.
+    pub fn exchange_volume(&self) -> usize {
+        self.locales
+            .iter()
+            .map(|l| l.send.iter().map(|(_, v)| v.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Total number of point-to-point messages per exchange round.
+    pub fn message_count(&self) -> usize {
+        self.locales.iter().map(|l| l.send.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(level: u32, parts: usize, depth: usize) -> (HexMesh, Partition, HaloLayout) {
+        let mesh = HexMesh::build(level);
+        let p = Partition::build(&mesh, parts, 2);
+        let h = HaloLayout::build(&mesh, &p, depth);
+        (mesh, p, h)
+    }
+
+    #[test]
+    fn send_and_recv_schedules_mirror() {
+        let (_, _, h) = setup(3, 5, 1);
+        for loc in &h.locales {
+            for (peer, cells) in &loc.recv {
+                let peer_send = h.locales[*peer]
+                    .send
+                    .iter()
+                    .find(|(d, _)| *d == loc.rank)
+                    .map(|(_, v)| v)
+                    .expect("missing mirrored send list");
+                assert_eq!(peer_send, cells);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_cells_are_owned_by_the_stated_peer() {
+        let (_, p, h) = setup(3, 5, 2);
+        for loc in &h.locales {
+            for (peer, cells) in &loc.recv {
+                for &c in cells {
+                    assert_eq!(p.part[c as usize] as usize, *peer);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth1_halo_covers_all_boundary_neighbors() {
+        let (mesh, p, h) = setup(3, 4, 1);
+        for loc in &h.locales {
+            let owned: BTreeSet<u32> = loc.owned_cells.iter().copied().collect();
+            let halo: BTreeSet<u32> =
+                loc.recv.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            for &c in &loc.owned_cells {
+                for &nb in mesh.cell_neighbors.row(c as usize) {
+                    if p.part[nb as usize] as usize != loc.rank {
+                        assert!(halo.contains(&nb), "rank {} missing halo cell {nb}", loc.rank);
+                    }
+                }
+                let _ = owned;
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_halo_is_superset() {
+        let mesh = HexMesh::build(3);
+        let p = Partition::build(&mesh, 4, 2);
+        let h1 = HaloLayout::build(&mesh, &p, 1);
+        let h2 = HaloLayout::build(&mesh, &p, 2);
+        for (l1, l2) in h1.locales.iter().zip(&h2.locales) {
+            let s1: BTreeSet<u32> = l1.recv.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            let s2: BTreeSet<u32> = l2.recv.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            assert!(s1.is_subset(&s2));
+            assert!(s2.len() >= s1.len());
+        }
+    }
+
+    #[test]
+    fn local_edges_cover_every_edge_at_least_once() {
+        let (mesh, _, h) = setup(3, 4, 1);
+        let mut covered = vec![false; mesh.n_edges()];
+        for loc in &h.locales {
+            for &e in &loc.local_edges {
+                covered[e as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn exchange_volume_tracks_edge_cut() {
+        // Depth-1 halo volume is bounded by twice the edge cut (each cut edge
+        // contributes at most one halo cell on each side, and distinct cut
+        // edges can share halo cells).
+        let (mesh, p, h) = setup(4, 8, 1);
+        let q = p.quality(&mesh);
+        assert!(h.exchange_volume() <= 2 * q.edge_cut);
+        assert!(h.exchange_volume() > 0);
+    }
+}

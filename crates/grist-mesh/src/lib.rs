@@ -1,0 +1,40 @@
+//! # grist-mesh
+//!
+//! The unstructured icosahedral hexagonal C-grid substrate of the GRIST-rs
+//! reproduction (PPoPP '25 "AI-Enhanced 1km-Resolution Seamless Global
+//! Weather and Climate Model"): geodesic grid generation, the Voronoi dual
+//! mesh with full connectivity and spherical metric terms, a METIS-style
+//! graph partitioner, BFS index-sequence optimization, and halo layouts.
+//!
+//! ```
+//! use grist_mesh::HexMesh;
+//! let mesh = HexMesh::build(4); // G4: 2562 cells
+//! assert_eq!(mesh.n_cells(), 2562);
+//! let total_area: f64 = mesh.cell_area.iter().sum();
+//! assert!((total_area - 4.0 * std::f64::consts::PI).abs() < 1e-9);
+//! ```
+
+// Indexed loops mirror the Fortran stencil kernels they reproduce and are
+// clearer than iterator chains for staggered-grid code.
+#![allow(clippy::needless_range_loop)]
+pub mod halo;
+pub mod hexmesh;
+pub mod icosahedron;
+pub mod partition;
+pub mod quality;
+pub mod reorder;
+pub mod vec3;
+
+pub use halo::{HaloLayout, RankLocale};
+pub use hexmesh::{Csr, HexMesh};
+pub use icosahedron::Triangulation;
+pub use partition::{Partition, PartitionQuality};
+pub use quality::{mesh_quality, MeshQuality, QualityStat};
+pub use reorder::{aligned_edge_order, bfs_cell_order, edge_index_span, permute_mesh, Permutation};
+pub use vec3::{spherical_triangle_area, Vec3};
+
+/// Earth's mean radius in metres (the `rearth` constant of GRIST).
+pub const EARTH_RADIUS_M: f64 = 6.371e6;
+
+/// Earth's rotation rate in rad/s.
+pub const EARTH_OMEGA: f64 = 7.292e-5;

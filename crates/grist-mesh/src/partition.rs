@@ -1,0 +1,293 @@
+//! Horizontal domain decomposition — the METIS stand-in (§3.1.2).
+//!
+//! The paper partitions the global cell graph with METIS to balance load and
+//! minimize communication. We implement the same service from scratch:
+//! recursive inertial (longest-axis) bisection over cell coordinates followed
+//! by a Kernighan–Lin-style boundary refinement on the cell adjacency graph.
+//! Quality is reported as load imbalance and edge cut, the two quantities
+//! that drive the scaling figures.
+
+use crate::hexmesh::HexMesh;
+use crate::vec3::Vec3;
+
+/// Cell → part assignment plus quality metrics.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub n_parts: usize,
+    /// Part id per cell.
+    pub part: Vec<u32>,
+}
+
+/// Quality metrics of a [`Partition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionQuality {
+    /// `max part size / mean part size` (1.0 is perfect).
+    pub imbalance: f64,
+    /// Number of mesh edges whose two cells live in different parts —
+    /// proportional to total halo-exchange volume.
+    pub edge_cut: usize,
+    /// Largest number of distinct neighbouring parts of any part.
+    pub max_part_degree: usize,
+}
+
+impl Partition {
+    /// Partition `mesh` into `n_parts` parts.
+    ///
+    /// `refine_passes` controls how many KL boundary-refinement sweeps run on
+    /// each bisection (0 = raw geometric bisection).
+    pub fn build(mesh: &HexMesh, n_parts: usize, refine_passes: usize) -> Self {
+        assert!(n_parts >= 1);
+        let n = mesh.n_cells();
+        let mut part = vec![0u32; n];
+        let all: Vec<u32> = (0..n as u32).collect();
+        let mut next_id = 0u32;
+        bisect_recursive(mesh, &all, n_parts, refine_passes, &mut part, &mut next_id);
+        debug_assert_eq!(next_id as usize, n_parts);
+        Partition { n_parts, part }
+    }
+
+    /// Cells owned by `rank`.
+    pub fn cells_of(&self, rank: usize) -> Vec<u32> {
+        self.part
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p as usize == rank)
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+
+    /// Compute the quality metrics against the owning mesh.
+    pub fn quality(&self, mesh: &HexMesh) -> PartitionQuality {
+        let mut sizes = vec![0usize; self.n_parts];
+        for &p in &self.part {
+            sizes[p as usize] += 1;
+        }
+        let mean = mesh.n_cells() as f64 / self.n_parts as f64;
+        let imbalance = sizes.iter().copied().max().unwrap_or(0) as f64 / mean;
+
+        let mut edge_cut = 0usize;
+        let mut nbr_parts: Vec<std::collections::BTreeSet<u32>> =
+            vec![Default::default(); self.n_parts];
+        for &[c1, c2] in &mesh.edge_cells {
+            let (p1, p2) = (self.part[c1 as usize], self.part[c2 as usize]);
+            if p1 != p2 {
+                edge_cut += 1;
+                nbr_parts[p1 as usize].insert(p2);
+                nbr_parts[p2 as usize].insert(p1);
+            }
+        }
+        let max_part_degree = nbr_parts.iter().map(|s| s.len()).max().unwrap_or(0);
+        PartitionQuality { imbalance, edge_cut, max_part_degree }
+    }
+}
+
+/// Recursively split `cells` into `k` parts, writing final part ids.
+fn bisect_recursive(
+    mesh: &HexMesh,
+    cells: &[u32],
+    k: usize,
+    refine_passes: usize,
+    part: &mut [u32],
+    next_id: &mut u32,
+) {
+    if k == 1 {
+        let id = *next_id;
+        *next_id += 1;
+        for &c in cells {
+            part[c as usize] = id;
+        }
+        return;
+    }
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    let target_left = (cells.len() * k_left + k / 2) / k; // proportional split
+    let (mut left, mut right) = inertial_split(mesh, cells, target_left);
+    if refine_passes > 0 {
+        kl_refine(mesh, &mut left, &mut right, target_left, refine_passes);
+    }
+    bisect_recursive(mesh, &left, k_left, refine_passes, part, next_id);
+    bisect_recursive(mesh, &right, k_right, refine_passes, part, next_id);
+}
+
+/// Split `cells` by the plane through the weighted median along the direction
+/// of largest coordinate extent (a cheap inertial axis).
+fn inertial_split(mesh: &HexMesh, cells: &[u32], target_left: usize) -> (Vec<u32>, Vec<u32>) {
+    // Principal direction: covariance power iteration (3 iterations suffice
+    // for a split direction).
+    let n = cells.len() as f64;
+    let mut mean = Vec3::ZERO;
+    for &c in cells {
+        mean += mesh.cell_xyz[c as usize];
+    }
+    mean = mean / n;
+    // Covariance matrix (symmetric 3x3).
+    let mut cov = [[0.0f64; 3]; 3];
+    for &c in cells {
+        let d = mesh.cell_xyz[c as usize] - mean;
+        let v = [d.x, d.y, d.z];
+        for i in 0..3 {
+            for j in 0..3 {
+                cov[i][j] += v[i] * v[j];
+            }
+        }
+    }
+    let mut dir = Vec3::new(1.0, 0.7, 0.3); // generic start, not an eigenvector
+    for _ in 0..8 {
+        let v = [dir.x, dir.y, dir.z];
+        let w = [
+            cov[0][0] * v[0] + cov[0][1] * v[1] + cov[0][2] * v[2],
+            cov[1][0] * v[0] + cov[1][1] * v[1] + cov[1][2] * v[2],
+            cov[2][0] * v[0] + cov[2][1] * v[1] + cov[2][2] * v[2],
+        ];
+        let nv = Vec3::new(w[0], w[1], w[2]);
+        if nv.norm() < 1e-30 {
+            break;
+        }
+        dir = nv.normalized();
+    }
+
+    let mut keyed: Vec<(f64, u32)> = cells
+        .iter()
+        .map(|&c| (mesh.cell_xyz[c as usize].dot(dir), c))
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let left = keyed[..target_left].iter().map(|&(_, c)| c).collect();
+    let right = keyed[target_left..].iter().map(|&(_, c)| c).collect();
+    (left, right)
+}
+
+/// Greedy Kernighan–Lin-style refinement: repeatedly swap the boundary pair
+/// with the best combined gain. Sizes stay exactly at `target_left`.
+fn kl_refine(
+    mesh: &HexMesh,
+    left: &mut [u32],
+    right: &mut [u32],
+    _target_left: usize,
+    passes: usize,
+) {
+    use std::collections::HashSet;
+    for _ in 0..passes {
+        let lset: HashSet<u32> = left.iter().copied().collect();
+        // Gain of moving cell c to the other side: (external − internal) edges.
+        let gain = |c: u32, in_left: bool| -> i64 {
+            let mut g = 0i64;
+            for &nb in mesh.cell_neighbors.row(c as usize) {
+                let nb_left = lset.contains(&nb);
+                if nb_left == in_left {
+                    g -= 1;
+                } else {
+                    g += 1;
+                }
+            }
+            g
+        };
+        let mut best_l: Option<(i64, usize)> = None;
+        for (i, &c) in left.iter().enumerate() {
+            let g = gain(c, true);
+            if best_l.is_none_or(|(bg, _)| g > bg) {
+                best_l = Some((g, i));
+            }
+        }
+        let mut best_r: Option<(i64, usize)> = None;
+        for (j, &c) in right.iter().enumerate() {
+            let g = gain(c, false);
+            if best_r.is_none_or(|(bg, _)| g > bg) {
+                best_r = Some((g, j));
+            }
+        }
+        match (best_l, best_r) {
+            (Some((gl, i)), Some((gr, j))) => {
+                // Swapping keeps balance; the pair-gain over-counts by 2 if
+                // the two cells are adjacent.
+                let adjacent = mesh
+                    .cell_neighbors
+                    .row(left[i] as usize)
+                    .contains(&right[j]);
+                let pair_gain = gl + gr - if adjacent { 2 } else { 0 };
+                if pair_gain > 0 {
+                    std::mem::swap(&mut left[i], &mut right[j]);
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_cells_exactly_once() {
+        let mesh = HexMesh::build(3);
+        let p = Partition::build(&mesh, 7, 2);
+        assert_eq!(p.part.len(), mesh.n_cells());
+        let total: usize = (0..7).map(|r| p.cells_of(r).len()).sum();
+        assert_eq!(total, mesh.n_cells());
+        assert!(p.part.iter().all(|&x| (x as usize) < 7));
+    }
+
+    #[test]
+    fn balance_is_tight() {
+        let mesh = HexMesh::build(4);
+        for parts in [2usize, 4, 8, 16] {
+            let p = Partition::build(&mesh, parts, 2);
+            let q = p.quality(&mesh);
+            assert!(q.imbalance < 1.01, "{parts} parts imbalance {}", q.imbalance);
+        }
+    }
+
+    #[test]
+    fn edge_cut_scales_like_surface_not_volume() {
+        // For good geometric partitions of a 2-sphere mesh, doubling the part
+        // count should grow the cut by roughly sqrt(2), definitely less than 2x.
+        let mesh = HexMesh::build(5);
+        let q4 = Partition::build(&mesh, 4, 1).quality(&mesh);
+        let q16 = Partition::build(&mesh, 16, 1).quality(&mesh);
+        assert!(
+            (q16.edge_cut as f64) < 3.0 * q4.edge_cut as f64,
+            "cut growth too fast: {} -> {}",
+            q4.edge_cut,
+            q16.edge_cut
+        );
+    }
+
+    #[test]
+    fn refinement_does_not_worsen_a_single_bisection() {
+        // KL swaps only on positive pair gain, so a single bisection's cut is
+        // monotonically non-increasing under refinement.
+        let mesh = HexMesh::build(4);
+        let raw = Partition::build(&mesh, 2, 0).quality(&mesh);
+        let refined = Partition::build(&mesh, 2, 16).quality(&mesh);
+        assert!(refined.edge_cut <= raw.edge_cut);
+    }
+
+    #[test]
+    fn kway_refinement_stays_near_raw_quality() {
+        // For k-way recursive bisection the refined cut is not guaranteed to
+        // dominate (refinement reshapes the subsets fed to deeper splits),
+        // but it must stay in the same quality class.
+        let mesh = HexMesh::build(4);
+        let raw = Partition::build(&mesh, 8, 0).quality(&mesh);
+        let refined = Partition::build(&mesh, 8, 8).quality(&mesh);
+        assert!((refined.edge_cut as f64) < 1.25 * raw.edge_cut as f64);
+    }
+
+    #[test]
+    fn single_part_has_zero_cut() {
+        let mesh = HexMesh::build(3);
+        let q = Partition::build(&mesh, 1, 2).quality(&mesh);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.imbalance, 1.0);
+    }
+
+    #[test]
+    fn non_power_of_two_part_counts_stay_balanced() {
+        let mesh = HexMesh::build(4);
+        let p = Partition::build(&mesh, 6, 1);
+        let q = p.quality(&mesh);
+        assert!(q.imbalance < 1.05, "imbalance {}", q.imbalance);
+    }
+}

@@ -1,0 +1,142 @@
+//! Grid-quality metrics for the icosahedral hexagonal C-grid: the standard
+//! quantities grid papers report (cell-area uniformity, primal–dual
+//! orthogonality, edge-midpoint bisection error, cell regularity), used to
+//! validate the mesh generator and to quantify what a grid-optimization pass
+//! (spring dynamics / SCVT — not implemented, DESIGN.md) would buy.
+
+use crate::hexmesh::HexMesh;
+
+/// Summary statistics of one scalar quality measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityStat {
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+impl QualityStat {
+    fn from_iter(values: impl Iterator<Item = f64>) -> QualityStat {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            n += 1;
+        }
+        QualityStat { min, max, mean: sum / n.max(1) as f64 }
+    }
+
+    /// max/min ratio (1 = perfectly uniform).
+    pub fn spread(&self) -> f64 {
+        self.max / self.min
+    }
+}
+
+/// Full quality report of a mesh.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshQuality {
+    /// Cell areas (normalized by the mean).
+    pub cell_area: QualityStat,
+    /// |cos| of the angle between each primal edge tangent and its dual edge
+    /// direction complement — 0 means exactly orthogonal.
+    pub orthogonality_defect: QualityStat,
+    /// Distance between the primal/dual edge crossing point and the dual
+    /// edge midpoint, normalized by the dual edge length — 0 means the
+    /// Voronoi edge exactly bisects the Delaunay edge.
+    pub bisection_defect: QualityStat,
+    /// Per-cell ratio of the longest to shortest incident dual edge
+    /// (regularity; 1 = regular polygon).
+    pub cell_regularity: QualityStat,
+}
+
+/// Compute the quality report.
+pub fn mesh_quality(mesh: &HexMesh) -> MeshQuality {
+    let mean_area: f64 = mesh.cell_area.iter().sum::<f64>() / mesh.n_cells() as f64;
+    let cell_area = QualityStat::from_iter(mesh.cell_area.iter().map(|&a| a / mean_area));
+
+    let orthogonality_defect = QualityStat::from_iter((0..mesh.n_edges()).map(|e| {
+        // normal (along dual direction) vs tangent (along primal edge):
+        // orthogonal mesh ⇒ n·t = 0 at the crossing point.
+        mesh.edge_normal[e].dot(mesh.edge_tangent[e]).abs()
+    }));
+
+    let bisection_defect = QualityStat::from_iter((0..mesh.n_edges()).map(|e| {
+        let [c1, c2] = mesh.edge_cells[e];
+        let mid_cells =
+            ((mesh.cell_xyz[c1 as usize] + mesh.cell_xyz[c2 as usize]) * 0.5).normalized();
+        // Crossing point ≈ intersection of the primal edge (between the two
+        // dual vertices) with the dual edge: approximate with the midpoint
+        // of the dual vertices projected on the sphere.
+        let [v1, v2] = mesh.edge_verts[e];
+        let cross =
+            ((mesh.vert_xyz[v1 as usize] + mesh.vert_xyz[v2 as usize]) * 0.5).normalized();
+        cross.arc_dist(mid_cells) / mesh.edge_de[e]
+    }));
+
+    let cell_regularity = QualityStat::from_iter((0..mesh.n_cells()).map(|c| {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for &e in mesh.cell_edges.row(c) {
+            let d = mesh.edge_de[e as usize];
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        hi / lo
+    }));
+
+    MeshQuality { cell_area, orthogonality_defect, bisection_defect, cell_regularity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primal_and_dual_edges_are_orthogonal_by_construction() {
+        // The circumcenter dual is a true Voronoi diagram: orthogonality is
+        // exact up to floating-point noise.
+        let q = mesh_quality(&HexMesh::build(4));
+        assert!(q.orthogonality_defect.max < 1e-10, "defect {}", q.orthogonality_defect.max);
+    }
+
+    #[test]
+    fn area_spread_matches_known_icosahedral_values() {
+        // Un-optimized subdivision grids have max/min cell-area ratios near
+        // 1.9 at moderate levels (literature value ~2 without SCVT).
+        let q = mesh_quality(&HexMesh::build(5));
+        assert!(
+            (1.2..2.2).contains(&q.cell_area.spread()),
+            "area spread {}",
+            q.cell_area.spread()
+        );
+        assert!((q.cell_area.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisection_defect_is_small_but_nonzero() {
+        // Voronoi edges bisect Delaunay edges exactly in the plane; on the
+        // sphere with irregular triangles a small defect remains.
+        let q = mesh_quality(&HexMesh::build(4));
+        assert!(q.bisection_defect.mean < 0.15, "mean defect {}", q.bisection_defect.mean);
+        assert!(q.bisection_defect.max < 0.5, "max defect {}", q.bisection_defect.max);
+    }
+
+    #[test]
+    fn cells_are_reasonably_regular() {
+        let q = mesh_quality(&HexMesh::build(4));
+        assert!(q.cell_regularity.mean < 1.35, "mean regularity {}", q.cell_regularity.mean);
+        assert!(q.cell_regularity.min >= 1.0);
+    }
+
+    #[test]
+    fn quality_is_stable_across_levels() {
+        // Subdivision is self-similar: metrics should not degrade with level.
+        let q3 = mesh_quality(&HexMesh::build(3));
+        let q5 = mesh_quality(&HexMesh::build(5));
+        assert!(q5.cell_area.spread() < 1.25 * q3.cell_area.spread());
+        assert!(q5.cell_regularity.mean < 1.25 * q3.cell_regularity.mean);
+    }
+}

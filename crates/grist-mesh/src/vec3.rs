@@ -1,0 +1,234 @@
+//! Minimal 3-vector used for spherical geometry on the unit sphere.
+//!
+//! All mesh geometry is carried on the unit sphere and scaled by the Earth
+//! radius only where physical lengths/areas are required, mirroring how GRIST
+//! stores `rearth`-normalized geometry.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 3-component double-precision vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Unit vector in the same direction. Panics on the zero vector in debug
+    /// builds; in release a zero vector yields NaNs, which the mesh builder
+    /// never produces.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "normalizing zero vector");
+        self / n
+    }
+
+    /// Great-circle (geodesic) distance between two *unit* vectors.
+    ///
+    /// Uses the numerically robust `atan2(|a×b|, a·b)` form, accurate for
+    /// both nearly-parallel and nearly-antipodal points.
+    #[inline]
+    pub fn arc_dist(self, o: Vec3) -> f64 {
+        self.cross(o).norm().atan2(self.dot(o))
+    }
+
+    /// Latitude (radians) of a unit vector.
+    #[inline]
+    pub fn lat(self) -> f64 {
+        self.z.clamp(-1.0, 1.0).asin()
+    }
+
+    /// Longitude (radians, in (-pi, pi]) of a unit vector.
+    #[inline]
+    pub fn lon(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Local unit east vector at this (unit) position. At the exact poles
+    /// (where "east" is undefined — and subdivided icosahedra *do* place
+    /// cells there) an arbitrary but fixed tangent direction is returned, so
+    /// per-point tangent frames stay well-defined.
+    #[inline]
+    pub fn east(self) -> Vec3 {
+        let e = Vec3::new(-self.y, self.x, 0.0);
+        if e.norm2() < 1e-24 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            e.normalized()
+        }
+    }
+
+    /// Local unit north vector at this (unit) position.
+    #[inline]
+    pub fn north(self) -> Vec3 {
+        // At the equator r=(1,0,0), east=(0,1,0), r×east=(0,0,1): north.
+        self.cross(self.east())
+    }
+
+    /// Component of `self` tangent to the sphere at unit position `p`.
+    #[inline]
+    pub fn tangent_at(self, p: Vec3) -> Vec3 {
+        self - p * self.dot(p)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Signed area (spherical excess) of the spherical triangle `(a, b, c)` on the
+/// unit sphere. Positive when the vertices are counter-clockwise seen from
+/// outside the sphere.
+///
+/// Uses the Eriksson/van-Oosterom–Strackee formula
+/// `tan(E/2) = a·(b×c) / (1 + a·b + b·c + c·a)`, which is robust for the
+/// small, well-shaped triangles produced by icosahedral subdivision.
+pub fn spherical_triangle_area(a: Vec3, b: Vec3, c: Vec3) -> f64 {
+    let num = a.dot(b.cross(c));
+    let den = 1.0 + a.dot(b) + b.dot(c) + c.dot(a);
+    2.0 * num.atan2(den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_distance_matches_acos_off_axis() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert!((a.arc_dist(b) - std::f64::consts::FRAC_PI_2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn arc_distance_near_parallel_is_stable() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(1.0, 1e-9, 0.0).normalized();
+        let d = a.arc_dist(b);
+        assert!((d - 1e-9).abs() < 1e-15, "d = {d}");
+    }
+
+    #[test]
+    fn octant_triangle_area_is_half_pi() {
+        // One octant of the sphere has area 4π/8 = π/2.
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let c = Vec3::new(0.0, 0.0, 1.0);
+        assert!((spherical_triangle_area(a, b, c) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_area_sign_flips_with_orientation() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let c = Vec3::new(0.0, 0.0, 1.0);
+        let e1 = spherical_triangle_area(a, b, c);
+        let e2 = spherical_triangle_area(a, c, b);
+        assert!((e1 + e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn east_north_form_right_handed_frame() {
+        let p = Vec3::new(0.3, -0.5, 0.4).normalized();
+        let e = p.east();
+        let n = p.north();
+        assert!(e.dot(p).abs() < 1e-12);
+        assert!(n.dot(p).abs() < 1e-12);
+        assert!(e.dot(n).abs() < 1e-12);
+        // east × north = radial (right-handed)
+        assert!((e.cross(n) - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn lat_lon_roundtrip() {
+        let p = Vec3::new(0.2, 0.7, -0.3).normalized();
+        let (lat, lon) = (p.lat(), p.lon());
+        let q = Vec3::new(lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin());
+        assert!((p - q).norm() < 1e-12);
+    }
+
+    #[test]
+    fn tangent_projection_removes_radial_part() {
+        let p = Vec3::new(0.0, 0.0, 1.0);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let t = v.tangent_at(p);
+        assert!(t.dot(p).abs() < 1e-12);
+        assert!((t - Vec3::new(1.0, 2.0, 0.0)).norm() < 1e-12);
+    }
+}

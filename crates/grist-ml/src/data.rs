@@ -1,0 +1,228 @@
+//! Training-data machinery for the ML physics suite (§3.2.1–3.2.2):
+//! per-channel normalization, and the paper's train/test split — "the
+//! testing set consists of three randomly selected time steps per day, while
+//! the remaining time steps are allocated for training, maintaining a
+//! training/testing ratio of 7:1".
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One (input, target) pair in raw physical units.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub x: Vec<f32>,
+    pub y: Vec<f32>,
+    /// Simulated day the sample came from (drives the paper's split).
+    pub day: usize,
+    /// Time step within the day.
+    pub step: usize,
+}
+
+/// A dataset with the paper's day-wise train/test split.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    pub train: Vec<Sample>,
+    pub test: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Split `samples` per the paper: for each simulated day, 3 randomly
+    /// selected time steps go to the test set; the rest train. With 24
+    /// steps/day this yields the stated 7:1 ratio.
+    pub fn split_by_day(samples: Vec<Sample>, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_day = samples.iter().map(|s| s.day).max().unwrap_or(0);
+        let mut test_steps: Vec<Vec<usize>> = Vec::with_capacity(max_day + 1);
+        for day in 0..=max_day {
+            let mut steps: Vec<usize> = samples
+                .iter()
+                .filter(|s| s.day == day)
+                .map(|s| s.step)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            steps.shuffle(&mut rng);
+            steps.truncate(3);
+            test_steps.push(steps);
+        }
+        let mut ds = Dataset::default();
+        for s in samples {
+            if test_steps[s.day].contains(&s.step) {
+                ds.test.push(s);
+            } else {
+                ds.train.push(s);
+            }
+        }
+        ds
+    }
+
+    pub fn ratio(&self) -> f64 {
+        self.train.len() as f64 / self.test.len().max(1) as f64
+    }
+}
+
+/// Per-channel standardization statistics for channel-major data
+/// (`n_channels` blocks of `block_len` values each).
+#[derive(Debug, Clone)]
+pub struct ChannelNormalizer {
+    pub n_channels: usize,
+    pub block_len: usize,
+    /// (mean, std) per channel; std floored to avoid division blow-ups.
+    pub stats: Vec<(f32, f32)>,
+}
+
+impl ChannelNormalizer {
+    /// Fit on a set of vectors, each laid out `[n_channels × block_len]`.
+    pub fn fit<'a>(
+        vecs: impl Iterator<Item = &'a Vec<f32>> + Clone,
+        n_channels: usize,
+        block_len: usize,
+    ) -> Self {
+        let mut stats = Vec::with_capacity(n_channels);
+        for ch in 0..n_channels {
+            let mut n = 0u64;
+            let mut mean = 0.0f64;
+            let mut m2 = 0.0f64;
+            for v in vecs.clone() {
+                for &x in &v[ch * block_len..(ch + 1) * block_len] {
+                    n += 1;
+                    let d = x as f64 - mean;
+                    mean += d / n as f64;
+                    m2 += d * (x as f64 - mean);
+                }
+            }
+            let var = if n > 1 { m2 / (n - 1) as f64 } else { 0.0 };
+            let sd = var.sqrt().max(1e-12) as f32;
+            stats.push((mean as f32, sd));
+        }
+        ChannelNormalizer { n_channels, block_len, stats }
+    }
+
+    /// `(x - mean) / std` in place.
+    pub fn normalize(&self, v: &mut [f32]) {
+        for ch in 0..self.n_channels {
+            let (mu, sd) = self.stats[ch];
+            for x in &mut v[ch * self.block_len..(ch + 1) * self.block_len] {
+                *x = (*x - mu) / sd;
+            }
+        }
+    }
+
+    /// Inverse transform in place.
+    pub fn denormalize(&self, v: &mut [f32]) {
+        for ch in 0..self.n_channels {
+            let (mu, sd) = self.stats[ch];
+            for x in &mut v[ch * self.block_len..(ch + 1) * self.block_len] {
+                *x = *x * sd + mu;
+            }
+        }
+    }
+
+    /// As `(mean, 1/std)` pairs for the models' built-in input scaling.
+    pub fn as_inv_pairs(&self) -> Vec<(f32, f32)> {
+        self.stats.iter().map(|&(mu, sd)| (mu, 1.0 / sd)).collect()
+    }
+}
+
+/// The paper's Table 1: the four selected 20-day periods with their climate
+/// regime descriptors, used by the synthetic data generator to vary forcing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingPeriod {
+    pub name: &'static str,
+    /// Oceanic Niño Index (El Niño > 0, La Niña < 0).
+    pub oni: f64,
+    /// Representative real-time multivariate MJO amplitude.
+    pub mjo: f64,
+    /// Season encoded as the solar declination used for forcing \[rad\].
+    pub solar_declination: f64,
+}
+
+/// Table 1 of the paper.
+pub const TRAINING_PERIODS: [TrainingPeriod; 4] = [
+    TrainingPeriod { name: "1-20 January 1998", oni: 2.2, mjo: 1.3, solar_declination: -0.40 },
+    TrainingPeriod { name: "1-20 April 2005", oni: 0.4, mjo: 3.2, solar_declination: 0.10 },
+    TrainingPeriod { name: "10-29 July 2015", oni: -0.4, mjo: 0.6, solar_declination: 0.37 },
+    TrainingPeriod { name: "1-20 October 1988", oni: -1.5, mjo: 1.8, solar_declination: -0.10 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_samples(days: usize, steps_per_day: usize) -> Vec<Sample> {
+        let mut v = Vec::new();
+        for day in 0..days {
+            for step in 0..steps_per_day {
+                v.push(Sample { x: vec![day as f32, step as f32], y: vec![0.0], day, step });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn split_matches_paper_ratio() {
+        // 24 steps/day, 3 to test ⇒ 21:3 = 7:1 exactly.
+        let ds = Dataset::split_by_day(fake_samples(20, 24), 42);
+        assert_eq!(ds.test.len(), 20 * 3);
+        assert_eq!(ds.train.len(), 20 * 21);
+        assert!((ds.ratio() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let all = fake_samples(5, 10);
+        let n = all.len();
+        let ds = Dataset::split_by_day(all, 7);
+        assert_eq!(ds.train.len() + ds.test.len(), n);
+        for t in &ds.test {
+            assert!(
+                !ds.train.iter().any(|s| s.day == t.day && s.step == t.step),
+                "sample in both sets"
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = Dataset::split_by_day(fake_samples(4, 12), 9);
+        let b = Dataset::split_by_day(fake_samples(4, 12), 9);
+        let key = |d: &Dataset| -> Vec<(usize, usize)> {
+            d.test.iter().map(|s| (s.day, s.step)).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn normalizer_standardizes_each_channel() {
+        let data: Vec<Vec<f32>> = (0..100)
+            .map(|i| {
+                let mut v = vec![0.0f32; 6];
+                for k in 0..3 {
+                    v[k] = 10.0 + (i as f32) * 0.1; // channel 0: big offset
+                }
+                for k in 3..6 {
+                    v[k] = -0.001 * (i as f32); // channel 1: tiny scale
+                }
+                v
+            })
+            .collect();
+        let norm = ChannelNormalizer::fit(data.iter(), 2, 3);
+        let mut v = data[50].clone();
+        norm.normalize(&mut v);
+        assert!(v.iter().all(|&x| x.abs() < 3.0), "normalized values too large: {v:?}");
+        let mut w = v.clone();
+        norm.denormalize(&mut w);
+        for (a, b) in w.iter().zip(&data[50]) {
+            assert!((a - b).abs() < 1e-3, "roundtrip failed: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn table1_periods_cover_enso_spread() {
+        let onis: Vec<f64> = TRAINING_PERIODS.iter().map(|p| p.oni).collect();
+        assert!(onis.iter().cloned().fold(f64::MIN, f64::max) > 2.0, "El Niño case present");
+        assert!(onis.iter().cloned().fold(f64::MAX, f64::min) < -1.0, "La Niña case present");
+        assert_eq!(TRAINING_PERIODS.len(), 4, "four seasons");
+    }
+}

@@ -1,0 +1,116 @@
+//! Weight serialization for the ML physics models: a small self-describing
+//! binary format (magic, architecture header, raw little-endian f32 tensors)
+//! with exact round-trip — how a trained suite ships with the model, as the
+//! paper's artifact distributes "the weight of AI-enhanced physics suite
+//! along with its corresponding parameter files".
+
+use std::io::{self, Read, Write};
+
+pub(crate) const MAGIC: &[u8; 8] = b"GRISTML1";
+
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn write_f32_slice(w: &mut impl Write, v: &[f32]) -> io::Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for &x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_f32_vec(r: &mut impl Read) -> io::Result<Vec<f32>> {
+    let n = read_u64(r)? as usize;
+    if n > (1 << 28) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+    }
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+pub(crate) fn write_norm_pairs(w: &mut impl Write, pairs: &[(f32, f32)]) -> io::Result<()> {
+    let flat: Vec<f32> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    write_f32_slice(w, &flat)
+}
+
+pub(crate) fn read_norm_pairs(r: &mut impl Read) -> io::Result<Vec<(f32, f32)>> {
+    let flat = read_f32_vec(r)?;
+    if flat.len() % 2 != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "odd norm vector"));
+    }
+    Ok(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+}
+
+pub(crate) fn check_magic(r: &mut impl Read, kind: u64) -> io::Result<()> {
+    let mut m = [0u8; 8];
+    r.read_exact(&mut m)?;
+    if &m != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let k = read_u64(r)?;
+    if k != kind {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "wrong model kind"));
+    }
+    Ok(())
+}
+
+pub(crate) fn write_magic(w: &mut impl Write, kind: u64) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u64(w, kind)
+}
+
+/// Model-kind tags.
+pub(crate) const KIND_CNN: u64 = 1;
+pub(crate) const KIND_MLP: u64 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_slice_roundtrip() {
+        let v = vec![1.5f32, -0.25, f32::MIN_POSITIVE, 1e30];
+        let mut buf = Vec::new();
+        write_f32_slice(&mut buf, &v).unwrap();
+        let back = read_f32_vec(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn norm_pairs_roundtrip() {
+        let p = vec![(1.0f32, 2.0f32), (-3.0, 0.5)];
+        let mut buf = Vec::new();
+        write_norm_pairs(&mut buf, &p).unwrap();
+        assert_eq!(read_norm_pairs(&mut buf.as_slice()).unwrap(), p);
+    }
+
+    #[test]
+    fn magic_rejects_wrong_kind() {
+        let mut buf = Vec::new();
+        write_magic(&mut buf, KIND_CNN).unwrap();
+        assert!(check_magic(&mut buf.as_slice(), KIND_MLP).is_err());
+        let mut buf2 = Vec::new();
+        write_magic(&mut buf2, KIND_MLP).unwrap();
+        assert!(check_magic(&mut buf2.as_slice(), KIND_MLP).is_ok());
+    }
+
+    #[test]
+    fn truncated_data_is_an_error_not_a_panic() {
+        let v = vec![1.0f32; 16];
+        let mut buf = Vec::new();
+        write_f32_slice(&mut buf, &v).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_f32_vec(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # grist-ml
+//!
+//! The AI-enhanced physics suite of the GRIST-rs reproduction (§3.2): a
+//! dependency-free f32 neural-network library (dense + 1-D conv layers with
+//! hand-written backprop and Adam), the paper's two models — the 11-layer
+//! ~0.5M-parameter [`TendencyCnn`](models::TendencyCnn) for the Q1/Q2
+//! physical tendencies and the 7-layer residual
+//! [`RadiationMlp`](models::RadiationMlp) for the `gsw`/`glw` surface
+//! radiation diagnostics — plus the train/test split and normalization
+//! machinery of §3.2.1 and the achieved-peak-fraction model behind §4.7's
+//! efficiency claims.
+
+// Indexed loops mirror the Fortran stencil kernels they reproduce and are
+// clearer than iterator chains for staggered-grid code.
+#![allow(clippy::needless_range_loop)]
+pub mod data;
+pub mod ensemble;
+pub mod flops;
+pub mod io;
+pub mod models;
+pub mod optim;
+pub mod tensor;
+
+pub use ensemble::CnnEnsemble;
+pub use data::{ChannelNormalizer, Dataset, Sample, TrainingPeriod, TRAINING_PERIODS};
+pub use flops::{achieved_peak_fraction, compare_radiation, RadiationComparison, WorkloadMix};
+pub use models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS, CNN_OUTPUT_CHANNELS};
+pub use optim::{Adam, AdamConfig};
+pub use tensor::{mse_loss, Conv1d, Dense, Param, Relu};

@@ -1,0 +1,128 @@
+//! Cloud-fraction diagnosis (Sundqvist-type relative-humidity scheme) and
+//! the cloud-overlap column quantities the radiation scheme consumes.
+//!
+//! A full GSRM resolves clouds explicitly; at the coarse resolutions where
+//! the ML suite is trained (30 km, §3.2.2), a statistical cloud scheme still
+//! closes the radiation budget — this is the conventional-suite component
+//! that supplies it.
+
+use crate::column::{saturation_mixing_ratio, Column};
+
+/// Sundqvist scheme parameters.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Critical relative humidity at the surface.
+    pub rh_crit_surface: f64,
+    /// Critical relative humidity at the model top.
+    pub rh_crit_top: f64,
+    /// Cloud-water threshold that forces overcast \[kg/kg\].
+    pub qc_overcast: f64,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig { rh_crit_surface: 0.90, rh_crit_top: 0.70, qc_overcast: 3e-4 }
+    }
+}
+
+/// Layer cloud fractions in \[0, 1\]:
+/// `C = 1 − sqrt((1 − RH)/(1 − RH_crit))` above the critical humidity, with
+/// a cloud-water override for condensate-bearing layers.
+pub fn cloud_fraction(col: &Column, cfg: &CloudConfig) -> Vec<f64> {
+    let nlev = col.nlev();
+    let ps = col.p[nlev - 1];
+    (0..nlev)
+        .map(|k| {
+            let sigma = col.p[k] / ps;
+            let rh_crit =
+                cfg.rh_crit_top + (cfg.rh_crit_surface - cfg.rh_crit_top) * sigma;
+            let rh = (col.qv[k] / saturation_mixing_ratio(col.t[k], col.p[k])).clamp(0.0, 1.0);
+            let rh_part = if rh <= rh_crit {
+                0.0
+            } else {
+                let x = ((1.0 - rh) / (1.0 - rh_crit).max(1e-9)).clamp(0.0, 1.0);
+                1.0 - x.sqrt()
+            };
+            let qc_part = (col.qc[k] / cfg.qc_overcast).clamp(0.0, 1.0);
+            rh_part.max(qc_part)
+        })
+        .collect()
+}
+
+/// Total cloud cover under the maximum-random overlap assumption.
+pub fn total_cloud_cover(fractions: &[f64]) -> f64 {
+    // Random overlap between maximally-overlapped adjacent blocks:
+    // 1 − Π(1 − Cmax_block). Blocks split where fraction drops to 0.
+    let mut clear = 1.0;
+    let mut block_max: f64 = 0.0;
+    for &c in fractions {
+        if c <= 0.0 {
+            clear *= 1.0 - block_max;
+            block_max = 0.0;
+        } else {
+            block_max = block_max.max(c);
+        }
+    }
+    clear *= 1.0 - block_max;
+    1.0 - clear
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dry_column_is_clear() {
+        let mut col = Column::reference(20);
+        for k in 0..20 {
+            col.qv[k] *= 0.3;
+        }
+        let f = cloud_fraction(&col, &CloudConfig::default());
+        assert!(f.iter().all(|&c| c == 0.0));
+        assert_eq!(total_cloud_cover(&f), 0.0);
+    }
+
+    #[test]
+    fn saturated_layer_is_overcast() {
+        let mut col = Column::reference(20);
+        col.qv[15] = saturation_mixing_ratio(col.t[15], col.p[15]);
+        let f = cloud_fraction(&col, &CloudConfig::default());
+        assert!((f[15] - 1.0).abs() < 1e-9, "saturated layer fraction {}", f[15]);
+    }
+
+    #[test]
+    fn condensate_forces_cloud_even_when_subsaturated() {
+        let mut col = Column::reference(20);
+        col.qv[12] *= 0.5;
+        col.qc[12] = 5e-4;
+        let f = cloud_fraction(&col, &CloudConfig::default());
+        assert!(f[12] >= 0.99);
+    }
+
+    #[test]
+    fn fraction_monotone_in_humidity() {
+        let col0 = Column::reference(20);
+        let mut prev = -1.0;
+        for scale in [0.85, 0.9, 0.95, 1.0] {
+            let mut col = col0.clone();
+            let k = 16;
+            col.qv[k] = scale * saturation_mixing_ratio(col.t[k], col.p[k]);
+            let f = cloud_fraction(&col, &CloudConfig::default());
+            assert!(f[16] >= prev, "fraction must grow with RH");
+            prev = f[16];
+        }
+        assert!(prev > 0.3);
+    }
+
+    #[test]
+    fn overlap_rules() {
+        // Single block: max overlap.
+        assert!((total_cloud_cover(&[0.3, 0.5, 0.2]) - 0.5).abs() < 1e-12);
+        // Two separated blocks: random overlap.
+        let c = total_cloud_cover(&[0.5, 0.0, 0.5]);
+        assert!((c - 0.75).abs() < 1e-12);
+        // Bounds.
+        assert_eq!(total_cloud_cover(&[]), 0.0);
+        assert!((total_cloud_cover(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+}

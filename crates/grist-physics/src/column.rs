@@ -1,0 +1,243 @@
+//! Column state and tendency types shared by all physics parameterizations.
+//!
+//! The physics suite is a *column model* (§3.3.4): every scheme operates on
+//! one vertical column independently, which is what makes the suite
+//! embarrassingly parallel over cells and trivially mappable to CPEs.
+//! Indexing matches the dycore: `k = 0` is the model top, `k = nlev-1` the
+//! lowest layer.
+
+/// Thermodynamic constants local to the physics suite (kept numerically
+/// identical to `grist_dycore::constants` without creating a dependency).
+pub mod consts {
+    pub const GRAVITY: f64 = 9.80616;
+    pub const CP: f64 = 1004.64;
+    pub const RDRY: f64 = 287.04;
+    pub const LVAP: f64 = 2.501e6;
+    pub const STEFAN_BOLTZMANN: f64 = 5.670374e-8;
+    pub const SOLAR_CONSTANT: f64 = 1361.0;
+    pub const P0: f64 = 1.0e5;
+    pub const KAPPA: f64 = RDRY / CP;
+    pub const EPSILON: f64 = 0.622;
+}
+
+/// Input column handed from the physics–dynamics coupling interface
+/// (§3.2.4 lists U, V, T, Q, P plus `tskin` and `coszr`).
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Layer mid pressures \[Pa\], increasing with k.
+    pub p: Vec<f64>,
+    /// Layer pressure thicknesses \[Pa\].
+    pub dp: Vec<f64>,
+    /// Layer mid heights \[m\].
+    pub z: Vec<f64>,
+    /// Temperature \[K\].
+    pub t: Vec<f64>,
+    /// Water-vapour mixing ratio \[kg/kg\].
+    pub qv: Vec<f64>,
+    /// Cloud-water mixing ratio \[kg/kg\].
+    pub qc: Vec<f64>,
+    /// Rain-water mixing ratio \[kg/kg\].
+    pub qr: Vec<f64>,
+    /// Zonal / meridional wind \[m/s\] (cell-reconstructed).
+    pub u: Vec<f64>,
+    pub v: Vec<f64>,
+    /// Skin (surface) temperature \[K\].
+    pub tskin: f64,
+    /// Cosine of the solar zenith angle (0 at night).
+    pub coszr: f64,
+    /// Surface albedo.
+    pub albedo: f64,
+    /// True over ocean (prescribed SST) — land runs the Noah-MP-lite model.
+    pub ocean: bool,
+}
+
+impl Column {
+    pub fn nlev(&self) -> usize {
+        self.t.len()
+    }
+
+    /// A quiescent tropical-ish test column.
+    pub fn reference(nlev: usize) -> Column {
+        let ps = 1.0e5;
+        let ptop = 225.0;
+        let dp_val = (ps - ptop) / nlev as f64;
+        let mut p = Vec::with_capacity(nlev);
+        let mut z = Vec::with_capacity(nlev);
+        let mut t = Vec::with_capacity(nlev);
+        let mut qv = Vec::with_capacity(nlev);
+        for k in 0..nlev {
+            let pk = ptop + (k as f64 + 0.5) * dp_val;
+            // Standard-atmosphere-like profile.
+            let zk = -7500.0 * (pk / ps).ln();
+            let tk = (288.0 - 0.0065 * zk).max(210.0);
+            let rh = if zk < 12_000.0 { 0.7 } else { 0.05 };
+            p.push(pk);
+            z.push(zk);
+            t.push(tk);
+            qv.push(rh * saturation_mixing_ratio(tk, pk));
+        }
+        Column {
+            dp: vec![dp_val; nlev],
+            qc: vec![0.0; nlev],
+            qr: vec![0.0; nlev],
+            u: vec![0.0; nlev],
+            v: vec![0.0; nlev],
+            p,
+            z,
+            t,
+            qv,
+            tskin: 290.0,
+            coszr: 0.5,
+            albedo: 0.1,
+            ocean: true,
+        }
+    }
+
+    /// Air density of layer k \[kg/m³\].
+    pub fn rho(&self, k: usize) -> f64 {
+        self.p[k] / (consts::RDRY * self.t[k])
+    }
+
+    /// Mass per unit area of layer k \[kg/m²\].
+    pub fn layer_mass(&self, k: usize) -> f64 {
+        self.dp[k] / consts::GRAVITY
+    }
+}
+
+/// Physics tendencies returned to the coupling interface. The sums over all
+/// processes are exactly the paper's `Q1` (apparent heat source, here as
+/// dT/dt) and `Q2` (apparent moisture sink, as dqv/dt) targets (§3.2.2).
+#[derive(Debug, Clone, Default)]
+pub struct Tendencies {
+    /// Temperature tendency \[K/s\].
+    pub dt_dt: Vec<f64>,
+    /// Vapour tendency \[kg/kg/s\].
+    pub dqv_dt: Vec<f64>,
+    /// Cloud water tendency \[kg/kg/s\].
+    pub dqc_dt: Vec<f64>,
+    /// Rain water tendency \[kg/kg/s\].
+    pub dqr_dt: Vec<f64>,
+}
+
+impl Tendencies {
+    pub fn zeros(nlev: usize) -> Self {
+        Tendencies {
+            dt_dt: vec![0.0; nlev],
+            dqv_dt: vec![0.0; nlev],
+            dqc_dt: vec![0.0; nlev],
+            dqr_dt: vec![0.0; nlev],
+        }
+    }
+
+    pub fn accumulate(&mut self, other: &Tendencies) {
+        for (a, b) in self.dt_dt.iter_mut().zip(&other.dt_dt) {
+            *a += b;
+        }
+        for (a, b) in self.dqv_dt.iter_mut().zip(&other.dqv_dt) {
+            *a += b;
+        }
+        for (a, b) in self.dqc_dt.iter_mut().zip(&other.dqc_dt) {
+            *a += b;
+        }
+        for (a, b) in self.dqr_dt.iter_mut().zip(&other.dqr_dt) {
+            *a += b;
+        }
+    }
+
+    /// Apply to a column with timestep `dt`, clamping moisture positive.
+    pub fn apply(&self, col: &mut Column, dt: f64) {
+        for k in 0..col.nlev() {
+            col.t[k] += self.dt_dt[k] * dt;
+            col.qv[k] = (col.qv[k] + self.dqv_dt[k] * dt).max(0.0);
+            col.qc[k] = (col.qc[k] + self.dqc_dt[k] * dt).max(0.0);
+            col.qr[k] = (col.qr[k] + self.dqr_dt[k] * dt).max(0.0);
+        }
+    }
+}
+
+/// Surface diagnostic outputs of the suite — `gsw` and `glw` are exactly the
+/// two radiation diagnostics the ML radiation module learns (§3.2.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SurfaceDiag {
+    /// Surface downward shortwave \[W/m²\].
+    pub gsw: f64,
+    /// Surface downward longwave \[W/m²\].
+    pub glw: f64,
+    /// Surface precipitation rate \[mm/day\].
+    pub precip: f64,
+    /// Sensible heat flux (up positive) \[W/m²\].
+    pub shflx: f64,
+    /// Latent heat flux (up positive) \[W/m²\].
+    pub lhflx: f64,
+    /// Updated skin temperature \[K\].
+    pub tskin: f64,
+    /// Total cloud cover (max-random overlap), 0–1.
+    pub cloud_cover: f64,
+}
+
+/// Tetens saturation vapour pressure over liquid water \[Pa\].
+pub fn saturation_vapor_pressure(t: f64) -> f64 {
+    610.78 * ((17.27 * (t - 273.15)) / (t - 35.85)).exp()
+}
+
+/// Saturation mixing ratio \[kg/kg\].
+pub fn saturation_mixing_ratio(t: f64, p: f64) -> f64 {
+    let es = saturation_vapor_pressure(t).min(0.5 * p);
+    consts::EPSILON * es / (p - (1.0 - consts::EPSILON) * es)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_pressure_reference_points() {
+        // es(0°C) ≈ 611 Pa, es(20°C) ≈ 2339 Pa, es(30°C) ≈ 4246 Pa.
+        assert!((saturation_vapor_pressure(273.15) - 610.78).abs() < 1.0);
+        assert!((saturation_vapor_pressure(293.15) - 2339.0).abs() < 40.0);
+        assert!((saturation_vapor_pressure(303.15) - 4246.0).abs() < 80.0);
+    }
+
+    #[test]
+    fn qsat_increases_with_temperature_decreases_with_pressure() {
+        let q1 = saturation_mixing_ratio(280.0, 9.0e4);
+        let q2 = saturation_mixing_ratio(290.0, 9.0e4);
+        let q3 = saturation_mixing_ratio(280.0, 7.0e4);
+        assert!(q2 > q1);
+        assert!(q3 > q1);
+    }
+
+    #[test]
+    fn reference_column_is_physical() {
+        let c = Column::reference(30);
+        assert_eq!(c.nlev(), 30);
+        assert!(c.p.windows(2).all(|w| w[1] > w[0]), "p must increase downward");
+        assert!(c.z.windows(2).all(|w| w[1] < w[0]), "z must decrease with k");
+        assert!(c.t.iter().all(|&t| (180.0..330.0).contains(&t)));
+        assert!(c.qv.iter().all(|&q| (0.0..0.04).contains(&q)));
+        // Unsaturated everywhere.
+        for k in 0..30 {
+            assert!(c.qv[k] <= saturation_mixing_ratio(c.t[k], c.p[k]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tendency_apply_clamps_moisture() {
+        let mut c = Column::reference(5);
+        let mut tend = Tendencies::zeros(5);
+        tend.dqv_dt[0] = -1.0; // absurdly strong drying
+        tend.apply(&mut c, 100.0);
+        assert_eq!(c.qv[0], 0.0);
+    }
+
+    #[test]
+    fn tendency_accumulate_adds() {
+        let mut a = Tendencies::zeros(3);
+        let mut b = Tendencies::zeros(3);
+        a.dt_dt[1] = 1.0;
+        b.dt_dt[1] = 2.5;
+        a.accumulate(&b);
+        assert_eq!(a.dt_dt[1], 3.5);
+        let _ = &mut b;
+    }
+}

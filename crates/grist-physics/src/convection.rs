@@ -1,0 +1,186 @@
+//! Cumulus convection: a Betts–Miller-type convective-adjustment scheme.
+//!
+//! Where a lifted surface parcel is buoyant (positive CAPE proxy), the scheme
+//! relaxes temperature toward the parcel moist adiabat and moisture toward a
+//! fixed-relative-humidity reference over a convective timescale, removing
+//! the implied column moisture as convective precipitation. Energy put into
+//! heating equals the latent energy of the moisture removed (corrected
+//! enthalpy closure), so the scheme neither creates nor destroys moist
+//! static energy.
+
+use crate::column::consts::{CP, LVAP};
+use crate::column::{saturation_mixing_ratio, Column, Tendencies};
+
+/// Convection scheme parameters.
+#[derive(Debug, Clone)]
+pub struct ConvectionConfig {
+    /// Relaxation timescale \[s\].
+    pub tau: f64,
+    /// Reference relative humidity of the post-convective profile.
+    pub rh_ref: f64,
+    /// Minimum buoyancy (K) for triggering.
+    pub trigger: f64,
+}
+
+impl Default for ConvectionConfig {
+    fn default() -> Self {
+        ConvectionConfig { tau: 7200.0, rh_ref: 0.8, trigger: 0.5 }
+    }
+}
+
+/// Moist-adiabatic parcel ascent from the lowest layer: returns the parcel
+/// temperature at every level (pseudo-adiabatic, one fixed-point pass per
+/// layer) and the index of the level of neutral buoyancy (0 if the parcel is
+/// never buoyant).
+fn parcel_profile(col: &Column) -> (Vec<f64>, usize, f64) {
+    let nlev = col.nlev();
+    let k0 = nlev - 1;
+    let mut tp = vec![0.0f64; nlev];
+    let mut qp = col.qv[k0];
+    tp[k0] = col.t[k0];
+    let mut cape_proxy = 0.0f64;
+    let mut lnb = k0;
+    for k in (0..k0).rev() {
+        // Dry-adiabatic step in pressure, then condense excess vapour.
+        let kappa = crate::column::consts::KAPPA;
+        let mut t_new = tp[k + 1] * (col.p[k] / col.p[k + 1]).powf(kappa);
+        let qsat = saturation_mixing_ratio(t_new, col.p[k]);
+        if qp > qsat {
+            // One linearized condensation step (adequate for an adjustment
+            // reference profile).
+            let dqsat_dt = qsat * 17.27 * (273.15 - 35.85) / (t_new - 35.85).powi(2);
+            let cond = (qp - qsat) / (1.0 + (LVAP / CP) * dqsat_dt);
+            t_new += LVAP / CP * cond;
+            qp -= cond;
+        }
+        tp[k] = t_new;
+        let buoy = t_new - col.t[k];
+        if buoy > 0.0 {
+            cape_proxy += buoy * col.dp[k];
+            lnb = k;
+        }
+    }
+    (tp, lnb, cape_proxy)
+}
+
+/// One convection call. Returns tendencies and convective precipitation
+/// \[mm/day\].
+pub fn convection(col: &Column, cfg: &ConvectionConfig, _dt: f64) -> (Tendencies, f64) {
+    let nlev = col.nlev();
+    let mut tend = Tendencies::zeros(nlev);
+    let (tp, lnb, cape) = parcel_profile(col);
+    // Mean buoyancy over the unstable layer (pressure-weighted).
+    let depth: f64 = (lnb..nlev).map(|k| col.dp[k]).sum();
+    if depth <= 0.0 || cape / depth.max(1.0) < cfg.trigger {
+        return (tend, 0.0);
+    }
+
+    // First-guess relaxation tendencies in the convective layer. The
+    // humidity reference targets `rh_ref` of saturation at the *environment*
+    // temperature (relaxing RH), which dries moist boundary layers; the
+    // temperature reference is the parcel moist adiabat.
+    let mut dq_int = 0.0; // column moisture change, kg/m²/s
+    for k in lnb..nlev {
+        let t_ref = tp[k];
+        let q_ref = cfg.rh_ref * saturation_mixing_ratio(col.t[k], col.p[k]);
+        tend.dt_dt[k] = (t_ref - col.t[k]) / cfg.tau;
+        tend.dqv_dt[k] = (q_ref - col.qv[k]) / cfg.tau;
+        dq_int += tend.dqv_dt[k] * col.layer_mass(k);
+    }
+    // Moistening columns don't precipitate — shut the scheme off instead of
+    // conjuring water.
+    if dq_int >= 0.0 {
+        return (Tendencies::zeros(nlev), 0.0);
+    }
+
+    // Enthalpy closure: scale the heating so cp∫dT = −L∫dq exactly.
+    let heat_int: f64 = (lnb..nlev)
+        .map(|k| tend.dt_dt[k] * col.layer_mass(k) * CP)
+        .sum();
+    let target = -LVAP * dq_int; // positive W/m²
+    if heat_int > 0.0 {
+        let scale = target / heat_int;
+        for k in lnb..nlev {
+            tend.dt_dt[k] *= scale;
+        }
+    } else {
+        // Reference profile would cool: distribute the latent heating
+        // uniformly in mass instead.
+        let m_tot: f64 = (lnb..nlev).map(|k| col.layer_mass(k)).sum();
+        for k in lnb..nlev {
+            tend.dt_dt[k] = target / (CP * m_tot);
+        }
+    }
+
+    let precip = -dq_int * 86400.0; // kg/m²/s → mm/day
+    (tend, precip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unstable_column() -> Column {
+        let mut col = Column::reference(30);
+        // Warm, very moist boundary layer under a cooler free troposphere.
+        for k in 26..30 {
+            col.t[k] += 4.0;
+            col.qv[k] = 0.95 * saturation_mixing_ratio(col.t[k], col.p[k]);
+        }
+        for k in 10..22 {
+            col.t[k] -= 3.0;
+        }
+        col
+    }
+
+    #[test]
+    fn unstable_column_triggers_and_rains() {
+        let col = unstable_column();
+        let (tend, precip) = convection(&col, &ConvectionConfig::default(), 600.0);
+        assert!(precip > 1.0, "convective precip = {precip} mm/day");
+        assert!(tend.dt_dt.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn stable_column_is_untouched() {
+        let mut col = Column::reference(30);
+        // Strong inversion and dry boundary layer: no buoyancy.
+        for k in 25..30 {
+            col.t[k] -= 10.0;
+            col.qv[k] *= 0.2;
+        }
+        let (tend, precip) = convection(&col, &ConvectionConfig::default(), 600.0);
+        assert_eq!(precip, 0.0);
+        assert!(tend.dt_dt.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn moist_enthalpy_is_closed() {
+        let col = unstable_column();
+        let (tend, precip) = convection(&col, &ConvectionConfig::default(), 600.0);
+        let heat: f64 = (0..30).map(|k| CP * tend.dt_dt[k] * col.layer_mass(k)).sum();
+        let moist: f64 = (0..30).map(|k| LVAP * tend.dqv_dt[k] * col.layer_mass(k)).sum();
+        assert!(
+            (heat + moist).abs() < 1e-8,
+            "enthalpy residual {} (heat {heat}, moist {moist})",
+            heat + moist
+        );
+        assert!((precip / 86400.0 * LVAP - heat).abs() < 1e-8);
+    }
+
+    #[test]
+    fn convection_dries_the_boundary_layer_and_warms_aloft() {
+        let col = unstable_column();
+        let (tend, _) = convection(&col, &ConvectionConfig::default(), 600.0);
+        assert!(tend.dqv_dt[29] < 0.0, "BL must dry");
+        let upper_heat: f64 = tend.dt_dt[10..22].iter().sum();
+        assert!(upper_heat > 0.0, "upper levels must warm");
+    }
+
+    #[test]
+    fn parcel_profile_is_cooler_aloft() {
+        let col = Column::reference(30);
+        let (tp, _, _) = parcel_profile(&col);
+        assert!(tp[0] < tp[29], "parcel must cool with height");
+    }
+}

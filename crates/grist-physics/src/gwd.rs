@@ -1,0 +1,178 @@
+//! Orographic gravity-wave drag: a Palmer/McFarlane-style scheme damping
+//! the low-level flow over subgrid orography and depositing the momentum
+//! where the wave saturates aloft. Part of any "conventional physics suite"
+//! at hydrostatic resolutions; at storm-resolving (km) scale the waves are
+//! explicit, which is one reason GSRM physics suites shrink — the scheme is
+//! therefore resolution-gated.
+
+use crate::column::consts::GRAVITY;
+use crate::column::Column;
+
+/// GWD configuration.
+#[derive(Debug, Clone)]
+pub struct GwdConfig {
+    /// Efficiency coefficient of the surface stress.
+    pub efficiency: f64,
+    /// Grid spacing above which the scheme is active \[m\] (resolution
+    /// gating: GSRMs resolve these waves).
+    pub active_above_dx: f64,
+    /// Maximum wind tendency magnitude \[m/s²\] (safety limiter).
+    pub tendency_cap: f64,
+}
+
+impl Default for GwdConfig {
+    fn default() -> Self {
+        GwdConfig { efficiency: 5e-6, active_above_dx: 10_000.0, tendency_cap: 30.0 / 86400.0 }
+    }
+}
+
+/// Brunt–Väisälä frequency at layer `k` (one-sided at the boundaries).
+fn brunt_vaisala(col: &Column, k: usize) -> f64 {
+    let nlev = col.nlev();
+    let (ka, kb) = if k == 0 { (0, 1) } else if k == nlev - 1 { (nlev - 2, nlev - 1) } else { (k - 1, k + 1) };
+    // θ from T via a local Exner-free approximation: dθ/θ ≈ dT/T + g dz/(cp T)
+    let dz = col.z[ka] - col.z[kb];
+    if dz <= 0.0 {
+        return 1e-2;
+    }
+    let dtdz = (col.t[ka] - col.t[kb]) / dz;
+    let n2 = GRAVITY / col.t[k] * (dtdz + GRAVITY / 1004.64);
+    n2.max(1e-6).sqrt()
+}
+
+/// GWD tendencies for a column over subgrid orography of standard deviation
+/// `sso_std` \[m\], at grid spacing `dx` \[m\]. Returns the zonal and
+/// meridional wind-tendency profiles `(du/dt, dv/dt)` \[m/s²\].
+pub fn gravity_wave_drag(
+    col: &Column,
+    sso_std: f64,
+    dx: f64,
+    cfg: &GwdConfig,
+) -> (Vec<f64>, Vec<f64>) {
+    let nlev = col.nlev();
+    let mut du = vec![0.0; nlev];
+    let mut dv = vec![0.0; nlev];
+    if dx < cfg.active_above_dx || sso_std <= 0.0 {
+        return (du, dv); // resolved explicitly at storm-resolving scales
+    }
+    let k0 = nlev - 1;
+    let speed0 = (col.u[k0] * col.u[k0] + col.v[k0] * col.v[k0]).sqrt();
+    if speed0 < 1.0 {
+        return (du, dv);
+    }
+    let n0 = brunt_vaisala(col, k0);
+    // Surface wave stress τ = eff · ρ N U h² (per unit area).
+    let tau0 = cfg.efficiency * col.rho(k0) * n0 * speed0 * sso_std * sso_std;
+
+    // Propagate upward; deposit stress where the local Froude criterion
+    // saturates (wind reversal or weak flow), linearly above 200 hPa.
+    let (ux, uy) = (col.u[k0] / speed0, col.v[k0] / speed0);
+    let mut tau = tau0;
+    let mut deposit = vec![0.0; nlev];
+    for k in (0..nlev).rev() {
+        let proj = col.u[k] * ux + col.v[k] * uy;
+        if proj <= 0.5 {
+            // Critical level: dump the remaining stress here.
+            deposit[k] += tau;
+            tau = 0.0;
+            break;
+        }
+        // Saturation cap: τ_max ∝ ρ proj³ / N (wave breaking).
+        let n = brunt_vaisala(col, k);
+        let tau_max = cfg.efficiency * col.rho(k) * proj * proj * proj / n.max(1e-4) * 20.0;
+        if tau > tau_max {
+            deposit[k] += tau - tau_max;
+            tau = tau_max;
+        }
+    }
+    if tau > 0.0 {
+        deposit[0] += tau; // remainder exits through the top layer
+    }
+    for k in 0..nlev {
+        if deposit[k] > 0.0 {
+            let accel = (deposit[k] * GRAVITY / col.dp[k]).min(cfg.tendency_cap);
+            du[k] = -accel * ux;
+            dv[k] = -accel * uy;
+        }
+    }
+    (du, dv)
+}
+
+/// Convenience: fold GWD into a [`Tendencies`]-adjacent wind budget check
+/// (total momentum removed, N·s/m² per unit area).
+pub fn column_momentum_sink(col: &Column, du: &[f64], dv: &[f64]) -> f64 {
+    (0..col.nlev())
+        .map(|k| (du[k] * du[k] + dv[k] * dv[k]).sqrt() * col.layer_mass(k))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windy_column() -> Column {
+        let mut col = Column::reference(30);
+        for k in 0..30 {
+            col.u[k] = 15.0 + 20.0 * (1.0 - k as f64 / 29.0); // westerlies, stronger aloft
+        }
+        col
+    }
+
+    #[test]
+    fn drag_opposes_the_low_level_wind() {
+        let col = windy_column();
+        let (du, dv) = gravity_wave_drag(&col, 400.0, 100_000.0, &GwdConfig::default());
+        let sink = column_momentum_sink(&col, &du, &dv);
+        assert!(sink > 0.0, "no drag produced");
+        // Tendencies must oppose u (westerly) and have no meridional part.
+        assert!(du.iter().all(|&d| d <= 0.0));
+        assert!(dv.iter().all(|&d| d.abs() < 1e-12));
+    }
+
+    #[test]
+    fn storm_resolving_grids_disable_the_scheme() {
+        let col = windy_column();
+        let (du, _) = gravity_wave_drag(&col, 400.0, 3_000.0, &GwdConfig::default());
+        assert!(du.iter().all(|&d| d == 0.0), "GWD must be off at km scale");
+    }
+
+    #[test]
+    fn no_orography_no_drag() {
+        let col = windy_column();
+        let (du, _) = gravity_wave_drag(&col, 0.0, 100_000.0, &GwdConfig::default());
+        assert!(du.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn calm_flow_produces_no_drag() {
+        let mut col = windy_column();
+        for k in 0..30 {
+            col.u[k] = 0.2;
+            col.v[k] = 0.0;
+        }
+        let (du, _) = gravity_wave_drag(&col, 400.0, 100_000.0, &GwdConfig::default());
+        assert!(du.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn stress_grows_with_orography_height() {
+        let col = windy_column();
+        let cfg = GwdConfig::default();
+        let (du1, dv1) = gravity_wave_drag(&col, 200.0, 100_000.0, &cfg);
+        let (du2, dv2) = gravity_wave_drag(&col, 600.0, 100_000.0, &cfg);
+        let s1 = column_momentum_sink(&col, &du1, &dv1);
+        let s2 = column_momentum_sink(&col, &du2, &dv2);
+        assert!(s2 > 2.0 * s1, "stress must grow ~h²: {s1} vs {s2}");
+    }
+
+    #[test]
+    fn tendency_cap_bounds_the_acceleration() {
+        let col = windy_column();
+        let cfg = GwdConfig { efficiency: 1e-2, ..Default::default() }; // absurdly strong
+        let (du, dv) = gravity_wave_drag(&col, 1000.0, 100_000.0, &cfg);
+        for k in 0..30 {
+            let a = (du[k] * du[k] + dv[k] * dv[k]).sqrt();
+            assert!(a <= cfg.tendency_cap + 1e-15, "lev {k} accel {a}");
+        }
+    }
+}

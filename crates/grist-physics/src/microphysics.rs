@@ -1,0 +1,197 @@
+//! Kessler-type warm-rain bulk microphysics: saturation adjustment
+//! (condensation/evaporation of cloud water), autoconversion and accretion of
+//! cloud to rain, rain evaporation, and gravitational sedimentation of rain
+//! producing surface precipitation.
+
+use crate::column::consts::{CP, GRAVITY, LVAP};
+use crate::column::{saturation_mixing_ratio, Column, Tendencies};
+
+/// Kessler scheme parameters.
+#[derive(Debug, Clone)]
+pub struct MicroConfig {
+    /// Autoconversion rate \[1/s\].
+    pub k_auto: f64,
+    /// Autoconversion cloud-water threshold \[kg/kg\].
+    pub qc0: f64,
+    /// Accretion rate coefficient.
+    pub k_accr: f64,
+    /// Rain terminal fall speed \[m/s\].
+    pub v_rain: f64,
+    /// Rain evaporation coefficient.
+    pub k_evap: f64,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig { k_auto: 1e-3, qc0: 5e-4, k_accr: 2.2, v_rain: 5.0, k_evap: 1e-4 }
+    }
+}
+
+/// One microphysics call over timestep `dt`. Returns tendencies plus the
+/// surface precipitation rate \[mm/day\].
+pub fn microphysics(col: &Column, cfg: &MicroConfig, dt: f64) -> (Tendencies, f64) {
+    let nlev = col.nlev();
+    let mut tend = Tendencies::zeros(nlev);
+
+    // Work on provisional values so sequential processes compose within dt.
+    let mut qv: Vec<f64> = col.qv.clone();
+    let mut qc: Vec<f64> = col.qc.clone();
+    let mut qr: Vec<f64> = col.qr.clone();
+    let mut t: Vec<f64> = col.t.clone();
+
+    for k in 0..nlev {
+        // --- saturation adjustment (condensation / cloud evaporation) ---
+        let qsat = saturation_mixing_ratio(t[k], col.p[k]);
+        // Linearized adjustment accounting for latent heating feedback:
+        // Δq = (qv − qsat) / (1 + L²qsat/(cp Rv T²)); one Newton step.
+        let dqsat_dt = qsat * 17.27 * (273.15 - 35.85) / (t[k] - 35.85).powi(2);
+        let gamma = 1.0 + (LVAP / CP) * dqsat_dt;
+        if qv[k] > qsat {
+            let cond = (qv[k] - qsat) / gamma;
+            qv[k] -= cond;
+            qc[k] += cond;
+            t[k] += LVAP / CP * cond;
+        } else if qc[k] > 0.0 {
+            let deficit = (qsat - qv[k]) / gamma;
+            let evap = deficit.min(qc[k]);
+            qv[k] += evap;
+            qc[k] -= evap;
+            t[k] -= LVAP / CP * evap;
+        }
+
+        // --- autoconversion ---
+        let auto = cfg.k_auto * (qc[k] - cfg.qc0).max(0.0) * dt;
+        let auto = auto.min(qc[k]);
+        qc[k] -= auto;
+        qr[k] += auto;
+
+        // --- accretion (collection of cloud by rain) ---
+        if qr[k] > 0.0 && qc[k] > 0.0 {
+            let accr = (cfg.k_accr * qc[k] * qr[k].powf(0.875) * dt).min(qc[k]);
+            qc[k] -= accr;
+            qr[k] += accr;
+        }
+
+        // --- rain evaporation in subsaturated air ---
+        let qsat2 = saturation_mixing_ratio(t[k], col.p[k]);
+        if qv[k] < qsat2 && qr[k] > 0.0 {
+            let subsat = (qsat2 - qv[k]) / qsat2;
+            let evap = (cfg.k_evap * subsat * qr[k].sqrt() * dt).min(qr[k]);
+            qr[k] -= evap;
+            qv[k] += evap;
+            t[k] -= LVAP / CP * evap;
+        }
+    }
+
+    // --- sedimentation: upwind fall of qr between layers ---
+    // Flux through the bottom of layer k: ρ_k V_r qr_k  [kg/m²/s].
+    let mut qr_sed = qr.clone();
+    let mut surface_flux = 0.0;
+    for k in 0..nlev {
+        let mass_k = col.layer_mass(k);
+        let out = (col.rho(k) * cfg.v_rain * qr[k] * dt).min(qr[k] * mass_k);
+        qr_sed[k] -= out / mass_k;
+        if k + 1 < nlev {
+            qr_sed[k + 1] += out / col.layer_mass(k + 1);
+        } else {
+            surface_flux += out; // kg/m² over dt
+        }
+    }
+    let precip_mm_day = surface_flux / dt * 86400.0; // 1 kg/m² = 1 mm
+
+    for k in 0..nlev {
+        tend.dt_dt[k] = (t[k] - col.t[k]) / dt;
+        tend.dqv_dt[k] = (qv[k] - col.qv[k]) / dt;
+        tend.dqc_dt[k] = (qc[k] - col.qc[k]) / dt;
+        tend.dqr_dt[k] = (qr_sed[k] - col.qr[k]) / dt;
+    }
+    let _ = GRAVITY;
+    (tend, precip_mm_day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supersaturation_condenses_and_heats() {
+        let mut col = Column::reference(20);
+        let k = 15;
+        col.qv[k] = 1.5 * saturation_mixing_ratio(col.t[k], col.p[k]);
+        let (tend, _) = microphysics(&col, &MicroConfig::default(), 300.0);
+        assert!(tend.dqv_dt[k] < 0.0, "vapour must condense");
+        assert!(tend.dqc_dt[k] + tend.dqr_dt[k] > 0.0, "condensate must appear");
+        assert!(tend.dt_dt[k] > 0.0, "latent heating expected");
+    }
+
+    #[test]
+    fn water_is_conserved_excluding_precipitation() {
+        let mut col = Column::reference(20);
+        for k in 10..18 {
+            col.qv[k] = 1.2 * saturation_mixing_ratio(col.t[k], col.p[k]);
+            col.qc[k] = 1e-3;
+            col.qr[k] = 5e-4;
+        }
+        let dt = 300.0;
+        let (tend, precip) = microphysics(&col, &MicroConfig::default(), dt);
+        let mut d_total = 0.0; // kg/m²/s
+        for k in 0..20 {
+            d_total += (tend.dqv_dt[k] + tend.dqc_dt[k] + tend.dqr_dt[k]) * col.layer_mass(k);
+        }
+        let precip_rate = precip / 86400.0; // mm/day → kg/m²/s
+        assert!(
+            (d_total + precip_rate).abs() < 1e-12,
+            "water budget residual {}",
+            d_total + precip_rate
+        );
+    }
+
+    #[test]
+    fn dry_column_produces_no_precip_and_no_tendency() {
+        let mut col = Column::reference(20);
+        for k in 0..20 {
+            col.qv[k] *= 0.3; // far from saturation
+        }
+        let (tend, precip) = microphysics(&col, &MicroConfig::default(), 300.0);
+        assert_eq!(precip, 0.0);
+        assert!(tend.dqc_dt.iter().all(|&x| x == 0.0));
+        assert!(tend.dqr_dt.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rainy_column_precipitates() {
+        let mut col = Column::reference(20);
+        col.qr[18] = 2e-3;
+        col.qr[19] = 2e-3;
+        let (_, precip) = microphysics(&col, &MicroConfig::default(), 300.0);
+        assert!(precip > 0.1, "precip = {precip} mm/day");
+    }
+
+    #[test]
+    fn saturation_adjustment_does_not_overshoot() {
+        // After adjustment the layer must not be strongly subsaturated.
+        let mut col = Column::reference(20);
+        let k = 16;
+        col.qv[k] = 1.3 * saturation_mixing_ratio(col.t[k], col.p[k]);
+        let dt = 300.0;
+        let (tend, _) = microphysics(&col, &MicroConfig::default(), dt);
+        let mut c2 = col.clone();
+        tend.apply(&mut c2, dt);
+        let rh = c2.qv[k] / saturation_mixing_ratio(c2.t[k], c2.p[k]);
+        assert!((0.9..1.05).contains(&rh), "post-adjustment RH = {rh}");
+    }
+
+    #[test]
+    fn moisture_tendencies_never_drive_negative_water() {
+        let mut col = Column::reference(20);
+        col.qc[5] = 1e-6;
+        col.qr[5] = 1e-7;
+        let dt = 600.0;
+        let (tend, _) = microphysics(&col, &MicroConfig::default(), dt);
+        let mut c2 = col.clone();
+        tend.apply(&mut c2, dt);
+        assert!(c2.qc.iter().all(|&x| x >= 0.0));
+        assert!(c2.qr.iter().all(|&x| x >= 0.0));
+        assert!(c2.qv.iter().all(|&x| x >= 0.0));
+    }
+}

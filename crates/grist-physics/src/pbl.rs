@@ -1,0 +1,190 @@
+//! Planetary-boundary-layer scheme: K-profile vertical diffusion of heat and
+//! moisture with an implicit (backward-Euler tridiagonal) solve, plus entry
+//! of the surface fluxes as the lower boundary condition.
+
+use crate::column::consts::{CP, GRAVITY, LVAP};
+use crate::column::{Column, Tendencies};
+
+/// PBL configuration.
+#[derive(Debug, Clone)]
+pub struct PblConfig {
+    /// Eddy diffusivity scale at the surface \[m²/s\].
+    pub k0: f64,
+    /// PBL depth scale \[m\].
+    pub depth: f64,
+    /// Free-troposphere background diffusivity \[m²/s\].
+    pub k_background: f64,
+}
+
+impl Default for PblConfig {
+    fn default() -> Self {
+        PblConfig { k0: 30.0, depth: 1200.0, k_background: 0.1 }
+    }
+}
+
+/// In-place tridiagonal solve (local copy to keep this crate dependency-free).
+fn tridiag(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
+    let n = b.len();
+    let mut cp = vec![0.0; n];
+    let mut beta = b[0];
+    d[0] /= beta;
+    for k in 1..n {
+        cp[k] = c[k - 1] / beta;
+        beta = b[k] - a[k] * cp[k];
+        d[k] = (d[k] - a[k] * d[k - 1]) / beta;
+    }
+    for k in (0..n - 1).rev() {
+        let upd = d[k + 1];
+        d[k] -= cp[k + 1] * upd;
+    }
+}
+
+/// K-profile: `K(z) = k0 (z/h) (1 − z/h)² + K_bg` inside the PBL (stability
+/// modulated by the surface buoyancy flux sign), `K_bg` above.
+fn k_profile(z: f64, unstable: bool, cfg: &PblConfig) -> f64 {
+    if z >= cfg.depth {
+        return cfg.k_background;
+    }
+    let s = z / cfg.depth;
+    let shape = s * (1.0 - s) * (1.0 - s);
+    let k0 = if unstable { cfg.k0 } else { 0.25 * cfg.k0 };
+    cfg.k_background + 4.0 * k0 * shape
+}
+
+/// One PBL step: implicit diffusion of T and qv over `dt`, with prescribed
+/// surface sensible (`shflx`, W/m²) and latent (`lhflx`, W/m²) fluxes as the
+/// bottom boundary condition.
+pub fn pbl_diffusion(
+    col: &Column,
+    cfg: &PblConfig,
+    shflx: f64,
+    lhflx: f64,
+    dt: f64,
+) -> Tendencies {
+    let nlev = col.nlev();
+    let mut tend = Tendencies::zeros(nlev);
+    let unstable = shflx > 0.0;
+
+    // Interface diffusivities and geometric factors (interface i between
+    // layers i-1 and i, i = 1..nlev-1; top and bottom closed except for the
+    // surface flux source).
+    let mut kz = vec![0.0f64; nlev + 1];
+    for i in 1..nlev {
+        let z_i = 0.5 * (col.z[i - 1] + col.z[i]);
+        kz[i] = k_profile(z_i, unstable, cfg);
+    }
+
+    // Conservative flux-form diffusion in mass coordinates:
+    // dX_k/dt = (g/dp_k) [ F_{k+1} − F_k ],  F_i = ρ_i² g K_i (X_{i-1} − X_i)/(z_{i-1} − z_i)
+    // discretized implicitly. Build per-variable tridiagonal systems.
+    let mut a = vec![0.0f64; nlev];
+    let mut b = vec![1.0f64; nlev];
+    let mut c = vec![0.0f64; nlev];
+    for k in 0..nlev {
+        let m_k = col.dp[k] / GRAVITY; // layer mass kg/m²
+        if k > 0 {
+            let rho_i = 0.5 * (col.rho(k - 1) + col.rho(k));
+            let dz = col.z[k - 1] - col.z[k];
+            let cond = rho_i * kz[k] / dz; // kg/m²/s exchange coefficient
+            a[k] = -dt * cond / m_k;
+        }
+        if k + 1 < nlev {
+            let rho_i = 0.5 * (col.rho(k) + col.rho(k + 1));
+            let dz = col.z[k] - col.z[k + 1];
+            let cond = rho_i * kz[k + 1] / dz;
+            c[k] = -dt * cond / m_k;
+        }
+        b[k] = 1.0 - a[k] - c[k];
+    }
+
+    // Temperature (diffuse dry static energy s = cp T + g z to avoid mixing
+    // out the adiabatic lapse rate).
+    let mut s: Vec<f64> = (0..nlev).map(|k| CP * col.t[k] + GRAVITY * col.z[k]).collect();
+    let m_low = col.dp[nlev - 1] / GRAVITY;
+    s[nlev - 1] += dt * shflx / m_low; // W/m² → J/kg per layer mass
+    tridiag(&a, &b, &c, &mut s);
+    for k in 0..nlev {
+        tend.dt_dt[k] = ((s[k] - GRAVITY * col.z[k]) / CP - col.t[k]) / dt;
+    }
+
+    // Moisture.
+    let mut q: Vec<f64> = col.qv.clone();
+    q[nlev - 1] += dt * lhflx / (LVAP * m_low);
+    tridiag(&a, &b, &c, &mut q);
+    for k in 0..nlev {
+        tend.dqv_dt[k] = (q[k] - col.qv[k]) / dt;
+    }
+    tend
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffusion_conserves_energy_and_moisture_without_fluxes() {
+        let col = Column::reference(30);
+        let dt = 600.0;
+        let tend = pbl_diffusion(&col, &PblConfig::default(), 0.0, 0.0, dt);
+        let de: f64 = (0..30)
+            .map(|k| CP * tend.dt_dt[k] * col.layer_mass(k))
+            .sum();
+        let dq: f64 = (0..30).map(|k| tend.dqv_dt[k] * col.layer_mass(k)).sum();
+        // Budgets close to roundoff relative to the column's energy content.
+        assert!(de.abs() < 1e-6, "energy residual {de} W/m²");
+        assert!(dq.abs() < 1e-12, "moisture residual {dq}");
+    }
+
+    #[test]
+    fn surface_heat_flux_warms_the_lowest_layers() {
+        let col = Column::reference(30);
+        let tend = pbl_diffusion(&col, &PblConfig::default(), 150.0, 0.0, 600.0);
+        assert!(tend.dt_dt[29] > 0.0, "lowest layer must warm");
+        // Energy input equals the prescribed flux.
+        let de: f64 = (0..30).map(|k| CP * tend.dt_dt[k] * col.layer_mass(k)).sum();
+        assert!((de - 150.0).abs() < 1.0, "column energy gain {de} vs 150 W/m²");
+    }
+
+    #[test]
+    fn latent_flux_moistens_with_closed_budget() {
+        let col = Column::reference(30);
+        let lh = 100.0;
+        let tend = pbl_diffusion(&col, &PblConfig::default(), 0.0, lh, 600.0);
+        let dq: f64 = (0..30).map(|k| tend.dqv_dt[k] * col.layer_mass(k)).sum();
+        assert!((dq * LVAP - lh).abs() < 1.0, "moisture flux {} vs {}", dq * LVAP, lh);
+    }
+
+    #[test]
+    fn diffusion_smooths_an_inversion() {
+        let mut col = Column::reference(30);
+        // Sharp moisture spike in the boundary layer.
+        col.qv[28] += 5e-3;
+        let before = col.qv[28] - 0.5 * (col.qv[27] + col.qv[29]);
+        let dt = 1800.0;
+        let tend = pbl_diffusion(&col, &PblConfig::default(), 50.0, 0.0, dt);
+        let mut c2 = col.clone();
+        tend.apply(&mut c2, dt);
+        let after = c2.qv[28] - 0.5 * (c2.qv[27] + c2.qv[29]);
+        assert!(after < before, "spike must be smoothed: {before} -> {after}");
+    }
+
+    #[test]
+    fn stable_regime_diffuses_less() {
+        let col = Column::reference(30);
+        let t_unstable = pbl_diffusion(&col, &PblConfig::default(), 100.0, 0.0, 600.0);
+        let t_stable = pbl_diffusion(&col, &PblConfig::default(), -100.0, 0.0, 600.0);
+        // Compare mixing strength away from the surface layer source.
+        let mix_u: f64 = t_unstable.dt_dt[20..28].iter().map(|x| x.abs()).sum();
+        let mix_s: f64 = t_stable.dt_dt[20..28].iter().map(|x| x.abs()).sum();
+        assert!(mix_s < mix_u, "stable PBL should mix less: {mix_s} vs {mix_u}");
+    }
+
+    #[test]
+    fn k_profile_shape() {
+        let cfg = PblConfig::default();
+        assert!(k_profile(2.0 * cfg.depth, true, &cfg) == cfg.k_background);
+        let k_mid = k_profile(cfg.depth / 3.0, true, &cfg);
+        assert!(k_mid > 10.0, "mid-PBL K = {k_mid}");
+        assert!(k_profile(cfg.depth / 3.0, false, &cfg) < k_mid);
+    }
+}

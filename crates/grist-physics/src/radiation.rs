@@ -1,0 +1,319 @@
+//! Band-looped two-stream radiation — the RRTMG stand-in.
+//!
+//! RRTMG integrates 16 longwave and 14 shortwave g-point bands with
+//! layer-by-layer transmission built from exponentials and divisions; it is
+//! famously scalar, branchy code that reaches only ~6% of peak FLOPS (§4.7).
+//! This module reproduces that *computational physiognomy* — the same band ×
+//! layer loop nest, `exp`-heavy transfer, per-band absorber weights — while
+//! producing physically plausible heating rates and the two surface
+//! diagnostics (`gsw`, `glw`) that the ML radiation module replaces.
+//!
+//! Every call increments a FLOP ledger so §4.7's "ML radiation needs ~2× the
+//! FLOPs of RRTMG but runs at 74–84% of peak vs 6%" comparison can be
+//! regenerated quantitatively.
+
+use crate::column::consts::{CP, GRAVITY, SOLAR_CONSTANT, STEFAN_BOLTZMANN};
+use crate::column::{Column, SurfaceDiag, Tendencies};
+
+/// Number of longwave bands (matches RRTMG_LW).
+pub const N_LW_BANDS: usize = 16;
+/// Number of shortwave bands (matches RRTMG_SW).
+pub const N_SW_BANDS: usize = 14;
+
+/// Tally of arithmetic performed, for the peak-fraction analysis of §4.7.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlopLedger {
+    /// add/mul/fma count.
+    pub cheap: u64,
+    /// exp/div/pow count (expensive, pipeline-serializing).
+    pub expensive: u64,
+    /// Conditional branches taken in inner loops (vectorization killers).
+    pub branches: u64,
+}
+
+impl FlopLedger {
+    pub fn total(&self) -> u64 {
+        self.cheap + self.expensive
+    }
+    pub fn merge(&mut self, o: &FlopLedger) {
+        self.cheap += o.cheap;
+        self.expensive += o.expensive;
+        self.branches += o.branches;
+    }
+}
+
+/// Radiation scheme configuration.
+#[derive(Debug, Clone)]
+pub struct RadiationConfig {
+    /// CO₂ volume mixing ratio (sets the background LW optical depth).
+    pub co2_ppmv: f64,
+    /// Cloud water absorption enhancement.
+    pub cloud_k: f64,
+}
+
+impl Default for RadiationConfig {
+    fn default() -> Self {
+        RadiationConfig { co2_ppmv: 400.0, cloud_k: 120.0 }
+    }
+}
+
+/// Output of one radiation call.
+#[derive(Debug, Clone)]
+pub struct RadiationResult {
+    /// Temperature tendency from radiative flux divergence \[K/s\].
+    pub heating: Vec<f64>,
+    /// Surface downward shortwave \[W/m²\].
+    pub gsw: f64,
+    /// Surface downward longwave \[W/m²\].
+    pub glw: f64,
+    /// Top-of-atmosphere outgoing longwave \[W/m²\].
+    pub olr: f64,
+    /// FLOPs expended.
+    pub ledger: FlopLedger,
+}
+
+/// Per-band absorber coefficients, deterministic functions of the band index
+/// chosen so the band ensemble spans optically thin to thick.
+fn lw_band_k(band: usize) -> (f64, f64, f64) {
+    // (k_h2o [m²/kg], k_co2 [m²/kg per ppmv], planck weight)
+    let x = band as f64 / (N_LW_BANDS - 1) as f64;
+    let k_h2o = 0.004 * (5.0 * x).exp(); // 0.004 .. ~0.6 m²/kg (window → opaque)
+    // CO₂: one ~15 µm band analogue; column optical depth ≈ 2 at 400 ppmv.
+    let k_co2 = 5e-7 * (-((x - 0.4) / 0.12).powi(2)).exp();
+    let weight = (1.0 + (4.0 * (x - 0.5)).powi(2)).recip();
+    (k_h2o, k_co2, weight)
+}
+
+fn sw_band_k(band: usize) -> (f64, f64, f64) {
+    // (k_h2o, k_rayleigh, solar weight)
+    let x = band as f64 / (N_SW_BANDS - 1) as f64;
+    let k_h2o = 0.004 * (5.0 * x).exp();
+    let k_ray = 1e-5 * (1.0 - x).powi(3).max(1e-4 * 0.0) + 1e-6;
+    let weight = (0.5 + x).recip();
+    (k_h2o, k_ray, weight)
+}
+
+/// Longwave transfer: emissivity (single up/down sweep per band).
+pub fn longwave(col: &Column, cfg: &RadiationConfig) -> RadiationResult {
+    let nlev = col.nlev();
+    let mut ledger = FlopLedger::default();
+    let mut net_flux = vec![0.0f64; nlev + 1]; // + upward
+
+    // Normalize the band weights so Σ w_b = 1 over the Planck spectrum.
+    let wsum: f64 = (0..N_LW_BANDS).map(|b| lw_band_k(b).2).sum();
+    let mut glw = 0.0;
+    let mut olr = 0.0;
+
+    for band in 0..N_LW_BANDS {
+        let (k_h2o, k_co2, w) = lw_band_k(band);
+        let w = w / wsum;
+        // Layer transmittance in this band.
+        let mut trans = vec![0.0f64; nlev];
+        for k in 0..nlev {
+            let absorber =
+                k_h2o * col.qv[k] + k_co2 * cfg.co2_ppmv + cfg.cloud_k * col.qc[k] * 0.05;
+            let tau = absorber * col.dp[k] / GRAVITY;
+            trans[k] = (-1.66 * tau).exp(); // diffusivity factor 1.66
+            ledger.cheap += 6;
+            ledger.expensive += 1;
+        }
+        // Downward sweep: flux at interface i (0 = top).
+        let mut fdn = vec![0.0f64; nlev + 1];
+        for k in 0..nlev {
+            let b_layer = w * STEFAN_BOLTZMANN * col.t[k].powi(4);
+            fdn[k + 1] = fdn[k] * trans[k] + b_layer * (1.0 - trans[k]);
+            ledger.cheap += 7;
+            ledger.expensive += 1; // powi(4) as repeated mult counted once expensive-ish
+        }
+        // Upward sweep from the surface.
+        let mut fup = vec![0.0f64; nlev + 1];
+        fup[nlev] = w * STEFAN_BOLTZMANN * col.tskin.powi(4);
+        for k in (0..nlev).rev() {
+            let b_layer = w * STEFAN_BOLTZMANN * col.t[k].powi(4);
+            fup[k] = fup[k + 1] * trans[k] + b_layer * (1.0 - trans[k]);
+            ledger.cheap += 7;
+            ledger.expensive += 1;
+        }
+        for i in 0..=nlev {
+            net_flux[i] += fup[i] - fdn[i];
+            ledger.cheap += 2;
+        }
+        glw += fdn[nlev];
+        olr += fup[0];
+        ledger.branches += nlev as u64; // per-layer cloud branch in real RRTMG
+    }
+
+    // Heating from net-flux divergence: dT/dt = g/(cp dp) · (F_net(i+1) − F_net(i)).
+    let mut heating = vec![0.0f64; nlev];
+    for k in 0..nlev {
+        heating[k] = GRAVITY / (CP * col.dp[k]) * (net_flux[k + 1] - net_flux[k]);
+        ledger.cheap += 4;
+        ledger.expensive += 1;
+    }
+    RadiationResult { heating, gsw: 0.0, glw, olr, ledger }
+}
+
+/// Shortwave transfer: direct-beam attenuation with Rayleigh scattering and a
+/// single surface reflection.
+pub fn shortwave(col: &Column, cfg: &RadiationConfig) -> RadiationResult {
+    let nlev = col.nlev();
+    let mut ledger = FlopLedger::default();
+    let mut heating = vec![0.0f64; nlev];
+    let mut gsw = 0.0;
+
+    if col.coszr <= 0.0 {
+        ledger.branches += 1;
+        return RadiationResult { heating, gsw, glw: 0.0, olr: 0.0, ledger };
+    }
+    let mu = col.coszr;
+    let wsum: f64 = (0..N_SW_BANDS).map(|b| sw_band_k(b).2).sum();
+
+    for band in 0..N_SW_BANDS {
+        let (k_h2o, k_ray, w) = sw_band_k(band);
+        let w = w / wsum;
+        let toa = SOLAR_CONSTANT * mu * w;
+        let mut f = toa;
+        let mut absorbed = vec![0.0f64; nlev];
+        for k in 0..nlev {
+            let tau = (k_h2o * col.qv[k] + k_ray + cfg.cloud_k * col.qc[k]) * col.dp[k] / GRAVITY;
+            let t = (-tau / mu).exp();
+            let df = f * (1.0 - t);
+            // Rayleigh-scattered fraction returns to space; the rest heats.
+            let scat_frac = k_ray / (k_h2o * col.qv[k] + k_ray + cfg.cloud_k * col.qc[k] + 1e-30);
+            absorbed[k] = df * (1.0 - 0.5 * scat_frac);
+            f -= df;
+            ledger.cheap += 12;
+            ledger.expensive += 3; // exp + 2 div
+            ledger.branches += 1;
+        }
+        gsw += f;
+        // Surface-reflected beam absorbed on the way up (one bounce).
+        let mut fr = f * col.albedo;
+        for k in (0..nlev).rev() {
+            let tau = (k_h2o * col.qv[k] + k_ray) * col.dp[k] / GRAVITY;
+            let t = (-1.66 * tau).exp();
+            absorbed[k] += fr * (1.0 - t);
+            fr *= t;
+            ledger.cheap += 7;
+            ledger.expensive += 1;
+        }
+        for k in 0..nlev {
+            heating[k] += GRAVITY / (CP * col.dp[k]) * absorbed[k];
+            ledger.cheap += 4;
+            ledger.expensive += 1;
+        }
+    }
+    RadiationResult { heating, gsw, glw: 0.0, olr: 0.0, ledger }
+}
+
+/// Full radiation call: LW + SW combined into one tendency.
+pub fn radiation(col: &Column, cfg: &RadiationConfig) -> (Tendencies, SurfaceDiag, FlopLedger) {
+    let lw = longwave(col, cfg);
+    let sw = shortwave(col, cfg);
+    let nlev = col.nlev();
+    let mut tend = Tendencies::zeros(nlev);
+    for k in 0..nlev {
+        tend.dt_dt[k] = lw.heating[k] + sw.heating[k];
+    }
+    let mut ledger = lw.ledger;
+    ledger.merge(&sw.ledger);
+    let diag = SurfaceDiag {
+        gsw: sw.gsw,
+        glw: lw.glw,
+        precip: 0.0,
+        shflx: 0.0,
+        lhflx: 0.0,
+        tskin: col.tskin,
+        cloud_cover: 0.0,
+    };
+    (tend, diag, ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_longwave_is_earthlike() {
+        let col = Column::reference(30);
+        let lw = longwave(&col, &RadiationConfig::default());
+        // Clear-sky downward LW at the surface: ~250–420 W/m².
+        assert!((200.0..450.0).contains(&lw.glw), "glw = {}", lw.glw);
+        // OLR: ~180–320 W/m².
+        assert!((150.0..350.0).contains(&lw.olr), "olr = {}", lw.olr);
+    }
+
+    #[test]
+    fn surface_shortwave_is_earthlike_and_tracks_sun() {
+        let mut col = Column::reference(30);
+        col.coszr = 1.0;
+        let sw1 = shortwave(&col, &RadiationConfig::default());
+        assert!((500.0..1200.0).contains(&sw1.gsw), "gsw = {}", sw1.gsw);
+        col.coszr = 0.3;
+        let sw2 = shortwave(&col, &RadiationConfig::default());
+        assert!(sw2.gsw < sw1.gsw);
+        col.coszr = 0.0;
+        let sw3 = shortwave(&col, &RadiationConfig::default());
+        assert_eq!(sw3.gsw, 0.0);
+    }
+
+    #[test]
+    fn clouds_dim_the_surface_and_raise_glw() {
+        let mut clear = Column::reference(30);
+        clear.coszr = 0.8;
+        let mut cloudy = clear.clone();
+        for k in 18..24 {
+            cloudy.qc[k] = 3e-4;
+        }
+        let cfg = RadiationConfig::default();
+        let (_, d_clear, _) = radiation(&clear, &cfg);
+        let (_, d_cloudy, _) = radiation(&cloudy, &cfg);
+        assert!(d_cloudy.gsw < 0.8 * d_clear.gsw, "clouds must block SW: {} vs {}", d_cloudy.gsw, d_clear.gsw);
+        assert!(d_cloudy.glw > d_clear.glw, "clouds must emit more LW down");
+    }
+
+    #[test]
+    fn longwave_cools_the_troposphere() {
+        let col = Column::reference(30);
+        let lw = longwave(&col, &RadiationConfig::default());
+        // Mean tropospheric LW cooling ~0.5–3 K/day.
+        let mean_k_per_day: f64 =
+            lw.heating[15..30].iter().sum::<f64>() / 15.0 * 86400.0;
+        assert!(
+            (-5.0..0.0).contains(&mean_k_per_day),
+            "LW cooling {mean_k_per_day} K/day"
+        );
+    }
+
+    #[test]
+    fn more_co2_reduces_olr() {
+        let col = Column::reference(30);
+        let lo = longwave(&col, &RadiationConfig { co2_ppmv: 280.0, ..Default::default() });
+        let hi = longwave(&col, &RadiationConfig { co2_ppmv: 560.0, ..Default::default() });
+        assert!(hi.olr < lo.olr, "doubled CO₂ must trap LW: {} vs {}", hi.olr, lo.olr);
+    }
+
+    #[test]
+    fn ledger_counts_scale_with_bands_and_layers() {
+        let c30 = Column::reference(30);
+        let c60 = Column::reference(60);
+        let cfg = RadiationConfig::default();
+        let (_, _, l30) = radiation(&c30, &cfg);
+        let (_, _, l60) = radiation(&c60, &cfg);
+        let ratio = l60.total() as f64 / l30.total() as f64;
+        assert!((1.8..2.2).contains(&ratio), "flops should scale ~linearly in nlev: {ratio}");
+        assert!(l30.expensive > 0 && l30.branches > 0);
+    }
+
+    #[test]
+    fn warmer_surface_emits_more() {
+        let mut col = Column::reference(30);
+        let g1 = longwave(&col, &RadiationConfig::default()).olr;
+        col.tskin += 10.0;
+        for t in col.t.iter_mut() {
+            *t += 10.0;
+        }
+        let g2 = longwave(&col, &RadiationConfig::default()).olr;
+        assert!(g2 > g1);
+    }
+}

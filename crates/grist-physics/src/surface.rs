@@ -1,0 +1,257 @@
+//! Surface-layer scheme (bulk aerodynamic fluxes) and the Noah-MP-lite land
+//! surface model (§4.4: "an active land surface model has been coupled to
+//! the atmosphere model").
+//!
+//! Over ocean the skin temperature is the prescribed SST; over land a
+//! two-layer soil column plus a prognostic skin temperature closes the
+//! surface energy balance against the radiation diagnostics (`gsw`, `glw`)
+//! — which is exactly the coupling that makes the ML radiation module's
+//! stability matter (§3.2.3).
+
+use crate::column::consts::{CP, LVAP, STEFAN_BOLTZMANN};
+use crate::column::{saturation_mixing_ratio, Column};
+
+/// Bulk exchange configuration.
+#[derive(Debug, Clone)]
+pub struct SurfaceConfig {
+    /// Heat/moisture exchange coefficient.
+    pub ch: f64,
+    /// Minimum wind speed entering the bulk formulas \[m/s\].
+    pub wind_floor: f64,
+    /// Ocean evaporation efficiency (β factor for land is soil-moisture based).
+    pub beta_ocean: f64,
+}
+
+impl Default for SurfaceConfig {
+    fn default() -> Self {
+        SurfaceConfig { ch: 1.3e-3, wind_floor: 4.0, beta_ocean: 1.0 }
+    }
+}
+
+/// Sensible and latent heat fluxes (positive upward, W/m²) from the bulk
+/// formulas using the lowest model layer and the skin state.
+pub fn bulk_fluxes(col: &Column, cfg: &SurfaceConfig, beta: f64) -> (f64, f64) {
+    let k = col.nlev() - 1;
+    let wind = (col.u[k] * col.u[k] + col.v[k] * col.v[k]).sqrt().max(cfg.wind_floor);
+    let rho = col.rho(k);
+    let sh = rho * CP * cfg.ch * wind * (col.tskin - col.t[k]);
+    let qsat_s = saturation_mixing_ratio(col.tskin, col.p[k]);
+    let lh = (rho * LVAP * cfg.ch * wind * beta * (qsat_s - col.qv[k])).max(0.0);
+    (sh, lh)
+}
+
+/// Noah-MP-lite: skin temperature + two soil layers.
+#[derive(Debug, Clone)]
+pub struct LandState {
+    /// Skin (radiative) temperature \[K\].
+    pub tskin: f64,
+    /// Soil layer temperatures (top, deep) \[K\].
+    pub tsoil: [f64; 2],
+    /// Volumetric soil moisture (0–1), controls evaporation efficiency β.
+    pub soil_moisture: f64,
+}
+
+impl LandState {
+    pub fn new(t0: f64) -> Self {
+        LandState { tskin: t0, tsoil: [t0, t0], soil_moisture: 0.3 }
+    }
+}
+
+/// Land model configuration.
+#[derive(Debug, Clone)]
+pub struct LandConfig {
+    /// Effective skin heat capacity \[J/m²/K\].
+    pub c_skin: f64,
+    /// Skin–topsoil conductance \[W/m²/K\].
+    pub g_skin: f64,
+    /// Topsoil–deep conductance \[W/m²/K\].
+    pub g_soil: f64,
+    /// Soil layer heat capacities \[J/m²/K\].
+    pub c_soil: [f64; 2],
+    /// Deep (restoring) temperature \[K\].
+    pub t_deep: f64,
+    /// Surface emissivity.
+    pub emissivity: f64,
+    /// Precipitation recharge / evaporative drawdown rate of soil moisture.
+    pub moisture_rate: f64,
+}
+
+impl Default for LandConfig {
+    fn default() -> Self {
+        LandConfig {
+            c_skin: 2.0e4,
+            g_skin: 15.0,
+            g_soil: 4.0,
+            c_soil: [1.2e6, 6.0e6],
+            t_deep: 286.0,
+            emissivity: 0.98,
+            moisture_rate: 2e-8,
+        }
+    }
+}
+
+/// Advance the land state over `dt` given the surface forcing. Returns the
+/// (sensible, latent) fluxes actually delivered to the atmosphere.
+#[allow(clippy::too_many_arguments)]
+pub fn land_step(
+    land: &mut LandState,
+    cfg: &LandConfig,
+    sfc: &SurfaceConfig,
+    col: &Column,
+    gsw: f64,
+    glw: f64,
+    precip_mm_day: f64,
+    dt: f64,
+) -> (f64, f64) {
+    // Evaporation efficiency from soil moisture.
+    let beta = (land.soil_moisture / 0.4).clamp(0.0, 1.0);
+    let mut col_land = col.clone();
+    col_land.tskin = land.tskin;
+    let (sh, lh) = bulk_fluxes(&col_land, sfc, beta);
+
+    // Skin energy balance: absorbed SW + down LW − up LW − SH − LH − ground.
+    let up_lw = cfg.emissivity * STEFAN_BOLTZMANN * land.tskin.powi(4);
+    let ground = cfg.g_skin * (land.tskin - land.tsoil[0]);
+    let net = gsw * (1.0 - col.albedo) + cfg.emissivity * glw - up_lw - sh - lh - ground;
+    // Semi-implicit skin update (linearize the T⁴ term for stability).
+    let dnet_dt = -4.0 * cfg.emissivity * STEFAN_BOLTZMANN * land.tskin.powi(3)
+        - cfg.g_skin
+        - col.rho(col.nlev() - 1) * CP * sfc.ch * 3.0; // flux stiffness proxy
+    land.tskin += dt * net / (cfg.c_skin - dt * dnet_dt);
+
+    // Soil column.
+    let f01 = cfg.g_soil * (land.tsoil[0] - land.tsoil[1]);
+    land.tsoil[0] += dt * (ground - f01) / cfg.c_soil[0];
+    land.tsoil[1] += dt * (f01 - cfg.g_soil * (land.tsoil[1] - cfg.t_deep)) / cfg.c_soil[1];
+
+    // Soil moisture: recharge by precip, drawdown by evaporation.
+    let evap_ms = lh / (LVAP * 1000.0); // m/s of liquid water
+    land.soil_moisture = (land.soil_moisture
+        + dt * (cfg.moisture_rate * precip_mm_day - evap_ms / 0.5))
+        .clamp(0.02, 0.45);
+
+    (sh, lh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_skin_drives_upward_fluxes() {
+        let mut col = Column::reference(30);
+        col.tskin = col.t[29] + 5.0;
+        col.u[29] = 5.0;
+        let (sh, lh) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
+        assert!(sh > 0.0, "sh = {sh}");
+        assert!(lh > 0.0, "lh = {lh}");
+        assert!((5.0..500.0).contains(&sh), "sh magnitude {sh}");
+    }
+
+    #[test]
+    fn cold_skin_gives_downward_sensible_flux() {
+        let mut col = Column::reference(30);
+        col.tskin = col.t[29] - 5.0;
+        let (sh, _) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
+        assert!(sh < 0.0);
+    }
+
+    #[test]
+    fn fluxes_scale_with_wind() {
+        // Above the gustiness floor the bulk fluxes are linear in wind.
+        let mut col = Column::reference(30);
+        col.tskin = col.t[29] + 3.0;
+        col.u[29] = 5.0;
+        let (sh1, _) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
+        col.u[29] = 20.0;
+        let (sh2, _) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
+        assert!((sh2 / sh1 - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gustiness_floor_caps_the_low_wind_limit() {
+        let mut col = Column::reference(30);
+        col.tskin = col.t[29] + 3.0;
+        col.u[29] = 0.0;
+        let (calm, _) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
+        col.u[29] = SurfaceConfig::default().wind_floor;
+        let (floor, _) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
+        assert!((calm - floor).abs() < 1e-12, "calm fluxes must use the floor wind");
+    }
+
+    #[test]
+    fn sunlit_land_warms_by_day() {
+        let col = Column::reference(30);
+        let mut land = LandState::new(col.t[29]);
+        let t0 = land.tskin;
+        for _ in 0..24 {
+            land_step(
+                &mut land,
+                &LandConfig::default(),
+                &SurfaceConfig::default(),
+                &col,
+                600.0,
+                350.0,
+                0.0,
+                300.0,
+            );
+        }
+        assert!(land.tskin > t0 + 0.5, "skin only reached {} from {t0}", land.tskin);
+        assert!(land.tskin < t0 + 40.0, "skin runaway: {}", land.tskin);
+    }
+
+    #[test]
+    fn dark_land_cools_at_night() {
+        let col = Column::reference(30);
+        let mut land = LandState::new(col.t[29] + 2.0);
+        let t0 = land.tskin;
+        for _ in 0..24 {
+            land_step(
+                &mut land,
+                &LandConfig::default(),
+                &SurfaceConfig::default(),
+                &col,
+                0.0,
+                300.0,
+                0.0,
+                300.0,
+            );
+        }
+        assert!(land.tskin < t0, "no nocturnal cooling: {} vs {t0}", land.tskin);
+    }
+
+    #[test]
+    fn rain_recharges_soil_dryness_suppresses_evaporation() {
+        let col = Column::reference(30);
+        let mut wet = LandState::new(290.0);
+        wet.soil_moisture = 0.40;
+        let mut dry = wet.clone();
+        dry.soil_moisture = 0.05;
+        let cfg = LandConfig::default();
+        let sfc = SurfaceConfig::default();
+        let (_, lh_wet) = land_step(&mut wet, &cfg, &sfc, &col, 500.0, 350.0, 0.0, 300.0);
+        let (_, lh_dry) = land_step(&mut dry, &cfg, &sfc, &col, 500.0, 350.0, 0.0, 300.0);
+        assert!(lh_dry < lh_wet, "dry soil must evaporate less: {lh_dry} vs {lh_wet}");
+
+        let sm0 = dry.soil_moisture;
+        land_step(&mut dry, &cfg, &sfc, &col, 0.0, 300.0, 50.0, 3600.0);
+        assert!(dry.soil_moisture > sm0, "precip must recharge soil");
+    }
+
+    #[test]
+    fn soil_relaxes_toward_deep_temperature() {
+        let col = Column::reference(30);
+        let mut land = LandState::new(300.0);
+        land.tsoil = [300.0, 300.0];
+        let cfg = LandConfig::default();
+        for _ in 0..2000 {
+            land_step(&mut land, &cfg, &SurfaceConfig::default(), &col, 0.0, 320.0, 0.0, 600.0);
+        }
+        assert!(
+            (land.tsoil[1] - cfg.t_deep).abs() < 8.0,
+            "deep soil {} should drift toward {}",
+            land.tsoil[1],
+            cfg.t_deep
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Tree-based collectives over the rank world: broadcast, allgather,
+//! reduce, and allreduce-vector — the small set GRIST needs beyond halo
+//! exchanges (global diagnostics, namelist broadcast, I/O coordination).
+//!
+//! All use binomial trees (log₂P rounds) rather than the linear gather of
+//! `RankCtx::allreduce_sum`, and are exercised by the integration tests at
+//! odd rank counts.
+
+use crate::comm::RankCtx;
+
+/// Binomial-tree broadcast from `root`: every rank returns the payload.
+pub fn broadcast(ctx: &mut RankCtx, root: usize, data: Vec<f64>, tag: u32) -> Vec<f64> {
+    let p = ctx.n_ranks;
+    // Re-index so the root is rank 0 in tree space.
+    let me = (ctx.rank + p - root) % p;
+    let mut have = if ctx.rank == root { Some(data) } else { None };
+    // Round k: ranks < 2^k that hold the data send to (me + 2^k).
+    let mut step = 1;
+    while step < p {
+        if me < step {
+            let peer = me + step;
+            if peer < p {
+                let dest = (peer + root) % p;
+                let payload = have.as_ref().expect("holder must have data").clone();
+                ctx.send(dest, tag + step as u32, payload);
+            }
+        } else if me < 2 * step && have.is_none() {
+            let src = ((me - step) + root) % p;
+            have = Some(ctx.recv(src, tag + step as u32));
+        }
+        step *= 2;
+    }
+    have.expect("broadcast must reach every rank")
+}
+
+/// Binomial-tree reduce to `root` with a binary combiner; non-roots return
+/// `None`.
+pub fn reduce<F: Fn(&mut [f64], &[f64])>(
+    ctx: &mut RankCtx,
+    root: usize,
+    mut data: Vec<f64>,
+    tag: u32,
+    combine: F,
+) -> Option<Vec<f64>> {
+    let p = ctx.n_ranks;
+    let me = (ctx.rank + p - root) % p;
+    let mut step = 1;
+    while step < p {
+        if me.is_multiple_of(2 * step) {
+            let peer = me + step;
+            if peer < p {
+                let src = (peer + root) % p;
+                let other = ctx.recv(src, tag + step as u32);
+                combine(&mut data, &other);
+            }
+        } else if me % (2 * step) == step {
+            let dest = ((me - step) + root) % p;
+            ctx.send(dest, tag + step as u32, data.clone());
+            return None; // sent up; done
+        }
+        step *= 2;
+    }
+    if ctx.rank == root {
+        Some(data)
+    } else {
+        None
+    }
+}
+
+/// Allreduce of a vector (reduce to 0 + broadcast).
+pub fn allreduce_vec<F: Fn(&mut [f64], &[f64])>(
+    ctx: &mut RankCtx,
+    data: Vec<f64>,
+    tag: u32,
+    combine: F,
+) -> Vec<f64> {
+    let reduced = reduce(ctx, 0, data, tag, combine);
+    let payload = reduced.unwrap_or_default();
+    broadcast(ctx, 0, payload, tag + 1000)
+}
+
+/// Allgather: every rank contributes a (possibly differently-sized) vector;
+/// all ranks return the rank-ordered concatenation.
+pub fn allgather(ctx: &mut RankCtx, data: Vec<f64>, tag: u32) -> Vec<Vec<f64>> {
+    // Gather to 0 (linear — sizes differ), then broadcast the flattened
+    // result with a length header.
+    let p = ctx.n_ranks;
+    if ctx.rank == 0 {
+        let mut parts = vec![Vec::new(); p];
+        parts[0] = data;
+        for r in 1..p {
+            parts[r] = ctx.recv(r, tag);
+        }
+        // Flatten with a header: [p, len_0, ..., len_{p-1}, data...]
+        let mut flat = Vec::with_capacity(1 + p + parts.iter().map(|v| v.len()).sum::<usize>());
+        flat.push(p as f64);
+        for part in &parts {
+            flat.push(part.len() as f64);
+        }
+        for part in &parts {
+            flat.extend_from_slice(part);
+        }
+        let flat = broadcast(ctx, 0, flat, tag + 500);
+        unflatten(&flat)
+    } else {
+        ctx.send(0, tag, data);
+        let flat = broadcast(ctx, 0, Vec::new(), tag + 500);
+        unflatten(&flat)
+    }
+}
+
+fn unflatten(flat: &[f64]) -> Vec<Vec<f64>> {
+    let p = flat[0] as usize;
+    let lens: Vec<usize> = (0..p).map(|i| flat[1 + i] as usize).collect();
+    let mut pos = 1 + p;
+    lens.iter()
+        .map(|&l| {
+            let v = flat[pos..pos + l].to_vec();
+            pos += l;
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_world;
+
+    #[test]
+    fn broadcast_reaches_all_ranks_from_any_root() {
+        for p in [2usize, 5, 8] {
+            for root in [0usize, p - 1] {
+                let (results, _) = run_world(p, |mut ctx| {
+                    let data = if ctx.rank == root { vec![3.5, -1.0] } else { Vec::new() };
+                    broadcast(&mut ctx, root, data, 10)
+                });
+                assert!(results.iter().all(|r| r == &vec![3.5, -1.0]), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_elementwise_on_the_root() {
+        let p = 7;
+        let (results, _) = run_world(p, |mut ctx| {
+            let data = vec![ctx.rank as f64, 1.0];
+            reduce(&mut ctx, 0, data, 20, |a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            })
+        });
+        let expected = vec![(0..p).sum::<usize>() as f64, p as f64];
+        assert_eq!(results[0].as_ref().unwrap(), &expected);
+        assert!(results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn allreduce_max_agrees_on_every_rank() {
+        let p = 6;
+        let (results, _) = run_world(p, |mut ctx| {
+            let data = vec![(ctx.rank as f64 * 7.0) % 5.0, -(ctx.rank as f64)];
+            allreduce_vec(&mut ctx, data, 40, |a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x = x.max(*y);
+                }
+            })
+        });
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(results[0][1], 0.0, "max of -rank is 0");
+    }
+
+    #[test]
+    fn allgather_preserves_rank_order_and_sizes() {
+        let p = 5;
+        let (results, _) = run_world(p, |mut ctx| {
+            let data = vec![ctx.rank as f64; ctx.rank + 1]; // ragged sizes
+            allgather(&mut ctx, data, 60)
+        });
+        for r in &results {
+            assert_eq!(r.len(), p);
+            for (rank, part) in r.iter().enumerate() {
+                assert_eq!(part.len(), rank + 1);
+                assert!(part.iter().all(|&v| v == rank as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_message_count_is_linear_not_quadratic() {
+        use std::sync::atomic::Ordering;
+        let p = 8;
+        let (_, stats) = run_world(p, |mut ctx| {
+            let data = if ctx.rank == 0 { vec![1.0; 64] } else { Vec::new() };
+            broadcast(&mut ctx, 0, data, 70)
+        });
+        // Binomial tree: exactly p−1 messages.
+        assert_eq!(stats.messages.load(Ordering::Relaxed), (p - 1) as u64);
+    }
+}

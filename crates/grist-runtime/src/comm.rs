@@ -1,0 +1,193 @@
+//! An in-process message-passing world: the MPI stand-in.
+//!
+//! Each rank runs on its own OS thread with private memory; communication
+//! happens only through typed point-to-point messages (crossbeam channels)
+//! with `(source, tag)` matching, plus barrier and allreduce collectives.
+//! Every byte that crosses a rank boundary is counted, so communication
+//! volumes measured here feed the fat-tree network model directly.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Message payload (f64 values, the model's lingua franca).
+type Payload = Vec<f64>;
+
+struct Envelope {
+    from: usize,
+    tag: u32,
+    data: Payload,
+}
+
+/// Global communication statistics.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    pub messages: AtomicU64,
+    pub bytes: AtomicU64,
+}
+
+/// One rank's endpoint in the world.
+pub struct RankCtx {
+    pub rank: usize,
+    pub n_ranks: usize,
+    peers: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Out-of-order messages parked until matched.
+    parked: HashMap<(usize, u32), VecDeque<Payload>>,
+    stats: Arc<CommStats>,
+}
+
+impl RankCtx {
+    /// Send `data` to `dest` with `tag`.
+    pub fn send(&self, dest: usize, tag: u32, data: Payload) {
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        self.peers[dest]
+            .send(Envelope { from: self.rank, tag, data })
+            .expect("peer alive");
+    }
+
+    /// Blocking receive matching `(from, tag)`.
+    pub fn recv(&mut self, from: usize, tag: u32) -> Payload {
+        if let Some(q) = self.parked.get_mut(&(from, tag)) {
+            if let Some(p) = q.pop_front() {
+                return p;
+            }
+        }
+        loop {
+            let env = self.inbox.recv().expect("world alive");
+            if env.from == from && env.tag == tag {
+                return env.data;
+            }
+            self.parked.entry((env.from, env.tag)).or_default().push_back(env.data);
+        }
+    }
+
+    /// Sum-allreduce of a scalar across all ranks (binomial-tree shape is
+    /// not modeled; correctness only — costs come from the network model).
+    pub fn allreduce_sum(&mut self, value: f64, tag: u32) -> f64 {
+        // Gather to rank 0, broadcast back. Simple and correct.
+        if self.rank == 0 {
+            let mut total = value;
+            for r in 1..self.n_ranks {
+                total += self.recv(r, tag)[0];
+            }
+            for r in 1..self.n_ranks {
+                self.send(r, tag + 1, vec![total]);
+            }
+            total
+        } else {
+            self.send(0, tag, vec![value]);
+            self.recv(0, tag + 1)[0]
+        }
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&mut self, tag: u32) {
+        let _ = self.allreduce_sum(0.0, tag);
+    }
+}
+
+/// Run `f` on `n_ranks` rank threads and collect their return values in rank
+/// order. Panics in any rank propagate.
+pub fn run_world<T: Send, F>(n_ranks: usize, f: F) -> (Vec<T>, Arc<CommStats>)
+where
+    F: Fn(RankCtx) -> T + Sync,
+{
+    let stats = Arc::new(CommStats::default());
+    let mut senders = Vec::with_capacity(n_ranks);
+    let mut receivers = Vec::with_capacity(n_ranks);
+    for _ in 0..n_ranks {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, inbox) in receivers.into_iter().enumerate() {
+            let ctx = RankCtx {
+                rank,
+                n_ranks,
+                peers: senders.clone(),
+                inbox,
+                parked: HashMap::new(),
+                stats: Arc::clone(&stats),
+            };
+            let f = &f;
+            handles.push(scope.spawn(move || f(ctx)));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank panicked"));
+        }
+    });
+    (results.into_iter().map(|r| r.unwrap()).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let (results, _) = run_world(4, |mut ctx| {
+            let next = (ctx.rank + 1) % 4;
+            let prev = (ctx.rank + 3) % 4;
+            ctx.send(next, 7, vec![ctx.rank as f64]);
+            ctx.recv(prev, 7)[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        let (results, _) = run_world(2, |mut ctx| {
+            if ctx.rank == 0 {
+                // Send two tags; receiver asks for the second first.
+                ctx.send(1, 1, vec![10.0]);
+                ctx.send(1, 2, vec![20.0]);
+                0.0
+            } else {
+                let b = ctx.recv(0, 2)[0];
+                let a = ctx.recv(0, 1)[0];
+                a + 2.0 * b
+            }
+        });
+        assert_eq!(results[1], 50.0);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let n = 6;
+        let (results, _) = run_world(n, |mut ctx| ctx.allreduce_sum((ctx.rank + 1) as f64, 100));
+        let expected = (n * (n + 1) / 2) as f64;
+        assert!(results.iter().all(|&r| r == expected));
+    }
+
+    #[test]
+    fn stats_count_bytes_and_messages() {
+        let (_, stats) = run_world(2, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 0, vec![1.0; 100]);
+            } else {
+                let _ = ctx.recv(0, 0);
+            }
+        });
+        assert_eq!(stats.messages.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.bytes.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::AtomicUsize;
+        let counter = AtomicUsize::new(0);
+        let (results, _) = run_world(4, |mut ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier(50);
+            counter.load(Ordering::SeqCst)
+        });
+        // After the barrier every rank must observe all 4 increments.
+        assert!(results.iter().all(|&c| c == 4));
+    }
+}

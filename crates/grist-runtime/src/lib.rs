@@ -1,0 +1,24 @@
+//! # grist-runtime
+//!
+//! The parallelization facilitation layer (§3.1.3) of the GRIST-rs
+//! reproduction: an in-process message-passing rank world (the MPI
+//! stand-in), the linked-list gathered halo exchange, the 16:3-oversubscribed
+//! fat-tree network model, grouped parallel I/O, and the SDPD scaling
+//! projection behind Figs. 10–11.
+
+// Indexed loops mirror the Fortran stencil kernels they reproduce and are
+// clearer than iterator chains for staggered-grid code.
+#![allow(clippy::needless_range_loop)]
+pub mod collectives;
+pub mod comm;
+pub mod exchange;
+pub mod fattree;
+pub mod pio;
+pub mod scaling;
+
+pub use collectives::{allgather, allreduce_vec, broadcast, reduce};
+pub use comm::{run_world, CommStats, RankCtx};
+pub use exchange::{exchange_gathered, exchange_per_variable, VarList};
+pub use fattree::{boundary_fraction, exchange_time, ExchangeProfile, ExchangeTime};
+pub use pio::{grouped_write, io_group, n_writers, IoGroup};
+pub use scaling::{table2_grids, weak_scaling_ladder, GridSpec, Scheme, SdpdModel, SdpdResult};

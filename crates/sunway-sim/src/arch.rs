@@ -1,0 +1,139 @@
+//! Architectural constants of the modeled SW26010P processor and the
+//! next-generation Sunway system (§3.3, §4.1).
+//!
+//! One SW26010P has 6 core groups (CGs); each CG couples one management
+//! processing element (MPE) with 64 computing processing elements (CPEs) in
+//! an 8×8 array — 390 cores per chip. Each CPE owns 256 KB of local device
+//! memory (LDM), half of which can be configured as a 4-way set-associative
+//! cache (LDCache). Each CG sees 16 GB of DDR4 at 51.2 GB/s. The full system
+//! has 107,520 nodes (41,932,800 cores); 256-node supernodes hang off common
+//! leaf switches in a 16:3 oversubscribed fat tree.
+
+/// The SW26010P chip / next-gen Sunway system description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SunwaySpec {
+    /// Core groups per processor.
+    pub cgs_per_node: usize,
+    /// CPEs per core group.
+    pub cpes_per_cg: usize,
+    /// Total LDM per CPE \[bytes\].
+    pub ldm_bytes: usize,
+    /// LDM half configured as LDCache \[bytes\].
+    pub ldcache_bytes: usize,
+    /// LDCache associativity (ways).
+    pub ldcache_ways: usize,
+    /// LDCache line size \[bytes\].
+    pub ldcache_line: usize,
+    /// DDR4 bandwidth per CG \[bytes/s\].
+    pub ddr_bandwidth: f64,
+    /// Peak f64 FLOP/s of one CPE.
+    pub cpe_peak_f64: f64,
+    /// Peak f64 FLOP/s of the MPE.
+    pub mpe_peak_f64: f64,
+    /// Relative speed of expensive ops (div/sqrt/pow/exp) in f32 vs f64 —
+    /// §4.6: "the Sunway architecture generally does not exhibit higher
+    /// calculation performance in single precision compared to double
+    /// precision, except for division and elemental functions".
+    pub f32_expensive_speedup: f64,
+    /// Latency of one expensive op in units of cheap flops.
+    pub expensive_latency: f64,
+    /// DMA startup latency per transfer \[s\].
+    pub dma_latency: f64,
+    /// Total nodes in the system.
+    pub nodes: usize,
+    /// Nodes per supernode (one leaf switch).
+    pub supernode_size: usize,
+    /// Leaf uplink oversubscription (node ports : uplink ports).
+    pub oversubscription: f64,
+    /// Per-link network bandwidth \[bytes/s\].
+    pub link_bandwidth: f64,
+    /// Point-to-point message latency within a supernode \[s\].
+    pub net_latency: f64,
+}
+
+impl SunwaySpec {
+    /// The next-generation Sunway supercomputer as described in the paper.
+    pub fn next_gen() -> Self {
+        SunwaySpec {
+            cgs_per_node: 6,
+            cpes_per_cg: 64,
+            ldm_bytes: 256 * 1024,
+            ldcache_bytes: 128 * 1024,
+            ldcache_ways: 4,
+            ldcache_line: 256,
+            ddr_bandwidth: 51.2e9,
+            cpe_peak_f64: 16.0e9,
+            mpe_peak_f64: 16.0e9,
+            f32_expensive_speedup: 2.0,
+            expensive_latency: 20.0,
+            dma_latency: 1.0e-6,
+            nodes: 107_520,
+            supernode_size: 256,
+            oversubscription: 256.0 / 48.0,
+            link_bandwidth: 25.0e9,
+            net_latency: 2.0e-6,
+        }
+    }
+
+    /// Cores per node (MPEs + CPEs): 390 for SW26010P.
+    pub fn cores_per_node(&self) -> usize {
+        self.cgs_per_node * (1 + self.cpes_per_cg)
+    }
+
+    /// Total cores of the full system.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// Total CGs (one MPI process per CG in the paper's runs).
+    pub fn total_cgs(&self) -> usize {
+        self.nodes * self.cgs_per_node
+    }
+
+    /// Aggregate CPE-cluster peak of one CG \[FLOP/s\].
+    pub fn cg_peak_f64(&self) -> f64 {
+        self.cpes_per_cg as f64 * self.cpe_peak_f64
+    }
+
+    /// Number of LDCache sets.
+    pub fn ldcache_sets(&self) -> usize {
+        self.ldcache_bytes / (self.ldcache_ways * self.ldcache_line)
+    }
+
+    /// Bytes covered by one cache way.
+    pub fn ldcache_way_bytes(&self) -> usize {
+        self.ldcache_bytes / self.ldcache_ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_core_counts() {
+        let s = SunwaySpec::next_gen();
+        assert_eq!(s.cores_per_node(), 390, "390 cores per SW26010P");
+        assert_eq!(s.total_cores(), 41_932_800, "§4.1: 41,932,800 cores");
+        assert_eq!(s.total_cgs(), 645_120);
+        // The paper's largest run: 524,288 processes = CGs ⇒ must fit.
+        assert!(s.total_cgs() > 524_288);
+        // 524,288 CGs × 65 cores = 34,078,720 — the "34 million cores".
+        assert_eq!(524_288 * (1 + s.cpes_per_cg), 34_078_720);
+    }
+
+    #[test]
+    fn ldcache_geometry() {
+        let s = SunwaySpec::next_gen();
+        assert_eq!(s.ldcache_bytes + s.ldcache_bytes, s.ldm_bytes, "half of LDM is cache");
+        assert_eq!(s.ldcache_sets(), 128);
+        assert_eq!(s.ldcache_way_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn network_oversubscription_is_16_to_3() {
+        let s = SunwaySpec::next_gen();
+        assert!((s.oversubscription - 16.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.supernode_size, 256);
+    }
+}

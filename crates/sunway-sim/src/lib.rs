@@ -1,0 +1,32 @@
+//! # sunway-sim
+//!
+//! A simulated SW26010P / next-generation-Sunway substrate (§3.3, §4.1 of
+//! the paper), standing in for hardware this reproduction cannot access:
+//!
+//! * [`arch`] — the chip/system constants (6 CGs × (1 MPE + 64 CPEs), 256 KB
+//!   LDM, 51.2 GB/s DDR per CG, 107,520 nodes, 16:3 fat tree).
+//! * [`ldcache`] — a 4-way set-associative LDCache simulator reproducing the
+//!   Fig. 6 thrashing analysis.
+//! * [`distributor`] — the memory-address-distributing pool allocator that
+//!   fixes the thrashing (§3.3.3).
+//! * [`swgomp`] — the SWGOMP job-server thread hierarchy (Fig. 5): MPE
+//!   spawns team heads, team heads spawn team members, on real threads.
+//! * [`omnicopy`] — LDM scratch arena + DMA-aware copy (§3.3.2).
+//! * [`perf`] — the roofline model behind Fig. 9 (compute-bound MPE,
+//!   bandwidth-bound CPE cluster, f32 traffic halving).
+
+pub mod arch;
+pub mod distributor;
+pub mod dma;
+pub mod ldcache;
+pub mod omnicopy;
+pub mod perf;
+pub mod swgomp;
+
+pub use arch::SunwaySpec;
+pub use dma::{amortization_threshold, effective_bandwidth, simulate_dma_batch, DmaCompletion, DmaRequest};
+pub use distributor::{AllocPolicy, PoolAllocator};
+pub use ldcache::{simulate_streams, Access, LdCache};
+pub use omnicopy::{omnicopy, CopyStats, LdmArena, LdmOverflow, Space};
+pub use perf::{fig9_kernels, fig9_table, kernel_time, ExecTarget, KernelSpec, PerfModel};
+pub use swgomp::{JobServer, JobStats};

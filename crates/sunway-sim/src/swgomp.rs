@@ -1,0 +1,348 @@
+//! SWGOMP's job-spawning hierarchy (§3.3.1, Fig. 5), executed with real
+//! threads standing in for CPEs.
+//!
+//! "The job server exhibits a high flexibility, allowing new tasks to be
+//! assigned to CPE by either the MPE or another CPE. The job server is
+//! initialized by MPE using the Athread library. The MPE spawns team-head
+//! threads via the job server to execute target portions. These team-head
+//! CPEs have the capability to spawn threads on other CPEs within the team
+//! to execute parallel code pieces."
+//!
+//! [`JobServer`] owns one persistent worker thread per simulated CPE.
+//! [`JobServer::parallel_for`] distributes a loop directly from the MPE
+//! (`!$omp parallel do`); [`JobServer::target_parallel_for`] first ships a
+//! *team-head* job to a CPE, which then distributes the chunks to its team —
+//! the `!$omp target` path of Fig. 4. Both block until every chunk retires,
+//! which is what makes the internal lifetime erasure sound.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased slice-of-work closure: `call(ctx, start, end)`.
+#[derive(Clone, Copy)]
+struct RawTask {
+    ctx: *const (),
+    call: unsafe fn(*const (), usize, usize),
+}
+// SAFETY: the referent is a `Fn(usize) + Sync` closure that the submitting
+// thread keeps alive (and blocks on) until every chunk completes.
+unsafe impl Send for RawTask {}
+
+enum Msg {
+    /// Execute `task` over `[start, end)` and decrement the barrier.
+    Chunk { task: RawTask, start: usize, end: usize, done: Arc<Barrier> },
+    /// Become a team head: distribute `n_items` over the team, then barrier.
+    TeamHead {
+        task: RawTask,
+        n_items: usize,
+        chunk: usize,
+        done: Arc<Barrier>,
+    },
+    Shutdown,
+}
+
+/// A simple completion barrier (count-down latch).
+struct Barrier {
+    remaining: AtomicUsize,
+}
+
+impl Barrier {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Barrier { remaining: AtomicUsize::new(n) })
+    }
+    fn done(&self) {
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+    fn wait(&self) {
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Scheduling statistics (who spawned what — the Fig. 5 hierarchy).
+#[derive(Debug, Default)]
+pub struct JobStats {
+    /// Jobs enqueued by the MPE.
+    pub spawned_by_mpe: AtomicU64,
+    /// Jobs enqueued by team-head CPEs.
+    pub spawned_by_cpe: AtomicU64,
+    /// Chunks executed in total.
+    pub chunks_run: AtomicU64,
+}
+
+/// The persistent CPE job server of one core group.
+pub struct JobServer {
+    sender: Sender<Msg>,
+    workers: Vec<JoinHandle<()>>,
+    pub n_cpes: usize,
+    pub stats: Arc<JobStats>,
+}
+
+impl JobServer {
+    /// Initialize the job server with `n_cpes` worker threads (the Athread
+    /// initialization step).
+    pub fn new(n_cpes: usize) -> Self {
+        assert!(n_cpes >= 1);
+        let (sender, receiver) = unbounded::<Msg>();
+        let stats = Arc::new(JobStats::default());
+        let workers = (0..n_cpes)
+            .map(|id| {
+                let rx: Receiver<Msg> = receiver.clone();
+                let tx = sender.clone();
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("cpe-{id}"))
+                    .spawn(move || worker_loop(rx, tx, stats))
+                    .expect("spawn CPE worker")
+            })
+            .collect();
+        JobServer { sender, workers, n_cpes, stats }
+    }
+
+    fn erase<F: Fn(usize) + Sync>(f: &F) -> RawTask {
+        unsafe fn call_impl<F: Fn(usize) + Sync>(ctx: *const (), start: usize, end: usize) {
+            let f = unsafe { &*(ctx as *const F) };
+            for i in start..end {
+                f(i);
+            }
+        }
+        RawTask { ctx: f as *const F as *const (), call: call_impl::<F> }
+    }
+
+    fn chunk_count(n_items: usize, chunk: usize) -> usize {
+        n_items.div_ceil(chunk.max(1))
+    }
+
+    /// `!$omp parallel do` from the MPE: distribute `0..n_items` in chunks
+    /// over the CPEs and wait.
+    pub fn parallel_for<F: Fn(usize) + Sync>(&self, n_items: usize, chunk: usize, f: &F) {
+        if n_items == 0 {
+            return;
+        }
+        let task = Self::erase(f);
+        let n_chunks = Self::chunk_count(n_items, chunk);
+        let done = Barrier::new(n_chunks);
+        let mut start = 0;
+        while start < n_items {
+            let end = (start + chunk).min(n_items);
+            self.stats.spawned_by_mpe.fetch_add(1, Ordering::Relaxed);
+            self.sender
+                .send(Msg::Chunk { task, start, end, done: Arc::clone(&done) })
+                .expect("job server alive");
+            start = end;
+        }
+        done.wait();
+    }
+
+    /// `!$omp target` + `!$omp do`: ship a team-head job to one CPE, which
+    /// re-distributes the loop to its team members (Fig. 5's CPE-spawned
+    /// jobs), then wait for the whole team.
+    pub fn target_parallel_for<F: Fn(usize) + Sync>(&self, n_items: usize, chunk: usize, f: &F) {
+        if n_items == 0 {
+            return;
+        }
+        let task = Self::erase(f);
+        // The team-head job plus its chunks all retire into one barrier the
+        // MPE blocks on.
+        let n_chunks = Self::chunk_count(n_items, chunk);
+        let done = Barrier::new(n_chunks + 1);
+        self.stats.spawned_by_mpe.fetch_add(1, Ordering::Relaxed);
+        self.sender
+            .send(Msg::TeamHead { task, n_items, chunk, done: Arc::clone(&done) })
+            .expect("job server alive");
+        done.wait();
+    }
+}
+
+/// Wrapper for sending a raw mutable base pointer into worker closures.
+/// Soundness: each index is written by exactly one chunk, and the caller
+/// blocks until all chunks retire.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Accessor keeping closure captures at the (Sync) struct level —
+    /// edition-2021 precise capture would otherwise grab the raw field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl JobServer {
+    /// `!$omp target parallel workshare` on `array = value` (the second
+    /// idiom of Fig. 4: Fortran array assignments distributed over CPEs).
+    pub fn target_workshare_fill<T: Copy + Send + Sync>(&self, data: &mut [T], value: T) {
+        let n = data.len();
+        let base = SyncPtr(data.as_mut_ptr());
+        let chunk = n.div_ceil(4 * self.n_cpes).max(1);
+        self.target_parallel_for(n, chunk, &|i| {
+            // SAFETY: i < n, each i visited exactly once, caller blocks.
+            unsafe { *base.get().add(i) = value };
+        });
+    }
+
+    /// Workshare elementwise map `dst(:) = f(src(:))`.
+    pub fn target_workshare_map<T, U, F>(&self, dst: &mut [U], src: &[T], f: F)
+    where
+        T: Sync,
+        U: Send + Sync,
+        F: Fn(&T) -> U + Sync,
+    {
+        assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let base = SyncPtr(dst.as_mut_ptr());
+        let chunk = n.div_ceil(4 * self.n_cpes).max(1);
+        self.target_parallel_for(n, chunk, &|i| {
+            // SAFETY: disjoint writes, completion barrier before return.
+            unsafe { base.get().add(i).write(f(&src[i])) };
+        });
+    }
+}
+
+fn worker_loop(rx: Receiver<Msg>, tx: Sender<Msg>, stats: Arc<JobStats>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Chunk { task, start, end, done } => {
+                unsafe { (task.call)(task.ctx, start, end) };
+                stats.chunks_run.fetch_add(1, Ordering::Relaxed);
+                done.done();
+            }
+            Msg::TeamHead { task, n_items, chunk, done } => {
+                // Distribute to the team (including possibly ourselves).
+                let mut start = 0;
+                while start < n_items {
+                    let end = (start + chunk).min(n_items);
+                    stats.spawned_by_cpe.fetch_add(1, Ordering::Relaxed);
+                    tx.send(Msg::Chunk { task, start, end, done: Arc::clone(&done) })
+                        .expect("job server alive");
+                    start = end;
+                }
+                done.done(); // the team-head job itself retires
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.sender.send(Msg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let server = JobServer::new(8);
+        let n = 10_000;
+        let counters: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        server.parallel_for(n, 64, &|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn target_parallel_for_computes_the_same_result() {
+        let server = JobServer::new(8);
+        let n = 5_000;
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        server.target_parallel_for(n, 128, &|i| {
+            out[i].store((i * i) as u64, Ordering::Relaxed);
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn target_path_spawns_chunks_from_a_cpe() {
+        // Fig. 5: with `target`, the chunk jobs are enqueued by the team-head
+        // CPE, not the MPE.
+        let server = JobServer::new(4);
+        server.target_parallel_for(1000, 100, &|_| {});
+        assert_eq!(server.stats.spawned_by_mpe.load(Ordering::Relaxed), 1);
+        assert_eq!(server.stats.spawned_by_cpe.load(Ordering::Relaxed), 10);
+        assert_eq!(server.stats.chunks_run.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn mpe_path_spawns_chunks_from_the_mpe() {
+        let server = JobServer::new(4);
+        server.parallel_for(1000, 100, &|_| {});
+        assert_eq!(server.stats.spawned_by_mpe.load(Ordering::Relaxed), 10);
+        assert_eq!(server.stats.spawned_by_cpe.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn repeated_launches_reuse_the_persistent_workers() {
+        let server = JobServer::new(8);
+        let acc = AtomicU64::new(0);
+        for _ in 0..50 {
+            server.parallel_for(256, 16, &|_| {
+                acc.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(acc.load(Ordering::Relaxed), 50 * 256);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let server = JobServer::new(64); // full CPE complement
+        let data: Vec<u64> = (0..100_000).map(|i| i % 97).collect();
+        let total = AtomicU64::new(0);
+        server.target_parallel_for(data.len(), 1024, &|i| {
+            total.fetch_add(data[i], Ordering::Relaxed);
+        });
+        let expected: u64 = data.iter().sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn workshare_fill_zeroes_an_array_like_fig4() {
+        // Fig. 4: `kinetic_energy(:,:) = 0` under target parallel workshare.
+        let server = JobServer::new(8);
+        let mut ke = vec![3.25f64; 10_000];
+        server.target_workshare_fill(&mut ke, 0.0);
+        assert!(ke.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn workshare_map_applies_elementwise() {
+        let server = JobServer::new(8);
+        let src: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let mut dst = vec![0.0f64; 5000];
+        server.target_workshare_map(&mut dst, &src, |&x| 2.0 * x + 1.0);
+        for (i, &d) in dst.iter().enumerate() {
+            assert_eq!(d, 2.0 * i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn workshare_on_empty_slices_is_a_noop() {
+        let server = JobServer::new(2);
+        let mut empty: Vec<f64> = Vec::new();
+        server.target_workshare_fill(&mut empty, 1.0);
+        server.target_workshare_map(&mut empty, &[], |&x: &f64| x);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let server = JobServer::new(2);
+        server.parallel_for(0, 16, &|_| panic!("must not run"));
+        server.target_parallel_for(0, 16, &|_| panic!("must not run"));
+    }
+}

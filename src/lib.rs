@@ -1,0 +1,23 @@
+//! Umbrella crate for the GRIST-rs reproduction of the PPoPP '25 paper
+//! "An AI-Enhanced 1km-Resolution Seamless Global Weather and Climate Model
+//! to Achieve Year-Scale Simulation Speed using 34 Million Cores".
+//!
+//! This crate only re-exports the workspace members so that the repository's
+//! `examples/` and `tests/` directories can reach every subsystem through a
+//! single dependency. The real functionality lives in the `crates/*` members:
+//!
+//! * [`grist_mesh`] — icosahedral hexagonal C-grid, partitioner, reordering.
+//! * [`grist_dycore`] — nonhydrostatic dynamical core with mixed precision.
+//! * [`grist_physics`] — conventional physics suite (radiation, microphysics, …).
+//! * [`grist_ml`] — the AI-enhanced physics suite (CNN tendencies, MLP radiation).
+//! * [`sunway_sim`] — simulated SW26010P architecture and SWGOMP runtime.
+//! * [`grist_runtime`] — rank world, halo exchange, fat-tree network model.
+//! * [`grist_core`] — the coupled model driver and experiment configurations.
+
+pub use grist_core;
+pub use grist_dycore;
+pub use grist_mesh;
+pub use grist_ml;
+pub use grist_physics;
+pub use grist_runtime;
+pub use sunway_sim;

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the coupled model exercising mesh, dycore,
+//! physics, ML suite, and diagnostics together.
+
+use grist_core::{
+    add_tropical_cyclone, precision_gate, spatial_correlation, GristModel, RunConfig,
+    TropicalCyclone,
+};
+use grist_dycore::PrecisionMode;
+
+#[test]
+fn coupled_model_conserves_dry_mass_over_a_day() {
+    let mut m = GristModel::<f64>::new(RunConfig::for_level(2, 10));
+    let m0 = m.solver.total_dry_mass(&m.state);
+    m.advance(86_400.0 / 4.0); // 6 hours with physics cycling
+    let m1 = m.solver.total_dry_mass(&m.state);
+    assert!(
+        ((m1 - m0) / m0).abs() < 1e-11,
+        "dry mass drifted by {}",
+        (m1 - m0) / m0
+    );
+}
+
+#[test]
+fn conventional_physics_rains_in_the_tropics() {
+    let mut m = GristModel::<f64>::new(RunConfig::for_level(3, 12));
+    m.advance(8.0 * m.config.dt_phy);
+    // Area-weighted tropical vs polar rain.
+    let mut trop = 0.0;
+    let mut polar = 0.0;
+    let (mut wt, mut wp) = (0.0, 0.0);
+    for c in 0..m.n_cells() {
+        let a = m.solver.mesh.cell_area[c];
+        let lat = m.lats[c].to_degrees().abs();
+        if lat < 20.0 {
+            trop += m.precip_accum[c] * a;
+            wt += a;
+        } else if lat > 55.0 {
+            polar += m.precip_accum[c] * a;
+            wp += a;
+        }
+    }
+    assert!(
+        trop / wt > 3.0 * (polar / wp + 1e-9),
+        "tropical rain {} should dominate polar {}",
+        trop / wt,
+        polar / wp
+    );
+}
+
+#[test]
+fn full_scheme_matrix_runs_stably() {
+    // Table 3: all four (precision × physics) combinations integrate.
+    for precision in [PrecisionMode::Double, PrecisionMode::Mixed] {
+        for ml in [false, true] {
+            let cfg = RunConfig::for_level(2, 8)
+                .with_precision(precision)
+                .with_ml_physics(ml);
+            let label = cfg.scheme_label();
+            match precision {
+                PrecisionMode::Double => {
+                    let mut m = GristModel::<f64>::new(cfg);
+                    m.advance(2.0 * m.config.dt_phy);
+                    assert!(
+                        m.state.u.as_slice().iter().all(|x| x.is_finite()),
+                        "{label} (f64) went non-finite"
+                    );
+                }
+                PrecisionMode::Mixed => {
+                    let mut m = GristModel::<f32>::new(cfg);
+                    m.advance(2.0 * m.config.dt_phy);
+                    assert!(
+                        m.state.u.as_slice().iter().all(|x| x.is_finite()),
+                        "{label} (f32) went non-finite"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_precision_gate_passes_on_the_cyclone_case() {
+    let cfg = RunConfig::for_level(2, 10);
+    let gate = precision_gate(&cfg, 4.0 * 3600.0, |m| {
+        add_tropical_cyclone(m, &TropicalCyclone { rmax: 0.2, ..Default::default() })
+    });
+    assert!(
+        gate.passes(),
+        "ps err {}, vor err {} exceed the 5% threshold",
+        gate.ps_error,
+        gate.vor_error
+    );
+}
+
+#[test]
+fn cyclone_rainfall_pattern_is_reproducible_across_precisions() {
+    let run = |_mixed: bool| -> (grist_mesh::HexMesh, Vec<f64>) {
+        let cfg = RunConfig::for_level(3, 10);
+        let mut m = GristModel::<f64>::new(cfg);
+        add_tropical_cyclone(&mut m, &TropicalCyclone { rmax: 0.12, ..Default::default() });
+        m.advance(4.0 * m.config.dt_phy);
+        (m.solver.mesh.clone(), m.precip_accum.clone())
+    };
+    let (mesh, rain_a) = run(false);
+    let (_, rain_b) = run(false);
+    // Determinism within one precision.
+    let corr = spatial_correlation(&mesh, &rain_a, &rain_b);
+    assert!(corr > 0.9999, "same-config runs must agree: corr = {corr}");
+}
+
+#[test]
+fn sixty_layer_stretched_configuration_is_stable() {
+    // The G11L60 configurations of Fig. 7: 60 layers on a stretched
+    // coordinate, coupled physics, short integration.
+    use grist_dycore::hevi::{NhConfig, NhSolver};
+    use grist_dycore::VerticalCoord;
+    use grist_mesh::HexMesh;
+    let mut solver = NhSolver::<f64>::new(
+        HexMesh::build(2),
+        VerticalCoord::stretched(60, 1.4),
+        NhConfig::default(),
+    );
+    let mut state = solver.isothermal_rest_state(285.0, 1.0e5);
+    for e in 0..solver.mesh.n_edges() {
+        let m = solver.mesh.edge_mid[e];
+        let zonal = grist_mesh::Vec3::new(0.0, 0.0, 1.0).cross(m);
+        for k in 0..60 {
+            state.u.set(k, e, 12.0 * m.lat().cos() * zonal.dot(solver.mesh.edge_normal[e]));
+        }
+    }
+    let m0 = solver.total_dry_mass(&state);
+    for _ in 0..30 {
+        solver.step(&mut state, 120.0);
+    }
+    assert!(state.u.as_slice().iter().all(|x| x.is_finite()));
+    assert!(state.w.as_slice().iter().all(|x| x.is_finite()));
+    let m1 = solver.total_dry_mass(&state);
+    assert!(((m1 - m0) / m0).abs() < 1e-12);
+}
+
+#[test]
+fn trained_suite_survives_a_disk_roundtrip_into_a_coupled_run() {
+    // Train tiny, save, load, couple — the artifact's "download the weights
+    // and run" path.
+    use grist_core::datagen::{generate_training_data, train_ml_suite, DataGenConfig};
+    use grist_core::MlSuite;
+    let data = generate_training_data(&DataGenConfig {
+        fine_level: 2,
+        coarse_level: 1,
+        nlev: 8,
+        steps_per_day: 8,
+        days_per_period: 1,
+        n_periods: 1,
+        cell_stride: 1,
+    });
+    let (suite, _) = train_ml_suite(&data, 8, 5, 3);
+    let dir = std::env::temp_dir().join(format!("grist-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("suite.gml");
+    suite.save(&path).unwrap();
+    let loaded = MlSuite::load(&path).unwrap();
+    let mut m = GristModel::<f64>::new(RunConfig::for_level(2, 8));
+    m.set_ml_suite(loaded);
+    m.advance(2.0 * m.config.dt_phy);
+    assert!(m.state.u.as_slice().iter().all(|x| x.is_finite()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sun_declination_shifts_the_insolation_hemisphere() {
+    let mut north = GristModel::<f64>::new(RunConfig::for_level(2, 8));
+    north.declination = 0.4; // boreal summer
+    north.advance(2.0 * north.config.dt_phy);
+    let gsw_by_hemi = |m: &GristModel<f64>| -> (f64, f64) {
+        let mut n = 0.0;
+        let mut s = 0.0;
+        let (mut wn, mut ws) = (0.0, 0.0);
+        for c in 0..m.n_cells() {
+            let a = m.solver.mesh.cell_area[c];
+            if m.lats[c] > 0.3 {
+                n += m.last_diag[c].gsw * a;
+                wn += a;
+            } else if m.lats[c] < -0.3 {
+                s += m.last_diag[c].gsw * a;
+                ws += a;
+            }
+        }
+        (n / wn, s / ws)
+    };
+    let (n, s) = gsw_by_hemi(&north);
+    assert!(n > 1.5 * s, "boreal summer should light the north: N {n} vs S {s}");
+}
