@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the Fig. 9 kernels and the suite/transport
-//! hot paths, in both precisions — the measured counterpart of the modeled
-//! Sunway numbers (`cargo run --release --bin fig9_kernels`).
+//! Micro-benchmarks of the Fig. 9 kernels and the suite/transport hot
+//! paths, in both precisions — the measured counterpart of the modeled
+//! Sunway numbers (`cargo run --release --bin fig9_kernels`). Uses the
+//! offline self-timed harness in `grist_bench::Bencher`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grist_bench::Bencher;
 use grist_dycore::kernels as dk;
 use grist_dycore::operators::ScaledGeometry;
 use grist_dycore::tracer::{fct_transport_step, FctWorkspace};
@@ -10,6 +11,7 @@ use grist_dycore::{Field2, Real, SweSolver};
 use grist_mesh::{HexMesh, Vec3, EARTH_OMEGA, EARTH_RADIUS_M};
 use grist_ml::models::TendencyCnn;
 use grist_physics::{Column, ColumnPhysicsState, ConventionalSuite};
+use sunway_sim::Substrate;
 
 const NLEV: usize = 30;
 
@@ -42,39 +44,68 @@ fn kernel_data<R: Real>(mesh: &HexMesh) -> KernelData<R> {
     }
 }
 
-fn bench_fig9_kernels(c: &mut Criterion) {
+fn bench_fig9_kernels(sub: &Substrate) {
     let mesh = HexMesh::build(4);
     let mut d64 = kernel_data::<f64>(&mesh);
     let mut d32 = kernel_data::<f32>(&mesh);
-    let mut g = c.benchmark_group("fig9_kernels");
-    g.sample_size(20);
+    let mut g = Bencher::group("fig9_kernels");
 
-    g.bench_function(BenchmarkId::new("grad_kinetic_energy", "f64"), |b| {
-        b.iter(|| dk::grad_kinetic_energy(&mesh, &d64.geom, &d64.ke, &mut d64.out_e))
+    g.bench("grad_kinetic_energy/f64", || {
+        dk::grad_kinetic_energy(sub, &mesh, &d64.geom, &d64.ke, &mut d64.out_e)
     });
-    g.bench_function(BenchmarkId::new("grad_kinetic_energy", "f32"), |b| {
-        b.iter(|| dk::grad_kinetic_energy(&mesh, &d32.geom, &d32.ke, &mut d32.out_e))
+    g.bench("grad_kinetic_energy/f32", || {
+        dk::grad_kinetic_energy(sub, &mesh, &d32.geom, &d32.ke, &mut d32.out_e)
     });
-    g.bench_function(BenchmarkId::new("primal_normal_flux_edge", "f64"), |b| {
-        b.iter(|| {
-            dk::primal_normal_flux_edge(&mesh, &d64.geom, &d64.u, &d64.dpi, &d64.theta, &mut d64.out_e)
-        })
+    g.bench("primal_normal_flux_edge/f64", || {
+        dk::primal_normal_flux_edge(
+            sub,
+            &mesh,
+            &d64.geom,
+            &d64.u,
+            &d64.dpi,
+            &d64.theta,
+            &mut d64.out_e,
+        )
     });
-    g.bench_function(BenchmarkId::new("primal_normal_flux_edge", "f32"), |b| {
-        b.iter(|| {
-            dk::primal_normal_flux_edge(&mesh, &d32.geom, &d32.u, &d32.dpi, &d32.theta, &mut d32.out_e)
-        })
+    g.bench("primal_normal_flux_edge/f32", || {
+        dk::primal_normal_flux_edge(
+            sub,
+            &mesh,
+            &d32.geom,
+            &d32.u,
+            &d32.dpi,
+            &d32.theta,
+            &mut d32.out_e,
+        )
     });
-    g.bench_function(BenchmarkId::new("compute_rrr", "f64"), |b| {
-        b.iter(|| dk::compute_rrr(&d64.dpi, &d64.dphi, &d64.qv, &d64.q0, &d64.q0, &d64.theta, &mut d64.out_c))
+    g.bench("compute_rrr/f64", || {
+        dk::compute_rrr(
+            sub,
+            &d64.dpi,
+            &d64.dphi,
+            &d64.qv,
+            &d64.q0,
+            &d64.q0,
+            &d64.theta,
+            &mut d64.out_c,
+        )
     });
-    g.bench_function(BenchmarkId::new("compute_rrr", "f32"), |b| {
-        b.iter(|| dk::compute_rrr(&d32.dpi, &d32.dphi, &d32.qv, &d32.q0, &d32.q0, &d32.theta, &mut d32.out_c))
+    g.bench("compute_rrr/f32", || {
+        dk::compute_rrr(
+            sub,
+            &d32.dpi,
+            &d32.dphi,
+            &d32.qv,
+            &d32.q0,
+            &d32.q0,
+            &d32.theta,
+            &mut d32.out_c,
+        )
     });
     g.finish();
 }
 
-fn bench_tracer_limiter(c: &mut Criterion) {
+fn bench_tracer_limiter(sub: &Substrate) {
     let mesh = HexMesh::build(4);
     let geom: ScaledGeometry<f64> = ScaledGeometry::new(&mesh, EARTH_RADIUS_M, EARTH_OMEGA);
     let r2 = EARTH_RADIUS_M * EARTH_RADIUS_M;
@@ -87,65 +118,59 @@ fn bench_tracer_limiter(c: &mut Criterion) {
         (-(mesh.cell_xyz[c].arc_dist(Vec3::new(1.0, 0.0, 0.0)) / 0.3).powi(2)).exp()
     });
     let mut ws = FctWorkspace::new(1, &mesh);
-    let mut g = c.benchmark_group("tracer");
-    g.sample_size(30);
-    g.bench_function("fct_transport_step/G4", |b| {
-        b.iter(|| {
-            let mut mass = mass0.clone();
-            let mut q = q0.clone();
-            fct_transport_step(&mesh, &geom, &mut mass, &flux, &mut q, 300.0, &mut ws);
-        })
+    let mut g = Bencher::group("tracer");
+    g.bench("fct_transport_step/G4", || {
+        let mut mass = mass0.clone();
+        let mut q = q0.clone();
+        fct_transport_step(sub, &mesh, &geom, &mut mass, &flux, &mut q, 300.0, &mut ws);
     });
     g.finish();
 }
 
-fn bench_swe_step(c: &mut Criterion) {
-    let mut solver = SweSolver::<f64>::new(HexMesh::build(4));
+fn bench_swe_step(sub: &Substrate) {
+    let mut solver = SweSolver::<f64>::with_substrate(HexMesh::build(4), sub.clone());
     let state0 = grist_dycore::swe::williamson_tc2::<f64>(&solver.mesh);
-    let mut g = c.benchmark_group("swe");
-    g.sample_size(20);
-    g.bench_function("rk3_step/G4", |b| {
-        b.iter(|| {
-            let mut s = state0.clone();
-            solver.step_rk3(&mut s, 300.0);
-        })
+    let mut g = Bencher::group("swe");
+    g.bench("rk3_step/G4", || {
+        let mut s = state0.clone();
+        solver.step_rk3(&mut s, 300.0);
     });
     g.finish();
 }
 
-fn bench_physics_column(c: &mut Criterion) {
+fn bench_physics_column() {
     let suite = ConventionalSuite::default();
     let col = Column::reference(NLEV);
-    let mut g = c.benchmark_group("physics");
-    g.sample_size(30);
-    g.bench_function("conventional_column_step", |b| {
-        let mut st = ColumnPhysicsState::new(NLEV, true, 290.0);
-        b.iter(|| {
-            st.since_rad = f64::INFINITY; // force radiation every call
-            suite.step_column(&col, &mut st, 600.0, 1800.0)
-        })
+    let mut g = Bencher::group("physics");
+    let mut st = ColumnPhysicsState::new(NLEV, true, 290.0);
+    g.bench("conventional_column_step", || {
+        st.since_rad = f64::INFINITY; // force radiation every call
+        suite.step_column(&col, &mut st, 600.0, 1800.0);
     });
     g.finish();
 }
 
-fn bench_ml_inference(c: &mut Criterion) {
+fn bench_ml_inference() {
     let net = TendencyCnn::new(NLEV, 128, 7);
     let x = vec![0.1f32; 5 * NLEV];
     let mut y = vec![0.0f32; 2 * NLEV];
-    let mut g = c.benchmark_group("ml");
-    g.sample_size(30);
-    g.bench_function("tendency_cnn_infer_128ch", |b| {
-        b.iter(|| net.infer(&x, &mut y))
-    });
+    let mut g = Bencher::group("ml");
+    g.bench("tendency_cnn_infer_128ch", || net.infer(&x, &mut y));
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig9_kernels,
-    bench_tracer_limiter,
-    bench_swe_step,
-    bench_physics_column,
-    bench_ml_inference
-);
-criterion_main!(benches);
+fn main() {
+    // Run each kernel group on both execution targets so the bench compares
+    // the serial path against the emulated CPE teams (§3.3).
+    for (label, sub) in [
+        ("serial", Substrate::serial()),
+        ("cpe64", Substrate::cpe_teams(64)),
+    ] {
+        println!("\n# kernels on substrate: {label}");
+        bench_fig9_kernels(&sub);
+        bench_tracer_limiter(&sub);
+        bench_swe_step(&sub);
+    }
+    bench_physics_column();
+    bench_ml_inference();
+}

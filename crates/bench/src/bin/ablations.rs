@@ -47,7 +47,12 @@ fn main() {
     let partition = Partition::build(&mesh, 16, 2);
     let layout = grist_mesh::HaloLayout::build(&mesh, &partition, 1);
     let pairs = layout.message_count();
-    let mut t2 = Table::new(&["variables", "gathered msgs", "per-variable msgs", "reduction"]);
+    let mut t2 = Table::new(&[
+        "variables",
+        "gathered msgs",
+        "per-variable msgs",
+        "reduction",
+    ]);
     for nvars in [1usize, 4, 10, 20] {
         t2.row(&[
             nvars.to_string(),
@@ -64,7 +69,10 @@ fn main() {
     let mut t3 = Table::new(&["arrays", "aligned hit%", "distributed hit%"]);
     for n in 1..=10usize {
         let mut hit = [0.0f64; 2];
-        for (i, policy) in [AllocPolicy::Aligned, AllocPolicy::Distributed].iter().enumerate() {
+        for (i, policy) in [AllocPolicy::Aligned, AllocPolicy::Distributed]
+            .iter()
+            .enumerate()
+        {
             let mut alloc = PoolAllocator::new(*policy, &spec, n.max(1));
             let bases: Vec<u64> = (0..n).map(|_| alloc.alloc(512 * 1024)).collect();
             let mut cache = LdCache::sw26010p(&spec);
@@ -108,7 +116,11 @@ fn main() {
         }
         cache.hit_ratio()
     };
-    for (name, perm) in [("random", &random6), ("construction order", &ident6), ("BFS", &bfs6)] {
+    for (name, perm) in [
+        ("random", &random6),
+        ("construction order", &ident6),
+        ("BFS", &bfs6),
+    ] {
         t3b.row(&[name.into(), format!("{:.1}", run_stream(perm) * 100.0)]);
     }
     t3b.print();

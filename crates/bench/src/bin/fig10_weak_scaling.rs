@@ -24,8 +24,14 @@ fn main() {
         "comm share",
     ]);
 
-    let mix_phy = Scheme { mixed: true, ml_physics: false };
-    let mix_ml = Scheme { mixed: true, ml_physics: true };
+    let mix_phy = Scheme {
+        mixed: true,
+        ml_physics: false,
+    };
+    let mix_ml = Scheme {
+        mixed: true,
+        ml_physics: true,
+    };
     let mut base_phy = 0.0;
     let mut base_ml = 0.0;
     let mut shares = Vec::new();
@@ -60,10 +66,13 @@ fn main() {
         {
             let ok = ladder.iter().all(|(label, procs)| {
                 let g = grids.iter().find(|g| g.label == *label).unwrap();
-                model.project(g, mix_ml, *procs).sdpd
-                    > model.project(g, mix_phy, *procs).sdpd
+                model.project(g, mix_ml, *procs).sdpd > model.project(g, mix_phy, *procs).sdpd
             });
-            if ok { "yes" } else { "NO" }
+            if ok {
+                "yes"
+            } else {
+                "NO"
+            }
         },
         (shares.first().unwrap() * 100.0).round(),
         (shares.last().unwrap() * 100.0).round(),

@@ -25,12 +25,42 @@ fn main() {
         "G11S MIX-ML eff",
     ]);
     let schemes = Scheme::all();
-    let base_g12 = model.project(g12, Scheme { mixed: true, ml_physics: true }, procs[0]).sdpd;
-    let base_g11s = model.project(g11s, Scheme { mixed: true, ml_physics: true }, procs[0]).sdpd;
+    let base_g12 = model
+        .project(
+            g12,
+            Scheme {
+                mixed: true,
+                ml_physics: true,
+            },
+            procs[0],
+        )
+        .sdpd;
+    let base_g11s = model
+        .project(
+            g11s,
+            Scheme {
+                mixed: true,
+                ml_physics: true,
+            },
+            procs[0],
+        )
+        .sdpd;
     for &p in &procs {
-        let vals: Vec<f64> = schemes.iter().map(|&s| model.project(g12, s, p).sdpd).collect();
+        let vals: Vec<f64> = schemes
+            .iter()
+            .map(|&s| model.project(g12, s, p).sdpd)
+            .collect();
         let g12_mixml = vals[3];
-        let g11s_mixml = model.project(g11s, Scheme { mixed: true, ml_physics: true }, p).sdpd;
+        let g11s_mixml = model
+            .project(
+                g11s,
+                Scheme {
+                    mixed: true,
+                    ml_physics: true,
+                },
+                p,
+            )
+            .sdpd;
         let scale = p as f64 / procs[0] as f64;
         t.row(&[
             p.to_string(),
@@ -47,8 +77,26 @@ fn main() {
     t.write_csv("fig11_strong_scaling").expect("csv");
 
     let top = procs[procs.len() - 1];
-    let final_g12 = model.project(g12, Scheme { mixed: true, ml_physics: true }, top).sdpd;
-    let final_g11s = model.project(g11s, Scheme { mixed: true, ml_physics: true }, top).sdpd;
+    let final_g12 = model
+        .project(
+            g12,
+            Scheme {
+                mixed: true,
+                ml_physics: true,
+            },
+            top,
+        )
+        .sdpd;
+    let final_g11s = model
+        .project(
+            g11s,
+            Scheme {
+                mixed: true,
+                ml_physics: true,
+            },
+            top,
+        )
+        .sdpd;
     println!(
         "\nEndpoints at {top} processes (paper: 491 SDPD G11S, 181 SDPD G12; \
          modeled substrate — shapes, not absolutes):\n\

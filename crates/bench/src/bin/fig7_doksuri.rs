@@ -11,8 +11,10 @@
 //! + fewer levels (the G12L30 analogue).
 
 use grist_bench::{fmt, Table};
-use grist_core::{add_tropical_cyclone, spatial_correlation, GristModel, RunConfig, TropicalCyclone};
 use grist_core::datagen::CoarseMap;
+use grist_core::{
+    add_tropical_cyclone, spatial_correlation, GristModel, RunConfig, TropicalCyclone,
+};
 use grist_mesh::HexMesh;
 
 /// Run the cyclone case at (level, nlev) for `hours`, returning accumulated
@@ -22,7 +24,11 @@ fn rain_run(level: u32, nlev: usize, hours: f64) -> (HexMesh, Vec<f64>) {
     let mut m = GristModel::<f64>::new(cfg);
     // Tight vortex: marginally resolved at L3 (~0.08 rad spacing), resolved
     // at L4/L5 — this is what makes horizontal resolution matter (Fig. 7).
-    let tc = TropicalCyclone { rmax: 0.07, vmax: 30.0, ..Default::default() };
+    let tc = TropicalCyclone {
+        rmax: 0.07,
+        vmax: 30.0,
+        ..Default::default()
+    };
     add_tropical_cyclone(&mut m, &tc);
     m.advance(hours * 3600.0);
     (m.solver.mesh.clone(), m.precip_accum.clone())
@@ -44,7 +50,10 @@ fn main() {
     // coarse-grid blockiness costs correlation, as it should.
     let upsample = |mesh_from: &HexMesh, vals: &[f64]| -> Vec<f64> {
         let map = CoarseMap::build(&mesh_truth, mesh_from);
-        map.fine_to_coarse.iter().map(|&c| vals[c as usize]).collect()
+        map.fine_to_coarse
+            .iter()
+            .map(|&c| vals[c as usize])
+            .collect()
     };
     let a_on_truth = upsample(&mesh_a, &rain_a);
     let b_on_truth = upsample(&mesh_b, &rain_b);
@@ -114,13 +123,24 @@ fn main() {
         "extreme-rain magnitude error: A {:.2} mm vs B {:.2} mm -> {}",
         peak_err_a,
         peak_err_b,
-        if peak_err_b < peak_err_a { "B closer (shape holds)" } else { "A closer (shape DOES NOT hold)" }
+        if peak_err_b < peak_err_a {
+            "B closer (shape holds)"
+        } else {
+            "A closer (shape DOES NOT hold)"
+        }
     );
     println!(
         "storm-sector correlation:     A {:.3} vs B {:.3} -> {}",
         corr_a,
         corr_b,
-        if corr_b >= corr_a - 0.02 { "comparable or better" } else { "worse" }
+        if corr_b >= corr_a - 0.02 {
+            "comparable or better"
+        } else {
+            "worse"
+        }
     );
-    assert!(peak_err_b < peak_err_a, "the Fig. 7 magnitude shape must hold");
+    assert!(
+        peak_err_b < peak_err_a,
+        "the Fig. 7 magnitude shape must hold"
+    );
 }

@@ -17,7 +17,12 @@ use grist_core::datagen::{generate_training_data, train_ml_suite, DataGenConfig}
 use grist_core::{spatial_correlation, GristModel, RunConfig};
 
 /// Run `hours` and return per-cell mean precip rate (mm/day).
-fn precip_run(level: u32, nlev: usize, hours: f64, suite: Option<grist_core::MlSuite>) -> (grist_mesh::HexMesh, Vec<f64>) {
+fn precip_run(
+    level: u32,
+    nlev: usize,
+    hours: f64,
+    suite: Option<grist_core::MlSuite>,
+) -> (grist_mesh::HexMesh, Vec<f64>) {
     let cfg = RunConfig::for_level(level, nlev).with_ml_physics(false);
     let mut m = GristModel::<f64>::new(cfg);
     if let Some(s) = suite {
@@ -42,7 +47,10 @@ fn zonal_mean(mesh: &grist_mesh::HexMesh, field: &[f64], nbands: usize) -> Vec<f
         sum[i] += field[c] * mesh.cell_area[c];
         wgt[i] += mesh.cell_area[c];
     }
-    sum.iter().zip(&wgt).map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 }).collect()
+    sum.iter()
+        .zip(&wgt)
+        .map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 })
+        .collect()
 }
 
 fn main() {
@@ -96,11 +104,19 @@ fn main() {
                 va += (zc[i] - ma).powi(2);
                 vb += (zm[i] - mb).powi(2);
             }
-            if va * vb > 0.0 { cov / (va * vb).sqrt() } else { 0.0 }
+            if va * vb > 0.0 {
+                cov / (va * vb).sqrt()
+            } else {
+                0.0
+            }
         };
         let gm = |mesh: &grist_mesh::HexMesh, f: &[f64]| -> f64 {
             let w: f64 = mesh.cell_area.iter().sum();
-            f.iter().zip(&mesh.cell_area).map(|(v, a)| v * a).sum::<f64>() / w
+            f.iter()
+                .zip(&mesh.cell_area)
+                .map(|(v, a)| v * a)
+                .sum::<f64>()
+                / w
         };
         let band_ratio = |mesh: &grist_mesh::HexMesh, f: &[f64]| -> f64 {
             let mut tr = 0.0;
@@ -125,7 +141,11 @@ fn main() {
                 name.to_string(),
                 fmt(gm(&mesh, field)),
                 fmt(band_ratio(&mesh, field)),
-                if name == "Conventional" { "1.0".into() } else { fmt(corr) },
+                if name == "Conventional" {
+                    "1.0".into()
+                } else {
+                    fmt(corr)
+                },
             ]);
         }
         if corr < 0.3 {

@@ -16,9 +16,14 @@ use grist_dycore::{Field2, Real};
 use grist_mesh::{HexMesh, EARTH_OMEGA, EARTH_RADIUS_M};
 use std::time::Instant;
 use sunway_sim::perf::{fig9_kernels, fig9_table, ExecTarget, PerfModel};
-use sunway_sim::SunwaySpec;
+use sunway_sim::{format_kernel_report, Substrate, SunwaySpec};
 
-fn time_host_kernels<R: Real>(mesh: &HexMesh, nlev: usize, reps: usize) -> Vec<(&'static str, f64)> {
+fn time_host_kernels<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    nlev: usize,
+    reps: usize,
+) -> Vec<(&'static str, f64)> {
     let geom: ScaledGeometry<R> = ScaledGeometry::new(mesh, EARTH_RADIUS_M, EARTH_OMEGA);
     let (nc, ne) = (mesh.n_cells(), mesh.n_edges());
     let ke = Field2::<R>::from_fn(nlev, nc, |k, c| R::from_f64((c % 97) as f64 + k as f64));
@@ -44,19 +49,19 @@ fn time_host_kernels<R: Real>(mesh: &HexMesh, nlev: usize, reps: usize) -> Vec<(
     };
     results.push((
         "grad_kinetic_energy",
-        timeit(&mut || dk::grad_kinetic_energy(mesh, &geom, &ke, &mut out_e)),
+        timeit(&mut || dk::grad_kinetic_energy(sub, mesh, &geom, &ke, &mut out_e)),
     ));
     results.push((
         "primal_normal_flux_edge",
-        timeit(&mut || dk::primal_normal_flux_edge(mesh, &geom, &u, &dpi, &theta, &mut out_e)),
+        timeit(&mut || dk::primal_normal_flux_edge(sub, mesh, &geom, &u, &dpi, &theta, &mut out_e)),
     ));
     results.push((
         "compute_rrr",
-        timeit(&mut || dk::compute_rrr(&dpi, &dphi, &qv, &q0, &q0, &theta, &mut out_c)),
+        timeit(&mut || dk::compute_rrr(sub, &dpi, &dphi, &qv, &q0, &q0, &theta, &mut out_c)),
     ));
     results.push((
         "calc_coriolis_term",
-        timeit(&mut || dk::calc_coriolis_term(&pv, &vt, &mut out_e)),
+        timeit(&mut || dk::calc_coriolis_term(sub, &pv, &vt, &mut out_e)),
     ));
     results
 }
@@ -89,24 +94,21 @@ fn main() {
     }
     t.print();
     t.write_csv("fig9_modeled").expect("csv");
-    println!(
-        "\nPaper band check: major-kernel CPE-MIX+DST speedups should sit near 20–70x\n"
-    );
+    println!("\nPaper band check: major-kernel CPE-MIX+DST speedups should sit near 20–70x\n");
 
     println!("# Host measurement: real kernels, f64 vs f32 (G5 grid, {nlev} levels)\n");
     let mesh = HexMesh::build(5);
     let reps = 10;
-    let t64 = time_host_kernels::<f64>(&mesh, nlev, reps);
-    let t32 = time_host_kernels::<f32>(&mesh, nlev, reps);
+    let sub = Substrate::cpe_teams(64);
+    let t64 = time_host_kernels::<f64>(&sub, &mesh, nlev, reps);
+    let t32 = time_host_kernels::<f32>(&sub, &mesh, nlev, reps);
     let mut th = Table::new(&["kernel", "f64 (ms)", "f32 (ms)", "f64/f32"]);
     for ((name, a), (_, b)) in t64.iter().zip(&t32) {
-        th.row(&[
-            name.to_string(),
-            fmt(a * 1e3),
-            fmt(b * 1e3),
-            fmt(a / b),
-        ]);
+        th.row(&[name.to_string(), fmt(a * 1e3), fmt(b * 1e3), fmt(a / b)]);
     }
     th.print();
     th.write_csv("fig9_host").expect("csv");
+
+    println!("\n# Substrate kernel report (CPE-teams target, f64+f32 passes)\n");
+    print!("{}", format_kernel_report(&sub.kernel_report()));
 }

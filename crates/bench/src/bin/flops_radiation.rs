@@ -57,16 +57,8 @@ fn main() {
         format!("{:.1}%", f_conv * 100.0),
         format!("{:.1}%", f_ml * 100.0),
     ]);
-    t.row(&[
-        "relative time".into(),
-        "1.0".into(),
-        fmt(t_ml / t_conv),
-    ]);
-    t.row(&[
-        "speedup".into(),
-        "-".into(),
-        fmt(t_conv / t_ml),
-    ]);
+    t.row(&["relative time".into(), "1.0".into(), fmt(t_ml / t_conv)]);
+    t.row(&["speedup".into(), "-".into(), fmt(t_conv / t_ml)]);
     t.print();
     t.write_csv("flops_radiation").expect("csv");
 

@@ -37,7 +37,13 @@ fn main() {
     run(
         "idealized tropical cyclone",
         precision_gate(&cfg, sim_seconds, |m| {
-            add_tropical_cyclone(m, &TropicalCyclone { rmax: 0.12, ..Default::default() })
+            add_tropical_cyclone(
+                m,
+                &TropicalCyclone {
+                    rmax: 0.12,
+                    ..Default::default()
+                },
+            )
         }),
     );
     run(
@@ -48,7 +54,10 @@ fn main() {
         "baroclinic wave",
         precision_gate(&cfg, sim_seconds, |m| add_baroclinic_jet(m, 25.0, 1.0)),
     );
-    run("aqua-planet (rest + physics)", precision_gate(&cfg, sim_seconds, |_| {}));
+    run(
+        "aqua-planet (rest + physics)",
+        precision_gate(&cfg, sim_seconds, |_| {}),
+    );
 
     t.print();
     t.write_csv("mixed_precision_gate").expect("csv");

@@ -37,10 +37,7 @@ fn main() {
             assert_eq!(mesh.n_cells(), g.cells);
             assert_eq!(mesh.n_edges(), g.edges);
             assert_eq!(mesh.n_verts(), g.verts);
-            (
-                "mesh-built",
-                mesh.mean_spacing_km(EARTH_RADIUS_M),
-            )
+            ("mesh-built", mesh.mean_spacing_km(EARTH_RADIUS_M))
         } else {
             // Mean spacing scales by exactly 2 per level from a built mesh.
             let base = HexMesh::build(6).mean_spacing_km(EARTH_RADIUS_M);
@@ -67,8 +64,16 @@ fn main() {
     println!("# Table 3: Configuration of schemes\n");
     let mut t3 = Table::new(&["Label", "Dycore", "Physics"]);
     for s in table3_schemes() {
-        let dyc = if s.mixed { "mixed precision" } else { "double precision" };
-        let phy = if s.ml_physics { "ML-physics" } else { "Conventional" };
+        let dyc = if s.mixed {
+            "mixed precision"
+        } else {
+            "double precision"
+        };
+        let phy = if s.ml_physics {
+            "ML-physics"
+        } else {
+            "Conventional"
+        };
         t3.row(&[s.label().to_string(), dyc.to_string(), phy.to_string()]);
     }
     t3.print();

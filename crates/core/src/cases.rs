@@ -87,16 +87,13 @@ pub fn add_tropical_cyclone<R: Real>(model: &mut GristModel<R>, tc: &TropicalCyc
             let frac = (k as f64 + 0.5) / nlev as f64;
             let dpi = model.state.dpi.at(k, c);
             let theta = model.state.theta_m.at(k, c) / dpi;
-            model
-                .state
-                .theta_m
-                .set(k, c, dpi * (theta + tc.warm_core * shape * (1.0 - frac * 0.5)));
-            let q = model.state.tracers[0].at(k, c).to_f64();
-            model.state.tracers[0].set(
+            model.state.theta_m.set(
                 k,
                 c,
-                R::from_f64(q * (1.0 + tc.moist_core * shape)),
+                dpi * (theta + tc.warm_core * shape * (1.0 - frac * 0.5)),
             );
+            let q = model.state.tracers[0].at(k, c).to_f64();
+            model.state.tracers[0].set(k, c, R::from_f64(q * (1.0 + tc.moist_core * shape)));
         }
     }
 }
@@ -166,7 +163,10 @@ mod tests {
         // A level-2 mesh has ~0.16 rad spacing: use a broad vortex so several
         // dual vertices sample the core.
         let mut m = model();
-        let tc = TropicalCyclone { rmax: 0.25, ..Default::default() };
+        let tc = TropicalCyclone {
+            rmax: 0.25,
+            ..Default::default()
+        };
         add_tropical_cyclone(&mut m, &tc);
         // Relative vorticity near the vortex centre must be strongly positive
         // (NH cyclone). vorticity_diag is level-fastest: index = v·nlev + k.
@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn cyclone_wind_peaks_near_rmax() {
         let mut m = model();
-        let tc = TropicalCyclone { rmax: 0.12, ..Default::default() };
+        let tc = TropicalCyclone {
+            rmax: 0.12,
+            ..Default::default()
+        };
         add_tropical_cyclone(&mut m, &tc);
         let center = unit_from_latlon(tc.lat, tc.lon);
         let nlev = m.config.nlev;
@@ -200,7 +203,10 @@ mod tests {
         };
         let near = speed_at(0.05, 0.2);
         let far = speed_at(0.5, 0.8);
-        assert!(near > 2.0 * far, "wind must decay outward: near {near}, far {far}");
+        assert!(
+            near > 2.0 * far,
+            "wind must decay outward: near {near}, far {far}"
+        );
     }
 
     #[test]
@@ -209,7 +215,12 @@ mod tests {
         add_tropical_cyclone(&mut m, &TropicalCyclone::default());
         m.advance(m.config.dt_phy * 2.0);
         assert!(m.state.u.as_slice().iter().all(|x| x.is_finite()));
-        let umax = m.state.u.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let umax = m
+            .state
+            .u
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(umax < 150.0, "cyclone blew up: {umax} m/s");
     }
 
@@ -228,7 +239,11 @@ mod tests {
                 n += 1;
             }
         }
-        assert!(mid_u / n as f64 > 10.0, "jet missing: {} m/s", mid_u / n as f64);
+        assert!(
+            mid_u / n as f64 > 10.0,
+            "jet missing: {} m/s",
+            mid_u / n as f64
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ mod tests {
         let c = RunConfig::for_level(4, 20);
         assert_eq!(c.dyn_per_trac(), 8);
         assert_eq!(c.dyn_per_phy(), 16);
-        assert_eq!((c.dt_rad / c.dt_phy).round() as usize, 3, "rad = 3× phy as in Table 2");
+        assert_eq!(
+            (c.dt_rad / c.dt_phy).round() as usize,
+            3,
+            "rad = 3× phy as in Table 2"
+        );
     }
 
     #[test]

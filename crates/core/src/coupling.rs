@@ -88,7 +88,13 @@ pub fn extract_columns<R: Real>(
     // Cell-centred winds.
     let mut ue = Field2::<R>::zeros(nlev, nc);
     let mut un = Field2::<R>::zeros(nlev, nc);
-    cell_velocity(&solver.mesh, &state.u, &mut ue, &mut un);
+    cell_velocity(
+        &solver.sub.clone(),
+        &solver.mesh,
+        &state.u,
+        &mut ue,
+        &mut un,
+    );
     let (pres, theta, _dphi, exner) = solver.diagnose_fields(state);
 
     let mut cols = Vec::with_capacity(nc);
@@ -105,7 +111,9 @@ pub fn extract_columns<R: Real>(
         }
         let getq = |idx: usize| -> Vec<f64> {
             if idx < state.tracers.len() {
-                (0..nlev).map(|k| state.tracers[idx].at(k, c).to_f64()).collect()
+                (0..nlev)
+                    .map(|k| state.tracers[idx].at(k, c).to_f64())
+                    .collect()
             } else {
                 vec![0.0; nlev]
             }
@@ -175,10 +183,13 @@ mod tests {
     fn setup() -> (NhSolver<f64>, NhState<f64>, SurfaceState) {
         let mesh = HexMesh::build(2);
         let lats: Vec<f64> = mesh.cell_xyz.iter().map(|p| p.lat()).collect();
-        let mut solver = NhSolver::new(
+        let solver = NhSolver::new(
             mesh,
             VerticalCoord::uniform(10),
-            NhConfig { ntracers: 3, ..Default::default() },
+            NhConfig {
+                ntracers: 3,
+                ..Default::default()
+            },
         );
         let state = solver.isothermal_rest_state(285.0, 1.0e5);
         let surface = SurfaceState::aqua_planet(&lats);
@@ -191,7 +202,10 @@ mod tests {
         let cols = extract_columns(&mut solver, &state, &surface);
         assert_eq!(cols.len(), solver.mesh.n_cells());
         for col in &cols {
-            assert!(col.p.windows(2).all(|w| w[1] > w[0]), "p increases downward");
+            assert!(
+                col.p.windows(2).all(|w| w[1] > w[0]),
+                "p increases downward"
+            );
             assert!(col.z.windows(2).all(|w| w[1] < w[0]), "z decreases with k");
             assert!(col.t.iter().all(|&t| (150.0..350.0).contains(&t)));
             assert!((250.0..305.0).contains(&col.tskin));

@@ -45,7 +45,10 @@ impl CoarseMap {
                     .unwrap() as u32
             })
             .collect();
-        CoarseMap { n_coarse: coarse.n_cells(), fine_to_coarse }
+        CoarseMap {
+            n_coarse: coarse.n_cells(),
+            fine_to_coarse,
+        }
     }
 
     /// Average a per-fine-cell vector onto the coarse cells.
@@ -216,11 +219,12 @@ pub fn generate_training_data(cfg: &DataGenConfig) -> GeneratedData {
             );
             let fine_tends = model.last_tendencies.clone();
             let fine_diags = model.last_diag.clone();
-            let avg_levels = |get: &dyn Fn(usize) -> f64| map.average(
-                &(0..fine_cols.len()).map(get).collect::<Vec<f64>>()
-            );
-            let mut tends: Vec<grist_physics::Tendencies> =
-                (0..map.n_coarse).map(|_| grist_physics::Tendencies::zeros(nlev)).collect();
+            let avg_levels = |get: &dyn Fn(usize) -> f64| {
+                map.average(&(0..fine_cols.len()).map(get).collect::<Vec<f64>>())
+            };
+            let mut tends: Vec<grist_physics::Tendencies> = (0..map.n_coarse)
+                .map(|_| grist_physics::Tendencies::zeros(nlev))
+                .collect();
             for k in 0..nlev {
                 let q1 = avg_levels(&|c| fine_tends[c].dt_dt[k]);
                 let q2 = avg_levels(&|c| fine_tends[c].dqv_dt[k]);
@@ -253,7 +257,12 @@ pub fn generate_training_data(cfg: &DataGenConfig) -> GeneratedData {
                 let mut y = Vec::with_capacity(CNN_OUTPUT_CHANNELS * nlev);
                 y.extend(tends[ci].dt_dt.iter().map(|&v| v as f32));
                 y.extend(tends[ci].dqv_dt.iter().map(|&v| v as f32));
-                cnn_samples.push(Sample { x, y, day, step: step_in_day });
+                cnn_samples.push(Sample {
+                    x,
+                    y,
+                    day,
+                    step: step_in_day,
+                });
 
                 let mut rx = Vec::with_capacity(2 * nlev + 2);
                 rx.extend(col.t.iter().map(|&v| v as f32));
@@ -265,11 +274,20 @@ pub fn generate_training_data(cfg: &DataGenConfig) -> GeneratedData {
                     diags[ci].glw as f32,
                     diags[ci].precip as f32,
                 ];
-                mlp_samples.push(Sample { x: rx, y: ry, day, step: step_in_day });
+                mlp_samples.push(Sample {
+                    x: rx,
+                    y: ry,
+                    day,
+                    step: step_in_day,
+                });
             }
         }
     }
-    GeneratedData { cnn: cnn_samples, mlp: mlp_samples, nlev: cfg.nlev }
+    GeneratedData {
+        cnn: cnn_samples,
+        mlp: mlp_samples,
+        nlev: cfg.nlev,
+    }
 }
 
 /// Training report.
@@ -319,8 +337,16 @@ pub fn train_ml_suite(
         outnorm.normalize(&mut y);
         (x, y)
     };
-    let cnn_train: Vec<_> = cnn_ds.train.iter().map(|s| prep(s, &in_norm, &out_norm)).collect();
-    let cnn_test: Vec<_> = cnn_ds.test.iter().map(|s| prep(s, &in_norm, &out_norm)).collect();
+    let cnn_train: Vec<_> = cnn_ds
+        .train
+        .iter()
+        .map(|s| prep(s, &in_norm, &out_norm))
+        .collect();
+    let cnn_test: Vec<_> = cnn_ds
+        .test
+        .iter()
+        .map(|s| prep(s, &in_norm, &out_norm))
+        .collect();
     let mlp_train: Vec<_> = mlp_ds.train.iter().map(|s| prep(s, &rin, &rout)).collect();
     let mlp_test: Vec<_> = mlp_ds.test.iter().map(|s| prep(s, &rin, &rout)).collect();
 
@@ -346,8 +372,14 @@ pub fn train_ml_suite(
     let mlp_test_loss_untrained = eval_mlp(&suite, &mlp_test);
 
     // --- training loops ---
-    let mut opt_cnn = Adam::new(AdamConfig { lr: 2e-3, ..Default::default() });
-    let mut opt_mlp = Adam::new(AdamConfig { lr: 2e-3, ..Default::default() });
+    let mut opt_cnn = Adam::new(AdamConfig {
+        lr: 2e-3,
+        ..Default::default()
+    });
+    let mut opt_mlp = Adam::new(AdamConfig {
+        lr: 2e-3,
+        ..Default::default()
+    });
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xbeef);
     let batch = 16;
     let mut order: Vec<usize> = (0..cnn_train.len()).collect();
@@ -397,7 +429,10 @@ mod tests {
         for &c in &map.fine_to_coarse {
             hit[c as usize] = true;
         }
-        assert!(hit.iter().all(|&h| h), "some coarse cells received no fine cells");
+        assert!(
+            hit.iter().all(|&h| h),
+            "some coarse cells received no fine cells"
+        );
     }
 
     #[test]

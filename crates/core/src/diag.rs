@@ -14,9 +14,7 @@ pub fn spatial_correlation(mesh: &HexMesh, a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(b.len(), mesh.n_cells());
     let w: &[f64] = &mesh.cell_area;
     let wsum: f64 = w.iter().sum();
-    let mean = |x: &[f64]| -> f64 {
-        x.iter().zip(w).map(|(v, ww)| v * ww).sum::<f64>() / wsum
-    };
+    let mean = |x: &[f64]| -> f64 { x.iter().zip(w).map(|(v, ww)| v * ww).sum::<f64>() / wsum };
     let (ma, mb) = (mean(a), mean(b));
     let mut cov = 0.0;
     let mut va = 0.0;
@@ -41,8 +39,8 @@ pub fn bin_latlon(mesh: &HexMesh, field: &[f64], nlat: usize, nlon: usize) -> Ve
     for c in 0..mesh.n_cells() {
         let p = mesh.cell_xyz[c];
         let i = (((p.lat() / std::f64::consts::PI + 0.5) * nlat as f64) as usize).min(nlat - 1);
-        let j = (((p.lon() / std::f64::consts::PI + 1.0) / 2.0 * nlon as f64) as usize)
-            .min(nlon - 1);
+        let j =
+            (((p.lon() / std::f64::consts::PI + 1.0) / 2.0 * nlon as f64) as usize).min(nlon - 1);
         sum[i][j] += field[c] * mesh.cell_area[c];
         wgt[i][j] += mesh.cell_area[c];
     }
@@ -128,17 +126,26 @@ mod tests {
     fn correlation_of_independent_patterns_is_small() {
         let mesh = HexMesh::build(3);
         let f: Vec<f64> = (0..mesh.n_cells()).map(|c| mesh.cell_xyz[c].z).collect();
-        let g: Vec<f64> = (0..mesh.n_cells()).map(|c| (mesh.cell_xyz[c].lon() * 5.0).sin()).collect();
+        let g: Vec<f64> = (0..mesh.n_cells())
+            .map(|c| (mesh.cell_xyz[c].lon() * 5.0).sin())
+            .collect();
         assert!(spatial_correlation(&mesh, &f, &g).abs() < 0.2);
     }
 
     #[test]
     fn latlon_binning_preserves_global_mean() {
         let mesh = HexMesh::build(3);
-        let f: Vec<f64> = (0..mesh.n_cells()).map(|c| 2.0 + mesh.cell_xyz[c].z).collect();
+        let f: Vec<f64> = (0..mesh.n_cells())
+            .map(|c| 2.0 + mesh.cell_xyz[c].z)
+            .collect();
         let grid = bin_latlon(&mesh, &f, 18, 36);
         // Flat average of bins should approximate the (area-weighted) mean.
-        let filled: Vec<f64> = grid.iter().flatten().copied().filter(|&x| x != 0.0).collect();
+        let filled: Vec<f64> = grid
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&x| x != 0.0)
+            .collect();
         let bin_mean: f64 = filled.iter().sum::<f64>() / filled.len() as f64;
         assert!((bin_mean - 2.0).abs() < 0.15, "bin mean {bin_mean}");
     }

@@ -31,8 +31,14 @@ impl Snapshot {
     /// Capture the standard surface diagnostics of a model.
     pub fn capture<R: Real>(model: &GristModel<R>) -> Snapshot {
         let mut records = vec![
-            HistoryRecord { name: "ps".into(), data: model.surface_pressure() },
-            HistoryRecord { name: "precip_accum".into(), data: model.precip_accum.clone() },
+            HistoryRecord {
+                name: "ps".into(),
+                data: model.surface_pressure(),
+            },
+            HistoryRecord {
+                name: "precip_accum".into(),
+                data: model.precip_accum.clone(),
+            },
         ];
         records.push(HistoryRecord {
             name: "gsw".into(),
@@ -46,11 +52,17 @@ impl Snapshot {
             name: "tskin".into(),
             data: model.surface.tskin.clone(),
         });
-        Snapshot { time_s: model.time_s, records }
+        Snapshot {
+            time_s: model.time_s,
+            records,
+        }
     }
 
     pub fn get(&self, name: &str) -> Option<&[f64]> {
-        self.records.iter().find(|r| r.name == name).map(|r| r.data.as_slice())
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.data.as_slice())
     }
 }
 
@@ -66,12 +78,18 @@ impl HistoryWriter {
     pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(HistoryWriter { dir, prefix: prefix.into(), count: 0 })
+        Ok(HistoryWriter {
+            dir,
+            prefix: prefix.into(),
+            count: 0,
+        })
     }
 
     /// Write one snapshot; returns the file path.
     pub fn write(&mut self, snap: &Snapshot) -> std::io::Result<PathBuf> {
-        let path = self.dir.join(format!("{}-{:05}.grist", self.prefix, self.count));
+        let path = self
+            .dir
+            .join(format!("{}-{:05}.grist", self.prefix, self.count));
         self.count += 1;
         let mut f = fs::File::create(&path)?;
         writeln!(f, "GRIST-RS-HISTORY v1")?;
@@ -101,7 +119,10 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<Snapshot> {
     };
     let magic = read_line(&mut reader)?;
     if magic != "GRIST-RS-HISTORY v1" {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad magic"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad magic",
+        ));
     }
     let time_line = read_line(&mut reader)?;
     let time_s: f64 = time_line
@@ -119,7 +140,10 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<Snapshot> {
         let mut parts = fl.split_whitespace();
         let tag = parts.next();
         if tag != Some("field") {
-            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad field line"));
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad field line",
+            ));
         }
         let name = parts.next().unwrap_or("").to_string();
         let len: usize = parts
@@ -130,7 +154,10 @@ pub fn read_snapshot(path: &Path) -> std::io::Result<Snapshot> {
     }
     let data_tag = read_line(&mut reader)?;
     if data_tag != "data" {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "missing data tag"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "missing data tag",
+        ));
     }
     let mut records = Vec::with_capacity(n);
     for (name, len) in metas {
@@ -162,8 +189,14 @@ mod tests {
         let snap = Snapshot {
             time_s: 1234.5,
             records: vec![
-                HistoryRecord { name: "a".into(), data: vec![1.0, -2.5, 3.25] },
-                HistoryRecord { name: "b".into(), data: vec![f64::MIN_POSITIVE, 1e300] },
+                HistoryRecord {
+                    name: "a".into(),
+                    data: vec![1.0, -2.5, 3.25],
+                },
+                HistoryRecord {
+                    name: "b".into(),
+                    data: vec![f64::MIN_POSITIVE, 1e300],
+                },
             ],
         };
         let mut w = HistoryWriter::new(&dir, "test").unwrap();
@@ -176,7 +209,10 @@ mod tests {
     #[test]
     fn writer_numbers_files_sequentially() {
         let dir = tmpdir("seq");
-        let snap = Snapshot { time_s: 0.0, records: vec![] };
+        let snap = Snapshot {
+            time_s: 0.0,
+            records: vec![],
+        };
         let mut w = HistoryWriter::new(&dir, "run").unwrap();
         let p0 = w.write(&snap).unwrap();
         let p1 = w.write(&snap).unwrap();

@@ -27,7 +27,7 @@ pub use datagen::{
     coarse_grain_columns, generate_training_data, train_ml_suite, CoarseMap, DataGenConfig,
     GeneratedData, TrainReport,
 };
-pub use history::{read_snapshot, HistoryRecord, HistoryWriter, Snapshot};
 pub use diag::{bin_latlon, precision_gate, spatial_correlation, PrecisionGate};
+pub use history::{read_snapshot, HistoryRecord, HistoryWriter, Snapshot};
 pub use mlsuite::{MlOutput, MlSuite};
 pub use model::{GristModel, PhysicsEngine};

@@ -8,7 +8,7 @@ use grist_ml::models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS};
 use grist_physics::column::consts::LVAP;
 use grist_physics::surface::{bulk_fluxes, SurfaceConfig};
 use grist_physics::{Column, SurfaceDiag, Tendencies};
-use rayon::prelude::*;
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// The coupled ML physics suite.
 #[derive(Debug, Clone)]
@@ -16,6 +16,8 @@ pub struct MlSuite {
     pub cnn: TendencyCnn,
     pub mlp: RadiationMlp,
     pub nlev: usize,
+    /// Execution target for the per-column inference fan-out (§3.3.4).
+    pub sub: Substrate,
 }
 
 /// Output of the ML suite on one column (mirrors the conventional suite's).
@@ -38,7 +40,12 @@ impl MlSuite {
         // precipitation (our diagnostic-module extension — DESIGN.md).
         let mut mlp = RadiationMlp::with_outputs(2 * nlev + 2, 3, 64, seed ^ 0x5eed);
         mlp.out_norm = vec![(200.0, 20.0), (350.0, 20.0), (1.0, 0.5)];
-        MlSuite { cnn, mlp, nlev }
+        MlSuite {
+            cnn,
+            mlp,
+            nlev,
+            sub: Substrate::serial(),
+        }
     }
 
     /// Build the CNN input vector `[U|V|T|Q|P] × nlev` from a column
@@ -117,7 +124,18 @@ impl MlSuite {
     /// Run on many columns in parallel — "a simplified, unified computational
     /// pattern (primarily matrix multiplication)".
     pub fn step_columns(&self, cols: &[Column]) -> Vec<MlOutput> {
-        cols.par_iter().map(|c| self.step_column(c)).collect()
+        let n = cols.len();
+        let mut out: Vec<Option<MlOutput>> = (0..n).map(|_| None).collect();
+        {
+            let out_cols = ColumnsMut::new(&mut out, 1);
+            self.sub.run("ml_physics_columns", n, |i| {
+                // SAFETY: each column index is dispatched exactly once.
+                *unsafe { out_cols.at(i) } = Some(self.step_column(&cols[i]));
+            });
+        }
+        out.into_iter()
+            .map(|o| o.expect("column dispatched"))
+            .collect()
     }
 
     /// Inference FLOPs per column (for the §4.7 comparison).
@@ -141,7 +159,12 @@ impl MlSuite {
         let cnn = TendencyCnn::load_from(&mut f)?;
         let mlp = RadiationMlp::load_from(&mut f)?;
         let nlev = cnn.nlev;
-        Ok(MlSuite { cnn, mlp, nlev })
+        Ok(MlSuite {
+            cnn,
+            mlp,
+            nlev,
+            sub: Substrate::serial(),
+        })
     }
 }
 
@@ -205,7 +228,11 @@ mod tests {
         suite.mlp.out_norm = vec![(250.0, 0.0), (340.0, 0.0), (7.5, 0.0)];
         let col = Column::reference(4);
         let out = suite.step_column(&col);
-        assert!((out.diag.precip - 7.5).abs() < 1e-6, "precip {}", out.diag.precip);
+        assert!(
+            (out.diag.precip - 7.5).abs() < 1e-6,
+            "precip {}",
+            out.diag.precip
+        );
         suite.mlp.out_norm[2] = (-3.0, 0.0);
         let out = suite.step_column(&col);
         assert_eq!(out.diag.precip, 0.0, "negative prediction must clamp");

@@ -8,12 +8,17 @@ use crate::mlsuite::MlSuite;
 use grist_dycore::hevi::NhConfig;
 use grist_dycore::{NhSolver, NhState, Real, VerticalCoord};
 use grist_mesh::HexMesh;
+use grist_physics::suite::SuiteConfig;
 use grist_physics::{ColumnPhysicsState, ConventionalSuite, SurfaceDiag, Tendencies};
+use sunway_sim::{format_kernel_report, KernelReportRow, Substrate};
 
 /// Which physics suite is coupled (Table 3's "Physics" column).
 #[allow(clippy::large_enum_variant)] // one engine per model; size is irrelevant
 pub enum PhysicsEngine {
-    Conventional { suite: ConventionalSuite, states: Vec<ColumnPhysicsState> },
+    Conventional {
+        suite: ConventionalSuite,
+        states: Vec<ColumnPhysicsState>,
+    },
     Ml(Box<MlSuite>),
 }
 
@@ -51,16 +56,28 @@ pub struct GristModel<R: Real> {
 }
 
 impl<R: Real> GristModel<R> {
-    /// Build an aqua-planet model at the configured grid level, at rest.
+    /// Build an aqua-planet model at the configured grid level, at rest,
+    /// running every hot loop serially on the calling thread.
     pub fn new(config: RunConfig) -> Self {
+        Self::with_substrate(config, Substrate::serial())
+    }
+
+    /// Build the model on an explicit execution target (§3.3). The dycore
+    /// solver and the physics suite share the substrate's job server and
+    /// profiler, so [`Self::kernel_report`] covers the whole coupled step.
+    pub fn with_substrate(config: RunConfig, sub: Substrate) -> Self {
         let mesh = HexMesh::build(config.level);
         let lats: Vec<f64> = mesh.cell_xyz.iter().map(|p| p.lat()).collect();
         let lons: Vec<f64> = mesh.cell_xyz.iter().map(|p| p.lon()).collect();
         let nc = mesh.n_cells();
-        let solver = NhSolver::new(
+        let solver = NhSolver::with_substrate(
             mesh,
             VerticalCoord::uniform(config.nlev),
-            NhConfig { ntracers: 3, ..Default::default() },
+            NhConfig {
+                ntracers: 3,
+                ..Default::default()
+            },
+            sub.clone(),
         );
         let mut state = solver.isothermal_rest_state(config.t_ref, config.ps_ref);
         // Moisten the lower troposphere (qv tracer) for a live hydrology.
@@ -74,12 +91,17 @@ impl<R: Real> GristModel<R> {
         }
         let surface = SurfaceState::aqua_planet(&lats);
         let physics = if config.ml_physics {
-            PhysicsEngine::Ml(Box::new(MlSuite::untrained(config.nlev, 32, 2024)))
+            let mut suite = MlSuite::untrained(config.nlev, 32, 2024);
+            suite.sub = sub.clone();
+            PhysicsEngine::Ml(Box::new(suite))
         } else {
             let states = (0..nc)
                 .map(|c| ColumnPhysicsState::new(config.nlev, surface.ocean[c], surface.tskin[c]))
                 .collect();
-            PhysicsEngine::Conventional { suite: ConventionalSuite::default(), states }
+            PhysicsEngine::Conventional {
+                suite: ConventionalSuite::with_substrate(SuiteConfig::default(), sub.clone()),
+                states,
+            }
         };
         GristModel {
             solver,
@@ -102,7 +124,8 @@ impl<R: Real> GristModel<R> {
     /// for the conventional suite).
     pub fn add_continent(&mut self, lat_range: (f64, f64), lon_range: (f64, f64)) {
         let (lats, lons) = (self.lats.clone(), self.lons.clone());
-        self.surface.add_continent(&lats, &lons, lat_range, lon_range);
+        self.surface
+            .add_continent(&lats, &lons, lat_range, lon_range);
         if let PhysicsEngine::Conventional { states, .. } = &mut self.physics {
             for (c, st) in states.iter_mut().enumerate() {
                 *st = ColumnPhysicsState::new(
@@ -114,10 +137,36 @@ impl<R: Real> GristModel<R> {
         }
     }
 
-    /// Replace the physics engine (e.g. with a trained [`MlSuite`]).
-    pub fn set_ml_suite(&mut self, suite: MlSuite) {
+    /// Replace the physics engine (e.g. with a trained [`MlSuite`]). The
+    /// suite is re-homed onto the model's substrate so its column dispatches
+    /// keep feeding the shared kernel profiler.
+    pub fn set_ml_suite(&mut self, mut suite: MlSuite) {
         assert_eq!(suite.nlev, self.config.nlev);
+        suite.sub = self.solver.sub.clone();
         self.physics = PhysicsEngine::Ml(Box::new(suite));
+    }
+
+    /// The execution substrate shared by the dycore and the physics suite.
+    pub fn substrate(&self) -> &Substrate {
+        &self.solver.sub
+    }
+
+    /// Per-kernel wall time and invocation counts accumulated over every
+    /// dispatch since construction (or the last [`Self::reset_kernel_report`])
+    /// — the Fig. 9-style measured table, hottest kernel first.
+    pub fn kernel_report(&self) -> Vec<KernelReportRow> {
+        self.solver.sub.kernel_report()
+    }
+
+    /// [`Self::kernel_report`] formatted as an aligned text table.
+    pub fn kernel_report_text(&self) -> String {
+        format_kernel_report(&self.kernel_report())
+    }
+
+    /// Clear the accumulated kernel profile (e.g. after spin-up, before a
+    /// measured `measure_sdpd` window).
+    pub fn reset_kernel_report(&self) {
+        self.solver.sub.reset_profile();
     }
 
     pub fn n_cells(&self) -> usize {
@@ -137,7 +186,8 @@ impl<R: Real> GristModel<R> {
         let dt_phy = self.config.dt_phy;
         let utc_hours = (self.time_s / 3600.0) % 24.0;
         let (lats, lons) = (&self.lats, &self.lons);
-        self.surface.update_sun(lats, lons, self.declination, utc_hours);
+        self.surface
+            .update_sun(lats, lons, self.declination, utc_hours);
         let cols = extract_columns(&mut self.solver, &self.state, &self.surface);
 
         let (tends, diags): (Vec<Tendencies>, Vec<SurfaceDiag>) = match &mut self.physics {
@@ -154,7 +204,7 @@ impl<R: Real> GristModel<R> {
         self.last_tendencies = tends;
         for (c, d) in diags.iter().enumerate() {
             self.precip_accum[c] += d.precip * dt_phy / 86_400.0; // mm/day → mm
-            // Land skin temperature persists; ocean SST is prescribed.
+                                                                  // Land skin temperature persists; ocean SST is prescribed.
             if !self.surface.ocean[c] {
                 self.surface.tskin[c] = d.tskin;
             }
@@ -218,12 +268,12 @@ mod tests {
         let m = GristModel::<f64>::new(small_config());
         // Moisture at the lowest level should peak near the equator.
         let nlev = m.config.nlev;
-        let eq = (0..m.n_cells()).min_by(|&a, &b| {
-            m.lats[a].abs().partial_cmp(&m.lats[b].abs()).unwrap()
-        }).unwrap();
-        let pole = (0..m.n_cells()).max_by(|&a, &b| {
-            m.lats[a].abs().partial_cmp(&m.lats[b].abs()).unwrap()
-        }).unwrap();
+        let eq = (0..m.n_cells())
+            .min_by(|&a, &b| m.lats[a].abs().partial_cmp(&m.lats[b].abs()).unwrap())
+            .unwrap();
+        let pole = (0..m.n_cells())
+            .max_by(|&a, &b| m.lats[a].abs().partial_cmp(&m.lats[b].abs()).unwrap())
+            .unwrap();
         assert!(m.state.tracers[0].at(nlev - 1, eq) > m.state.tracers[0].at(nlev - 1, pole));
     }
 
@@ -232,7 +282,12 @@ mod tests {
         let mut m = GristModel::<f64>::new(small_config());
         m.advance(4.0 * m.config.dt_phy);
         assert!(m.state.u.as_slice().iter().all(|x| x.is_finite()));
-        assert!(m.state.theta_m.as_slice().iter().all(|x| x.is_finite() && *x > 0.0));
+        assert!(m
+            .state
+            .theta_m
+            .as_slice()
+            .iter()
+            .all(|x| x.is_finite() && *x > 0.0));
         let ps = m.surface_pressure();
         assert!(ps.iter().all(|&p| (8.0e4..1.2e5).contains(&p)));
     }
@@ -256,10 +311,16 @@ mod tests {
         for _ in 0..dyn_per_phy - 1 {
             m.step_dyn();
         }
-        assert!(m.last_diag.iter().all(|d| d.glw == 0.0), "physics ran early");
+        assert!(
+            m.last_diag.iter().all(|d| d.glw == 0.0),
+            "physics ran early"
+        );
         m.step_dyn();
         m.step_physics();
-        assert!(m.last_diag.iter().any(|d| d.glw > 0.0), "physics did not run");
+        assert!(
+            m.last_diag.iter().any(|d| d.glw > 0.0),
+            "physics did not run"
+        );
     }
 
     #[test]
@@ -275,8 +336,7 @@ mod tests {
     fn continent_activates_the_land_model_with_a_diurnal_cycle() {
         let mut m = GristModel::<f64>::new(small_config());
         m.add_continent((0.1, 0.8), (0.0, 1.5));
-        let land_cells: Vec<usize> =
-            (0..m.n_cells()).filter(|&c| !m.surface.ocean[c]).collect();
+        let land_cells: Vec<usize> = (0..m.n_cells()).filter(|&c| !m.surface.ocean[c]).collect();
         assert!(!land_cells.is_empty(), "continent carved no cells");
         let t0: Vec<f64> = land_cells.iter().map(|&c| m.surface.tskin[c]).collect();
         // Integrate across several physics steps: land tskin must evolve
@@ -294,7 +354,10 @@ mod tests {
             land_cells.len()
         );
         let ocean_c = (0..m.n_cells()).find(|&c| m.surface.ocean[c]).unwrap();
-        assert_eq!(m.surface.tskin[ocean_c], ocean_t0, "SST must stay prescribed");
+        assert_eq!(
+            m.surface.tskin[ocean_c], ocean_t0,
+            "SST must stay prescribed"
+        );
     }
 
     #[test]
@@ -304,6 +367,9 @@ mod tests {
         m64.advance(2.0 * m64.config.dt_phy);
         m32.advance(2.0 * m32.config.dt_phy);
         let e = grist_dycore::relative_l2_error(&m32.surface_pressure(), &m64.surface_pressure());
-        assert!(e < grist_dycore::MIXED_PRECISION_ERROR_THRESHOLD, "ps deviation {e}");
+        assert!(
+            e < grist_dycore::MIXED_PRECISION_ERROR_THRESHOLD,
+            "ps deviation {e}"
+        );
     }
 }

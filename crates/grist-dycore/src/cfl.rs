@@ -73,7 +73,12 @@ pub fn cfl_report<R: Real>(solver: &mut NhSolver<R>, state: &NhState<R>, dt: f64
         }
     }
     let _ = P0;
-    CflReport { acoustic, advective, vertical, min_dx }
+    CflReport {
+        acoustic,
+        advective,
+        vertical,
+        min_dx,
+    }
 }
 
 /// The largest dynamics timestep with acoustic Courant number below `target`
@@ -116,7 +121,10 @@ mod tests {
     fn g12_timestep_satisfies_the_acoustic_bound() {
         // Table 2: G12 (min spacing ~1.47 km) runs dyn = 4 s.
         let dt_max = max_acoustic_dt(1470.0, 260.0, 1.0);
-        assert!(dt_max > 4.0, "4 s must be acoustically stable at G12: bound {dt_max}");
+        assert!(
+            dt_max > 4.0,
+            "4 s must be acoustically stable at G12: bound {dt_max}"
+        );
         assert!(dt_max < 8.0, "and 8 s must not be far off: bound {dt_max}");
         // G11S doubles the spacing and the paper doubles dt to 8 s.
         let dt_max_g11 = max_acoustic_dt(2940.0, 260.0, 1.0);

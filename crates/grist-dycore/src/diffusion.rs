@@ -10,48 +10,46 @@ use crate::field::Field2;
 use crate::operators::ScaledGeometry;
 use crate::real::Real;
 use grist_mesh::HexMesh;
-use rayon::prelude::*;
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// Cell-scalar Laplacian: `∇²h|_i = (1/A_i) Σ_e s(i,e) ℓ_e (h_nb − h_i)/d_e`.
 pub fn laplacian_cell<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     h: &Field2<R>,
     out: &mut Field2<R>,
 ) {
     let nlev = h.nlev();
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(c, col)| {
-            col.fill(R::ZERO);
-            let rng = mesh.cell_edges.row_range(c);
-            let own = h.col(c);
-            for (k, (&e, &nb)) in mesh
-                .cell_edges
-                .row(c)
-                .iter()
-                .zip(mesh.cell_neighbors.row(c))
-                .enumerate()
-            {
-                let _ = k;
-                let w = geom.edge_le[e as usize] * geom.inv_edge_de[e as usize];
-                let _ = &rng;
-                let nbc = h.col(nb as usize);
-                for (o, (&hn, &hi)) in col.iter_mut().zip(nbc.iter().zip(own)) {
-                    *o += w * (hn - hi);
-                }
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("laplacian_cell", cols.len(), |c| {
+        // SAFETY: each cell index is dispatched exactly once.
+        let col = unsafe { cols.col(c) };
+        col.fill(R::ZERO);
+        let own = h.col(c);
+        for (&e, &nb) in mesh
+            .cell_edges
+            .row(c)
+            .iter()
+            .zip(mesh.cell_neighbors.row(c))
+        {
+            let w = geom.edge_le[e as usize] * geom.inv_edge_de[e as usize];
+            let nbc = h.col(nb as usize);
+            for (o, (&hn, &hi)) in col.iter_mut().zip(nbc.iter().zip(own)) {
+                *o += w * (hn - hi);
             }
-            let ia = geom.inv_cell_area[c];
-            for o in col.iter_mut() {
-                *o *= ia;
-            }
-        });
+        }
+        let ia = geom.inv_cell_area[c];
+        for o in col.iter_mut() {
+            *o *= ia;
+        }
+    });
 }
 
 /// Edge-velocity "Laplacian" via the vector identity
 /// `∇²V = ∇(∇·V) − ∇×(∇×V)`, projected on the edge normal.
 pub fn laplacian_edge<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     u: &Field2<R>,
@@ -60,30 +58,34 @@ pub fn laplacian_edge<R: Real>(
     out: &mut Field2<R>,
 ) {
     let nlev = u.nlev();
-    crate::operators::divergence(mesh, geom, u, div_scratch);
-    crate::operators::vorticity(mesh, geom, u, vor_scratch);
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let [c1, c2] = mesh.edge_cells[e];
-            let [v1, v2] = mesh.edge_verts[e];
-            let inv_de = geom.inv_edge_de[e];
-            // ℓ_e-based tangential spacing between the two dual vertices.
-            let inv_le = R::ONE / geom.edge_le[e];
-            let (d1, d2) = (div_scratch.col(c1 as usize), div_scratch.col(c2 as usize));
-            let (z1, z2) = (vor_scratch.col(v1 as usize), vor_scratch.col(v2 as usize));
-            for k in 0..nlev {
-                let grad_div = (d2[k] - d1[k]) * inv_de;
-                let curl_vor = (z2[k] - z1[k]) * inv_le;
-                col[k] = grad_div - curl_vor;
-            }
-        });
+    crate::operators::divergence(sub, mesh, geom, u, div_scratch);
+    crate::operators::vorticity(sub, mesh, geom, u, vor_scratch);
+    let div_scratch = &*div_scratch;
+    let vor_scratch = &*vor_scratch;
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("laplacian_edge", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let [c1, c2] = mesh.edge_cells[e];
+        let [v1, v2] = mesh.edge_verts[e];
+        let inv_de = geom.inv_edge_de[e];
+        // ℓ_e-based tangential spacing between the two dual vertices.
+        let inv_le = R::ONE / geom.edge_le[e];
+        let (d1, d2) = (div_scratch.col(c1 as usize), div_scratch.col(c2 as usize));
+        let (z1, z2) = (vor_scratch.col(v1 as usize), vor_scratch.col(v2 as usize));
+        for k in 0..nlev {
+            let grad_div = (d2[k] - d1[k]) * inv_de;
+            let curl_vor = (z2[k] - z1[k]) * inv_le;
+            col[k] = grad_div - curl_vor;
+        }
+    });
 }
 
 /// Scale-selective ∇⁴ hyperdiffusion tendency for a cell scalar:
 /// `∂h/∂t = −ν₄ ∇⁴ h`, applied as two Laplacian sweeps. `nu4` in m⁴/s.
+#[allow(clippy::too_many_arguments)]
 pub fn hyperdiffuse_cell<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     h: &mut Field2<R>,
@@ -92,8 +94,8 @@ pub fn hyperdiffuse_cell<R: Real>(
     lap1: &mut Field2<R>,
     lap2: &mut Field2<R>,
 ) {
-    laplacian_cell(mesh, geom, h, lap1);
-    laplacian_cell(mesh, geom, lap1, lap2);
+    laplacian_cell(sub, mesh, geom, h, lap1);
+    laplacian_cell(sub, mesh, geom, lap1, lap2);
     let coef = R::from_f64(-nu4 * dt);
     h.axpy(coef, lap2);
 }
@@ -101,12 +103,7 @@ pub fn hyperdiffuse_cell<R: Real>(
 /// The maximum stable ν₄ for an explicit step on this mesh:
 /// `ν₄ < Δx⁴ / (32 Δt)` with Δx the minimum dual-edge spacing.
 pub fn max_stable_nu4(mesh: &HexMesh, rearth: f64, dt: f64) -> f64 {
-    let min_de = mesh
-        .edge_de
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min)
-        * rearth;
+    let min_de = mesh.edge_de.iter().cloned().fold(f64::INFINITY, f64::min) * rearth;
     min_de.powi(4) / (32.0 * dt)
 }
 
@@ -114,6 +111,10 @@ pub fn max_stable_nu4(mesh: &HexMesh, rearth: f64, dt: f64) -> f64 {
 mod tests {
     use super::*;
     use grist_mesh::{EARTH_OMEGA, EARTH_RADIUS_M};
+
+    fn sub() -> Substrate {
+        Substrate::serial()
+    }
 
     fn setup(level: u32) -> (HexMesh, ScaledGeometry<f64>) {
         let mesh = HexMesh::build(level);
@@ -126,7 +127,7 @@ mod tests {
         let (mesh, geom) = setup(3);
         let h = Field2::constant(2, mesh.n_cells(), 42.0);
         let mut l = Field2::constant(2, mesh.n_cells(), 9.0);
-        laplacian_cell(&mesh, &geom, &h, &mut l);
+        laplacian_cell(&sub(), &mesh, &geom, &h, &mut l);
         let max = l.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(max < 1e-12, "∇²const = {max}");
     }
@@ -137,8 +138,10 @@ mod tests {
         let (mesh, geom) = setup(3);
         let h = Field2::from_fn(1, mesh.n_cells(), |_, c| (c % 23) as f64);
         let mut l = Field2::zeros(1, mesh.n_cells());
-        laplacian_cell(&mesh, &geom, &h, &mut l);
-        let total: f64 = (0..mesh.n_cells()).map(|c| l.at(0, c) * mesh.cell_area[c]).sum();
+        laplacian_cell(&sub(), &mesh, &geom, &h, &mut l);
+        let total: f64 = (0..mesh.n_cells())
+            .map(|c| l.at(0, c) * mesh.cell_area[c])
+            .sum();
         assert!(total.abs() < 1e-16, "∮∇²h = {total}");
     }
 
@@ -148,7 +151,7 @@ mod tests {
         let (mesh, geom) = setup(5);
         let h = Field2::from_fn(1, mesh.n_cells(), |_, c| mesh.cell_xyz[c].z);
         let mut l = Field2::zeros(1, mesh.n_cells());
-        laplacian_cell(&mesh, &geom, &h, &mut l);
+        laplacian_cell(&sub(), &mesh, &geom, &h, &mut l);
         let eig = -2.0 / (EARTH_RADIUS_M * EARTH_RADIUS_M);
         let mut rel = 0.0;
         let mut n = 0;
@@ -170,14 +173,18 @@ mod tests {
         let nu4 = 0.5 * max_stable_nu4(&mesh, EARTH_RADIUS_M, dt);
         // Smooth mode (Y₁) and checkerboard-ish noise.
         let smooth0 = Field2::from_fn(1, mesh.n_cells(), |_, c| mesh.cell_xyz[c].z);
-        let noise0 = Field2::from_fn(1, mesh.n_cells(), |_, c| if c % 2 == 0 { 1.0 } else { -1.0 });
+        let noise0 = Field2::from_fn(
+            1,
+            mesh.n_cells(),
+            |_, c| if c % 2 == 0 { 1.0 } else { -1.0 },
+        );
         let mut smooth = smooth0.clone();
         let mut noise = noise0.clone();
         let mut l1 = Field2::zeros(1, mesh.n_cells());
         let mut l2 = Field2::zeros(1, mesh.n_cells());
         for _ in 0..5 {
-            hyperdiffuse_cell(&mesh, &geom, &mut smooth, nu4, dt, &mut l1, &mut l2);
-            hyperdiffuse_cell(&mesh, &geom, &mut noise, nu4, dt, &mut l1, &mut l2);
+            hyperdiffuse_cell(&sub(), &mesh, &geom, &mut smooth, nu4, dt, &mut l1, &mut l2);
+            hyperdiffuse_cell(&sub(), &mesh, &geom, &mut noise, nu4, dt, &mut l1, &mut l2);
         }
         let norm = |a: &Field2<f64>, b: &Field2<f64>| -> f64 {
             let na: f64 = a.as_slice().iter().map(|x| x * x).sum();
@@ -186,8 +193,14 @@ mod tests {
         };
         let smooth_kept = norm(&smooth, &smooth0);
         let noise_kept = norm(&noise, &noise0);
-        assert!(smooth_kept > 0.98, "smooth mode over-damped: kept {smooth_kept}");
-        assert!(noise_kept < 0.7 * smooth_kept, "noise under-damped: kept {noise_kept}");
+        assert!(
+            smooth_kept > 0.98,
+            "smooth mode over-damped: kept {smooth_kept}"
+        );
+        assert!(
+            noise_kept < 0.7 * smooth_kept,
+            "noise under-damped: kept {noise_kept}"
+        );
     }
 
     #[test]
@@ -195,26 +208,37 @@ mod tests {
         let (mesh, geom) = setup(3);
         let dt = 600.0;
         let nu4 = 0.9 * max_stable_nu4(&mesh, EARTH_RADIUS_M, dt);
-        let mut h = Field2::from_fn(1, mesh.n_cells(), |_, c| if c % 2 == 0 { 1.0 } else { -1.0 });
+        let mut h = Field2::from_fn(
+            1,
+            mesh.n_cells(),
+            |_, c| if c % 2 == 0 { 1.0 } else { -1.0 },
+        );
         let mut l1 = Field2::zeros(1, mesh.n_cells());
         let mut l2 = Field2::zeros(1, mesh.n_cells());
         let n0: f64 = h.as_slice().iter().map(|x| x * x).sum();
         for _ in 0..50 {
-            hyperdiffuse_cell(&mesh, &geom, &mut h, nu4, dt, &mut l1, &mut l2);
+            hyperdiffuse_cell(&sub(), &mesh, &geom, &mut h, nu4, dt, &mut l1, &mut l2);
         }
         let n1: f64 = h.as_slice().iter().map(|x| x * x).sum();
-        assert!(n1.is_finite() && n1 <= n0, "hyperdiffusion unstable: {n0} -> {n1}");
+        assert!(
+            n1.is_finite() && n1 <= n0,
+            "hyperdiffusion unstable: {n0} -> {n1}"
+        );
     }
 
     #[test]
     fn edge_laplacian_damps_divergent_and_rotational_noise() {
         let (mesh, geom) = setup(3);
         let nlev = 1;
-        let u = Field2::from_fn(nlev, mesh.n_edges(), |_, e| if e % 2 == 0 { 1.0 } else { -1.0 });
+        let u = Field2::from_fn(
+            nlev,
+            mesh.n_edges(),
+            |_, e| if e % 2 == 0 { 1.0 } else { -1.0 },
+        );
         let mut div = Field2::zeros(nlev, mesh.n_cells());
         let mut vor = Field2::zeros(nlev, mesh.n_verts());
         let mut lap = Field2::zeros(nlev, mesh.n_edges());
-        laplacian_edge(&mesh, &geom, &u, &mut div, &mut vor, &mut lap);
+        laplacian_edge(&sub(), &mesh, &geom, &u, &mut div, &mut vor, &mut lap);
         // Applying u += dt·∇²u must reduce the noise norm for small dt.
         let dx = mesh.edge_de.iter().cloned().fold(f64::INFINITY, f64::min) * EARTH_RADIUS_M;
         let dt = 0.1 * dx * dx / 4.0; // well under the diffusive CFL with ν=1

@@ -51,7 +51,7 @@ pub fn energy_budget<R: Real>(solver: &mut NhSolver<R>, state: &NhState<R>) -> E
 
     // Horizontal KE per cell from the edge velocities.
     let mut ke = Field2::<R>::zeros(nlev, mesh.n_cells());
-    op::kinetic_energy(&mesh, &solver.geom, &state.u, &mut ke);
+    op::kinetic_energy(&solver.sub.clone(), &mesh, &solver.geom, &state.u, &mut ke);
 
     let total_area: f64 = mesh.cell_area.iter().sum();
     let mut internal = 0.0;
@@ -77,7 +77,14 @@ pub fn energy_budget<R: Real>(solver: &mut NhSolver<R>, state: &NhState<R>) -> E
             }
         }
     }
-    EnergyBudget { internal, potential, kinetic_h, kinetic_w, mass, water }
+    EnergyBudget {
+        internal,
+        potential,
+        kinetic_h,
+        kinetic_w,
+        mass,
+        water,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +95,11 @@ mod tests {
     use grist_mesh::HexMesh;
 
     fn solver() -> NhSolver<f64> {
-        NhSolver::new(HexMesh::build(2), VerticalCoord::uniform(10), NhConfig::default())
+        NhSolver::new(
+            HexMesh::build(2),
+            VerticalCoord::uniform(10),
+            NhConfig::default(),
+        )
     }
 
     #[test]
@@ -97,9 +108,17 @@ mod tests {
         let st = s.isothermal_rest_state(280.0, 1.0e5);
         let b = energy_budget(&mut s, &st);
         // Column mass ≈ (ps − p_top)/g ≈ 1.017e4 kg/m².
-        assert!((b.mass - (1.0e5 - 225.0) / GRAVITY).abs() < 1.0, "mass {}", b.mass);
+        assert!(
+            (b.mass - (1.0e5 - 225.0) / GRAVITY).abs() < 1.0,
+            "mass {}",
+            b.mass
+        );
         // Internal energy ≈ cv·T·M ≈ 2e9 J/m².
-        assert!((1.5e9..3.0e9).contains(&b.internal), "internal {}", b.internal);
+        assert!(
+            (1.5e9..3.0e9).contains(&b.internal),
+            "internal {}",
+            b.internal
+        );
         assert!(b.potential > 0.0 && b.potential < b.internal);
         assert_eq!(b.kinetic_h, 0.0);
         assert_eq!(b.kinetic_w, 0.0);
@@ -129,7 +148,11 @@ mod tests {
             let m = s.mesh.edge_mid[e];
             let zonal = grist_mesh::Vec3::new(0.0, 0.0, 1.0).cross(m);
             for k in 0..10 {
-                st.u.set(k, e, 15.0 * m.lat().cos() * zonal.dot(s.mesh.edge_normal[e]));
+                st.u.set(
+                    k,
+                    e,
+                    15.0 * m.lat().cos() * zonal.dot(s.mesh.edge_normal[e]),
+                );
             }
         }
         let b0 = energy_budget(&mut s, &st);
@@ -144,7 +167,10 @@ mod tests {
         assert!(drift < 1e-4, "total energy drift {drift}");
         // Mass and water exactly conserved.
         assert!(((b1.mass - b0.mass) / b0.mass).abs() < 1e-12);
-        assert!(((b1.water - b0.water) / b0.water).abs() < 1e-9, "water drift");
+        assert!(
+            ((b1.water - b0.water) / b0.water).abs() < 1e-9,
+            "water drift"
+        );
     }
 
     #[test]

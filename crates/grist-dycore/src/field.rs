@@ -19,11 +19,19 @@ pub struct Field2<R: Real> {
 
 impl<R: Real> Field2<R> {
     pub fn zeros(nlev: usize, ncols: usize) -> Self {
-        Field2 { nlev, ncols, data: vec![R::ZERO; nlev * ncols] }
+        Field2 {
+            nlev,
+            ncols,
+            data: vec![R::ZERO; nlev * ncols],
+        }
     }
 
     pub fn constant(nlev: usize, ncols: usize, v: R) -> Self {
-        Field2 { nlev, ncols, data: vec![v; nlev * ncols] }
+        Field2 {
+            nlev,
+            ncols,
+            data: vec![v; nlev * ncols],
+        }
     }
 
     /// Build from a per-(level, column) closure.
@@ -122,11 +130,17 @@ impl<R: Real> Field2<R> {
     }
 
     pub fn min_value(&self) -> R {
-        self.data.iter().copied().fold(self.data[0], |a, b| a.min(b))
+        self.data
+            .iter()
+            .copied()
+            .fold(self.data[0], |a, b| a.min(b))
     }
 
     pub fn max_value(&self) -> R {
-        self.data.iter().copied().fold(self.data[0], |a, b| a.max(b))
+        self.data
+            .iter()
+            .copied()
+            .fold(self.data[0], |a, b| a.max(b))
     }
 }
 
@@ -138,7 +152,9 @@ pub struct Field1<R: Real> {
 
 impl<R: Real> Field1<R> {
     pub fn zeros(n: usize) -> Self {
-        Field1 { data: vec![R::ZERO; n] }
+        Field1 {
+            data: vec![R::ZERO; n],
+        }
     }
     pub fn constant(n: usize, v: R) -> Self {
         Field1 { data: vec![v; n] }

@@ -34,7 +34,7 @@ use crate::real::Real;
 use crate::tracer::{fct_transport_step, FctWorkspace};
 use crate::vertical::{thomas_solve, VerticalCoord};
 use grist_mesh::{HexMesh, EARTH_OMEGA, EARTH_RADIUS_M};
-use rayon::prelude::*;
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// Prognostic state of the nonhydrostatic core.
 ///
@@ -94,7 +94,11 @@ pub struct NhConfig {
 
 impl Default for NhConfig {
     fn default() -> Self {
-        NhConfig { div_damp: 0.12, beta: 1.0, ntracers: 1 }
+        NhConfig {
+            div_damp: 0.12,
+            beta: 1.0,
+            ntracers: 1,
+        }
     }
 }
 
@@ -103,6 +107,9 @@ pub struct NhSolver<R: Real> {
     pub mesh: HexMesh,
     pub vc: VerticalCoord,
     pub config: NhConfig,
+    /// Execution target for every hot loop (§3.3): serial MPE fallback or
+    /// SWGOMP CPE-team offload. Clones share the job server and profiler.
+    pub sub: Substrate,
     /// Working-precision metric terms.
     pub geom: ScaledGeometry<R>,
     /// Double-precision metric terms for the sensitive terms.
@@ -135,6 +142,18 @@ pub struct NhSolver<R: Real> {
 
 impl<R: Real> NhSolver<R> {
     pub fn new(mesh: HexMesh, vc: VerticalCoord, config: NhConfig) -> Self {
+        Self::with_substrate(mesh, vc, config, Substrate::serial())
+    }
+
+    /// Build the solver on an explicit execution target (the `!$omp target`
+    /// choice of §3.3): pass [`Substrate::cpe_teams`] to offload every hot
+    /// loop through the SWGOMP job server.
+    pub fn with_substrate(
+        mesh: HexMesh,
+        vc: VerticalCoord,
+        config: NhConfig,
+        sub: Substrate,
+    ) -> Self {
         let nlev = vc.nlev;
         let (nc, ne, nv) = (mesh.n_cells(), mesh.n_edges(), mesh.n_verts());
         let geom = ScaledGeometry::new(&mesh, EARTH_RADIUS_M, EARTH_OMEGA);
@@ -168,6 +187,7 @@ impl<R: Real> NhSolver<R> {
             mesh,
             vc,
             config,
+            sub,
         }
     }
 
@@ -217,32 +237,30 @@ impl<R: Real> NhSolver<R> {
     fn diagnose(&mut self, state: &NhState<R>) {
         let nlev = self.vc.nlev;
         let gamma = 1.0 / (1.0 - KAPPA);
-        let theta = &mut self.theta;
-        let dphi = &mut self.dphi;
-        let pres = &mut self.pres;
-        let exner = &mut self.exner;
-        theta
-            .as_mut_slice()
-            .par_chunks_mut(nlev)
-            .zip(dphi.as_mut_slice().par_chunks_mut(nlev))
-            .zip(pres.as_mut_slice().par_chunks_mut(nlev))
-            .zip(exner.as_mut_slice().par_chunks_mut(nlev))
-            .enumerate()
-            .for_each(|(c, (((th, dp), pr), ex))| {
-                let dpi = state.dpi.col(c);
-                let phi = state.phi.col(c);
-                for k in 0..nlev {
-                    let t = state.theta_m.at(k, c) / dpi[k];
-                    let d = phi[k] - phi[k + 1];
-                    debug_assert!(d > 0.0, "negative layer thickness at cell {c} lev {k}");
-                    let rho = dpi[k] / d;
-                    let p = P0 * (rho * RDRY * t / P0).powf(gamma);
-                    th[k] = t;
-                    dp[k] = d;
-                    pr[k] = p;
-                    ex[k] = (p / P0).powf(KAPPA);
-                }
-            });
+        let theta = ColumnsMut::new(self.theta.as_mut_slice(), nlev);
+        let dphi = ColumnsMut::new(self.dphi.as_mut_slice(), nlev);
+        let pres = ColumnsMut::new(self.pres.as_mut_slice(), nlev);
+        let exner = ColumnsMut::new(self.exner.as_mut_slice(), nlev);
+        self.sub.run("hevi_diagnose", theta.len(), |c| {
+            // SAFETY: each cell index is dispatched exactly once.
+            let th = unsafe { theta.col(c) };
+            let dp = unsafe { dphi.col(c) };
+            let pr = unsafe { pres.col(c) };
+            let ex = unsafe { exner.col(c) };
+            let dpi = state.dpi.col(c);
+            let phi = state.phi.col(c);
+            for k in 0..nlev {
+                let t = state.theta_m.at(k, c) / dpi[k];
+                let d = phi[k] - phi[k + 1];
+                debug_assert!(d > 0.0, "negative layer thickness at cell {c} lev {k}");
+                let rho = dpi[k] / d;
+                let p = P0 * (rho * RDRY * t / P0).powf(gamma);
+                th[k] = t;
+                dp[k] = d;
+                pr[k] = p;
+                ex[k] = (p / P0).powf(KAPPA);
+            }
+        });
     }
 
     /// One full HEVI dynamics step of `dt` seconds: explicit horizontal
@@ -255,37 +273,35 @@ impl<R: Real> NhSolver<R> {
 
         // ---------- horizontal explicit phase ----------
         // Vector-invariant momentum pieces in working precision.
-        op::kinetic_energy(mesh, &self.geom, &state.u, &mut self.ke);
-        op::vorticity(mesh, &self.geom, &state.u, &mut self.vor);
+        let sub = self.sub.clone();
+        op::kinetic_energy(&sub, mesh, &self.geom, &state.u, &mut self.ke);
+        op::vorticity(&sub, mesh, &self.geom, &state.u, &mut self.vor);
         {
             let f = &self.geom.f_vert;
-            self.vor
-                .as_mut_slice()
-                .par_chunks_mut(nlev)
-                .enumerate()
-                .for_each(|(v, col)| {
-                    for x in col.iter_mut() {
-                        *x += f[v];
-                    }
-                });
+            let cols = ColumnsMut::new(self.vor.as_mut_slice(), nlev);
+            sub.run("hevi_abs_vorticity", cols.len(), |v| {
+                // SAFETY: each vertex index is dispatched exactly once.
+                for x in unsafe { cols.col(v) }.iter_mut() {
+                    *x += f[v];
+                }
+            });
         }
-        op::vert_to_edge(mesh, &self.vor, &mut self.pv_edge);
-        op::vert_velocity(mesh, &self.geom, &state.u, &mut self.ve, &mut self.vn);
-        op::tangential_velocity(mesh, &self.geom, &self.ve, &self.vn, &mut self.vt);
-        op::gradient(mesh, &self.geom, &self.ke, &mut self.grad_ke);
+        op::vert_to_edge(&sub, mesh, &self.vor, &mut self.pv_edge);
+        op::vert_velocity(&sub, mesh, &self.geom, &state.u, &mut self.ve, &mut self.vn);
+        op::tangential_velocity(&sub, mesh, &self.geom, &self.ve, &self.vn, &mut self.vt);
+        op::gradient(&sub, mesh, &self.geom, &self.ke, &mut self.grad_ke);
 
         // Divergence damping (working precision).
-        op::divergence(mesh, &self.geom, &state.u, &mut self.div_u);
-        op::gradient(mesh, &self.geom, &self.div_u, &mut self.grad_div);
+        op::divergence(&sub, mesh, &self.geom, &state.u, &mut self.div_u);
+        op::gradient(&sub, mesh, &self.geom, &self.div_u, &mut self.grad_div);
 
         // Pressure-gradient force in f64 (sensitive, §3.4.2).
-        op::gradient(mesh, &self.geom64, &self.exner, &mut self.grad_exner);
-        op::cell_to_edge(mesh, &self.theta, &mut self.theta_edge);
+        op::gradient(&sub, mesh, &self.geom64, &self.exner, &mut self.grad_exner);
+        op::cell_to_edge(&sub, mesh, &self.theta, &mut self.theta_edge);
 
         // Mean edge spacing for the damping coefficient scale ν = c·Δx²/dt.
         let dx2 = {
-            let mean_de: f64 =
-                self.mesh.edge_de.iter().sum::<f64>() / self.mesh.n_edges() as f64;
+            let mean_de: f64 = self.mesh.edge_de.iter().sum::<f64>() / self.mesh.n_edges() as f64;
             let d = mean_de * EARTH_RADIUS_M;
             d * d
         };
@@ -300,21 +316,19 @@ impl<R: Real> NhSolver<R> {
             let gdiv = &self.grad_div;
             let gex = &self.grad_exner;
             let te = &self.theta_edge;
-            state
-                .u
-                .as_mut_slice()
-                .par_chunks_mut(nlev)
-                .enumerate()
-                .for_each(|(e, col)| {
-                    for k in 0..nlev {
-                        let cor = pv.at(k, e) * vt.at(k, e);
-                        // Pressure-gradient force assembled in f64, cast once
-                        // (§3.4.2: sensitive term).
-                        let pgf = R::from_f64(CP * te.at(k, e) * gex.at(k, e));
-                        let tend = cor - gke.at(k, e) - pgf + nu * gdiv.at(k, e);
-                        col[k] += dt_r * tend;
-                    }
-                });
+            let cols = ColumnsMut::new(state.u.as_mut_slice(), nlev);
+            sub.run("hevi_momentum_update", cols.len(), |e| {
+                // SAFETY: each edge index is dispatched exactly once.
+                let col = unsafe { cols.col(e) };
+                for k in 0..nlev {
+                    let cor = pv.at(k, e) * vt.at(k, e);
+                    // Pressure-gradient force assembled in f64, cast once
+                    // (§3.4.2: sensitive term).
+                    let pgf = R::from_f64(CP * te.at(k, e) * gex.at(k, e));
+                    let tend = cor - gke.at(k, e) - pgf + nu * gdiv.at(k, e);
+                    col[k] += dt_r * tend;
+                }
+            });
         }
 
         // Dry-mass flux δπ·u with the *updated* velocity (forward-backward)
@@ -322,58 +336,67 @@ impl<R: Real> NhSolver<R> {
         {
             let u = &state.u;
             let dpi = &state.dpi;
-            self.mass_flux
-                .as_mut_slice()
-                .par_chunks_mut(nlev)
-                .enumerate()
-                .for_each(|(e, col)| {
-                    let [c1, c2] = mesh.edge_cells[e];
-                    let (a, b) = (dpi.col(c1 as usize), dpi.col(c2 as usize));
-                    for k in 0..nlev {
-                        col[k] = 0.5 * (a[k] + b[k]) * u.at(k, e).to_f64();
-                    }
-                });
+            let cols = ColumnsMut::new(self.mass_flux.as_mut_slice(), nlev);
+            sub.run("hevi_mass_flux", cols.len(), |e| {
+                // SAFETY: each edge index is dispatched exactly once.
+                let col = unsafe { cols.col(e) };
+                let [c1, c2] = mesh.edge_cells[e];
+                let (a, b) = (dpi.col(c1 as usize), dpi.col(c2 as usize));
+                for k in 0..nlev {
+                    col[k] = 0.5 * (a[k] + b[k]) * u.at(k, e).to_f64();
+                }
+            });
         }
-        op::divergence(mesh, &self.geom64, &self.mass_flux, &mut self.div_mass);
+        op::divergence(
+            &sub,
+            mesh,
+            &self.geom64,
+            &self.mass_flux,
+            &mut self.div_mass,
+        );
 
         // Vertical (σ-coordinate) mass flux ṁ at interfaces.
         {
             let sigma_i = &self.vc.sigma_i;
             let div_mass = &self.div_mass;
-            self.mdot
-                .as_mut_slice()
-                .par_chunks_mut(nlev + 1)
-                .enumerate()
-                .for_each(|(c, col)| {
-                    let dcol = div_mass.col(c);
-                    let dps_dt: f64 = -dcol.iter().sum::<f64>();
-                    let mut acc = 0.0;
-                    col[0] = 0.0;
-                    for k in 0..nlev {
-                        acc += dcol[k];
-                        col[k + 1] = -(sigma_i[k + 1] * dps_dt + acc);
-                    }
-                    col[nlev] = 0.0; // exact closure at the surface
-                });
+            let cols = ColumnsMut::new(self.mdot.as_mut_slice(), nlev + 1);
+            sub.run("hevi_vertical_mdot", cols.len(), |c| {
+                // SAFETY: each cell index is dispatched exactly once.
+                let col = unsafe { cols.col(c) };
+                let dcol = div_mass.col(c);
+                let dps_dt: f64 = -dcol.iter().sum::<f64>();
+                let mut acc = 0.0;
+                col[0] = 0.0;
+                for k in 0..nlev {
+                    acc += dcol[k];
+                    col[k + 1] = -(sigma_i[k + 1] * dps_dt + acc);
+                }
+                col[nlev] = 0.0; // exact closure at the surface
+            });
         }
 
         // Θ flux and divergence (centered horizontal).
         {
             let theta = &self.theta;
             let mass_flux = &self.mass_flux;
-            self.theta_flux
-                .as_mut_slice()
-                .par_chunks_mut(nlev)
-                .enumerate()
-                .for_each(|(e, col)| {
-                    let [c1, c2] = mesh.edge_cells[e];
-                    let (a, b) = (theta.col(c1 as usize), theta.col(c2 as usize));
-                    for k in 0..nlev {
-                        col[k] = mass_flux.at(k, e) * 0.5 * (a[k] + b[k]);
-                    }
-                });
+            let cols = ColumnsMut::new(self.theta_flux.as_mut_slice(), nlev);
+            sub.run("hevi_theta_flux", cols.len(), |e| {
+                // SAFETY: each edge index is dispatched exactly once.
+                let col = unsafe { cols.col(e) };
+                let [c1, c2] = mesh.edge_cells[e];
+                let (a, b) = (theta.col(c1 as usize), theta.col(c2 as usize));
+                for k in 0..nlev {
+                    col[k] = mass_flux.at(k, e) * 0.5 * (a[k] + b[k]);
+                }
+            });
         }
-        op::divergence(mesh, &self.geom64, &self.theta_flux, &mut self.div_theta);
+        op::divergence(
+            &sub,
+            mesh,
+            &self.geom64,
+            &self.theta_flux,
+            &mut self.div_theta,
+        );
 
         // Update δπ and Θ, including vertical transport (first-order upwind
         // for the vertical θ̃).
@@ -382,37 +405,34 @@ impl<R: Real> NhSolver<R> {
             let div_theta = &self.div_theta;
             let mdot = &self.mdot;
             let theta = &self.theta;
-            state
-                .dpi
-                .as_mut_slice()
-                .par_chunks_mut(nlev)
-                .zip(state.theta_m.as_mut_slice().par_chunks_mut(nlev))
-                .enumerate()
-                .for_each(|(c, (dpi_c, th_c))| {
-                    let md = mdot.col(c);
-                    let th = theta.col(c);
-                    for k in 0..nlev {
-                        // Interface θ̃ by upwinding on ṁ (positive = downward).
-                        let th_top = if k == 0 {
-                            th[0]
-                        } else if md[k] >= 0.0 {
-                            th[k - 1]
-                        } else {
-                            th[k]
-                        };
-                        // At the surface (k+1 == nlev) ṁ is zero so the
-                        // upwind pick is immaterial; otherwise upwind on ṁ.
-                        let th_bot = if k + 1 == nlev || md[k + 1] >= 0.0 {
-                            th[k]
-                        } else {
-                            th[k + 1]
-                        };
-                        dpi_c[k] += dt * (-div_mass.at(k, c) - (md[k + 1] - md[k]));
-                        th_c[k] += dt
-                            * (-div_theta.at(k, c)
-                                - (md[k + 1] * th_bot - md[k] * th_top));
-                    }
-                });
+            let dpi_cols = ColumnsMut::new(state.dpi.as_mut_slice(), nlev);
+            let th_cols = ColumnsMut::new(state.theta_m.as_mut_slice(), nlev);
+            sub.run("hevi_mass_theta_update", dpi_cols.len(), |c| {
+                // SAFETY: each cell index is dispatched exactly once.
+                let dpi_c = unsafe { dpi_cols.col(c) };
+                let th_c = unsafe { th_cols.col(c) };
+                let md = mdot.col(c);
+                let th = theta.col(c);
+                for k in 0..nlev {
+                    // Interface θ̃ by upwinding on ṁ (positive = downward).
+                    let th_top = if k == 0 {
+                        th[0]
+                    } else if md[k] >= 0.0 {
+                        th[k - 1]
+                    } else {
+                        th[k]
+                    };
+                    // At the surface (k+1 == nlev) ṁ is zero so the
+                    // upwind pick is immaterial; otherwise upwind on ṁ.
+                    let th_bot = if k + 1 == nlev || md[k + 1] >= 0.0 {
+                        th[k]
+                    } else {
+                        th[k + 1]
+                    };
+                    dpi_c[k] += dt * (-div_mass.at(k, c) - (md[k + 1] - md[k]));
+                    th_c[k] += dt * (-div_theta.at(k, c) - (md[k + 1] * th_bot - md[k] * th_top));
+                }
+            });
         }
 
         // ---------- implicit vertical acoustic phase ----------
@@ -425,36 +445,44 @@ impl<R: Real> NhSolver<R> {
             let r2 = EARTH_RADIUS_M * EARTH_RADIUS_M;
             {
                 let dpi = &state.dpi;
-                self.tracer_mass
-                    .as_mut_slice()
-                    .par_chunks_mut(nlev)
-                    .enumerate()
-                    .for_each(|(c, col)| {
-                        let a = mesh.cell_area[c] * r2;
-                        for (k, x) in col.iter_mut().enumerate() {
-                            // mass *before* this step's transport:
-                            // reconstruct from post-update dpi minus the
-                            // divergence applied — instead we simply use the
-                            // pre-transport mass implied by the flux field,
-                            // which keeps the FCT update consistent.
-                            *x = R::from_f64((dpi.at(k, c) + dt * self.div_mass.at(k, c)) * a);
-                        }
-                    });
+                let div_mass = &self.div_mass;
+                let cols = ColumnsMut::new(self.tracer_mass.as_mut_slice(), nlev);
+                sub.run("hevi_tracer_mass", cols.len(), |c| {
+                    // SAFETY: each cell index is dispatched exactly once.
+                    let col = unsafe { cols.col(c) };
+                    let a = mesh.cell_area[c] * r2;
+                    for (k, x) in col.iter_mut().enumerate() {
+                        // mass *before* this step's transport:
+                        // reconstruct from post-update dpi minus the
+                        // divergence applied — instead we simply use the
+                        // pre-transport mass implied by the flux field,
+                        // which keeps the FCT update consistent.
+                        *x = R::from_f64((dpi.at(k, c) + dt * div_mass.at(k, c)) * a);
+                    }
+                });
                 let mass_flux = &self.mass_flux;
-                self.tracer_flux
-                    .as_mut_slice()
-                    .par_chunks_mut(nlev)
-                    .enumerate()
-                    .for_each(|(e, col)| {
-                        for (k, x) in col.iter_mut().enumerate() {
-                            *x = R::from_f64(mass_flux.at(k, e));
-                        }
-                    });
+                let cols = ColumnsMut::new(self.tracer_flux.as_mut_slice(), nlev);
+                sub.run("hevi_tracer_flux", cols.len(), |e| {
+                    // SAFETY: each edge index is dispatched exactly once.
+                    let col = unsafe { cols.col(e) };
+                    for (k, x) in col.iter_mut().enumerate() {
+                        *x = R::from_f64(mass_flux.at(k, e));
+                    }
+                });
             }
             let mut ws = self.fct_ws.take().expect("FCT workspace");
             for q in &mut state.tracers {
                 let mut mass = self.tracer_mass.clone();
-                fct_transport_step(&self.mesh, &self.geom, &mut mass, &self.tracer_flux, q, dt, &mut ws);
+                fct_transport_step(
+                    &sub,
+                    &self.mesh,
+                    &self.geom,
+                    &mut mass,
+                    &self.tracer_flux,
+                    q,
+                    dt,
+                    &mut ws,
+                );
             }
             self.fct_ws = Some(ws);
         }
@@ -472,14 +500,15 @@ impl<R: Real> NhSolver<R> {
         let pres = &self.pres;
         let dphi = &self.dphi;
 
-        state
-            .w
-            .as_mut_slice()
-            .par_chunks_mut(nlev + 1)
-            .zip(state.phi.as_mut_slice().par_chunks_mut(nlev + 1))
-            .enumerate()
-            .for_each(|(c, (w, phi))| {
-                let dpi = state.dpi.col(c);
+        let w_cols = ColumnsMut::new(state.w.as_mut_slice(), nlev + 1);
+        let phi_cols = ColumnsMut::new(state.phi.as_mut_slice(), nlev + 1);
+        let dpi_ro = &state.dpi;
+        self.sub.run("hevi_implicit_vertical", w_cols.len(), |c| {
+            // SAFETY: each cell index is dispatched exactly once.
+            let w = unsafe { w_cols.col(c) };
+            let phi = unsafe { phi_cols.col(c) };
+            {
+                let dpi = dpi_ro.col(c);
                 let p = pres.col(c);
                 let dp = dphi.col(c);
                 // Linearization coefficients C_k = γ p_k Δt g / δφ_k
@@ -517,7 +546,8 @@ impl<R: Real> NhSolver<R> {
                 }
                 // Surface: rigid flat lower boundary.
                 w[n] = 0.0;
-            });
+            }
+        });
     }
 
     /// Diagnose and expose the layer fields the physics–dynamics coupling
@@ -534,7 +564,8 @@ impl<R: Real> NhSolver<R> {
     /// Relative vorticity at dual vertices of the current `u` — the `vor`
     /// observable of the mixed-precision gate, returned as f64.
     pub fn vorticity_diag(&mut self, state: &NhState<R>) -> Vec<f64> {
-        op::vorticity(&self.mesh, &self.geom, &state.u, &mut self.vor);
+        let sub = self.sub.clone();
+        op::vorticity(&sub, &self.mesh, &self.geom, &state.u, &mut self.vor);
         self.vor.to_f64_vec()
     }
 
@@ -552,7 +583,11 @@ mod tests {
     use super::*;
 
     fn solver(level: u32, nlev: usize) -> NhSolver<f64> {
-        NhSolver::new(HexMesh::build(level), VerticalCoord::uniform(nlev), NhConfig::default())
+        NhSolver::new(
+            HexMesh::build(level),
+            VerticalCoord::uniform(nlev),
+            NhConfig::default(),
+        )
     }
 
     #[test]
@@ -601,7 +636,11 @@ mod tests {
             s.step(&mut st, 120.0);
         }
         let m1 = s.total_dry_mass(&st);
-        assert!(((m1 - m0) / m0).abs() < 1e-12, "dry mass drift {}", (m1 - m0) / m0);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-12,
+            "dry mass drift {}",
+            (m1 - m0) / m0
+        );
     }
 
     #[test]
@@ -626,7 +665,9 @@ mod tests {
         }
         assert!(w_peak > 0.05, "no updraft over warm bubble: {w_peak}");
         // And the adjustment must decay, not blow up.
-        let w_final = (0..13).map(|i| st.w.at(i, hot).abs()).fold(0.0f64, f64::max);
+        let w_final = (0..13)
+            .map(|i| st.w.at(i, hot).abs())
+            .fold(0.0f64, f64::max);
         assert!(w_final < w_peak, "acoustic adjustment did not decay");
     }
 
@@ -683,7 +724,11 @@ mod tests {
             let m = s64.mesh.edge_mid[e];
             let zonal = grist_mesh::Vec3::new(0.0, 0.0, 1.0).cross(m);
             for k in 0..8 {
-                g.u.set(k, e, 20.0 * m.lat().cos() * zonal.dot(s64.mesh.edge_normal[e]));
+                g.u.set(
+                    k,
+                    e,
+                    20.0 * m.lat().cos() * zonal.dot(s64.mesh.edge_normal[e]),
+                );
             }
         }
         let mut m = g.cast::<f32>();
@@ -694,10 +739,16 @@ mod tests {
         let ps_g = g.surface_pressure(s64.vc.p_top);
         let ps_m = m.surface_pressure(s32.vc.p_top);
         let e_ps = crate::real::relative_l2_error(&ps_m, &ps_g);
-        assert!(e_ps < crate::real::MIXED_PRECISION_ERROR_THRESHOLD, "ps deviation {e_ps}");
+        assert!(
+            e_ps < crate::real::MIXED_PRECISION_ERROR_THRESHOLD,
+            "ps deviation {e_ps}"
+        );
         let vor_g = s64.vorticity_diag(&g);
         let vor_m = s32.vorticity_diag(&m);
         let e_vor = crate::real::relative_l2_error(&vor_m, &vor_g);
-        assert!(e_vor < crate::real::MIXED_PRECISION_ERROR_THRESHOLD, "vor deviation {e_vor}");
+        assert!(
+            e_vor < crate::real::MIXED_PRECISION_ERROR_THRESHOLD,
+            "vor deviation {e_vor}"
+        );
     }
 }

@@ -18,7 +18,7 @@ use crate::field::Field2;
 use crate::operators::ScaledGeometry;
 use crate::real::Real;
 use grist_mesh::HexMesh;
-use rayon::prelude::*;
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// Static cost descriptor of one kernel invocation, per (level, element)
 /// point: the inputs of the roofline model.
@@ -52,23 +52,24 @@ impl KernelCost {
 /// `tend_grad_ke_at_edge` — the Fig. 4 kernel verbatim:
 /// `tend(ilev,ie) = −(K(ilev,c2) − K(ilev,c1)) / (rearth · edt_leng(ie))`.
 pub fn grad_kinetic_energy<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     ke: &Field2<R>,
     tend: &mut Field2<R>,
 ) {
     let nlev = ke.nlev();
-    tend.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let [c1, c2] = mesh.edge_cells[e];
-            let (a, b) = (ke.col(c1 as usize), ke.col(c2 as usize));
-            let inv = geom.inv_edge_de[e];
-            for k in 0..nlev {
-                col[k] = -(b[k] - a[k]) * inv;
-            }
-        });
+    let cols = ColumnsMut::new(tend.as_mut_slice(), nlev);
+    sub.run("grad_kinetic_energy", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let [c1, c2] = mesh.edge_cells[e];
+        let (a, b) = (ke.col(c1 as usize), ke.col(c2 as usize));
+        let inv = geom.inv_edge_de[e];
+        for k in 0..nlev {
+            col[k] = -(b[k] - a[k]) * inv;
+        }
+    });
 }
 
 /// Cost model for [`grad_kinetic_energy`].
@@ -87,6 +88,7 @@ pub fn grad_kinetic_energy_cost<R: Real>(n_edges: usize, nlev: usize) -> KernelC
 /// (power-law) thickness weighting and Exner conversion. Division/`powf`
 /// heavy, as the paper describes.
 pub fn primal_normal_flux_edge<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     u: &Field2<R>,
@@ -98,23 +100,23 @@ pub fn primal_normal_flux_edge<R: Real>(
     let kappa = R::from_f64(KAPPA);
     let p0 = R::from_f64(P0);
     let rd = R::from_f64(RDRY);
-    flux.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let [c1, c2] = mesh.edge_cells[e];
-            let (d1, d2) = (dpi.col(c1 as usize), dpi.col(c2 as usize));
-            let (t1, t2) = (theta.col(c1 as usize), theta.col(c2 as usize));
-            let le = geom.edge_le[e];
-            for k in 0..nlev {
-                // Harmonic-mean thickness (division-heavy) ...
-                let hm = (R::from_f64(2.0) * d1[k] * d2[k]) / (d1[k] + d2[k]);
-                // ... energy-consistent Exner weighting (powf-heavy).
-                let tbar = (t1[k] + t2[k]) * R::from_f64(0.5);
-                let pi_e = (hm * rd * tbar / p0).powf(kappa);
-                col[k] = u.at(k, e) * hm * pi_e * le;
-            }
-        });
+    let cols = ColumnsMut::new(flux.as_mut_slice(), nlev);
+    sub.run("primal_normal_flux_edge", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let [c1, c2] = mesh.edge_cells[e];
+        let (d1, d2) = (dpi.col(c1 as usize), dpi.col(c2 as usize));
+        let (t1, t2) = (theta.col(c1 as usize), theta.col(c2 as usize));
+        let le = geom.edge_le[e];
+        for k in 0..nlev {
+            // Harmonic-mean thickness (division-heavy) ...
+            let hm = (R::from_f64(2.0) * d1[k] * d2[k]) / (d1[k] + d2[k]);
+            // ... energy-consistent Exner weighting (powf-heavy).
+            let tbar = (t1[k] + t2[k]) * R::from_f64(0.5);
+            let pi_e = (hm * rd * tbar / p0).powf(kappa);
+            col[k] = u.at(k, e) * hm * pi_e * le;
+        }
+    });
 }
 
 /// Cost model for [`primal_normal_flux_edge`].
@@ -135,6 +137,7 @@ pub fn primal_normal_flux_edge_cost<R: Real>(n_edges: usize, nlev: usize) -> Ker
 /// LDCache ways — making it the cache-thrashing showcase of Fig. 6.
 #[allow(clippy::too_many_arguments)]
 pub fn compute_rrr<R: Real>(
+    sub: &Substrate,
     dpi: &Field2<R>,
     dphi: &Field2<R>,
     qv: &Field2<R>,
@@ -145,21 +148,21 @@ pub fn compute_rrr<R: Real>(
 ) {
     let nlev = dpi.nlev();
     let rv_over_rd = R::from_f64(461.5 / RDRY);
-    rrr.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(c, col)| {
-            let (d, f) = (dpi.col(c), dphi.col(c));
-            let (v, cc, r) = (qv.col(c), qc.col(c), qr.col(c));
-            let t = theta.col(c);
-            for k in 0..nlev {
-                let moist = R::ONE + v[k] * rv_over_rd;
-                let loading = R::ONE + v[k] + cc[k] + r[k];
-                // θ-dependent stability factor keeps all seven streams live.
-                let stab = R::ONE + (t[k] - R::from_f64(300.0)) * R::from_f64(1e-4);
-                col[k] = d[k] * moist / (f[k] * loading) * stab;
-            }
-        });
+    let cols = ColumnsMut::new(rrr.as_mut_slice(), nlev);
+    sub.run("compute_rrr", cols.len(), |c| {
+        // SAFETY: each cell index is dispatched exactly once.
+        let col = unsafe { cols.col(c) };
+        let (d, f) = (dpi.col(c), dphi.col(c));
+        let (v, cc, r) = (qv.col(c), qc.col(c), qr.col(c));
+        let t = theta.col(c);
+        for k in 0..nlev {
+            let moist = R::ONE + v[k] * rv_over_rd;
+            let loading = R::ONE + v[k] + cc[k] + r[k];
+            // θ-dependent stability factor keeps all seven streams live.
+            let stab = R::ONE + (t[k] - R::from_f64(300.0)) * R::from_f64(1e-4);
+            col[k] = d[k] * moist / (f[k] * loading) * stab;
+        }
+    });
 }
 
 /// Cost model for [`compute_rrr`].
@@ -178,20 +181,21 @@ pub fn compute_rrr_cost<R: Real>(n_cells: usize, nlev: usize) -> KernelCost {
 /// `(ζ+f)_e · v_t` at edges. Few arrays, no divisions, and (per the paper)
 /// no mixed-precision variant: the kernel the optimizations help least.
 pub fn calc_coriolis_term<R: Real>(
+    sub: &Substrate,
     pv_edge: &Field2<R>,
     vt: &Field2<R>,
     tend: &mut Field2<R>,
 ) {
     let nlev = vt.nlev();
-    tend.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let (p, v) = (pv_edge.col(e), vt.col(e));
-            for k in 0..nlev {
-                col[k] = p[k] * v[k];
-            }
-        });
+    let cols = ColumnsMut::new(tend.as_mut_slice(), nlev);
+    sub.run("calc_coriolis_term", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let (p, v) = (pv_edge.col(e), vt.col(e));
+        for k in 0..nlev {
+            col[k] = p[k] * v[k];
+        }
+    });
 }
 
 /// Cost model for [`calc_coriolis_term`] (always runs in f64 in the paper).
@@ -226,6 +230,10 @@ mod tests {
     use super::*;
     use grist_mesh::{EARTH_OMEGA, EARTH_RADIUS_M};
 
+    fn sub() -> Substrate {
+        Substrate::serial()
+    }
+
     fn setup() -> (HexMesh, ScaledGeometry<f64>) {
         let mesh = HexMesh::build(3);
         let geom = ScaledGeometry::new(&mesh, EARTH_RADIUS_M, EARTH_OMEGA);
@@ -235,11 +243,13 @@ mod tests {
     #[test]
     fn grad_ke_matches_generic_gradient_up_to_sign() {
         let (mesh, geom) = setup();
-        let ke = Field2::from_fn(2, mesh.n_cells(), |k, c| mesh.cell_xyz[c].z * 10.0 + k as f64);
+        let ke = Field2::from_fn(2, mesh.n_cells(), |k, c| {
+            mesh.cell_xyz[c].z * 10.0 + k as f64
+        });
         let mut tend = Field2::zeros(2, mesh.n_edges());
-        grad_kinetic_energy(&mesh, &geom, &ke, &mut tend);
+        grad_kinetic_energy(&sub(), &mesh, &geom, &ke, &mut tend);
         let mut grad = Field2::zeros(2, mesh.n_edges());
-        crate::operators::gradient(&mesh, &geom, &ke, &mut grad);
+        crate::operators::gradient(&sub(), &mesh, &geom, &ke, &mut grad);
         for (a, b) in tend.as_slice().iter().zip(grad.as_slice()) {
             assert!((a + b).abs() < 1e-15);
         }
@@ -254,15 +264,15 @@ mod tests {
         let theta = Field2::constant(1, nc, 300.0);
         let u0 = Field2::zeros(1, ne);
         let mut f0 = Field2::constant(1, ne, 1.0);
-        primal_normal_flux_edge(&mesh, &geom, &u0, &dpi, &theta, &mut f0);
+        primal_normal_flux_edge(&sub(), &mesh, &geom, &u0, &dpi, &theta, &mut f0);
         assert!(f0.as_slice().iter().all(|&x| x == 0.0));
 
         let u1 = Field2::constant(1, ne, 2.0);
         let u2 = Field2::constant(1, ne, 4.0);
         let mut f1 = Field2::zeros(1, ne);
         let mut f2 = Field2::zeros(1, ne);
-        primal_normal_flux_edge(&mesh, &geom, &u1, &dpi, &theta, &mut f1);
-        primal_normal_flux_edge(&mesh, &geom, &u2, &dpi, &theta, &mut f2);
+        primal_normal_flux_edge(&sub(), &mesh, &geom, &u1, &dpi, &theta, &mut f1);
+        primal_normal_flux_edge(&sub(), &mesh, &geom, &u2, &dpi, &theta, &mut f2);
         for (a, b) in f1.as_slice().iter().zip(f2.as_slice()) {
             assert!((b / a - 2.0).abs() < 1e-12);
         }
@@ -276,7 +286,7 @@ mod tests {
         let q0 = Field2::zeros(4, nc);
         let theta = Field2::constant(4, nc, 300.0);
         let mut rrr = Field2::zeros(4, nc);
-        compute_rrr(&dpi, &dphi, &q0, &q0, &q0, &theta, &mut rrr);
+        compute_rrr(&sub(), &dpi, &dphi, &q0, &q0, &q0, &theta, &mut rrr);
         for &x in rrr.as_slice() {
             assert!((x - 0.4).abs() < 1e-12, "dry rrr = {x}");
         }
@@ -292,8 +302,8 @@ mod tests {
         let theta = Field2::constant(1, nc, 300.0);
         let mut dry = Field2::zeros(1, nc);
         let mut moist = Field2::zeros(1, nc);
-        compute_rrr(&dpi, &dphi, &q0, &q0, &q0, &theta, &mut dry);
-        compute_rrr(&dpi, &dphi, &qv, &q0, &q0, &theta, &mut moist);
+        compute_rrr(&sub(), &dpi, &dphi, &q0, &q0, &q0, &theta, &mut dry);
+        compute_rrr(&sub(), &dpi, &dphi, &qv, &q0, &q0, &theta, &mut moist);
         // vapour: R_v/R_d > 1 ⇒ (1+q·1.6)/(1+q) > 1.
         assert!(moist.at(0, 0) > dry.at(0, 0));
     }
@@ -304,7 +314,7 @@ mod tests {
         let pv = Field2::from_fn(3, ne, |k, e| (k + e) as f64);
         let vt = Field2::from_fn(3, ne, |k, e| (k as f64) - (e as f64));
         let mut t = Field2::zeros(3, ne);
-        calc_coriolis_term(&pv, &vt, &mut t);
+        calc_coriolis_term(&sub(), &pv, &vt, &mut t);
         for e in 0..ne {
             for k in 0..3 {
                 assert_eq!(t.at(k, e), pv.at(k, e) * vt.at(k, e));

@@ -12,7 +12,7 @@
 use crate::field::Field2;
 use crate::real::Real;
 use grist_mesh::{HexMesh, Vec3};
-use rayon::prelude::*;
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// Physical metric terms cast to the working precision `R`.
 ///
@@ -69,8 +69,16 @@ impl<R: Real> ScaledGeometry<R> {
     pub fn new(mesh: &HexMesh, rearth: f64, omega: f64) -> Self {
         let r = rearth;
         let cast = |x: f64| R::from_f64(x);
-        let inv_cell_area = mesh.cell_area.iter().map(|&a| cast(1.0 / (a * r * r))).collect();
-        let inv_vert_area = mesh.vert_area.iter().map(|&a| cast(1.0 / (a * r * r))).collect();
+        let inv_cell_area = mesh
+            .cell_area
+            .iter()
+            .map(|&a| cast(1.0 / (a * r * r)))
+            .collect();
+        let inv_vert_area = mesh
+            .vert_area
+            .iter()
+            .map(|&a| cast(1.0 / (a * r * r)))
+            .collect();
         let edge_le: Vec<R> = mesh.edge_le.iter().map(|&l| cast(l * r)).collect();
         let edge_de: Vec<R> = mesh.edge_de.iter().map(|&l| cast(l * r)).collect();
         let inv_edge_de = mesh.edge_de.iter().map(|&l| cast(1.0 / (l * r))).collect();
@@ -80,8 +88,16 @@ impl<R: Real> ScaledGeometry<R> {
             .zip(&mesh.edge_de)
             .map(|(&le, &de)| cast(le * de * r * r / 4.0))
             .collect();
-        let f_vert = mesh.coriolis_at_verts(omega).into_iter().map(cast).collect();
-        let f_edge = mesh.coriolis_at_edges(omega).into_iter().map(cast).collect();
+        let f_vert = mesh
+            .coriolis_at_verts(omega)
+            .into_iter()
+            .map(cast)
+            .collect();
+        let f_edge = mesh
+            .coriolis_at_edges(omega)
+            .into_iter()
+            .map(cast)
+            .collect();
         let cell_edge_sign = mesh.cell_edge_sign.iter().map(|&s| cast(s)).collect();
         let vert_edge_sign = mesh
             .vert_edge_sign
@@ -149,6 +165,7 @@ impl<R: Real> ScaledGeometry<R> {
 /// Divergence of an edge-normal flux field, at cells:
 /// `div_i = (1/A_i) Σ_e s(i,e) F_e le_e`.
 pub fn divergence<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     flux_edge: &Field2<R>,
@@ -156,143 +173,157 @@ pub fn divergence<R: Real>(
 ) {
     let nlev = flux_edge.nlev();
     debug_assert_eq!(out.nlev(), nlev);
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(c, col)| {
-            col.fill(R::ZERO);
-            let rng = mesh.cell_edges.row_range(c);
-            for (k, &e) in mesh.cell_edges.row(c).iter().enumerate() {
-                let w = geom.cell_edge_sign[rng.start + k] * geom.edge_le[e as usize];
-                let fe = flux_edge.col(e as usize);
-                for (o, &f) in col.iter_mut().zip(fe) {
-                    *o = f.mul_add(w, *o);
-                }
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("divergence", cols.len(), |c| {
+        // SAFETY: each cell index is dispatched exactly once.
+        let col = unsafe { cols.col(c) };
+        col.fill(R::ZERO);
+        let rng = mesh.cell_edges.row_range(c);
+        for (k, &e) in mesh.cell_edges.row(c).iter().enumerate() {
+            let w = geom.cell_edge_sign[rng.start + k] * geom.edge_le[e as usize];
+            let fe = flux_edge.col(e as usize);
+            for (o, &f) in col.iter_mut().zip(fe) {
+                *o = f.mul_add(w, *o);
             }
-            let ia = geom.inv_cell_area[c];
-            for o in col.iter_mut() {
-                *o *= ia;
-            }
-        });
+        }
+        let ia = geom.inv_cell_area[c];
+        for o in col.iter_mut() {
+            *o *= ia;
+        }
+    });
 }
 
 /// Normal gradient of a cell scalar, at edges:
 /// `grad_e = (h_{c2} − h_{c1}) / de_e`.
 pub fn gradient<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     h_cell: &Field2<R>,
     out: &mut Field2<R>,
 ) {
     let nlev = h_cell.nlev();
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let [c1, c2] = mesh.edge_cells[e];
-            let a = h_cell.col(c1 as usize);
-            let b = h_cell.col(c2 as usize);
-            let inv_de = geom.inv_edge_de[e];
-            for (o, (&x1, &x2)) in col.iter_mut().zip(a.iter().zip(b)) {
-                *o = (x2 - x1) * inv_de;
-            }
-        });
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("gradient", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let [c1, c2] = mesh.edge_cells[e];
+        let a = h_cell.col(c1 as usize);
+        let b = h_cell.col(c2 as usize);
+        let inv_de = geom.inv_edge_de[e];
+        for (o, (&x1, &x2)) in col.iter_mut().zip(a.iter().zip(b)) {
+            *o = (x2 - x1) * inv_de;
+        }
+    });
 }
 
 /// Relative vorticity at dual vertices:
 /// `ζ_v = (1/A_v) Σ_e t(v,e) u_e de_e`.
 pub fn vorticity<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     u_edge: &Field2<R>,
     out: &mut Field2<R>,
 ) {
     let nlev = u_edge.nlev();
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(v, col)| {
-            col.fill(R::ZERO);
-            for k in 0..3 {
-                let e = mesh.vert_edges[v][k] as usize;
-                let w = geom.vert_edge_sign[v][k] * geom.edge_de[e];
-                let ue = u_edge.col(e);
-                for (o, &u) in col.iter_mut().zip(ue) {
-                    *o = u.mul_add(w, *o);
-                }
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("vorticity", cols.len(), |v| {
+        // SAFETY: each vertex index is dispatched exactly once.
+        let col = unsafe { cols.col(v) };
+        col.fill(R::ZERO);
+        for k in 0..3 {
+            let e = mesh.vert_edges[v][k] as usize;
+            let w = geom.vert_edge_sign[v][k] * geom.edge_de[e];
+            let ue = u_edge.col(e);
+            for (o, &u) in col.iter_mut().zip(ue) {
+                *o = u.mul_add(w, *o);
             }
-            let ia = geom.inv_vert_area[v];
-            for o in col.iter_mut() {
-                *o *= ia;
-            }
-        });
+        }
+        let ia = geom.inv_vert_area[v];
+        for o in col.iter_mut() {
+            *o *= ia;
+        }
+    });
 }
 
 /// Kinetic energy per unit mass at cells:
 /// `K_i = (1/A_i) Σ_e (le·de/4) u_e²`.
 pub fn kinetic_energy<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     u_edge: &Field2<R>,
     out: &mut Field2<R>,
 ) {
     let nlev = u_edge.nlev();
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(c, col)| {
-            col.fill(R::ZERO);
-            for &e in mesh.cell_edges.row(c) {
-                let w = geom.ke_weight[e as usize];
-                let ue = u_edge.col(e as usize);
-                for (o, &u) in col.iter_mut().zip(ue) {
-                    *o += w * u * u;
-                }
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("kinetic_energy", cols.len(), |c| {
+        // SAFETY: each cell index is dispatched exactly once.
+        let col = unsafe { cols.col(c) };
+        col.fill(R::ZERO);
+        for &e in mesh.cell_edges.row(c) {
+            let w = geom.ke_weight[e as usize];
+            let ue = u_edge.col(e as usize);
+            for (o, &u) in col.iter_mut().zip(ue) {
+                *o += w * u * u;
             }
-            let ia = geom.inv_cell_area[c];
-            for o in col.iter_mut() {
-                *o *= ia;
-            }
-        });
+        }
+        let ia = geom.inv_cell_area[c];
+        for o in col.iter_mut() {
+            *o *= ia;
+        }
+    });
 }
 
 /// Centered cell→edge average: `h_e = (h_{c1} + h_{c2}) / 2`.
-pub fn cell_to_edge<R: Real>(mesh: &HexMesh, h_cell: &Field2<R>, out: &mut Field2<R>) {
+pub fn cell_to_edge<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    h_cell: &Field2<R>,
+    out: &mut Field2<R>,
+) {
     let nlev = h_cell.nlev();
     let half = R::from_f64(0.5);
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let [c1, c2] = mesh.edge_cells[e];
-            let a = h_cell.col(c1 as usize);
-            let b = h_cell.col(c2 as usize);
-            for (o, (&x1, &x2)) in col.iter_mut().zip(a.iter().zip(b)) {
-                *o = (x1 + x2) * half;
-            }
-        });
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("cell_to_edge", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let [c1, c2] = mesh.edge_cells[e];
+        let a = h_cell.col(c1 as usize);
+        let b = h_cell.col(c2 as usize);
+        for (o, (&x1, &x2)) in col.iter_mut().zip(a.iter().zip(b)) {
+            *o = (x1 + x2) * half;
+        }
+    });
 }
 
 /// Vertex→edge average of a dual field.
-pub fn vert_to_edge<R: Real>(mesh: &HexMesh, f_vert: &Field2<R>, out: &mut Field2<R>) {
+pub fn vert_to_edge<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    f_vert: &Field2<R>,
+    out: &mut Field2<R>,
+) {
     let nlev = f_vert.nlev();
     let half = R::from_f64(0.5);
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let [v1, v2] = mesh.edge_verts[e];
-            let a = f_vert.col(v1 as usize);
-            let b = f_vert.col(v2 as usize);
-            for (o, (&x1, &x2)) in col.iter_mut().zip(a.iter().zip(b)) {
-                *o = (x1 + x2) * half;
-            }
-        });
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("vert_to_edge", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let [v1, v2] = mesh.edge_verts[e];
+        let a = f_vert.col(v1 as usize);
+        let b = f_vert.col(v2 as usize);
+        for (o, (&x1, &x2)) in col.iter_mut().zip(a.iter().zip(b)) {
+            *o = (x1 + x2) * half;
+        }
+    });
 }
 
 /// Full (east, north) velocity vectors reconstructed at dual vertices from
 /// the three incident edge-normal components, by 2×2 least squares.
 pub fn vert_velocity<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     u_edge: &Field2<R>,
@@ -300,25 +331,25 @@ pub fn vert_velocity<R: Real>(
     out_n: &mut Field2<R>,
 ) {
     let nlev = u_edge.nlev();
-    out_e
-        .as_mut_slice()
-        .par_chunks_mut(nlev)
-        .zip(out_n.as_mut_slice().par_chunks_mut(nlev))
-        .enumerate()
-        .for_each(|(v, (ce, cn))| {
-            let rc = &geom.vert_recon[v];
-            for lev in 0..nlev {
-                let mut be = R::ZERO;
-                let mut bn = R::ZERO;
-                for k in 0..3 {
-                    let u = u_edge.at(lev, mesh.vert_edges[v][k] as usize);
-                    be = u.mul_add(rc.normals[k][0], be);
-                    bn = u.mul_add(rc.normals[k][1], bn);
-                }
-                ce[lev] = rc.minv[0][0] * be + rc.minv[0][1] * bn;
-                cn[lev] = rc.minv[1][0] * be + rc.minv[1][1] * bn;
+    let cols_e = ColumnsMut::new(out_e.as_mut_slice(), nlev);
+    let cols_n = ColumnsMut::new(out_n.as_mut_slice(), nlev);
+    sub.run("vert_velocity", cols_e.len(), |v| {
+        // SAFETY: each vertex index is dispatched exactly once.
+        let ce = unsafe { cols_e.col(v) };
+        let cn = unsafe { cols_n.col(v) };
+        let rc = &geom.vert_recon[v];
+        for lev in 0..nlev {
+            let mut be = R::ZERO;
+            let mut bn = R::ZERO;
+            for k in 0..3 {
+                let u = u_edge.at(lev, mesh.vert_edges[v][k] as usize);
+                be = u.mul_add(rc.normals[k][0], be);
+                bn = u.mul_add(rc.normals[k][1], bn);
             }
-        });
+            ce[lev] = rc.minv[0][0] * be + rc.minv[0][1] * bn;
+            cn[lev] = rc.minv[1][0] * be + rc.minv[1][1] * bn;
+        }
+    });
 }
 
 /// Tangential velocity at edges, from the two adjacent vertex
@@ -326,6 +357,7 @@ pub fn vert_velocity<R: Real>(
 /// it is local, second-order on quasi-uniform meshes, and exercises the same
 /// indirect-access pattern.
 pub fn tangential_velocity<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     vert_ve: &Field2<R>,
@@ -334,38 +366,40 @@ pub fn tangential_velocity<R: Real>(
 ) {
     let nlev = vert_ve.nlev();
     let half = R::from_f64(0.5);
-    out.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
-            let [v1, v2] = mesh.edge_verts[e];
-            let [te, tn] = geom.edge_tangent_en[e];
-            let (ae, an) = (vert_ve.col(v1 as usize), vert_vn.col(v1 as usize));
-            let (be, bn) = (vert_ve.col(v2 as usize), vert_vn.col(v2 as usize));
-            for lev in 0..nlev {
-                let ve = (ae[lev] + be[lev]) * half;
-                let vn = (an[lev] + bn[lev]) * half;
-                col[lev] = ve * te + vn * tn;
-            }
-        });
+    let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
+    sub.run("tangential_velocity", cols.len(), |e| {
+        // SAFETY: each edge index is dispatched exactly once.
+        let col = unsafe { cols.col(e) };
+        let [v1, v2] = mesh.edge_verts[e];
+        let [te, tn] = geom.edge_tangent_en[e];
+        let (ae, an) = (vert_ve.col(v1 as usize), vert_vn.col(v1 as usize));
+        let (be, bn) = (vert_ve.col(v2 as usize), vert_vn.col(v2 as usize));
+        for lev in 0..nlev {
+            let ve = (ae[lev] + be[lev]) * half;
+            let vn = (an[lev] + bn[lev]) * half;
+            col[lev] = ve * te + vn * tn;
+        }
+    });
 }
 
 /// Full (east, north) velocity vectors reconstructed at *cells* from the
 /// incident edge-normal components by least squares — the cell-centred
 /// (U, V) handed to the column physics (§3.2.4's coupling inputs).
 pub fn cell_velocity<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     u_edge: &Field2<R>,
     out_e: &mut Field2<R>,
     out_n: &mut Field2<R>,
 ) {
     let nlev = u_edge.nlev();
-    out_e
-        .as_mut_slice()
-        .par_chunks_mut(nlev)
-        .zip(out_n.as_mut_slice().par_chunks_mut(nlev))
-        .enumerate()
-        .for_each(|(c, (ce, cn))| {
+    let cols_e = ColumnsMut::new(out_e.as_mut_slice(), nlev);
+    let cols_n = ColumnsMut::new(out_n.as_mut_slice(), nlev);
+    sub.run("cell_velocity", cols_e.len(), |c| {
+        // SAFETY: each cell index is dispatched exactly once.
+        let ce = unsafe { cols_e.col(c) };
+        let cn = unsafe { cols_n.col(c) };
+        {
             let p = mesh.cell_xyz[c];
             let (e_hat, n_hat) = (p.east(), p.north());
             // Normal equations of the per-cell least squares (f64 geometry,
@@ -401,7 +435,8 @@ pub fn cell_velocity<R: Real>(
                 ce[lev] = R::from_f64(minv[0][0] * be + minv[0][1] * bn);
                 cn[lev] = R::from_f64(minv[1][0] * be + minv[1][1] * bn);
             }
-        });
+        }
+    });
 }
 
 /// Area-weighted global mean of a cell field at one level (diagnostics).
@@ -418,7 +453,11 @@ pub fn global_mean<R: Real>(mesh: &HexMesh, f: &Field2<R>, lev: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grist_mesh::{EARTH_RADIUS_M, EARTH_OMEGA};
+    use grist_mesh::{EARTH_OMEGA, EARTH_RADIUS_M};
+
+    fn sub() -> Substrate {
+        Substrate::serial()
+    }
 
     fn setup(level: u32) -> (HexMesh, ScaledGeometry<f64>) {
         let mesh = HexMesh::build(level);
@@ -439,9 +478,11 @@ mod tests {
     fn divergence_integral_vanishes_exactly() {
         // Σ A_i div_i telescopes to zero for any flux field.
         let (mesh, geom) = setup(3);
-        let flux = Field2::from_fn(2, mesh.n_edges(), |lev, e| ((e * 7 + lev) % 13) as f64 - 6.0);
+        let flux = Field2::from_fn(2, mesh.n_edges(), |lev, e| {
+            ((e * 7 + lev) % 13) as f64 - 6.0
+        });
         let mut div = Field2::zeros(2, mesh.n_cells());
-        divergence(&mesh, &geom, &flux, &mut div);
+        divergence(&sub(), &mesh, &geom, &flux, &mut div);
         for lev in 0..2 {
             let total: f64 = (0..mesh.n_cells())
                 .map(|c| div.at(lev, c) * mesh.cell_area[c])
@@ -461,12 +502,15 @@ mod tests {
             p.z * p.z + 0.3 * p.x - 0.1 * p.y * p.z
         });
         let mut g = Field2::zeros(1, mesh.n_edges());
-        gradient(&mesh, &geom, &h, &mut g);
+        gradient(&sub(), &mesh, &geom, &h, &mut g);
         let mut vor = Field2::zeros(1, mesh.n_verts());
-        vorticity(&mesh, &geom, &g, &mut vor);
+        vorticity(&sub(), &mesh, &geom, &g, &mut vor);
         let max = vor.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         let gmax = g.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-        assert!(max < gmax * 1e-9, "max curl(grad) = {max}, max grad = {gmax}");
+        assert!(
+            max < gmax * 1e-9,
+            "max curl(grad) = {max}, max grad = {gmax}"
+        );
     }
 
     #[test]
@@ -474,7 +518,7 @@ mod tests {
         let (mesh, geom) = setup(4);
         let u = solid_body_u(&mesh, 1e-5);
         let mut div = Field2::zeros(1, mesh.n_cells());
-        divergence(&mesh, &geom, &u, &mut div);
+        divergence(&sub(), &mesh, &geom, &u, &mut div);
         // Scale: |u| ~ ωR ~ 64 m/s over cells of ~10^5 m → u/dx ~ 1e-3.
         let max = div.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(max < 2e-6, "max |div| = {max}");
@@ -489,7 +533,7 @@ mod tests {
             let (mesh, geom) = setup(level);
             let u = solid_body_u(&mesh, omega);
             let mut vor = Field2::zeros(1, mesh.n_verts());
-            vorticity(&mesh, &geom, &u, &mut vor);
+            vorticity(&sub(), &mesh, &geom, &u, &mut vor);
             let mut num = 0.0;
             let mut den = 0.0;
             for v in 0..mesh.n_verts() {
@@ -502,8 +546,15 @@ mod tests {
         }
         // Vorticity converges ~O(h) in L2 on unoptimized icosahedral grids
         // (pentagon neighbourhoods dominate the norm) — halving per level.
-        assert!(errs[1] < errs[0] / 1.8, "vorticity errors {errs:?} not converging");
-        assert!(errs[0] < 0.05, "coarse-level vorticity error too large: {}", errs[0]);
+        assert!(
+            errs[1] < errs[0] / 1.8,
+            "vorticity errors {errs:?} not converging"
+        );
+        assert!(
+            errs[0] < 0.05,
+            "coarse-level vorticity error too large: {}",
+            errs[0]
+        );
     }
 
     #[test]
@@ -511,7 +562,7 @@ mod tests {
         let (mesh, geom) = setup(3);
         let h = Field2::constant(3, mesh.n_cells(), 42.0);
         let mut g = Field2::constant(3, mesh.n_edges(), 1.0);
-        gradient(&mesh, &geom, &h, &mut g);
+        gradient(&sub(), &mesh, &geom, &h, &mut g);
         assert!(g.as_slice().iter().all(|&x| x == 0.0));
     }
 
@@ -522,7 +573,7 @@ mod tests {
         let omega = 1e-5;
         let u = solid_body_u(&mesh, omega);
         let mut ke = Field2::zeros(1, mesh.n_cells());
-        kinetic_energy(&mesh, &geom, &u, &mut ke);
+        kinetic_energy(&sub(), &mesh, &geom, &u, &mut ke);
         let mut rel = 0.0f64;
         let mut n = 0;
         for c in 0..mesh.n_cells() {
@@ -544,9 +595,9 @@ mod tests {
         let u = solid_body_u(&mesh, omega);
         let mut ve = Field2::zeros(1, mesh.n_verts());
         let mut vn = Field2::zeros(1, mesh.n_verts());
-        vert_velocity(&mesh, &geom, &u, &mut ve, &mut vn);
+        vert_velocity(&sub(), &mesh, &geom, &u, &mut ve, &mut vn);
         let mut vt = Field2::zeros(1, mesh.n_edges());
-        tangential_velocity(&mesh, &geom, &ve, &vn, &mut vt);
+        tangential_velocity(&sub(), &mesh, &geom, &ve, &vn, &mut vt);
         let mut worst = 0.0f64;
         for e in 0..mesh.n_edges() {
             let m = mesh.edge_mid[e];
@@ -555,7 +606,10 @@ mod tests {
             worst = worst.max((vt.at(0, e) - exact).abs());
         }
         let scale = omega * EARTH_RADIUS_M;
-        assert!(worst < 0.02 * scale, "worst tangential error {worst} vs scale {scale}");
+        assert!(
+            worst < 0.02 * scale,
+            "worst tangential error {worst} vs scale {scale}"
+        );
     }
 
     #[test]
@@ -565,7 +619,7 @@ mod tests {
         let u = solid_body_u(&mesh, omega);
         let mut ue = Field2::zeros(1, mesh.n_cells());
         let mut un = Field2::zeros(1, mesh.n_cells());
-        cell_velocity(&mesh, &u, &mut ue, &mut un);
+        cell_velocity(&sub(), &mesh, &u, &mut ue, &mut un);
         let scale = omega * EARTH_RADIUS_M;
         let mut worst = 0.0f64;
         for c in 0..mesh.n_cells() {
@@ -573,9 +627,14 @@ mod tests {
             let v = Vec3::new(0.0, 0.0, 1.0).cross(p) * scale;
             let exact_e = v.dot(p.east());
             let exact_n = v.dot(p.north());
-            worst = worst.max((ue.at(0, c) - exact_e).abs()).max((un.at(0, c) - exact_n).abs());
+            worst = worst
+                .max((ue.at(0, c) - exact_e).abs())
+                .max((un.at(0, c) - exact_n).abs());
         }
-        assert!(worst < 0.02 * scale, "worst cell-velocity error {worst} vs {scale}");
+        assert!(
+            worst < 0.02 * scale,
+            "worst cell-velocity error {worst} vs {scale}"
+        );
     }
 
     #[test]
@@ -583,7 +642,7 @@ mod tests {
         let (mesh, _) = setup(3);
         let h = Field2::constant(2, mesh.n_cells(), 7.5);
         let mut he = Field2::zeros(2, mesh.n_edges());
-        cell_to_edge(&mesh, &h, &mut he);
+        cell_to_edge(&sub(), &mesh, &h, &mut he);
         assert!(he.as_slice().iter().all(|&x| x == 7.5));
     }
 
@@ -597,8 +656,8 @@ mod tests {
         let h32: Field2<f32> = h64.cast();
         let mut g64 = Field2::zeros(4, mesh.n_edges());
         let mut g32 = Field2::zeros(4, mesh.n_edges());
-        gradient(&mesh, &geom64, &h64, &mut g64);
-        gradient(&mesh, &geom32, &h32, &mut g32);
+        gradient(&sub(), &mesh, &geom64, &h64, &mut g64);
+        gradient(&sub(), &mesh, &geom32, &h32, &mut g32);
         let err = crate::real::relative_l2_error(&g32.to_f64_vec(), &g64.to_f64_vec());
         // f32 gradient of a ~1e3-magnitude field over ~1e5 m edges loses some
         // digits to cancellation but stays far below the 5% gate.

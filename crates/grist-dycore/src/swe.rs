@@ -21,6 +21,7 @@ use crate::operators as op;
 use crate::operators::ScaledGeometry;
 use crate::real::Real;
 use grist_mesh::{HexMesh, Vec3, EARTH_OMEGA, EARTH_RADIUS_M};
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// Shallow-water prognostic state.
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct SweState<R: Real> {
 pub struct SweSolver<R: Real> {
     pub mesh: HexMesh,
     pub geom: ScaledGeometry<R>,
+    /// Execution target for every hot loop (§3.3): serial MPE fallback or
+    /// SWGOMP CPE-team offload. Clones share the job server and profiler.
+    pub sub: Substrate,
     /// Bottom topography at cells \[m\].
     pub topo: Field2<R>,
     // scratch
@@ -54,10 +58,18 @@ pub struct SweSolver<R: Real> {
 
 impl<R: Real> SweSolver<R> {
     pub fn new(mesh: HexMesh) -> Self {
+        Self::with_substrate(mesh, Substrate::serial())
+    }
+
+    /// Build the solver on an explicit execution target (the `!$omp target`
+    /// choice of §3.3): pass [`Substrate::cpe_teams`] to offload every hot
+    /// loop through the SWGOMP job server.
+    pub fn with_substrate(mesh: HexMesh, sub: Substrate) -> Self {
         let geom = ScaledGeometry::new(&mesh, EARTH_RADIUS_M, EARTH_OMEGA);
         let (nc, ne, nv) = (mesh.n_cells(), mesh.n_edges(), mesh.n_verts());
         SweSolver {
             geom,
+            sub,
             topo: Field2::zeros(1, nc),
             h_edge: Field2::zeros(1, ne),
             flux: Field2::zeros(1, ne),
@@ -79,39 +91,60 @@ impl<R: Real> SweSolver<R> {
     pub fn tendencies(&mut self, state: &SweState<R>, th: &mut Field2<R>, tu: &mut Field2<R>) {
         let mesh = &self.mesh;
         let geom = &self.geom;
+        let sub = self.sub.clone();
         // Mass flux and its divergence.
-        op::cell_to_edge(mesh, &state.h, &mut self.h_edge);
-        for e in 0..mesh.n_edges() {
-            let f = self.h_edge.at(0, e) * state.u.at(0, e);
-            self.flux.set(0, e, f);
+        op::cell_to_edge(&sub, mesh, &state.h, &mut self.h_edge);
+        {
+            let h_edge = &self.h_edge;
+            let u = &state.u;
+            let cols = ColumnsMut::new(self.flux.as_mut_slice(), 1);
+            sub.run("swe_mass_flux", cols.len(), |e| {
+                // SAFETY: each edge index is dispatched exactly once.
+                *unsafe { cols.at(e) } = h_edge.at(0, e) * u.at(0, e);
+            });
         }
-        op::divergence(mesh, geom, &self.flux, th);
+        op::divergence(&sub, mesh, geom, &self.flux, th);
         for v in th.as_mut_slice() {
             *v = -*v;
         }
 
         // Bernoulli function K + g(h+b) and its gradient.
-        op::kinetic_energy(mesh, geom, &state.u, &mut self.ke);
+        op::kinetic_energy(&sub, mesh, geom, &state.u, &mut self.ke);
         let g = R::from_f64(GRAVITY);
-        for c in 0..mesh.n_cells() {
-            let b = self.ke.at(0, c) + g * (state.h.at(0, c) + self.topo.at(0, c));
-            self.bern.set(0, c, b);
+        {
+            let ke = &self.ke;
+            let topo = &self.topo;
+            let h = &state.h;
+            let cols = ColumnsMut::new(self.bern.as_mut_slice(), 1);
+            sub.run("swe_bernoulli", cols.len(), |c| {
+                // SAFETY: each cell index is dispatched exactly once.
+                *unsafe { cols.at(c) } = ke.at(0, c) + g * (h.at(0, c) + topo.at(0, c));
+            });
         }
-        op::gradient(mesh, geom, &self.bern, &mut self.grad_b);
+        op::gradient(&sub, mesh, geom, &self.bern, &mut self.grad_b);
 
         // Absolute vorticity at edges, tangential velocity, Coriolis term.
-        op::vorticity(mesh, geom, &state.u, &mut self.vor);
-        for v in 0..mesh.n_verts() {
-            let av = self.vor.at(0, v) + geom.f_vert[v];
-            self.vor.set(0, v, av);
+        op::vorticity(&sub, mesh, geom, &state.u, &mut self.vor);
+        {
+            let cols = ColumnsMut::new(self.vor.as_mut_slice(), 1);
+            sub.run("swe_abs_vorticity", cols.len(), |v| {
+                // SAFETY: each vertex index is dispatched exactly once.
+                *unsafe { cols.at(v) } += geom.f_vert[v];
+            });
         }
-        op::vert_to_edge(mesh, &self.vor, &mut self.pv_edge);
-        op::vert_velocity(mesh, geom, &state.u, &mut self.ve, &mut self.vn);
-        op::tangential_velocity(mesh, geom, &self.ve, &self.vn, &mut self.vt);
+        op::vert_to_edge(&sub, mesh, &self.vor, &mut self.pv_edge);
+        op::vert_velocity(&sub, mesh, geom, &state.u, &mut self.ve, &mut self.vn);
+        op::tangential_velocity(&sub, mesh, geom, &self.ve, &self.vn, &mut self.vt);
 
-        for e in 0..mesh.n_edges() {
-            let t = self.pv_edge.at(0, e) * self.vt.at(0, e) - self.grad_b.at(0, e);
-            tu.set(0, e, t);
+        {
+            let pv_edge = &self.pv_edge;
+            let vt = &self.vt;
+            let grad_b = &self.grad_b;
+            let cols = ColumnsMut::new(tu.as_mut_slice(), 1);
+            sub.run("swe_momentum_tend", cols.len(), |e| {
+                // SAFETY: each edge index is dispatched exactly once.
+                *unsafe { cols.at(e) } = pv_edge.at(0, e) * vt.at(0, e) - grad_b.at(0, e);
+            });
         }
     }
 
@@ -150,7 +183,8 @@ impl<R: Real> SweSolver<R> {
 
     /// Total energy `Σ A_i (h K + g h(h/2+b))`.
     pub fn total_energy(&mut self, state: &SweState<R>) -> f64 {
-        op::kinetic_energy(&self.mesh, &self.geom, &state.u, &mut self.ke);
+        let sub = self.sub.clone();
+        op::kinetic_energy(&sub, &self.mesh, &self.geom, &state.u, &mut self.ke);
         let r2 = self.geom.rearth * self.geom.rearth;
         (0..self.mesh.n_cells())
             .map(|c| {
@@ -185,7 +219,11 @@ pub fn williamson_tc2<R: Real>(mesh: &HexMesh) -> SweState<R> {
 
 /// Mean absolute deviation of `h` from a reference state, normalized by the
 /// reference dynamic range — the standard TC2 error measure.
-pub fn tc2_height_error<R: Real>(mesh: &HexMesh, state: &SweState<R>, reference: &SweState<R>) -> f64 {
+pub fn tc2_height_error<R: Real>(
+    mesh: &HexMesh,
+    state: &SweState<R>,
+    reference: &SweState<R>,
+) -> f64 {
     let mut num = 0.0;
     let mut den = 0.0;
     for c in 0..mesh.n_cells() {
@@ -239,7 +277,11 @@ mod tests {
             solver.step_rk3(&mut state, 400.0);
         }
         let m1 = solver.total_mass(&state);
-        assert!(((m1 - m0) / m0).abs() < 1e-12, "mass drift {}", (m1 - m0) / m0);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-12,
+            "mass drift {}",
+            (m1 - m0) / m0
+        );
     }
 
     #[test]
@@ -252,7 +294,11 @@ mod tests {
             solver.step_rk3(&mut state, 400.0);
         }
         let e1 = solver.total_energy(&state);
-        assert!(((e1 - e0) / e0).abs() < 1e-4, "energy drift {}", (e1 - e0) / e0);
+        assert!(
+            ((e1 - e0) / e0).abs() < 1e-4,
+            "energy drift {}",
+            (e1 - e0) / e0
+        );
     }
 
     #[test]
@@ -270,7 +316,10 @@ mod tests {
             s32.step_rk3(&mut st32, 400.0);
         }
         let err = crate::real::relative_l2_error(&st32.h.to_f64_vec(), &st64.h.to_f64_vec());
-        assert!(err < crate::real::MIXED_PRECISION_ERROR_THRESHOLD, "f32 deviation {err}");
+        assert!(
+            err < crate::real::MIXED_PRECISION_ERROR_THRESHOLD,
+            "f32 deviation {err}"
+        );
     }
 
     #[test]
@@ -291,6 +340,9 @@ mod tests {
         let mut tu = Field2::zeros(1, solver.mesh.n_edges());
         solver.tendencies(&state, &mut th, &mut tu);
         let max_tu = tu.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-        assert!(max_tu > 1e-4, "topography gradient missing from momentum eq");
+        assert!(
+            max_tu > 1e-4,
+            "topography gradient missing from momentum eq"
+        );
     }
 }

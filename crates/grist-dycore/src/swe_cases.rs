@@ -67,7 +67,8 @@ pub fn williamson_tc6<R: Real>(mesh: &HexMesh) -> SweState<R> {
         let lam = p.lon();
         let (cphi, sphi) = (phi.cos(), phi.sin());
         let u_zonal = a * omega * cphi
-            + a * k * cphi.powf(r_wave - 1.0)
+            + a * k
+                * cphi.powf(r_wave - 1.0)
                 * (r_wave * sphi * sphi - cphi * cphi)
                 * (r_wave * lam).cos();
         let v_merid = -a * k * r_wave * cphi.powf(r_wave - 1.0) * sphi * (r_wave * lam).sin();
@@ -81,17 +82,21 @@ pub fn williamson_tc6<R: Real>(mesh: &HexMesh) -> SweState<R> {
         let c2 = phi.cos() * phi.cos();
         let r = r_wave;
         let big_a = 0.5 * omega * (2.0 * EARTH_OMEGA + omega) * c2
-            + 0.25 * k * k * c2.powf(r)
+            + 0.25
+                * k
+                * k
+                * c2.powf(r)
                 * ((r + 1.0) * c2 + (2.0 * r * r - r - 2.0) - 2.0 * r * r / c2.max(1e-12));
         let big_b = (2.0 * (EARTH_OMEGA + omega) * k) / ((r + 1.0) * (r + 2.0))
             * c2.powf(r / 2.0)
             * ((r * r + 2.0 * r + 2.0) - (r + 1.0) * (r + 1.0) * c2);
         let big_c = 0.25 * k * k * c2.powf(r) * ((r + 1.0) * c2 - (r + 2.0));
-        h0 + a * a / GRAVITY
-            * (big_a + big_b * (r * lam).cos() + big_c * (2.0 * r * lam).cos())
+        h0 + a * a / GRAVITY * (big_a + big_b * (r * lam).cos() + big_c * (2.0 * r * lam).cos())
     };
 
-    let h = Field2::from_fn(1, mesh.n_cells(), |_, c| R::from_f64(height(mesh.cell_xyz[c])));
+    let h = Field2::from_fn(1, mesh.n_cells(), |_, c| {
+        R::from_f64(height(mesh.cell_xyz[c]))
+    });
     let u = Field2::from_fn(1, mesh.n_edges(), |_, e| {
         R::from_f64(vel(mesh.edge_mid[e]).dot(mesh.edge_normal[e]))
     });
@@ -115,9 +120,17 @@ mod tests {
             solver.step_rk3(&mut state, dt);
         }
         let m1 = solver.total_mass(&state);
-        assert!(((m1 - m0) / m0).abs() < 1e-12, "mass drift {}", (m1 - m0) / m0);
+        assert!(
+            ((m1 - m0) / m0).abs() < 1e-12,
+            "mass drift {}",
+            (m1 - m0) / m0
+        );
         assert!(state.h.as_slice().iter().all(|&h| h.is_finite() && h > 0.0));
-        let umax = state.u.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let umax = state
+            .u
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(umax < 120.0, "TC5 blew up: {umax} m/s");
     }
 
@@ -161,7 +174,11 @@ mod tests {
         let hmax = state.h.max_value();
         assert!(hmin > 7000.0 && hmax < 11_500.0, "h range [{hmin}, {hmax}]");
         // Winds bounded by ~110 m/s.
-        let umax = state.u.as_slice().iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let umax = state
+            .u
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!((20.0..130.0).contains(&umax), "umax {umax}");
     }
 
@@ -182,7 +199,10 @@ mod tests {
                 norm += h.abs();
             }
         }
-        assert!(c4.abs() > 5.0 * c3.abs(), "wavenumber-4 not dominant: c4 {c4}, c3 {c3}");
+        assert!(
+            c4.abs() > 5.0 * c3.abs(),
+            "wavenumber-4 not dominant: c4 {c4}, c3 {c3}"
+        );
         assert!(norm > 0.0);
     }
 
@@ -202,7 +222,11 @@ mod tests {
         assert!(err < 0.05, "TC6 height deviation after 1 day: {err}");
         let e0 = solver.total_energy(&init);
         let e1 = solver.total_energy(&state);
-        assert!(((e1 - e0) / e0).abs() < 5e-3, "TC6 energy drift {}", (e1 - e0) / e0);
+        assert!(
+            ((e1 - e0) / e0).abs() < 5e-3,
+            "TC6 energy drift {}",
+            (e1 - e0) / e0
+        );
     }
 
     #[test]
@@ -212,13 +236,19 @@ mod tests {
         let mut st64 = williamson_tc5::<f64>(&s64.mesh);
         install_tc5_mountain(&mut s64, &mut st64);
         let mut s32 = SweSolver::<f32>::new(mesh);
-        let mut st32 = SweState::<f32> { h: st64.h.cast(), u: st64.u.cast() };
+        let mut st32 = SweState::<f32> {
+            h: st64.h.cast(),
+            u: st64.u.cast(),
+        };
         s32.topo = s64.topo.cast();
         for _ in 0..60 {
             s64.step_rk3(&mut st64, 300.0);
             s32.step_rk3(&mut st32, 300.0);
         }
         let err = crate::real::relative_l2_error(&st32.h.to_f64_vec(), &st64.h.to_f64_vec());
-        assert!(err < crate::real::MIXED_PRECISION_ERROR_THRESHOLD, "f32 TC5 deviation {err}");
+        assert!(
+            err < crate::real::MIXED_PRECISION_ERROR_THRESHOLD,
+            "f32 TC5 deviation {err}"
+        );
     }
 }

@@ -18,7 +18,7 @@ use crate::field::Field2;
 use crate::operators::ScaledGeometry;
 use crate::real::Real;
 use grist_mesh::HexMesh;
-use rayon::prelude::*;
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// Scratch buffers for one FCT transport invocation, reusable across steps.
 pub struct FctWorkspace<R: Real> {
@@ -53,7 +53,9 @@ impl<R: Real> FctWorkspace<R> {
 ///
 /// The caller must respect the flux CFL: total outflow of any cell during
 /// `dt` may not exceed its mass (checked with `debug_assert`).
+#[allow(clippy::too_many_arguments)]
 pub fn fct_transport_step<R: Real>(
+    sub: &Substrate,
     mesh: &HexMesh,
     geom: &ScaledGeometry<R>,
     mass: &mut Field2<R>,
@@ -66,28 +68,30 @@ pub fn fct_transport_step<R: Real>(
     let dt_r = R::from_f64(dt);
 
     // Per-edge transports T_e = dt · F_e · ℓ_e.
-    ws.transport
-        .as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
+    {
+        let cols = ColumnsMut::new(ws.transport.as_mut_slice(), nlev);
+        sub.run("fct_transport", cols.len(), |e| {
+            // SAFETY: each edge index is dispatched exactly once.
+            let col = unsafe { cols.col(e) };
             let le = geom.edge_le[e];
             let f = flux.col(e);
             for (o, &fe) in col.iter_mut().zip(f) {
                 *o = fe * le * dt_r;
             }
         });
+    }
 
     // Low-order (upwind) transported tracer and the updated mass.
     let q_ro: &Field2<R> = q;
     let mass_ro: &Field2<R> = mass;
     let transport = &ws.transport;
-    ws.q_td
-        .as_mut_slice()
-        .par_chunks_mut(nlev)
-        .zip(ws.mass_new.as_mut_slice().par_chunks_mut(nlev))
-        .enumerate()
-        .for_each(|(c, (qtd, mnew))| {
+    {
+        let qtd_cols = ColumnsMut::new(ws.q_td.as_mut_slice(), nlev);
+        let mnew_cols = ColumnsMut::new(ws.mass_new.as_mut_slice(), nlev);
+        sub.run("fct_loworder", qtd_cols.len(), |c| {
+            // SAFETY: each cell index is dispatched exactly once.
+            let qtd = unsafe { qtd_cols.col(c) };
+            let mnew = unsafe { mnew_cols.col(c) };
             let rng = mesh.cell_edges.row_range(c);
             for lev in 0..nlev {
                 let m_old = mass_ro.at(lev, c);
@@ -105,19 +109,23 @@ pub fn fct_transport_step<R: Real>(
                     m -= s * t;
                     mq -= s * t * q_up;
                 }
-                debug_assert!(m > R::ZERO, "FCT: cell {c} lev {lev} emptied — CFL violated");
+                debug_assert!(
+                    m > R::ZERO,
+                    "FCT: cell {c} lev {lev} emptied — CFL violated"
+                );
                 mnew[lev] = m;
                 qtd[lev] = mq / m;
             }
         });
+    }
 
     // Antidiffusive fluxes A_e = T_e (q_centered − q_upwind).
     let half = R::from_f64(0.5);
-    ws.anti
-        .as_mut_slice()
-        .par_chunks_mut(nlev)
-        .enumerate()
-        .for_each(|(e, col)| {
+    {
+        let cols = ColumnsMut::new(ws.anti.as_mut_slice(), nlev);
+        sub.run("fct_antidiffusive", cols.len(), |e| {
+            // SAFETY: each edge index is dispatched exactly once.
+            let col = unsafe { cols.col(e) };
             let [c1, c2] = mesh.edge_cells[e];
             let (q1, q2) = (q_ro.col(c1 as usize), q_ro.col(c2 as usize));
             for lev in 0..nlev {
@@ -127,18 +135,20 @@ pub fn fct_transport_step<R: Real>(
                 col[lev] = t * (q_cent - q_up);
             }
         });
+    }
 
     // Zalesak limiter factors.
     let q_td = &ws.q_td;
     let mass_new = &ws.mass_new;
     let anti = &ws.anti;
     let tiny = R::from_f64(1e-300_f64.max(f64::MIN_POSITIVE));
-    ws.r_plus
-        .as_mut_slice()
-        .par_chunks_mut(nlev)
-        .zip(ws.r_minus.as_mut_slice().par_chunks_mut(nlev))
-        .enumerate()
-        .for_each(|(c, (rp, rm))| {
+    {
+        let rp_cols = ColumnsMut::new(ws.r_plus.as_mut_slice(), nlev);
+        let rm_cols = ColumnsMut::new(ws.r_minus.as_mut_slice(), nlev);
+        sub.run("fct_limiter", rp_cols.len(), |c| {
+            // SAFETY: each cell index is dispatched exactly once.
+            let rp = unsafe { rp_cols.col(c) };
+            let rm = unsafe { rm_cols.col(c) };
             let rng = mesh.cell_edges.row_range(c);
             for lev in 0..nlev {
                 // Admissible bounds: extrema of q_td and q_old over the cell
@@ -146,8 +156,12 @@ pub fn fct_transport_step<R: Real>(
                 let mut qmax = q_td.at(lev, c).max(q_ro.at(lev, c));
                 let mut qmin = q_td.at(lev, c).min(q_ro.at(lev, c));
                 for &nb in mesh.cell_neighbors.row(c) {
-                    qmax = qmax.max(q_td.at(lev, nb as usize)).max(q_ro.at(lev, nb as usize));
-                    qmin = qmin.min(q_td.at(lev, nb as usize)).min(q_ro.at(lev, nb as usize));
+                    qmax = qmax
+                        .max(q_td.at(lev, nb as usize))
+                        .max(q_ro.at(lev, nb as usize));
+                    qmin = qmin
+                        .min(q_td.at(lev, nb as usize))
+                        .min(q_ro.at(lev, nb as usize));
                 }
                 let mut p_plus = R::ZERO;
                 let mut p_minus = R::ZERO;
@@ -163,19 +177,30 @@ pub fn fct_transport_step<R: Real>(
                 let m = mass_new.at(lev, c);
                 let q_plus = (qmax - q_td.at(lev, c)) * m;
                 let q_minus = (q_td.at(lev, c) - qmin) * m;
-                rp[lev] = if p_plus > tiny { (q_plus / p_plus).min(R::ONE) } else { R::ZERO };
-                rm[lev] = if p_minus > tiny { (q_minus / p_minus).min(R::ONE) } else { R::ZERO };
+                rp[lev] = if p_plus > tiny {
+                    (q_plus / p_plus).min(R::ONE)
+                } else {
+                    R::ZERO
+                };
+                rm[lev] = if p_minus > tiny {
+                    (q_minus / p_minus).min(R::ONE)
+                } else {
+                    R::ZERO
+                };
             }
         });
+    }
 
     // Apply limited antidiffusive fluxes.
     let r_plus = &ws.r_plus;
     let r_minus = &ws.r_minus;
-    q.as_mut_slice()
-        .par_chunks_mut(nlev)
-        .zip(mass.as_mut_slice().par_chunks_mut(nlev))
-        .enumerate()
-        .for_each(|(c, (qc, mc))| {
+    {
+        let q_cols = ColumnsMut::new(q.as_mut_slice(), nlev);
+        let m_cols = ColumnsMut::new(mass.as_mut_slice(), nlev);
+        sub.run("fct_apply", q_cols.len(), |c| {
+            // SAFETY: each cell index is dispatched exactly once.
+            let qc = unsafe { q_cols.col(c) };
+            let mc = unsafe { m_cols.col(c) };
             let rng = mesh.cell_edges.row_range(c);
             for lev in 0..nlev {
                 let m = mass_new.at(lev, c);
@@ -186,9 +211,13 @@ pub fn fct_transport_step<R: Real>(
                     let [c1, c2] = mesh.edge_cells[e as usize];
                     // A_e > 0 moves tracer from c1 to c2 (relative to upwind).
                     let coef = if a >= R::ZERO {
-                        r_minus.at(lev, c1 as usize).min(r_plus.at(lev, c2 as usize))
+                        r_minus
+                            .at(lev, c1 as usize)
+                            .min(r_plus.at(lev, c2 as usize))
                     } else {
-                        r_plus.at(lev, c1 as usize).min(r_minus.at(lev, c2 as usize))
+                        r_plus
+                            .at(lev, c1 as usize)
+                            .min(r_minus.at(lev, c2 as usize))
                     };
                     mq -= s * coef * a;
                 }
@@ -196,6 +225,7 @@ pub fn fct_transport_step<R: Real>(
                 mc[lev] = m;
             }
         });
+    }
 }
 
 /// Total tracer content `Σ M_i q_i` (conservation diagnostic).
@@ -212,6 +242,10 @@ mod tests {
     use super::*;
     use crate::operators::ScaledGeometry;
     use grist_mesh::{Vec3, EARTH_OMEGA, EARTH_RADIUS_M};
+
+    fn sub() -> Substrate {
+        Substrate::serial()
+    }
 
     fn setup(level: u32) -> (HexMesh, ScaledGeometry<f64>) {
         let mesh = HexMesh::build(level);
@@ -249,7 +283,16 @@ mod tests {
         let mut q = Field2::constant(1, mesh.n_cells(), 0.37);
         let mut ws = FctWorkspace::new(1, &mesh);
         for _ in 0..10 {
-            fct_transport_step(&mesh, &geom, &mut mass, &flux, &mut q, 600.0, &mut ws);
+            fct_transport_step(
+                &sub(),
+                &mesh,
+                &geom,
+                &mut mass,
+                &flux,
+                &mut q,
+                600.0,
+                &mut ws,
+            );
         }
         for &v in q.as_slice() {
             assert!((v - 0.37).abs() < 1e-12, "constant tracer drifted to {v}");
@@ -265,10 +308,23 @@ mod tests {
         let mut ws = FctWorkspace::new(1, &mesh);
         let t0 = total_tracer(&mass, &q);
         for _ in 0..20 {
-            fct_transport_step(&mesh, &geom, &mut mass, &flux, &mut q, 600.0, &mut ws);
+            fct_transport_step(
+                &sub(),
+                &mesh,
+                &geom,
+                &mut mass,
+                &flux,
+                &mut q,
+                600.0,
+                &mut ws,
+            );
         }
         let t1 = total_tracer(&mass, &q);
-        assert!(((t1 - t0) / t0).abs() < 1e-12, "tracer drift {}", (t1 - t0) / t0);
+        assert!(
+            ((t1 - t0) / t0).abs() < 1e-12,
+            "tracer drift {}",
+            (t1 - t0) / t0
+        );
     }
 
     #[test]
@@ -280,11 +336,28 @@ mod tests {
         let (q0_min, q0_max) = (q.min_value(), q.max_value());
         let mut ws = FctWorkspace::new(1, &mesh);
         for _ in 0..50 {
-            fct_transport_step(&mesh, &geom, &mut mass, &flux, &mut q, 400.0, &mut ws);
+            fct_transport_step(
+                &sub(),
+                &mesh,
+                &geom,
+                &mut mass,
+                &flux,
+                &mut q,
+                400.0,
+                &mut ws,
+            );
         }
         let eps = 1e-12;
-        assert!(q.min_value() >= q0_min - eps, "undershoot: {}", q.min_value());
-        assert!(q.max_value() <= q0_max + eps, "overshoot: {}", q.max_value());
+        assert!(
+            q.min_value() >= q0_min - eps,
+            "undershoot: {}",
+            q.min_value()
+        );
+        assert!(
+            q.max_value() <= q0_max + eps,
+            "overshoot: {}",
+            q.max_value()
+        );
     }
 
     #[test]
@@ -301,7 +374,7 @@ mod tests {
         let dt = 300.0;
         let steps = (86400.0 / dt) as usize; // one day = quarter revolution
         for _ in 0..steps {
-            fct_transport_step(&mesh, &geom, &mut mass, &flux, &mut q, dt, &mut ws);
+            fct_transport_step(&sub(), &mesh, &geom, &mut mass, &flux, &mut q, dt, &mut ws);
         }
         let peak = (0..mesh.n_cells())
             .max_by(|&a, &b| q.at(0, a).partial_cmp(&q.at(0, b)).unwrap())
@@ -310,7 +383,11 @@ mod tests {
         let d = mesh.cell_xyz[peak].arc_dist(expected);
         assert!(d < 0.25, "peak {d} rad from expected position");
         // The peak must not be excessively damped.
-        assert!(q.max_value() > 0.45, "peak over-diffused: {}", q.max_value());
+        assert!(
+            q.max_value() > 0.45,
+            "peak over-diffused: {}",
+            q.max_value()
+        );
     }
 
     #[test]
@@ -327,8 +404,26 @@ mod tests {
         let mut w64 = FctWorkspace::new(1, &mesh);
         let mut w32 = FctWorkspace::new(1, &mesh);
         for _ in 0..20 {
-            fct_transport_step(&mesh, &geom64, &mut m64, &f64x, &mut q64, 600.0, &mut w64);
-            fct_transport_step(&mesh, &geom32, &mut m32, &f32x, &mut q32, 600.0, &mut w32);
+            fct_transport_step(
+                &sub(),
+                &mesh,
+                &geom64,
+                &mut m64,
+                &f64x,
+                &mut q64,
+                600.0,
+                &mut w64,
+            );
+            fct_transport_step(
+                &sub(),
+                &mesh,
+                &geom32,
+                &mut m32,
+                &f32x,
+                &mut q32,
+                600.0,
+                &mut w32,
+            );
         }
         let err = crate::real::relative_l2_error(&q32.to_f64_vec(), &q64.to_f64_vec());
         assert!(err < 1e-3, "f32 FCT deviation {err}");

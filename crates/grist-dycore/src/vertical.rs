@@ -35,14 +35,26 @@ impl VerticalCoord {
     /// near the top for `stretch > 1` (where σ spacing is small).
     pub fn stretched(nlev: usize, stretch: f64) -> Self {
         assert!(nlev >= 2);
-        let sigma_i: Vec<f64> = (0..=nlev).map(|i| (i as f64 / nlev as f64).powf(stretch)).collect();
-        let sigma_m: Vec<f64> = (0..nlev).map(|k| 0.5 * (sigma_i[k] + sigma_i[k + 1])).collect();
-        VerticalCoord { nlev, sigma_i, sigma_m, p_top: P_TOP }
+        let sigma_i: Vec<f64> = (0..=nlev)
+            .map(|i| (i as f64 / nlev as f64).powf(stretch))
+            .collect();
+        let sigma_m: Vec<f64> = (0..nlev)
+            .map(|k| 0.5 * (sigma_i[k] + sigma_i[k + 1]))
+            .collect();
+        VerticalCoord {
+            nlev,
+            sigma_i,
+            sigma_m,
+            p_top: P_TOP,
+        }
     }
 
     /// Interface dry pressure for a column with surface dry pressure `ps`.
     pub fn pi_interfaces(&self, ps: f64) -> Vec<f64> {
-        self.sigma_i.iter().map(|&s| self.p_top + s * (ps - self.p_top)).collect()
+        self.sigma_i
+            .iter()
+            .map(|&s| self.p_top + s * (ps - self.p_top))
+            .collect()
     }
 
     /// Layer dry-mass thickness `δπ_k` for surface pressure `ps`.
@@ -141,7 +153,12 @@ mod tests {
         let mut scratch = vec![0.0; n];
         thomas_solve(&a, &b, &c, &mut d, &mut scratch);
         for k in 0..n {
-            assert!((d[k] - x_true[k]).abs() < 1e-10, "k={k}: {} vs {}", d[k], x_true[k]);
+            assert!(
+                (d[k] - x_true[k]).abs() < 1e-10,
+                "k={k}: {} vs {}",
+                d[k],
+                x_true[k]
+            );
         }
     }
 

@@ -159,12 +159,19 @@ mod tests {
         let (mesh, p, h) = setup(3, 4, 1);
         for loc in &h.locales {
             let owned: BTreeSet<u32> = loc.owned_cells.iter().copied().collect();
-            let halo: BTreeSet<u32> =
-                loc.recv.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            let halo: BTreeSet<u32> = loc
+                .recv
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
             for &c in &loc.owned_cells {
                 for &nb in mesh.cell_neighbors.row(c as usize) {
                     if p.part[nb as usize] as usize != loc.rank {
-                        assert!(halo.contains(&nb), "rank {} missing halo cell {nb}", loc.rank);
+                        assert!(
+                            halo.contains(&nb),
+                            "rank {} missing halo cell {nb}",
+                            loc.rank
+                        );
                     }
                 }
                 let _ = owned;
@@ -179,8 +186,16 @@ mod tests {
         let h1 = HaloLayout::build(&mesh, &p, 1);
         let h2 = HaloLayout::build(&mesh, &p, 2);
         for (l1, l2) in h1.locales.iter().zip(&h2.locales) {
-            let s1: BTreeSet<u32> = l1.recv.iter().flat_map(|(_, v)| v.iter().copied()).collect();
-            let s2: BTreeSet<u32> = l2.recv.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            let s1: BTreeSet<u32> = l1
+                .recv
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            let s2: BTreeSet<u32> = l2
+                .recv
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
             assert!(s1.is_subset(&s2));
             assert!(s2.len() >= s1.len());
         }

@@ -197,7 +197,11 @@ impl HexMesh {
             let [fa, fb] = edge_faces[e];
             let (va, vb) = (vert_xyz[fa as usize], vert_xyz[fb as usize]);
             // Order dual vertices along +t.
-            let (v1, v2) = if (vb - va).dot(t) >= 0.0 { (fa, fb) } else { (fb, fa) };
+            let (v1, v2) = if (vb - va).dot(t) >= 0.0 {
+                (fa, fb)
+            } else {
+                (fb, fa)
+            };
             edge_verts.push([v1, v2]);
             edge_le.push(vert_xyz[v1 as usize].arc_dist(vert_xyz[v2 as usize]));
             edge_de.push(p1.arc_dist(p2));
@@ -244,7 +248,11 @@ impl HexMesh {
         for c in 0..n_cells {
             for (k, &e) in cell_edges.row(c).iter().enumerate() {
                 let [c1, c2] = edge_cells[e as usize];
-                let (sign, nb) = if c as u32 == c1 { (1.0, c2) } else { (-1.0, c1) };
+                let (sign, nb) = if c as u32 == c1 {
+                    (1.0, c2)
+                } else {
+                    (-1.0, c1)
+                };
                 cell_edge_sign[cell_edges.row_range(c).start + k] = sign;
                 neighbor_rows[c].push(nb);
             }
@@ -333,12 +341,18 @@ impl HexMesh {
 
     /// Coriolis parameter `2Ω sin(lat)` at every edge midpoint.
     pub fn coriolis_at_edges(&self, omega: f64) -> Vec<f64> {
-        self.edge_mid.iter().map(|m| 2.0 * omega * m.lat().sin()).collect()
+        self.edge_mid
+            .iter()
+            .map(|m| 2.0 * omega * m.lat().sin())
+            .collect()
     }
 
     /// Coriolis parameter `2Ω sin(lat)` at every dual vertex.
     pub fn coriolis_at_verts(&self, omega: f64) -> Vec<f64> {
-        self.vert_xyz.iter().map(|p| 2.0 * omega * p.lat().sin()).collect()
+        self.vert_xyz
+            .iter()
+            .map(|p| 2.0 * omega * p.lat().sin())
+            .collect()
     }
 }
 
@@ -422,8 +436,8 @@ mod tests {
             let rng = m.cell_edges.row_range(c);
             for (k, &e) in m.cell_edges.row(c).iter().enumerate() {
                 let sign = m.cell_edge_sign[rng.start + k];
-                let outward = (m.edge_mid[e as usize] - m.cell_xyz[c])
-                    .tangent_at(m.edge_mid[e as usize]);
+                let outward =
+                    (m.edge_mid[e as usize] - m.cell_xyz[c]).tangent_at(m.edge_mid[e as usize]);
                 assert!(
                     sign * m.edge_normal[e as usize].dot(outward) > 0.0,
                     "cell {c} edge {e}: sign does not point outward"

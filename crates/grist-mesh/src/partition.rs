@@ -77,7 +77,11 @@ impl Partition {
             }
         }
         let max_part_degree = nbr_parts.iter().map(|s| s.len()).max().unwrap_or(0);
-        PartitionQuality { imbalance, edge_cut, max_part_degree }
+        PartitionQuality {
+            imbalance,
+            edge_cut,
+            max_part_degree,
+        }
     }
 }
 
@@ -235,7 +239,11 @@ mod tests {
         for parts in [2usize, 4, 8, 16] {
             let p = Partition::build(&mesh, parts, 2);
             let q = p.quality(&mesh);
-            assert!(q.imbalance < 1.01, "{parts} parts imbalance {}", q.imbalance);
+            assert!(
+                q.imbalance < 1.01,
+                "{parts} parts imbalance {}",
+                q.imbalance
+            );
         }
     }
 

@@ -26,7 +26,11 @@ impl QualityStat {
             sum += v;
             n += 1;
         }
-        QualityStat { min, max, mean: sum / n.max(1) as f64 }
+        QualityStat {
+            min,
+            max,
+            mean: sum / n.max(1) as f64,
+        }
     }
 
     /// max/min ratio (1 = perfectly uniform).
@@ -71,8 +75,7 @@ pub fn mesh_quality(mesh: &HexMesh) -> MeshQuality {
         // dual vertices) with the dual edge: approximate with the midpoint
         // of the dual vertices projected on the sphere.
         let [v1, v2] = mesh.edge_verts[e];
-        let cross =
-            ((mesh.vert_xyz[v1 as usize] + mesh.vert_xyz[v2 as usize]) * 0.5).normalized();
+        let cross = ((mesh.vert_xyz[v1 as usize] + mesh.vert_xyz[v2 as usize]) * 0.5).normalized();
         cross.arc_dist(mid_cells) / mesh.edge_de[e]
     }));
 
@@ -87,7 +90,12 @@ pub fn mesh_quality(mesh: &HexMesh) -> MeshQuality {
         hi / lo
     }));
 
-    MeshQuality { cell_area, orthogonality_defect, bisection_defect, cell_regularity }
+    MeshQuality {
+        cell_area,
+        orthogonality_defect,
+        bisection_defect,
+        cell_regularity,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +107,11 @@ mod tests {
         // The circumcenter dual is a true Voronoi diagram: orthogonality is
         // exact up to floating-point noise.
         let q = mesh_quality(&HexMesh::build(4));
-        assert!(q.orthogonality_defect.max < 1e-10, "defect {}", q.orthogonality_defect.max);
+        assert!(
+            q.orthogonality_defect.max < 1e-10,
+            "defect {}",
+            q.orthogonality_defect.max
+        );
     }
 
     #[test]
@@ -120,14 +132,26 @@ mod tests {
         // Voronoi edges bisect Delaunay edges exactly in the plane; on the
         // sphere with irregular triangles a small defect remains.
         let q = mesh_quality(&HexMesh::build(4));
-        assert!(q.bisection_defect.mean < 0.15, "mean defect {}", q.bisection_defect.mean);
-        assert!(q.bisection_defect.max < 0.5, "max defect {}", q.bisection_defect.max);
+        assert!(
+            q.bisection_defect.mean < 0.15,
+            "mean defect {}",
+            q.bisection_defect.mean
+        );
+        assert!(
+            q.bisection_defect.max < 0.5,
+            "max defect {}",
+            q.bisection_defect.max
+        );
     }
 
     #[test]
     fn cells_are_reasonably_regular() {
         let q = mesh_quality(&HexMesh::build(4));
-        assert!(q.cell_regularity.mean < 1.35, "mean regularity {}", q.cell_regularity.mean);
+        assert!(
+            q.cell_regularity.mean < 1.35,
+            "mean regularity {}",
+            q.cell_regularity.mean
+        );
         assert!(q.cell_regularity.min >= 1.0);
     }
 

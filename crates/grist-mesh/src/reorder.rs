@@ -21,21 +21,31 @@ pub struct Permutation {
 impl Permutation {
     pub fn identity(n: usize) -> Self {
         let v: Vec<u32> = (0..n as u32).collect();
-        Permutation { new_of_old: v.clone(), old_of_new: v }
+        Permutation {
+            new_of_old: v.clone(),
+            old_of_new: v,
+        }
     }
 
     /// Build from an `old_of_new` ordering (a visit sequence).
     pub fn from_order(old_of_new: Vec<u32>) -> Self {
         let mut new_of_old = vec![u32::MAX; old_of_new.len()];
         for (new, &old) in old_of_new.iter().enumerate() {
-            assert_eq!(new_of_old[old as usize], u32::MAX, "duplicate index in order");
+            assert_eq!(
+                new_of_old[old as usize],
+                u32::MAX,
+                "duplicate index in order"
+            );
             new_of_old[old as usize] = new as u32;
         }
         assert!(
             new_of_old.iter().all(|&x| x != u32::MAX),
             "order does not cover all indices"
         );
-        Permutation { new_of_old, old_of_new }
+        Permutation {
+            new_of_old,
+            old_of_new,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -49,7 +59,10 @@ impl Permutation {
     /// Reorder a data vector so `out[new] = data[old]`.
     pub fn apply<T: Clone>(&self, data: &[T]) -> Vec<T> {
         assert_eq!(data.len(), self.len());
-        self.old_of_new.iter().map(|&old| data[old as usize].clone()).collect()
+        self.old_of_new
+            .iter()
+            .map(|&old| data[old as usize].clone())
+            .collect()
     }
 }
 

@@ -96,7 +96,11 @@ impl ChannelNormalizer {
             let sd = var.sqrt().max(1e-12) as f32;
             stats.push((mean as f32, sd));
         }
-        ChannelNormalizer { n_channels, block_len, stats }
+        ChannelNormalizer {
+            n_channels,
+            block_len,
+            stats,
+        }
     }
 
     /// `(x - mean) / std` in place.
@@ -140,10 +144,30 @@ pub struct TrainingPeriod {
 
 /// Table 1 of the paper.
 pub const TRAINING_PERIODS: [TrainingPeriod; 4] = [
-    TrainingPeriod { name: "1-20 January 1998", oni: 2.2, mjo: 1.3, solar_declination: -0.40 },
-    TrainingPeriod { name: "1-20 April 2005", oni: 0.4, mjo: 3.2, solar_declination: 0.10 },
-    TrainingPeriod { name: "10-29 July 2015", oni: -0.4, mjo: 0.6, solar_declination: 0.37 },
-    TrainingPeriod { name: "1-20 October 1988", oni: -1.5, mjo: 1.8, solar_declination: -0.10 },
+    TrainingPeriod {
+        name: "1-20 January 1998",
+        oni: 2.2,
+        mjo: 1.3,
+        solar_declination: -0.40,
+    },
+    TrainingPeriod {
+        name: "1-20 April 2005",
+        oni: 0.4,
+        mjo: 3.2,
+        solar_declination: 0.10,
+    },
+    TrainingPeriod {
+        name: "10-29 July 2015",
+        oni: -0.4,
+        mjo: 0.6,
+        solar_declination: 0.37,
+    },
+    TrainingPeriod {
+        name: "1-20 October 1988",
+        oni: -1.5,
+        mjo: 1.8,
+        solar_declination: -0.10,
+    },
 ];
 
 #[cfg(test)]
@@ -154,7 +178,12 @@ mod tests {
         let mut v = Vec::new();
         for day in 0..days {
             for step in 0..steps_per_day {
-                v.push(Sample { x: vec![day as f32, step as f32], y: vec![0.0], day, step });
+                v.push(Sample {
+                    x: vec![day as f32, step as f32],
+                    y: vec![0.0],
+                    day,
+                    step,
+                });
             }
         }
         v
@@ -210,7 +239,10 @@ mod tests {
         let norm = ChannelNormalizer::fit(data.iter(), 2, 3);
         let mut v = data[50].clone();
         norm.normalize(&mut v);
-        assert!(v.iter().all(|&x| x.abs() < 3.0), "normalized values too large: {v:?}");
+        assert!(
+            v.iter().all(|&x| x.abs() < 3.0),
+            "normalized values too large: {v:?}"
+        );
         let mut w = v.clone();
         norm.denormalize(&mut w);
         for (a, b) in w.iter().zip(&data[50]) {
@@ -221,8 +253,14 @@ mod tests {
     #[test]
     fn table1_periods_cover_enso_spread() {
         let onis: Vec<f64> = TRAINING_PERIODS.iter().map(|p| p.oni).collect();
-        assert!(onis.iter().cloned().fold(f64::MIN, f64::max) > 2.0, "El Niño case present");
-        assert!(onis.iter().cloned().fold(f64::MAX, f64::min) < -1.0, "La Niña case present");
+        assert!(
+            onis.iter().cloned().fold(f64::MIN, f64::max) > 2.0,
+            "El Niño case present"
+        );
+        assert!(
+            onis.iter().cloned().fold(f64::MAX, f64::min) < -1.0,
+            "La Niña case present"
+        );
         assert_eq!(TRAINING_PERIODS.len(), 4, "four seasons");
     }
 }

@@ -108,7 +108,9 @@ mod tests {
     fn toy_samples(nlev: usize, n: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
         (0..n)
             .map(|s| {
-                let x: Vec<f32> = (0..5 * nlev).map(|i| ((i + s) as f32 * 0.37).sin()).collect();
+                let x: Vec<f32> = (0..5 * nlev)
+                    .map(|i| ((i + s) as f32 * 0.37).sin())
+                    .collect();
                 let mut y = vec![0.0f32; 2 * nlev];
                 for k in 0..nlev {
                     y[k] = -0.5 * x[2 * nlev + k];
@@ -156,10 +158,16 @@ mod tests {
         let x = vec![0.5f32; 20];
         let mut spread = vec![0.0f32; 8];
         ens.spread(&x, &mut spread);
-        assert!(spread.iter().any(|&s| s > 0.0), "independent members must disagree");
+        assert!(
+            spread.iter().any(|&s| s > 0.0),
+            "independent members must disagree"
+        );
         ens.members[1] = ens.members[0].clone();
         ens.spread(&x, &mut spread);
-        assert!(spread.iter().all(|&s| s < 1e-7), "identical members must agree");
+        assert!(
+            spread.iter().all(|&s| s < 1e-7),
+            "identical members must agree"
+        );
     }
 
     #[test]
@@ -168,7 +176,12 @@ mod tests {
         let samples = toy_samples(nlev, 24);
         let mut ens = CnnEnsemble::new(2, nlev, 8, 17);
         let mut opts: Vec<Adam> = (0..2)
-            .map(|_| Adam::new(AdamConfig { lr: 3e-3, ..Default::default() }))
+            .map(|_| {
+                Adam::new(AdamConfig {
+                    lr: 3e-3,
+                    ..Default::default()
+                })
+            })
             .collect();
         let eval = |ens: &CnnEnsemble| -> f32 {
             let mut y = vec![0.0f32; 2 * nlev];
@@ -196,7 +209,12 @@ mod tests {
         let samples = toy_samples(nlev, 16);
         let mut ens = CnnEnsemble::new(4, nlev, 8, 23);
         let mut opts: Vec<Adam> = (0..4)
-            .map(|_| Adam::new(AdamConfig { lr: 3e-3, ..Default::default() }))
+            .map(|_| {
+                Adam::new(AdamConfig {
+                    lr: 3e-3,
+                    ..Default::default()
+                })
+            })
             .collect();
         for _ in 0..20 {
             ens.train_epoch(&samples, &mut opts, 8);

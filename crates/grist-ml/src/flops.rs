@@ -68,7 +68,12 @@ pub fn rrtmg_like_mix(cheap: f64, expensive: f64, branches: f64) -> WorkloadMix 
 
 /// The ML-radiation mix: nearly pure dense matmul.
 pub fn ml_mix(flops: f64) -> WorkloadMix {
-    WorkloadMix { cheap_flops: flops, expensive_ops: 0.0, branches: 0.0, vector_fraction: 0.995 }
+    WorkloadMix {
+        cheap_flops: flops,
+        expensive_ops: 0.0,
+        branches: 0.0,
+        vector_fraction: 0.995,
+    }
 }
 
 /// Effective execution time (arbitrary units): flops / (peak · fraction).
@@ -121,7 +126,10 @@ mod tests {
         // Ratios measured from our two-stream scheme: ~7 cheap flops per
         // expensive op, ~1 branch per 12 cheap flops.
         let f = achieved_peak_fraction(&rrtmg_like_mix(7.0, 1.0, 0.6));
-        assert!((0.02..=0.12).contains(&f), "RRTMG fraction {f} outside 2–12%");
+        assert!(
+            (0.02..=0.12).contains(&f),
+            "RRTMG fraction {f} outside 2–12%"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub(crate) fn write_f32_slice(w: &mut impl Write, v: &[f32]) -> io::Result<()> {
 pub(crate) fn read_f32_vec(r: &mut impl Read) -> io::Result<Vec<f32>> {
     let n = read_u64(r)? as usize;
     if n > (1 << 28) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "tensor too large",
+        ));
     }
     let mut buf = vec![0u8; n * 4];
     r.read_exact(&mut buf)?;
@@ -47,7 +50,10 @@ pub(crate) fn write_norm_pairs(w: &mut impl Write, pairs: &[(f32, f32)]) -> io::
 pub(crate) fn read_norm_pairs(r: &mut impl Read) -> io::Result<Vec<(f32, f32)>> {
     let flat = read_f32_vec(r)?;
     if flat.len() % 2 != 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "odd norm vector"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "odd norm vector",
+        ));
     }
     Ok(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
 }
@@ -60,7 +66,10 @@ pub(crate) fn check_magic(r: &mut impl Read, kind: u64) -> io::Result<()> {
     }
     let k = read_u64(r)?;
     if k != kind {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "wrong model kind"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "wrong model kind",
+        ));
     }
     Ok(())
 }

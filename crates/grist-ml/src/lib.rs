@@ -21,8 +21,8 @@ pub mod models;
 pub mod optim;
 pub mod tensor;
 
-pub use ensemble::CnnEnsemble;
 pub use data::{ChannelNormalizer, Dataset, Sample, TrainingPeriod, TRAINING_PERIODS};
+pub use ensemble::CnnEnsemble;
 pub use flops::{achieved_peak_fraction, compare_radiation, RadiationComparison, WorkloadMix};
 pub use models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS, CNN_OUTPUT_CHANNELS};
 pub use optim::{Adam, AdamConfig};

@@ -95,7 +95,9 @@ impl TendencyCnn {
             channels,
             input: Conv1d::new(CNN_INPUT_CHANNELS, channels, 3, nlev, &mut rng),
             input_relu: Relu::default(),
-            res: (0..5).map(|_| ResUnit::new(channels, nlev, &mut rng)).collect(),
+            res: (0..5)
+                .map(|_| ResUnit::new(channels, nlev, &mut rng))
+                .collect(),
             // 1×1 per-level linear readout head (not counted among the
             // "11-layer deep CNN" k=3 convolution layers).
             output: Conv1d::new(channels, CNN_OUTPUT_CHANNELS, 1, nlev, &mut rng),
@@ -107,7 +109,11 @@ impl TendencyCnn {
     /// Total trainable parameters.
     pub fn n_params(&self) -> usize {
         self.input.n_params()
-            + self.res.iter().map(|r| r.conv1.n_params() + r.conv2.n_params()).sum::<usize>()
+            + self
+                .res
+                .iter()
+                .map(|r| r.conv1.n_params() + r.conv2.n_params())
+                .sum::<usize>()
             + self.output.n_params()
     }
 
@@ -121,7 +127,11 @@ impl TendencyCnn {
     /// FLOPs of one forward (inference) pass.
     pub fn flops(&self) -> u64 {
         self.input.flops()
-            + self.res.iter().map(|r| r.conv1.flops() + r.conv2.flops()).sum::<u64>()
+            + self
+                .res
+                .iter()
+                .map(|r| r.conv1.flops() + r.conv2.flops())
+                .sum::<u64>()
             + self.output.flops()
     }
 
@@ -499,7 +509,10 @@ mod tests {
     fn cnn_can_learn_a_simple_mapping() {
         // Learn y = smoothed(-x) for channel 0: loss must fall sharply.
         let mut net = TendencyCnn::new(8, 8, 42);
-        let mut opt = Adam::new(AdamConfig { lr: 3e-3, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 3e-3,
+            ..Default::default()
+        });
         let samples: Vec<(Vec<f32>, Vec<f32>)> = (0..32)
             .map(|s| {
                 let x: Vec<f32> = (0..5 * 8).map(|i| ((i + s) as f32 * 0.41).sin()).collect();
@@ -511,10 +524,13 @@ mod tests {
                 (x, y)
             })
             .collect();
-        let loss0: f32 = samples.iter().map(|(x, y)| {
-            let p = net.forward(x);
-            mse_loss(&p, y).0
-        }).sum();
+        let loss0: f32 = samples
+            .iter()
+            .map(|(x, y)| {
+                let p = net.forward(x);
+                mse_loss(&p, y).0
+            })
+            .sum();
         for epoch in 0..60 {
             for (x, y) in &samples {
                 net.train_sample(x, y);
@@ -522,17 +538,23 @@ mod tests {
             net.optimizer_step(&mut opt);
             let _ = epoch;
         }
-        let loss1: f32 = samples.iter().map(|(x, y)| {
-            let p = net.forward(x);
-            mse_loss(&p, y).0
-        }).sum();
+        let loss1: f32 = samples
+            .iter()
+            .map(|(x, y)| {
+                let p = net.forward(x);
+                mse_loss(&p, y).0
+            })
+            .sum();
         assert!(loss1 < 0.2 * loss0, "training failed: {loss0} -> {loss1}");
     }
 
     #[test]
     fn mlp_can_learn_a_scalar_function() {
         let mut net = RadiationMlp::new(4, 16, 9);
-        let mut opt = Adam::new(AdamConfig { lr: 3e-3, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 3e-3,
+            ..Default::default()
+        });
         let data: Vec<(Vec<f32>, Vec<f32>)> = (0..64)
             .map(|s| {
                 let x: Vec<f32> = (0..4).map(|i| ((s * 4 + i) as f32 * 0.17).sin()).collect();
@@ -541,7 +563,9 @@ mod tests {
             })
             .collect();
         let eval = |net: &mut RadiationMlp| -> f32 {
-            data.iter().map(|(x, t)| mse_loss(&net.forward(x), t).0).sum()
+            data.iter()
+                .map(|(x, t)| mse_loss(&net.forward(x), t).0)
+                .sum()
         };
         let l0 = eval(&mut net);
         for _ in 0..150 {
@@ -615,6 +639,9 @@ mod tests {
         let a = TendencyCnn::new(30, 32, 1).flops();
         let b = TendencyCnn::new(30, 64, 1).flops();
         let r = b as f64 / a as f64;
-        assert!((3.0..4.5).contains(&r), "flops ratio {r} (≈4x expected for 2x width)");
+        assert!(
+            (3.0..4.5).contains(&r),
+            "flops ratio {r} (≈4x expected for 2x width)"
+        );
     }
 }

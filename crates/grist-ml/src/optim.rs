@@ -15,7 +15,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -65,7 +71,10 @@ mod tests {
     fn adam_minimizes_a_quadratic() {
         // min (w-3)², starting at 0.
         let mut p = Param::zeros(1);
-        let mut opt = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            ..Default::default()
+        });
         for _ in 0..500 {
             opt.begin_step();
             p.g[0] = 2.0 * (p.w[0] - 3.0);
@@ -88,7 +97,11 @@ mod tests {
     fn weight_decay_pulls_toward_zero() {
         let mut p = Param::zeros(1);
         p.w[0] = 1.0;
-        let mut opt = Adam::new(AdamConfig { lr: 0.05, weight_decay: 1.0, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.05,
+            weight_decay: 1.0,
+            ..Default::default()
+        });
         for _ in 0..200 {
             opt.begin_step();
             opt.update(&mut p); // zero loss gradient; only decay acts
@@ -100,7 +113,10 @@ mod tests {
     fn first_step_bias_correction_keeps_magnitude_near_lr() {
         let mut p = Param::zeros(1);
         p.g[0] = 1e-4; // tiny gradient
-        let mut opt = Adam::new(AdamConfig { lr: 0.01, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.01,
+            ..Default::default()
+        });
         opt.begin_step();
         opt.update(&mut p);
         // Bias-corrected Adam's first step has magnitude ≈ lr regardless of

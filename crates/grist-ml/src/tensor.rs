@@ -26,11 +26,21 @@ impl Param {
     pub fn he(n: usize, fan_in: usize, rng: &mut StdRng) -> Self {
         let bound = (6.0 / fan_in as f32).sqrt();
         let w = (0..n).map(|_| rng.gen_range(-bound..bound)).collect();
-        Param { w, g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Param {
+            w,
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     pub fn zeros(n: usize) -> Self {
-        Param { w: vec![0.0; n], g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+        Param {
+            w: vec![0.0; n],
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -21,7 +21,11 @@ pub struct CloudConfig {
 
 impl Default for CloudConfig {
     fn default() -> Self {
-        CloudConfig { rh_crit_surface: 0.90, rh_crit_top: 0.70, qc_overcast: 3e-4 }
+        CloudConfig {
+            rh_crit_surface: 0.90,
+            rh_crit_top: 0.70,
+            qc_overcast: 3e-4,
+        }
     }
 }
 
@@ -34,8 +38,7 @@ pub fn cloud_fraction(col: &Column, cfg: &CloudConfig) -> Vec<f64> {
     (0..nlev)
         .map(|k| {
             let sigma = col.p[k] / ps;
-            let rh_crit =
-                cfg.rh_crit_top + (cfg.rh_crit_surface - cfg.rh_crit_top) * sigma;
+            let rh_crit = cfg.rh_crit_top + (cfg.rh_crit_surface - cfg.rh_crit_top) * sigma;
             let rh = (col.qv[k] / saturation_mixing_ratio(col.t[k], col.p[k])).clamp(0.0, 1.0);
             let rh_part = if rh <= rh_crit {
                 0.0
@@ -87,7 +90,11 @@ mod tests {
         let mut col = Column::reference(20);
         col.qv[15] = saturation_mixing_ratio(col.t[15], col.p[15]);
         let f = cloud_fraction(&col, &CloudConfig::default());
-        assert!((f[15] - 1.0).abs() < 1e-9, "saturated layer fraction {}", f[15]);
+        assert!(
+            (f[15] - 1.0).abs() < 1e-9,
+            "saturated layer fraction {}",
+            f[15]
+        );
     }
 
     #[test]

@@ -211,8 +211,14 @@ mod tests {
     fn reference_column_is_physical() {
         let c = Column::reference(30);
         assert_eq!(c.nlev(), 30);
-        assert!(c.p.windows(2).all(|w| w[1] > w[0]), "p must increase downward");
-        assert!(c.z.windows(2).all(|w| w[1] < w[0]), "z must decrease with k");
+        assert!(
+            c.p.windows(2).all(|w| w[1] > w[0]),
+            "p must increase downward"
+        );
+        assert!(
+            c.z.windows(2).all(|w| w[1] < w[0]),
+            "z must decrease with k"
+        );
         assert!(c.t.iter().all(|&t| (180.0..330.0).contains(&t)));
         assert!(c.qv.iter().all(|&q| (0.0..0.04).contains(&q)));
         // Unsaturated everywhere.

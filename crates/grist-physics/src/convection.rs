@@ -24,7 +24,11 @@ pub struct ConvectionConfig {
 
 impl Default for ConvectionConfig {
     fn default() -> Self {
-        ConvectionConfig { tau: 7200.0, rh_ref: 0.8, trigger: 0.5 }
+        ConvectionConfig {
+            tau: 7200.0,
+            rh_ref: 0.8,
+            trigger: 0.5,
+        }
     }
 }
 
@@ -158,8 +162,12 @@ mod tests {
     fn moist_enthalpy_is_closed() {
         let col = unstable_column();
         let (tend, precip) = convection(&col, &ConvectionConfig::default(), 600.0);
-        let heat: f64 = (0..30).map(|k| CP * tend.dt_dt[k] * col.layer_mass(k)).sum();
-        let moist: f64 = (0..30).map(|k| LVAP * tend.dqv_dt[k] * col.layer_mass(k)).sum();
+        let heat: f64 = (0..30)
+            .map(|k| CP * tend.dt_dt[k] * col.layer_mass(k))
+            .sum();
+        let moist: f64 = (0..30)
+            .map(|k| LVAP * tend.dqv_dt[k] * col.layer_mass(k))
+            .sum();
         assert!(
             (heat + moist).abs() < 1e-8,
             "enthalpy residual {} (heat {heat}, moist {moist})",

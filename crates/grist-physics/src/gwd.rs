@@ -22,14 +22,24 @@ pub struct GwdConfig {
 
 impl Default for GwdConfig {
     fn default() -> Self {
-        GwdConfig { efficiency: 5e-6, active_above_dx: 10_000.0, tendency_cap: 30.0 / 86400.0 }
+        GwdConfig {
+            efficiency: 5e-6,
+            active_above_dx: 10_000.0,
+            tendency_cap: 30.0 / 86400.0,
+        }
     }
 }
 
 /// Brunt–Väisälä frequency at layer `k` (one-sided at the boundaries).
 fn brunt_vaisala(col: &Column, k: usize) -> f64 {
     let nlev = col.nlev();
-    let (ka, kb) = if k == 0 { (0, 1) } else if k == nlev - 1 { (nlev - 2, nlev - 1) } else { (k - 1, k + 1) };
+    let (ka, kb) = if k == 0 {
+        (0, 1)
+    } else if k == nlev - 1 {
+        (nlev - 2, nlev - 1)
+    } else {
+        (k - 1, k + 1)
+    };
     // θ from T via a local Exner-free approximation: dθ/θ ≈ dT/T + g dz/(cp T)
     let dz = col.z[ka] - col.z[kb];
     if dz <= 0.0 {
@@ -168,7 +178,10 @@ mod tests {
     #[test]
     fn tendency_cap_bounds_the_acceleration() {
         let col = windy_column();
-        let cfg = GwdConfig { efficiency: 1e-2, ..Default::default() }; // absurdly strong
+        let cfg = GwdConfig {
+            efficiency: 1e-2,
+            ..Default::default()
+        }; // absurdly strong
         let (du, dv) = gravity_wave_drag(&col, 1000.0, 100_000.0, &cfg);
         for k in 0..30 {
             let a = (du[k] * du[k] + dv[k] * dv[k]).sqrt();

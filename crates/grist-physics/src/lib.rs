@@ -20,10 +20,10 @@ pub mod radiation;
 pub mod suite;
 pub mod surface;
 
+pub use cloud::{cloud_fraction, total_cloud_cover, CloudConfig};
 pub use column::{
     saturation_mixing_ratio, saturation_vapor_pressure, Column, SurfaceDiag, Tendencies,
 };
-pub use cloud::{cloud_fraction, total_cloud_cover, CloudConfig};
 pub use gwd::{gravity_wave_drag, GwdConfig};
 pub use radiation::{FlopLedger, RadiationConfig};
 pub use suite::{ColumnPhysicsState, ConventionalSuite, PhysicsOutput, SuiteConfig};

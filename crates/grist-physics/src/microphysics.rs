@@ -23,7 +23,13 @@ pub struct MicroConfig {
 
 impl Default for MicroConfig {
     fn default() -> Self {
-        MicroConfig { k_auto: 1e-3, qc0: 5e-4, k_accr: 2.2, v_rain: 5.0, k_evap: 1e-4 }
+        MicroConfig {
+            k_auto: 1e-3,
+            qc0: 5e-4,
+            k_accr: 2.2,
+            v_rain: 5.0,
+            k_evap: 1e-4,
+        }
     }
 }
 
@@ -120,7 +126,10 @@ mod tests {
         col.qv[k] = 1.5 * saturation_mixing_ratio(col.t[k], col.p[k]);
         let (tend, _) = microphysics(&col, &MicroConfig::default(), 300.0);
         assert!(tend.dqv_dt[k] < 0.0, "vapour must condense");
-        assert!(tend.dqc_dt[k] + tend.dqr_dt[k] > 0.0, "condensate must appear");
+        assert!(
+            tend.dqc_dt[k] + tend.dqr_dt[k] > 0.0,
+            "condensate must appear"
+        );
         assert!(tend.dt_dt[k] > 0.0, "latent heating expected");
     }
 

@@ -18,7 +18,11 @@ pub struct PblConfig {
 
 impl Default for PblConfig {
     fn default() -> Self {
-        PblConfig { k0: 30.0, depth: 1200.0, k_background: 0.1 }
+        PblConfig {
+            k0: 30.0,
+            depth: 1200.0,
+            k_background: 0.1,
+        }
     }
 }
 
@@ -54,13 +58,7 @@ fn k_profile(z: f64, unstable: bool, cfg: &PblConfig) -> f64 {
 /// One PBL step: implicit diffusion of T and qv over `dt`, with prescribed
 /// surface sensible (`shflx`, W/m²) and latent (`lhflx`, W/m²) fluxes as the
 /// bottom boundary condition.
-pub fn pbl_diffusion(
-    col: &Column,
-    cfg: &PblConfig,
-    shflx: f64,
-    lhflx: f64,
-    dt: f64,
-) -> Tendencies {
+pub fn pbl_diffusion(col: &Column, cfg: &PblConfig, shflx: f64, lhflx: f64, dt: f64) -> Tendencies {
     let nlev = col.nlev();
     let mut tend = Tendencies::zeros(nlev);
     let unstable = shflx > 0.0;
@@ -99,7 +97,9 @@ pub fn pbl_diffusion(
 
     // Temperature (diffuse dry static energy s = cp T + g z to avoid mixing
     // out the adiabatic lapse rate).
-    let mut s: Vec<f64> = (0..nlev).map(|k| CP * col.t[k] + GRAVITY * col.z[k]).collect();
+    let mut s: Vec<f64> = (0..nlev)
+        .map(|k| CP * col.t[k] + GRAVITY * col.z[k])
+        .collect();
     let m_low = col.dp[nlev - 1] / GRAVITY;
     s[nlev - 1] += dt * shflx / m_low; // W/m² → J/kg per layer mass
     tridiag(&a, &b, &c, &mut s);
@@ -141,8 +141,13 @@ mod tests {
         let tend = pbl_diffusion(&col, &PblConfig::default(), 150.0, 0.0, 600.0);
         assert!(tend.dt_dt[29] > 0.0, "lowest layer must warm");
         // Energy input equals the prescribed flux.
-        let de: f64 = (0..30).map(|k| CP * tend.dt_dt[k] * col.layer_mass(k)).sum();
-        assert!((de - 150.0).abs() < 1.0, "column energy gain {de} vs 150 W/m²");
+        let de: f64 = (0..30)
+            .map(|k| CP * tend.dt_dt[k] * col.layer_mass(k))
+            .sum();
+        assert!(
+            (de - 150.0).abs() < 1.0,
+            "column energy gain {de} vs 150 W/m²"
+        );
     }
 
     #[test]
@@ -151,7 +156,12 @@ mod tests {
         let lh = 100.0;
         let tend = pbl_diffusion(&col, &PblConfig::default(), 0.0, lh, 600.0);
         let dq: f64 = (0..30).map(|k| tend.dqv_dt[k] * col.layer_mass(k)).sum();
-        assert!((dq * LVAP - lh).abs() < 1.0, "moisture flux {} vs {}", dq * LVAP, lh);
+        assert!(
+            (dq * LVAP - lh).abs() < 1.0,
+            "moisture flux {} vs {}",
+            dq * LVAP,
+            lh
+        );
     }
 
     #[test]
@@ -165,7 +175,10 @@ mod tests {
         let mut c2 = col.clone();
         tend.apply(&mut c2, dt);
         let after = c2.qv[28] - 0.5 * (c2.qv[27] + c2.qv[29]);
-        assert!(after < before, "spike must be smoothed: {before} -> {after}");
+        assert!(
+            after < before,
+            "spike must be smoothed: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -176,7 +189,10 @@ mod tests {
         // Compare mixing strength away from the surface layer source.
         let mix_u: f64 = t_unstable.dt_dt[20..28].iter().map(|x| x.abs()).sum();
         let mix_s: f64 = t_stable.dt_dt[20..28].iter().map(|x| x.abs()).sum();
-        assert!(mix_s < mix_u, "stable PBL should mix less: {mix_s} vs {mix_u}");
+        assert!(
+            mix_s < mix_u,
+            "stable PBL should mix less: {mix_s} vs {mix_u}"
+        );
     }
 
     #[test]

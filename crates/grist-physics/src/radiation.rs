@@ -53,7 +53,10 @@ pub struct RadiationConfig {
 
 impl Default for RadiationConfig {
     fn default() -> Self {
-        RadiationConfig { co2_ppmv: 400.0, cloud_k: 120.0 }
+        RadiationConfig {
+            co2_ppmv: 400.0,
+            cloud_k: 120.0,
+        }
     }
 }
 
@@ -78,7 +81,7 @@ fn lw_band_k(band: usize) -> (f64, f64, f64) {
     // (k_h2o [m²/kg], k_co2 [m²/kg per ppmv], planck weight)
     let x = band as f64 / (N_LW_BANDS - 1) as f64;
     let k_h2o = 0.004 * (5.0 * x).exp(); // 0.004 .. ~0.6 m²/kg (window → opaque)
-    // CO₂: one ~15 µm band analogue; column optical depth ≈ 2 at 400 ppmv.
+                                         // CO₂: one ~15 µm band analogue; column optical depth ≈ 2 at 400 ppmv.
     let k_co2 = 5e-7 * (-((x - 0.4) / 0.12).powi(2)).exp();
     let weight = (1.0 + (4.0 * (x - 0.5)).powi(2)).recip();
     (k_h2o, k_co2, weight)
@@ -150,7 +153,13 @@ pub fn longwave(col: &Column, cfg: &RadiationConfig) -> RadiationResult {
         ledger.cheap += 4;
         ledger.expensive += 1;
     }
-    RadiationResult { heating, gsw: 0.0, glw, olr, ledger }
+    RadiationResult {
+        heating,
+        gsw: 0.0,
+        glw,
+        olr,
+        ledger,
+    }
 }
 
 /// Shortwave transfer: direct-beam attenuation with Rayleigh scattering and a
@@ -163,7 +172,13 @@ pub fn shortwave(col: &Column, cfg: &RadiationConfig) -> RadiationResult {
 
     if col.coszr <= 0.0 {
         ledger.branches += 1;
-        return RadiationResult { heating, gsw, glw: 0.0, olr: 0.0, ledger };
+        return RadiationResult {
+            heating,
+            gsw,
+            glw: 0.0,
+            olr: 0.0,
+            ledger,
+        };
     }
     let mu = col.coszr;
     let wsum: f64 = (0..N_SW_BANDS).map(|b| sw_band_k(b).2).sum();
@@ -203,7 +218,13 @@ pub fn shortwave(col: &Column, cfg: &RadiationConfig) -> RadiationResult {
             ledger.expensive += 1;
         }
     }
-    RadiationResult { heating, gsw, glw: 0.0, olr: 0.0, ledger }
+    RadiationResult {
+        heating,
+        gsw,
+        glw: 0.0,
+        olr: 0.0,
+        ledger,
+    }
 }
 
 /// Full radiation call: LW + SW combined into one tendency.
@@ -268,7 +289,12 @@ mod tests {
         let cfg = RadiationConfig::default();
         let (_, d_clear, _) = radiation(&clear, &cfg);
         let (_, d_cloudy, _) = radiation(&cloudy, &cfg);
-        assert!(d_cloudy.gsw < 0.8 * d_clear.gsw, "clouds must block SW: {} vs {}", d_cloudy.gsw, d_clear.gsw);
+        assert!(
+            d_cloudy.gsw < 0.8 * d_clear.gsw,
+            "clouds must block SW: {} vs {}",
+            d_cloudy.gsw,
+            d_clear.gsw
+        );
         assert!(d_cloudy.glw > d_clear.glw, "clouds must emit more LW down");
     }
 
@@ -277,8 +303,7 @@ mod tests {
         let col = Column::reference(30);
         let lw = longwave(&col, &RadiationConfig::default());
         // Mean tropospheric LW cooling ~0.5–3 K/day.
-        let mean_k_per_day: f64 =
-            lw.heating[15..30].iter().sum::<f64>() / 15.0 * 86400.0;
+        let mean_k_per_day: f64 = lw.heating[15..30].iter().sum::<f64>() / 15.0 * 86400.0;
         assert!(
             (-5.0..0.0).contains(&mean_k_per_day),
             "LW cooling {mean_k_per_day} K/day"
@@ -288,9 +313,26 @@ mod tests {
     #[test]
     fn more_co2_reduces_olr() {
         let col = Column::reference(30);
-        let lo = longwave(&col, &RadiationConfig { co2_ppmv: 280.0, ..Default::default() });
-        let hi = longwave(&col, &RadiationConfig { co2_ppmv: 560.0, ..Default::default() });
-        assert!(hi.olr < lo.olr, "doubled CO₂ must trap LW: {} vs {}", hi.olr, lo.olr);
+        let lo = longwave(
+            &col,
+            &RadiationConfig {
+                co2_ppmv: 280.0,
+                ..Default::default()
+            },
+        );
+        let hi = longwave(
+            &col,
+            &RadiationConfig {
+                co2_ppmv: 560.0,
+                ..Default::default()
+            },
+        );
+        assert!(
+            hi.olr < lo.olr,
+            "doubled CO₂ must trap LW: {} vs {}",
+            hi.olr,
+            lo.olr
+        );
     }
 
     #[test]
@@ -301,7 +343,10 @@ mod tests {
         let (_, _, l30) = radiation(&c30, &cfg);
         let (_, _, l60) = radiation(&c60, &cfg);
         let ratio = l60.total() as f64 / l30.total() as f64;
-        assert!((1.8..2.2).contains(&ratio), "flops should scale ~linearly in nlev: {ratio}");
+        assert!(
+            (1.8..2.2).contains(&ratio),
+            "flops should scale ~linearly in nlev: {ratio}"
+        );
         assert!(l30.expensive > 0 && l30.branches > 0);
     }
 

@@ -15,7 +15,7 @@ use crate::microphysics::{microphysics, MicroConfig};
 use crate::pbl::{pbl_diffusion, PblConfig};
 use crate::radiation::{radiation, FlopLedger, RadiationConfig};
 use crate::surface::{bulk_fluxes, land_step, LandConfig, LandState, SurfaceConfig};
-use rayon::prelude::*;
+use sunway_sim::{ColumnsMut, Substrate};
 
 /// Per-column persistent physics state.
 #[derive(Debug, Clone)]
@@ -34,7 +34,11 @@ pub struct ColumnPhysicsState {
 impl ColumnPhysicsState {
     pub fn new(nlev: usize, ocean: bool, t0: f64) -> Self {
         ColumnPhysicsState {
-            land: if ocean { None } else { Some(LandState::new(t0)) },
+            land: if ocean {
+                None
+            } else {
+                Some(LandState::new(t0))
+            },
             rad_heating: vec![0.0; nlev],
             gsw: 0.0,
             glw: 0.0,
@@ -68,11 +72,21 @@ pub struct PhysicsOutput {
 #[derive(Debug, Clone, Default)]
 pub struct ConventionalSuite {
     pub cfg: SuiteConfig,
+    /// Execution target for the per-column fan-out (§3.3.4): serial MPE
+    /// fallback or SWGOMP CPE-team offload.
+    pub sub: Substrate,
 }
 
 impl ConventionalSuite {
     pub fn new(cfg: SuiteConfig) -> Self {
-        ConventionalSuite { cfg }
+        Self::with_substrate(cfg, Substrate::serial())
+    }
+
+    /// Build the suite on an explicit execution target; column dispatches go
+    /// through the shared job server and are profiled under
+    /// `"physics_columns"`.
+    pub fn with_substrate(cfg: SuiteConfig, sub: Substrate) -> Self {
+        ConventionalSuite { cfg, sub }
     }
 
     /// Run all physics on one column over `dt_phy`, refreshing radiation if
@@ -149,7 +163,11 @@ impl ConventionalSuite {
             tskin,
             cloud_cover: cover,
         };
-        PhysicsOutput { tend: total, diag, ledger }
+        PhysicsOutput {
+            tend: total,
+            diag,
+            ledger,
+        }
     }
 
     /// Run the suite over many columns in parallel (the column model is
@@ -162,9 +180,19 @@ impl ConventionalSuite {
         dt_rad: f64,
     ) -> Vec<PhysicsOutput> {
         assert_eq!(cols.len(), states.len());
-        cols.par_iter()
-            .zip(states.par_iter_mut())
-            .map(|(c, s)| self.step_column(c, s, dt_phy, dt_rad))
+        let n = cols.len();
+        let mut out: Vec<Option<PhysicsOutput>> = (0..n).map(|_| None).collect();
+        {
+            let out_cols = ColumnsMut::new(&mut out, 1);
+            let st_cols = ColumnsMut::new(states, 1);
+            self.sub.run("physics_columns", n, |i| {
+                // SAFETY: each column index is dispatched exactly once.
+                let s = unsafe { st_cols.at(i) };
+                *unsafe { out_cols.at(i) } = Some(self.step_column(&cols[i], s, dt_phy, dt_rad));
+            });
+        }
+        out.into_iter()
+            .map(|o| o.expect("column dispatched"))
             .collect()
     }
 }
@@ -195,10 +223,17 @@ mod tests {
         let o1 = suite.step_column(&col, &mut st, 600.0, 1800.0);
         assert!(o1.ledger.total() > 0, "first call must run radiation");
         let o2 = suite.step_column(&col, &mut st, 600.0, 1800.0);
-        assert_eq!(o2.ledger.total(), 0, "second call must reuse cached radiation");
+        assert_eq!(
+            o2.ledger.total(),
+            0,
+            "second call must reuse cached radiation"
+        );
         let o3 = suite.step_column(&col, &mut st, 600.0, 1800.0);
         let o4 = suite.step_column(&col, &mut st, 600.0, 1800.0);
-        assert!(o3.ledger.total() + o4.ledger.total() > 0, "radiation must refresh after dt_rad");
+        assert!(
+            o3.ledger.total() + o4.ledger.total() > 0,
+            "radiation must refresh after dt_rad"
+        );
     }
 
     #[test]
@@ -241,7 +276,10 @@ mod tests {
             out.tend.apply(&mut col, 600.0);
         }
         let t_night = st.land.as_ref().unwrap().tskin;
-        assert!(t_day > t_night, "diurnal cycle missing: day {t_day} night {t_night}");
+        assert!(
+            t_day > t_night,
+            "diurnal cycle missing: day {t_day} night {t_night}"
+        );
     }
 
     #[test]
@@ -254,8 +292,9 @@ mod tests {
                 c
             })
             .collect();
-        let mut st_par: Vec<ColumnPhysicsState> =
-            (0..16).map(|_| ColumnPhysicsState::new(30, true, 290.0)).collect();
+        let mut st_par: Vec<ColumnPhysicsState> = (0..16)
+            .map(|_| ColumnPhysicsState::new(30, true, 290.0))
+            .collect();
         let mut st_ser = st_par.clone();
         let par = suite.step_columns(&cols, &mut st_par, 600.0, 1800.0);
         let ser: Vec<PhysicsOutput> = cols

@@ -24,7 +24,11 @@ pub struct SurfaceConfig {
 
 impl Default for SurfaceConfig {
     fn default() -> Self {
-        SurfaceConfig { ch: 1.3e-3, wind_floor: 4.0, beta_ocean: 1.0 }
+        SurfaceConfig {
+            ch: 1.3e-3,
+            wind_floor: 4.0,
+            beta_ocean: 1.0,
+        }
     }
 }
 
@@ -32,7 +36,9 @@ impl Default for SurfaceConfig {
 /// formulas using the lowest model layer and the skin state.
 pub fn bulk_fluxes(col: &Column, cfg: &SurfaceConfig, beta: f64) -> (f64, f64) {
     let k = col.nlev() - 1;
-    let wind = (col.u[k] * col.u[k] + col.v[k] * col.v[k]).sqrt().max(cfg.wind_floor);
+    let wind = (col.u[k] * col.u[k] + col.v[k] * col.v[k])
+        .sqrt()
+        .max(cfg.wind_floor);
     let rho = col.rho(k);
     let sh = rho * CP * cfg.ch * wind * (col.tskin - col.t[k]);
     let qsat_s = saturation_mixing_ratio(col.tskin, col.p[k]);
@@ -53,7 +59,11 @@ pub struct LandState {
 
 impl LandState {
     pub fn new(t0: f64) -> Self {
-        LandState { tskin: t0, tsoil: [t0, t0], soil_moisture: 0.3 }
+        LandState {
+            tskin: t0,
+            tsoil: [t0, t0],
+            soil_moisture: 0.3,
+        }
     }
 }
 
@@ -176,7 +186,10 @@ mod tests {
         let (calm, _) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
         col.u[29] = SurfaceConfig::default().wind_floor;
         let (floor, _) = bulk_fluxes(&col, &SurfaceConfig::default(), 1.0);
-        assert!((calm - floor).abs() < 1e-12, "calm fluxes must use the floor wind");
+        assert!(
+            (calm - floor).abs() < 1e-12,
+            "calm fluxes must use the floor wind"
+        );
     }
 
     #[test]
@@ -196,7 +209,11 @@ mod tests {
                 300.0,
             );
         }
-        assert!(land.tskin > t0 + 0.5, "skin only reached {} from {t0}", land.tskin);
+        assert!(
+            land.tskin > t0 + 0.5,
+            "skin only reached {} from {t0}",
+            land.tskin
+        );
         assert!(land.tskin < t0 + 40.0, "skin runaway: {}", land.tskin);
     }
 
@@ -217,7 +234,11 @@ mod tests {
                 300.0,
             );
         }
-        assert!(land.tskin < t0, "no nocturnal cooling: {} vs {t0}", land.tskin);
+        assert!(
+            land.tskin < t0,
+            "no nocturnal cooling: {} vs {t0}",
+            land.tskin
+        );
     }
 
     #[test]
@@ -231,7 +252,10 @@ mod tests {
         let sfc = SurfaceConfig::default();
         let (_, lh_wet) = land_step(&mut wet, &cfg, &sfc, &col, 500.0, 350.0, 0.0, 300.0);
         let (_, lh_dry) = land_step(&mut dry, &cfg, &sfc, &col, 500.0, 350.0, 0.0, 300.0);
-        assert!(lh_dry < lh_wet, "dry soil must evaporate less: {lh_dry} vs {lh_wet}");
+        assert!(
+            lh_dry < lh_wet,
+            "dry soil must evaporate less: {lh_dry} vs {lh_wet}"
+        );
 
         let sm0 = dry.soil_moisture;
         land_step(&mut dry, &cfg, &sfc, &col, 0.0, 300.0, 50.0, 3600.0);
@@ -245,7 +269,16 @@ mod tests {
         land.tsoil = [300.0, 300.0];
         let cfg = LandConfig::default();
         for _ in 0..2000 {
-            land_step(&mut land, &cfg, &SurfaceConfig::default(), &col, 0.0, 320.0, 0.0, 600.0);
+            land_step(
+                &mut land,
+                &cfg,
+                &SurfaceConfig::default(),
+                &col,
+                0.0,
+                320.0,
+                0.0,
+                600.0,
+            );
         }
         assert!(
             (land.tsoil[1] - cfg.t_deep).abs() < 8.0,

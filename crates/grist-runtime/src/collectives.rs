@@ -132,10 +132,17 @@ mod tests {
         for p in [2usize, 5, 8] {
             for root in [0usize, p - 1] {
                 let (results, _) = run_world(p, |mut ctx| {
-                    let data = if ctx.rank == root { vec![3.5, -1.0] } else { Vec::new() };
+                    let data = if ctx.rank == root {
+                        vec![3.5, -1.0]
+                    } else {
+                        Vec::new()
+                    };
                     broadcast(&mut ctx, root, data, 10)
                 });
-                assert!(results.iter().all(|r| r == &vec![3.5, -1.0]), "p={p} root={root}");
+                assert!(
+                    results.iter().all(|r| r == &vec![3.5, -1.0]),
+                    "p={p} root={root}"
+                );
             }
         }
     }
@@ -194,7 +201,11 @@ mod tests {
         use std::sync::atomic::Ordering;
         let p = 8;
         let (_, stats) = run_world(p, |mut ctx| {
-            let data = if ctx.rank == 0 { vec![1.0; 64] } else { Vec::new() };
+            let data = if ctx.rank == 0 {
+                vec![1.0; 64]
+            } else {
+                Vec::new()
+            };
             broadcast(&mut ctx, 0, data, 70)
         });
         // Binomial tree: exactly p−1 messages.

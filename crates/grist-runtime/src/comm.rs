@@ -1,14 +1,14 @@
 //! An in-process message-passing world: the MPI stand-in.
 //!
 //! Each rank runs on its own OS thread with private memory; communication
-//! happens only through typed point-to-point messages (crossbeam channels)
+//! happens only through typed point-to-point messages (std mpsc channels)
 //! with `(source, tag)` matching, plus barrier and allreduce collectives.
 //! Every byte that crosses a rank boundary is counted, so communication
 //! volumes measured here feed the fat-tree network model directly.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// Message payload (f64 values, the model's lingua franca).
@@ -42,9 +42,15 @@ impl RankCtx {
     /// Send `data` to `dest` with `tag`.
     pub fn send(&self, dest: usize, tag: u32, data: Payload) {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
         self.peers[dest]
-            .send(Envelope { from: self.rank, tag, data })
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                data,
+            })
             .expect("peer alive");
     }
 
@@ -60,7 +66,10 @@ impl RankCtx {
             if env.from == from && env.tag == tag {
                 return env.data;
             }
-            self.parked.entry((env.from, env.tag)).or_default().push_back(env.data);
+            self.parked
+                .entry((env.from, env.tag))
+                .or_default()
+                .push_back(env.data);
         }
     }
 
@@ -99,7 +108,7 @@ where
     let mut senders = Vec::with_capacity(n_ranks);
     let mut receivers = Vec::with_capacity(n_ranks);
     for _ in 0..n_ranks {
-        let (tx, rx) = unbounded::<Envelope>();
+        let (tx, rx) = channel::<Envelope>();
         senders.push(tx);
         receivers.push(rx);
     }

@@ -68,7 +68,11 @@ pub fn exchange_gathered(ctx: &mut RankCtx, locale: &RankLocale, list: &mut VarL
     // Receive & unpack in the mirrored order.
     for (src, cells) in &locale.recv {
         let buf = ctx.recv(*src, tag);
-        assert_eq!(buf.len(), cells.len() * per_cell, "halo message size mismatch");
+        assert_eq!(
+            buf.len(),
+            cells.len() * per_cell,
+            "halo message size mismatch"
+        );
         let mut pos = 0;
         for &c in cells {
             for var in &mut list.vars {
@@ -132,8 +136,7 @@ mod tests {
 
         let (results, stats) = run_world(parts, |mut ctx| {
             let locale = &layout.locales[ctx.rank];
-            let mut fields: Vec<Vec<f64>> =
-                nlev.iter().map(|&l| vec![f64::NAN; n * l]).collect();
+            let mut fields: Vec<Vec<f64>> = nlev.iter().map(|&l| vec![f64::NAN; n * l]).collect();
             for &c in &locale.owned_cells {
                 for (v, field) in fields.iter_mut().enumerate() {
                     for k in 0..nlev[v] {
@@ -170,7 +173,10 @@ mod tests {
             0u8
         });
         assert_eq!(results.len(), parts);
-        (stats.messages.load(Ordering::Relaxed), stats.bytes.load(Ordering::Relaxed))
+        (
+            stats.messages.load(Ordering::Relaxed),
+            stats.bytes.load(Ordering::Relaxed),
+        )
     }
 
     #[test]

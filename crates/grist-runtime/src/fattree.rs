@@ -85,7 +85,11 @@ pub fn exchange_time(profile: &ExchangeProfile, spec: &SunwaySpec) -> ExchangeTi
     } else {
         per_rank_bytes * f_ext * spec.oversubscription * level / spec.link_bandwidth
     };
-    ExchangeTime { latency_s, intra_s, inter_s }
+    ExchangeTime {
+        latency_s,
+        intra_s,
+        inter_s,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +101,11 @@ mod tests {
     }
 
     fn profile(procs: usize) -> ExchangeProfile {
-        ExchangeProfile { procs, msg_bytes: 100.0 * 30.0 * 8.0, n_neighbors: 6.0 }
+        ExchangeProfile {
+            procs,
+            msg_bytes: 100.0 * 30.0 * 8.0,
+            n_neighbors: 6.0,
+        }
     }
 
     #[test]

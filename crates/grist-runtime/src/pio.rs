@@ -24,7 +24,11 @@ pub fn io_group(rank: usize, n_ranks: usize, group_size: usize) -> IoGroup {
     assert!(group_size >= 1);
     let first = rank / group_size * group_size;
     let size = group_size.min(n_ranks - first);
-    IoGroup { leader: first, first, size }
+    IoGroup {
+        leader: first,
+        first,
+        size,
+    }
 }
 
 /// One grouped collective write. Every rank passes its local `data` (tagged
@@ -70,9 +74,30 @@ mod tests {
 
     #[test]
     fn group_geometry() {
-        assert_eq!(io_group(0, 10, 4), IoGroup { leader: 0, first: 0, size: 4 });
-        assert_eq!(io_group(5, 10, 4), IoGroup { leader: 4, first: 4, size: 4 });
-        assert_eq!(io_group(9, 10, 4), IoGroup { leader: 8, first: 8, size: 2 });
+        assert_eq!(
+            io_group(0, 10, 4),
+            IoGroup {
+                leader: 0,
+                first: 0,
+                size: 4
+            }
+        );
+        assert_eq!(
+            io_group(5, 10, 4),
+            IoGroup {
+                leader: 4,
+                first: 4,
+                size: 4
+            }
+        );
+        assert_eq!(
+            io_group(9, 10, 4),
+            IoGroup {
+                leader: 8,
+                first: 8,
+                size: 2
+            }
+        );
     }
 
     #[test]

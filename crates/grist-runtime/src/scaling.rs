@@ -48,10 +48,22 @@ impl Scheme {
 
     pub fn all() -> [Scheme; 4] {
         [
-            Scheme { mixed: false, ml_physics: false },
-            Scheme { mixed: false, ml_physics: true },
-            Scheme { mixed: true, ml_physics: false },
-            Scheme { mixed: true, ml_physics: true },
+            Scheme {
+                mixed: false,
+                ml_physics: false,
+            },
+            Scheme {
+                mixed: false,
+                ml_physics: true,
+            },
+            Scheme {
+                mixed: true,
+                ml_physics: false,
+            },
+            Scheme {
+                mixed: true,
+                ml_physics: true,
+            },
         ]
     }
 }
@@ -170,7 +182,11 @@ impl SdpdModel {
         let local_edges = grid.edges.div_ceil(procs);
         let nlev = grid.nlev;
         let elem = if scheme.mixed { 4.0 } else { 8.0 };
-        let target = if scheme.mixed { ExecTarget::CpeMixDst } else { ExecTarget::CpeDpDst };
+        let target = if scheme.mixed {
+            ExecTarget::CpeMixDst
+        } else {
+            ExecTarget::CpeDpDst
+        };
 
         // --- dynamics compute per step ---
         let kernels = self.dyn_kernels(local_cells, local_edges, nlev);
@@ -189,8 +205,8 @@ impl SdpdModel {
         // arrays skip DMA descriptor setup and kernel tails) — the mechanism
         // behind G11S's late extra efficiency in Fig. 11.
         let group_overhead = self.cfg.per_group_overhead * (1.0 - 0.35 * res);
-        let dyn_per_step = self.cfg.dyn_kernel_groups
-            * (t_group / kernels.len() as f64 + group_overhead);
+        let dyn_per_step =
+            self.cfg.dyn_kernel_groups * (t_group / kernels.len() as f64 + group_overhead);
 
         // --- tracer transport per tracer step ---
         let tracer_kernel = KernelSpec {
@@ -223,13 +239,16 @@ impl SdpdModel {
         // --- communication per dynamics step ---
         let halo_cells = (3.5 * (local_cells as f64).sqrt()).min(local_cells as f64);
         let msg_bytes = halo_cells / 6.0 * nlev as f64 * self.cfg.exchange_vars * elem;
-        let profile = ExchangeProfile { procs, msg_bytes, n_neighbors: 6.0 };
+        let profile = ExchangeProfile {
+            procs,
+            msg_bytes,
+            n_neighbors: 6.0,
+        };
         // Bandwidth/contention terms from the fat-tree model, plus per-message
         // software latency that grows with system size (MPI stack, network
         // diameter) — the dominant term at these message sizes.
-        let lat_growth = 1.0
-            + self.cfg.latency_growth_per_doubling
-                * ((procs.max(128) as f64) / 128.0).log2();
+        let lat_growth =
+            1.0 + self.cfg.latency_growth_per_doubling * ((procs.max(128) as f64) / 128.0).log2();
         let comm_per_step = (exchange_time(&profile, &self.spec).total()
             + 6.0 * self.cfg.msg_software_latency * lat_growth)
             * self.cfg.exchanges_per_dyn_step;
@@ -311,10 +330,22 @@ mod tests {
         *table2_grids().iter().find(|g| g.label == label).unwrap()
     }
 
-    const MIX_ML: Scheme = Scheme { mixed: true, ml_physics: true };
-    const MIX_PHY: Scheme = Scheme { mixed: true, ml_physics: false };
-    const DP_ML: Scheme = Scheme { mixed: false, ml_physics: true };
-    const DP_PHY: Scheme = Scheme { mixed: false, ml_physics: false };
+    const MIX_ML: Scheme = Scheme {
+        mixed: true,
+        ml_physics: true,
+    };
+    const MIX_PHY: Scheme = Scheme {
+        mixed: true,
+        ml_physics: false,
+    };
+    const DP_ML: Scheme = Scheme {
+        mixed: false,
+        ml_physics: true,
+    };
+    const DP_PHY: Scheme = Scheme {
+        mixed: false,
+        ml_physics: false,
+    };
 
     #[test]
     fn scheme_ordering_matches_table3_expectations() {
@@ -338,7 +369,10 @@ mod tests {
         let s524 = m.project(&g, MIX_ML, 524_288).sdpd;
         let speedup = s524 / s32;
         assert!(speedup > 2.0, "strong scaling collapsed: {speedup}");
-        assert!(speedup < 16.0, "unrealistically ideal strong scaling: {speedup}");
+        assert!(
+            speedup < 16.0,
+            "unrealistically ideal strong scaling: {speedup}"
+        );
     }
 
     #[test]
@@ -371,7 +405,10 @@ mod tests {
             assert!(w[1].1 <= w[0].1 * 1.02, "weak efficiency rose: {effs:?}");
         }
         let last = effs.last().unwrap().1;
-        assert!((0.2..0.95).contains(&last), "end-of-ladder efficiency {last}");
+        assert!(
+            (0.2..0.95).contains(&last),
+            "end-of-ladder efficiency {last}"
+        );
     }
 
     #[test]
@@ -380,7 +417,10 @@ mod tests {
         let m = model();
         let first = m.project(&grid("G6"), MIX_PHY, 128).comm_fraction;
         let last = m.project(&grid("G12"), MIX_PHY, 524_288).comm_fraction;
-        assert!(last > 1.5 * first, "comm fraction must grow: {first} -> {last}");
+        assert!(
+            last > 1.5 * first,
+            "comm fraction must grow: {first} -> {last}"
+        );
         assert!((0.05..0.45).contains(&first), "baseline comm share {first}");
         assert!((0.15..0.60).contains(&last), "full-scale comm share {last}");
     }

@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn ldcache_geometry() {
         let s = SunwaySpec::next_gen();
-        assert_eq!(s.ldcache_bytes + s.ldcache_bytes, s.ldm_bytes, "half of LDM is cache");
+        assert_eq!(
+            s.ldcache_bytes + s.ldcache_bytes,
+            s.ldm_bytes,
+            "half of LDM is cache"
+        );
         assert_eq!(s.ldcache_sets(), 128);
         assert_eq!(s.ldcache_way_bytes(), 32 * 1024);
     }

@@ -97,9 +97,13 @@ impl PoolAllocator {
     /// Uniformity metric of base-address distribution across lanes: the
     /// normalized maximum bin count over `slots` equal lane bins (1.0 =
     /// everything in one lane, 1/slots = perfectly uniform).
+    ///
+    /// An empty pool has no distribution to measure, so the result is
+    /// `f64::NAN` — not `0.0`, which would read as "better than perfectly
+    /// uniform" (the metric's documented floor is `1/slots`).
     pub fn lane_concentration(&self) -> f64 {
         if self.allocations.is_empty() {
-            return 0.0;
+            return f64::NAN;
         }
         let mut bins = vec![0usize; self.slots];
         for s in self.base_sets() {
@@ -140,7 +144,11 @@ mod tests {
         }
         let sets = a.base_sets();
         let distinct: std::collections::BTreeSet<usize> = sets.iter().copied().collect();
-        assert_eq!(distinct.len(), 8, "8 allocations must land in 8 lanes: {sets:?}");
+        assert_eq!(
+            distinct.len(),
+            8,
+            "8 allocations must land in 8 lanes: {sets:?}"
+        );
         assert!(a.lane_concentration() <= 0.25);
     }
 
@@ -185,5 +193,34 @@ mod tests {
         a.reset();
         let b2 = a.alloc(4096);
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn empty_pool_concentration_is_nan_not_zero() {
+        for policy in [AllocPolicy::Aligned, AllocPolicy::Distributed] {
+            let a = PoolAllocator::new(policy, &spec(), 8);
+            assert!(a.lane_concentration().is_nan());
+            // And after a reset the metric goes back to undefined, not 0.0.
+            let mut a = a;
+            a.alloc(4096);
+            assert!(!a.lane_concentration().is_nan());
+            a.reset();
+            assert!(a.lane_concentration().is_nan());
+        }
+    }
+
+    #[test]
+    fn single_slot_pool_is_fully_concentrated() {
+        // With one distribution slot the floor and ceiling coincide: every
+        // base lands in the single bin, so concentration is exactly 1.0.
+        for policy in [AllocPolicy::Aligned, AllocPolicy::Distributed] {
+            let mut a = PoolAllocator::new(policy, &spec(), 1);
+            a.alloc(64 * 1024);
+            assert_eq!(a.lane_concentration(), 1.0);
+            for _ in 0..5 {
+                a.alloc(100 * 1024);
+            }
+            assert_eq!(a.lane_concentration(), 1.0);
+        }
     }
 }

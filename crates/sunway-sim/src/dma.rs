@@ -36,7 +36,12 @@ pub fn simulate_dma_batch(spec: &SunwaySpec, requests: &[DmaRequest]) -> Vec<Dma
     // descriptors ahead of it (this is what makes many small transfers
     // latency-bound and batching profitable).
     let mut order: Vec<usize> = (0..requests.len()).collect();
-    order.sort_by(|&a, &b| requests[a].issue_t.partial_cmp(&requests[b].issue_t).unwrap());
+    order.sort_by(|&a, &b| {
+        requests[a]
+            .issue_t
+            .partial_cmp(&requests[b].issue_t)
+            .unwrap()
+    });
     let mut engine_free = 0.0f64;
     let mut reqs: Vec<(usize, f64, f64)> = Vec::with_capacity(requests.len());
     for &i in &order {
@@ -119,7 +124,11 @@ mod tests {
     #[test]
     fn single_transfer_time_is_latency_plus_stream() {
         let s = spec();
-        let reqs = [DmaRequest { cpe: 0, bytes: 1_000_000, issue_t: 0.0 }];
+        let reqs = [DmaRequest {
+            cpe: 0,
+            bytes: 1_000_000,
+            issue_t: 0.0,
+        }];
         let done = simulate_dma_batch(&s, &reqs);
         let expected = s.dma_latency + 1_000_000.0 / s.ddr_bandwidth;
         assert!((done[0].finish_t - expected).abs() < 1e-12);
@@ -129,7 +138,11 @@ mod tests {
     fn concurrent_transfers_share_bandwidth() {
         let s = spec();
         let reqs: Vec<DmaRequest> = (0..4)
-            .map(|cpe| DmaRequest { cpe, bytes: 1_000_000, issue_t: 0.0 })
+            .map(|cpe| DmaRequest {
+                cpe,
+                bytes: 1_000_000,
+                issue_t: 0.0,
+            })
             .collect();
         let done = simulate_dma_batch(&s, &reqs);
         // All four finish at ~4x the solo streaming time (plus a few
@@ -150,8 +163,16 @@ mod tests {
     fn staggered_small_transfer_finishes_first() {
         let s = spec();
         let reqs = [
-            DmaRequest { cpe: 0, bytes: 10_000_000, issue_t: 0.0 },
-            DmaRequest { cpe: 1, bytes: 1_000, issue_t: 0.0 },
+            DmaRequest {
+                cpe: 0,
+                bytes: 10_000_000,
+                issue_t: 0.0,
+            },
+            DmaRequest {
+                cpe: 1,
+                bytes: 1_000,
+                issue_t: 0.0,
+            },
         ];
         let done = simulate_dma_batch(&s, &reqs);
         let t_small = done.iter().find(|d| d.cpe == 1).unwrap().finish_t;
@@ -185,7 +206,10 @@ mod tests {
         // The 90% point is ~hundreds of KB — why omnicopy batches whole
         // column blocks rather than single levels.
         let b90 = amortization_threshold(&s, 0.9);
-        assert!((100_000..2_000_000).contains(&b90), "90% threshold {b90} bytes");
+        assert!(
+            (100_000..2_000_000).contains(&b90),
+            "90% threshold {b90} bytes"
+        );
     }
 
     #[test]
@@ -193,7 +217,11 @@ mod tests {
         let s = spec();
         // 64 CPEs each pull a 30-level × 10-var f32 column block (1.2 KB)…
         let small: Vec<DmaRequest> = (0..64)
-            .map(|cpe| DmaRequest { cpe, bytes: 1200, issue_t: 0.0 })
+            .map(|cpe| DmaRequest {
+                cpe,
+                bytes: 1200,
+                issue_t: 0.0,
+            })
             .collect();
         let t_small = simulate_dma_batch(&s, &small)
             .iter()
@@ -201,7 +229,11 @@ mod tests {
             .fold(0.0, f64::max);
         // …vs each pulling a 192 KB chunk (the omnicopy batching strategy).
         let big: Vec<DmaRequest> = (0..64)
-            .map(|cpe| DmaRequest { cpe, bytes: 192 * 1024, issue_t: 0.0 })
+            .map(|cpe| DmaRequest {
+                cpe,
+                bytes: 192 * 1024,
+                issue_t: 0.0,
+            })
             .collect();
         let t_big = simulate_dma_batch(&s, &big)
             .iter()

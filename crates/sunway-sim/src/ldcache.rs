@@ -199,7 +199,7 @@ mod tests {
     fn working_set_within_capacity_fully_hits_on_second_pass() {
         let mut c = small_cache(); // 128 KB
         let n_bytes = 64 * 1024; // half capacity
-        // First pass: cold misses.
+                                 // First pass: cold misses.
         for i in (0..n_bytes).step_by(8) {
             c.access(i as u64);
         }

@@ -21,12 +21,19 @@ pub mod dma;
 pub mod ldcache;
 pub mod omnicopy;
 pub mod perf;
+pub mod substrate;
 pub mod swgomp;
 
 pub use arch::SunwaySpec;
-pub use dma::{amortization_threshold, effective_bandwidth, simulate_dma_batch, DmaCompletion, DmaRequest};
 pub use distributor::{AllocPolicy, PoolAllocator};
+pub use dma::{
+    amortization_threshold, effective_bandwidth, simulate_dma_batch, DmaCompletion, DmaRequest,
+};
 pub use ldcache::{simulate_streams, Access, LdCache};
 pub use omnicopy::{omnicopy, CopyStats, LdmArena, LdmOverflow, Space};
 pub use perf::{fig9_kernels, fig9_table, kernel_time, ExecTarget, KernelSpec, PerfModel};
+pub use substrate::{
+    format_kernel_report, ColumnsMut, ExecTargetKind, KernelReportRow, KernelStats, Profiler,
+    Substrate,
+};
 pub use swgomp::{JobServer, JobStats};

@@ -80,7 +80,11 @@ pub struct LdmOverflow {
 
 impl std::fmt::Display for LdmOverflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LDM overflow: requested {} bytes, {} available", self.requested, self.available)
+        write!(
+            f,
+            "LDM overflow: requested {} bytes, {} available",
+            self.requested, self.available
+        )
     }
 }
 impl std::error::Error for LdmOverflow {}
@@ -88,11 +92,19 @@ impl std::error::Error for LdmOverflow {}
 impl LdmArena {
     /// Arena over the non-cache half of the LDM.
     pub fn new(spec: &SunwaySpec) -> Self {
-        LdmArena { capacity: spec.ldm_bytes - spec.ldcache_bytes, used: 0, high_water: 0 }
+        LdmArena {
+            capacity: spec.ldm_bytes - spec.ldcache_bytes,
+            used: 0,
+            high_water: 0,
+        }
     }
 
     pub fn with_capacity(capacity: usize) -> Self {
-        LdmArena { capacity, used: 0, high_water: 0 }
+        LdmArena {
+            capacity,
+            used: 0,
+            high_water: 0,
+        }
     }
 
     /// Reserve space for `n` values of `T`; returns an owned scratch buffer
@@ -100,7 +112,10 @@ impl LdmArena {
     pub fn alloc<T: Copy + Default>(&mut self, n: usize) -> Result<Vec<T>, LdmOverflow> {
         let bytes = n * std::mem::size_of::<T>();
         if self.used + bytes > self.capacity {
-            return Err(LdmOverflow { requested: bytes, available: self.capacity - self.used });
+            return Err(LdmOverflow {
+                requested: bytes,
+                available: self.capacity - self.used,
+            });
         }
         self.used += bytes;
         self.high_water = self.high_water.max(self.used);

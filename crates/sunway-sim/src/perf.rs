@@ -170,14 +170,12 @@ pub fn kernel_time(
             pts * mpe_slots / model.mpe_sustained
         }
         _ => {
-            let compute = pts * slots_per_point
-                / (spec.cpes_per_cg as f64 * model.cpe_sustained);
+            let compute = pts * slots_per_point / (spec.cpes_per_cg as f64 * model.cpe_sustained);
             let hit = stream_hit_ratio(spec, kernel.arrays, elem, target.policy());
             // A miss fetches a whole cache line; traffic per access is
             // line·(1−hit) (the streaming ideal 1−hit = elem/line recovers
             // exactly elem bytes per access).
-            let mut traffic =
-                pts * kernel.arrays as f64 * spec.ldcache_line as f64 * (1.0 - hit);
+            let mut traffic = pts * kernel.arrays as f64 * spec.ldcache_line as f64 * (1.0 - hit);
             if kernel.arrays > spec.ldcache_ways {
                 traffic *= model.many_stream_overhead;
             }
@@ -204,7 +202,10 @@ pub fn fig9_table(kernels: &[KernelSpec], spec: &SunwaySpec, model: &PerfModel) 
                 .iter()
                 .map(|&t| (t, base / kernel_time(k, t, spec, model)))
                 .collect();
-            Fig9Row { name: k.name, speedup }
+            Fig9Row {
+                name: k.name,
+                speedup,
+            }
         })
         .collect()
 }
@@ -268,12 +269,7 @@ mod tests {
         (spec, model, kernels)
     }
 
-    fn speedup(
-        k: &KernelSpec,
-        t: ExecTarget,
-        spec: &SunwaySpec,
-        model: &PerfModel,
-    ) -> f64 {
+    fn speedup(k: &KernelSpec, t: ExecTarget, spec: &SunwaySpec, model: &PerfModel) -> f64 {
         kernel_time(k, ExecTarget::MpeDp, spec, model) / kernel_time(k, t, spec, model)
     }
 
@@ -318,7 +314,10 @@ mod tests {
         // §4.6: "calc_coriolis_term, lacking mixed precision optimization and
         // accessing relatively few arrays, derives minimal benefit".
         let (spec, model, kernels) = setup();
-        let cor = kernels.iter().find(|k| k.name == "calc_coriolis_term").unwrap();
+        let cor = kernels
+            .iter()
+            .find(|k| k.name == "calc_coriolis_term")
+            .unwrap();
         let base = speedup(cor, ExecTarget::CpeDp, &spec, &model);
         let full = speedup(cor, ExecTarget::CpeMixDst, &spec, &model);
         assert!(
@@ -326,10 +325,16 @@ mod tests {
             "coriolis should gain little from MIX+DST: {base} -> {full}"
         );
         // while primal_normal_flux gains a lot from MIX
-        let pnf = kernels.iter().find(|k| k.name == "primal_normal_flux_edge").unwrap();
+        let pnf = kernels
+            .iter()
+            .find(|k| k.name == "primal_normal_flux_edge")
+            .unwrap();
         let pnf_dp = speedup(pnf, ExecTarget::CpeDpDst, &spec, &model);
         let pnf_mix = speedup(pnf, ExecTarget::CpeMixDst, &spec, &model);
-        assert!(pnf_mix > 1.5 * pnf_dp, "MIX must help divide/pow-heavy kernel");
+        assert!(
+            pnf_mix > 1.5 * pnf_dp,
+            "MIX must help divide/pow-heavy kernel"
+        );
     }
 
     #[test]
@@ -339,7 +344,10 @@ mod tests {
         // flops identically, so for flop-dominated kernels the model gives
         // exactly no speedup.
         let (spec, model, kernels) = setup();
-        let ke = kernels.iter().find(|k| k.name == "grad_kinetic_energy").unwrap();
+        let ke = kernels
+            .iter()
+            .find(|k| k.name == "grad_kinetic_energy")
+            .unwrap();
         let t64 = kernel_time(ke, ExecTarget::MpeDp, &spec, &model);
         // An MPE-MIX variant would differ only in expensive-op latency; ke
         // has none, so time is identical.
@@ -350,11 +358,17 @@ mod tests {
     #[test]
     fn mix_halves_cpe_traffic_for_bandwidth_bound_kernels() {
         let (spec, model, kernels) = setup();
-        let ke = kernels.iter().find(|k| k.name == "grad_kinetic_energy").unwrap();
+        let ke = kernels
+            .iter()
+            .find(|k| k.name == "grad_kinetic_energy")
+            .unwrap();
         let t_dp = kernel_time(ke, ExecTarget::CpeDpDst, &spec, &model);
         let t_mix = kernel_time(ke, ExecTarget::CpeMixDst, &spec, &model);
         let ratio = t_dp / t_mix;
-        assert!((1.5..2.5).contains(&ratio), "f32 should ~halve memory time: {ratio}");
+        assert!(
+            (1.5..2.5).contains(&ratio),
+            "f32 should ~halve memory time: {ratio}"
+        );
     }
 
     #[test]

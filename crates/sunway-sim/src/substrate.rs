@@ -1,0 +1,399 @@
+//! The execution-target layer: one handle threaded through every model hot
+//! loop, deciding *where* a kernel's iterations run.
+//!
+//! The paper offloads every dycore/physics loop to the 64 CPEs of a core
+//! group through SWGOMP's job server (§3.3.1, Fig. 4–5), with the
+//! memory-address-distributing pool allocator (§3.3.3) assigned per core
+//! group. [`Substrate`] packages that choice: either the loop runs serially
+//! on the "MPE" (the calling thread), or it is shipped through
+//! [`JobServer::target_parallel_for`] — the `!$omp target` path — chunked to
+//! emulate CPE teams.
+//!
+//! Kernels are *named* at the dispatch site; the substrate records wall time
+//! and invocation counts per name in a shared [`Profiler`], so a model run
+//! can attribute its time to dycore vs. physics vs. exchange (feeding the
+//! Fig. 9-style measured table and `GristModel::kernel_report()`).
+//!
+//! Cloning a `Substrate` is cheap and shares the job server *and* the
+//! profiler, so a solver and the model driver holding clones of the same
+//! substrate accumulate into one report.
+
+use crate::distributor::AllocPolicy;
+use crate::swgomp::JobServer;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Where loop iterations execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTargetKind {
+    /// Run on the calling thread (the MPE), no offload.
+    Serial,
+    /// Offload through the SWGOMP job server to emulated CPE teams.
+    CpeTeams,
+}
+
+/// Accumulated cost of one named kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    pub calls: u64,
+    pub nanos: u64,
+}
+
+/// Per-kernel wall-time/invocation accounting, keyed by the static kernel
+/// name given at each dispatch site. BTreeMap so reports are stably ordered.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    kernels: Mutex<BTreeMap<&'static str, KernelStats>>,
+}
+
+impl Profiler {
+    fn record(&self, name: &'static str, nanos: u64) {
+        let mut k = self.kernels.lock().expect("profiler poisoned");
+        let e = k.entry(name).or_default();
+        e.calls += 1;
+        e.nanos += nanos;
+    }
+
+    /// Current accumulated stats for every kernel seen so far.
+    pub fn snapshot(&self) -> Vec<(&'static str, KernelStats)> {
+        self.kernels
+            .lock()
+            .expect("profiler poisoned")
+            .iter()
+            .map(|(&n, &s)| (n, s))
+            .collect()
+    }
+
+    pub fn reset(&self) {
+        self.kernels.lock().expect("profiler poisoned").clear();
+    }
+}
+
+/// One row of a kernel report, ready for display.
+#[derive(Debug, Clone)]
+pub struct KernelReportRow {
+    pub name: &'static str,
+    pub calls: u64,
+    pub total_ms: f64,
+    pub mean_us: f64,
+}
+
+/// Turn a profiler snapshot into display rows, sorted by total time
+/// descending (the Fig. 9 convention: hottest kernel first).
+pub fn kernel_report_rows(profiler: &Profiler) -> Vec<KernelReportRow> {
+    let mut rows: Vec<KernelReportRow> = profiler
+        .snapshot()
+        .into_iter()
+        .map(|(name, s)| KernelReportRow {
+            name,
+            calls: s.calls,
+            total_ms: s.nanos as f64 / 1e6,
+            mean_us: if s.calls == 0 {
+                0.0
+            } else {
+                s.nanos as f64 / 1e3 / s.calls as f64
+            },
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+    rows
+}
+
+/// Format report rows as an aligned text table.
+pub fn format_kernel_report(rows: &[KernelReportRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>10} {:>12} {:>12}\n",
+        "kernel", "calls", "total ms", "mean us"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:>10} {:>12.3} {:>12.3}\n",
+            r.name, r.calls, r.total_ms, r.mean_us
+        ));
+    }
+    out
+}
+
+struct SubstrateInner {
+    kind: ExecTargetKind,
+    server: Option<JobServer>,
+    policy: AllocPolicy,
+    profiler: Profiler,
+}
+
+/// A cheap-to-clone handle selecting the execution target for named kernels.
+///
+/// Held by `SweSolver`, the HEVI `NhSolver`, and the physics suites; all
+/// clones share one [`JobServer`] and one [`Profiler`].
+#[derive(Clone)]
+pub struct Substrate {
+    inner: Arc<SubstrateInner>,
+}
+
+impl fmt::Debug for Substrate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Substrate")
+            .field("kind", &self.inner.kind)
+            .field("n_cpes", &self.n_cpes())
+            .field("policy", &self.inner.policy)
+            .finish()
+    }
+}
+
+impl Default for Substrate {
+    fn default() -> Self {
+        Substrate::serial()
+    }
+}
+
+impl Substrate {
+    /// The fallback target: every kernel runs on the calling thread.
+    pub fn serial() -> Self {
+        Substrate {
+            inner: Arc::new(SubstrateInner {
+                kind: ExecTargetKind::Serial,
+                server: None,
+                policy: AllocPolicy::Distributed,
+                profiler: Profiler::default(),
+            }),
+        }
+    }
+
+    /// Offload target: a persistent [`JobServer`] with `n_cpes` workers and
+    /// the paper's address-distributing allocation policy.
+    pub fn cpe_teams(n_cpes: usize) -> Self {
+        Substrate::with_policy(n_cpes, AllocPolicy::Distributed)
+    }
+
+    /// Offload target with an explicit [`AllocPolicy`] (for the Fig. 9 DST
+    /// ablation, which compares Aligned vs. Distributed).
+    pub fn with_policy(n_cpes: usize, policy: AllocPolicy) -> Self {
+        Substrate {
+            inner: Arc::new(SubstrateInner {
+                kind: ExecTargetKind::CpeTeams,
+                server: Some(JobServer::new(n_cpes)),
+                policy,
+                profiler: Profiler::default(),
+            }),
+        }
+    }
+
+    pub fn kind(&self) -> ExecTargetKind {
+        self.inner.kind
+    }
+
+    pub fn is_offload(&self) -> bool {
+        self.inner.kind == ExecTargetKind::CpeTeams
+    }
+
+    /// Worker count of the offload target; 1 for the serial target (the
+    /// MPE itself).
+    pub fn n_cpes(&self) -> usize {
+        self.inner.server.as_ref().map_or(1, |s| s.n_cpes)
+    }
+
+    pub fn alloc_policy(&self) -> AllocPolicy {
+        self.inner.policy
+    }
+
+    /// The underlying job server, if this substrate offloads.
+    pub fn job_server(&self) -> Option<&JobServer> {
+        self.inner.server.as_ref()
+    }
+
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.profiler
+    }
+
+    /// Dispatch `0..n_items`, untimed. Serial target runs in order on the
+    /// calling thread; CpeTeams ships one team-head job whose team works the
+    /// loop in chunks of `n / (4 · n_cpes)` (the workshare chunking idiom).
+    pub fn parallel_for<F: Fn(usize) + Sync>(&self, n_items: usize, f: &F) {
+        match &self.inner.server {
+            None => {
+                for i in 0..n_items {
+                    f(i);
+                }
+            }
+            Some(server) => {
+                let chunk = n_items.div_ceil(4 * server.n_cpes).max(1);
+                server.target_parallel_for(n_items, chunk, f);
+            }
+        }
+    }
+
+    /// Dispatch `0..n_items` as the named kernel, recording wall time and
+    /// the invocation in the shared profiler.
+    pub fn run<F: Fn(usize) + Sync>(&self, name: &'static str, n_items: usize, f: F) {
+        let t0 = Instant::now();
+        self.parallel_for(n_items, &f);
+        self.inner
+            .profiler
+            .record(name, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Report rows for every kernel dispatched through this substrate (or
+    /// any clone of it), hottest first.
+    pub fn kernel_report(&self) -> Vec<KernelReportRow> {
+        kernel_report_rows(&self.inner.profiler)
+    }
+
+    pub fn reset_profile(&self) {
+        self.inner.profiler.reset();
+    }
+}
+
+/// Hands out disjoint `&mut` column views of one flat slice to concurrently
+/// running loop iterations.
+///
+/// The model's `Field2` layout is level-fastest (`col * nlev + lev`), so a
+/// per-column kernel writes the contiguous window `[col*stride, (col+1)*stride)`.
+/// `ColumnsMut` erases the slice to a raw base pointer (making it `Sync`) and
+/// reconstitutes per-column sub-slices on demand.
+pub struct ColumnsMut<'a, T> {
+    ptr: *mut T,
+    stride: usize,
+    n_cols: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `ColumnsMut` only exposes element access through `col`/`at`, whose
+// safety contract requires callers to touch disjoint indices; the underlying
+// data is owned by a `&mut [T]` the caller keeps borrowed for 'a.
+unsafe impl<T: Send> Send for ColumnsMut<'_, T> {}
+unsafe impl<T: Send> Sync for ColumnsMut<'_, T> {}
+
+impl<'a, T> ColumnsMut<'a, T> {
+    /// View `data` as `data.len() / stride` columns of length `stride`.
+    pub fn new(data: &'a mut [T], stride: usize) -> Self {
+        assert!(stride > 0, "column stride must be positive");
+        assert_eq!(
+            data.len() % stride,
+            0,
+            "slice length must be a multiple of the stride"
+        );
+        ColumnsMut {
+            ptr: data.as_mut_ptr(),
+            stride,
+            n_cols: data.len() / stride,
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n_cols
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_cols == 0
+    }
+
+    /// Mutable view of column `c`.
+    ///
+    /// # Safety
+    /// Concurrent callers must pass distinct `c`; each column may be borrowed
+    /// by at most one loop iteration at a time. The substrate's dispatchers
+    /// guarantee this when `c` is the (unique) loop index.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn col(&self, c: usize) -> &mut [T] {
+        debug_assert!(c < self.n_cols);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(c * self.stride), self.stride) }
+    }
+
+    /// Mutable reference to flat element `i` (range `0..stride*len`).
+    ///
+    /// # Safety
+    /// Concurrent callers must pass distinct `i` (same discipline as [`Self::col`]).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn at(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.n_cols * self.stride);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_cpe_teams_produce_identical_results() {
+        let n = 10_000;
+        let run_on = |sub: &Substrate| {
+            let mut out = vec![0.0f64; n];
+            {
+                let cols = ColumnsMut::new(&mut out, 1);
+                sub.run("square_root_scale", n, |i| {
+                    // SAFETY: each index visited exactly once.
+                    *unsafe { cols.at(i) } = (i as f64).sqrt() * 3.5 + 1.0;
+                });
+            }
+            out
+        };
+        let serial = run_on(&Substrate::serial());
+        let teams = run_on(&Substrate::cpe_teams(8));
+        assert_eq!(serial, teams, "per-index kernels must be bitwise identical");
+    }
+
+    #[test]
+    fn profiler_counts_calls_and_time() {
+        let sub = Substrate::serial();
+        for _ in 0..5 {
+            sub.run("noop_kernel", 100, |_| {});
+        }
+        sub.run("other_kernel", 10, |_| {});
+        let rows = sub.kernel_report();
+        assert_eq!(rows.len(), 2);
+        let noop = rows.iter().find(|r| r.name == "noop_kernel").unwrap();
+        assert_eq!(noop.calls, 5);
+        let other = rows.iter().find(|r| r.name == "other_kernel").unwrap();
+        assert_eq!(other.calls, 1);
+        sub.reset_profile();
+        assert!(sub.kernel_report().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_profiler() {
+        let sub = Substrate::cpe_teams(4);
+        let clone = sub.clone();
+        clone.run("from_the_clone", 64, |_| {});
+        let rows = sub.kernel_report();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "from_the_clone");
+        assert_eq!(rows[0].calls, 1);
+    }
+
+    #[test]
+    fn columns_hand_out_disjoint_windows() {
+        let nlev = 7;
+        let ncols = 300;
+        let mut data = vec![0.0f64; nlev * ncols];
+        {
+            let cols = ColumnsMut::new(&mut data, nlev);
+            assert_eq!(cols.len(), ncols);
+            let sub = Substrate::cpe_teams(8);
+            sub.run("fill_columns", ncols, |c| {
+                // SAFETY: each column index visited exactly once.
+                let col = unsafe { cols.col(c) };
+                for (k, v) in col.iter_mut().enumerate() {
+                    *v = (c * nlev + k) as f64;
+                }
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as f64);
+        }
+    }
+
+    #[test]
+    fn report_formats_into_a_table() {
+        let sub = Substrate::serial();
+        sub.run("alpha", 10, |_| {});
+        let text = format_kernel_report(&sub.kernel_report());
+        assert!(text.contains("kernel"));
+        assert!(text.contains("alpha"));
+    }
+}

@@ -15,10 +15,47 @@
 //! the `!$omp target` path of Fig. 4. Both block until every chunk retires,
 //! which is what makes the internal lifetime erasure sound.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// A multi-producer multi-consumer job queue (the Athread mailbox): every
+/// CPE worker pulls from the same queue, and both the MPE and team-head
+/// CPEs push into it. Implemented on std primitives only so the crate
+/// builds offline.
+struct JobQueue {
+    queue: Mutex<VecDeque<Msg>>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(JobQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn send(&self, msg: Msg) {
+        self.queue
+            .lock()
+            .expect("job queue poisoned")
+            .push_back(msg);
+        self.ready.notify_one();
+    }
+
+    /// Blocking pop; only returns once a message is available.
+    fn recv(&self) -> Msg {
+        let mut q = self.queue.lock().expect("job queue poisoned");
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return msg;
+            }
+            q = self.ready.wait(q).expect("job queue poisoned");
+        }
+    }
+}
 
 /// Type-erased slice-of-work closure: `call(ctx, start, end)`.
 #[derive(Clone, Copy)]
@@ -32,7 +69,12 @@ unsafe impl Send for RawTask {}
 
 enum Msg {
     /// Execute `task` over `[start, end)` and decrement the barrier.
-    Chunk { task: RawTask, start: usize, end: usize, done: Arc<Barrier> },
+    Chunk {
+        task: RawTask,
+        start: usize,
+        end: usize,
+        done: Arc<Barrier>,
+    },
     /// Become a team head: distribute `n_items` over the team, then barrier.
     TeamHead {
         task: RawTask,
@@ -44,13 +86,38 @@ enum Msg {
 }
 
 /// A simple completion barrier (count-down latch).
+///
+/// # Accounting conventions
+///
+/// The two launch paths initialize the latch differently, and the difference
+/// is load-bearing:
+///
+/// * [`JobServer::parallel_for`] creates the barrier with **`n_chunks`**
+///   tickets. The MPE enqueues every chunk itself, each chunk calls
+///   [`Barrier::done`] exactly once when it retires, and the MPE's
+///   [`Barrier::wait`] releases after the last chunk.
+///
+/// * [`JobServer::target_parallel_for`] creates the barrier with
+///   **`n_chunks + 1`** tickets. The extra ticket belongs to the *team-head
+///   job* itself: the team head must not let the MPE proceed until it has
+///   finished enqueueing chunks, so it holds a ticket that it only
+///   surrenders (in `worker_loop`'s `TeamHead` arm) after the last chunk is
+///   in the queue. Without the `+1`, a fast team could retire every
+///   already-enqueued chunk while the head is still enqueueing the rest,
+///   dropping `remaining` to zero and releasing the MPE early — a
+///   use-after-free on the borrowed closure.
+///
+/// `barrier_conventions_*` tests below pin both conventions down with
+/// 1-item chunks and `n_items < n_cpes` stress shapes.
 struct Barrier {
     remaining: AtomicUsize,
 }
 
 impl Barrier {
     fn new(n: usize) -> Arc<Self> {
-        Arc::new(Barrier { remaining: AtomicUsize::new(n) })
+        Arc::new(Barrier {
+            remaining: AtomicUsize::new(n),
+        })
     }
     fn done(&self) {
         self.remaining.fetch_sub(1, Ordering::AcqRel);
@@ -76,7 +143,7 @@ pub struct JobStats {
 
 /// The persistent CPE job server of one core group.
 pub struct JobServer {
-    sender: Sender<Msg>,
+    queue: Arc<JobQueue>,
     workers: Vec<JoinHandle<()>>,
     pub n_cpes: usize,
     pub stats: Arc<JobStats>,
@@ -87,20 +154,24 @@ impl JobServer {
     /// initialization step).
     pub fn new(n_cpes: usize) -> Self {
         assert!(n_cpes >= 1);
-        let (sender, receiver) = unbounded::<Msg>();
+        let queue = JobQueue::new();
         let stats = Arc::new(JobStats::default());
         let workers = (0..n_cpes)
             .map(|id| {
-                let rx: Receiver<Msg> = receiver.clone();
-                let tx = sender.clone();
+                let q = Arc::clone(&queue);
                 let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("cpe-{id}"))
-                    .spawn(move || worker_loop(rx, tx, stats))
+                    .spawn(move || worker_loop(q, stats))
                     .expect("spawn CPE worker")
             })
             .collect();
-        JobServer { sender, workers, n_cpes, stats }
+        JobServer {
+            queue,
+            workers,
+            n_cpes,
+            stats,
+        }
     }
 
     fn erase<F: Fn(usize) + Sync>(f: &F) -> RawTask {
@@ -110,7 +181,10 @@ impl JobServer {
                 f(i);
             }
         }
-        RawTask { ctx: f as *const F as *const (), call: call_impl::<F> }
+        RawTask {
+            ctx: f as *const F as *const (),
+            call: call_impl::<F>,
+        }
     }
 
     fn chunk_count(n_items: usize, chunk: usize) -> usize {
@@ -124,15 +198,20 @@ impl JobServer {
             return;
         }
         let task = Self::erase(f);
+        // Barrier convention: `n_chunks` tickets — one per chunk, no extra
+        // (the MPE itself never holds a ticket on this path). See `Barrier`.
         let n_chunks = Self::chunk_count(n_items, chunk);
         let done = Barrier::new(n_chunks);
         let mut start = 0;
         while start < n_items {
             let end = (start + chunk).min(n_items);
             self.stats.spawned_by_mpe.fetch_add(1, Ordering::Relaxed);
-            self.sender
-                .send(Msg::Chunk { task, start, end, done: Arc::clone(&done) })
-                .expect("job server alive");
+            self.queue.send(Msg::Chunk {
+                task,
+                start,
+                end,
+                done: Arc::clone(&done),
+            });
             start = end;
         }
         done.wait();
@@ -146,14 +225,19 @@ impl JobServer {
             return;
         }
         let task = Self::erase(f);
-        // The team-head job plus its chunks all retire into one barrier the
-        // MPE blocks on.
+        // Barrier convention: `n_chunks + 1` tickets — one per chunk plus
+        // one held by the team-head job until it finishes enqueueing, so the
+        // MPE cannot be released while chunks are still being spawned. See
+        // the `Barrier` doc comment for why the `+1` is load-bearing.
         let n_chunks = Self::chunk_count(n_items, chunk);
         let done = Barrier::new(n_chunks + 1);
         self.stats.spawned_by_mpe.fetch_add(1, Ordering::Relaxed);
-        self.sender
-            .send(Msg::TeamHead { task, n_items, chunk, done: Arc::clone(&done) })
-            .expect("job server alive");
+        self.queue.send(Msg::TeamHead {
+            task,
+            n_items,
+            chunk,
+            done: Arc::clone(&done),
+        });
         done.wait();
     }
 }
@@ -204,25 +288,39 @@ impl JobServer {
     }
 }
 
-fn worker_loop(rx: Receiver<Msg>, tx: Sender<Msg>, stats: Arc<JobStats>) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Msg::Chunk { task, start, end, done } => {
+fn worker_loop(queue: Arc<JobQueue>, stats: Arc<JobStats>) {
+    loop {
+        match queue.recv() {
+            Msg::Chunk {
+                task,
+                start,
+                end,
+                done,
+            } => {
                 unsafe { (task.call)(task.ctx, start, end) };
                 stats.chunks_run.fetch_add(1, Ordering::Relaxed);
                 done.done();
             }
-            Msg::TeamHead { task, n_items, chunk, done } => {
+            Msg::TeamHead {
+                task,
+                n_items,
+                chunk,
+                done,
+            } => {
                 // Distribute to the team (including possibly ourselves).
                 let mut start = 0;
                 while start < n_items {
                     let end = (start + chunk).min(n_items);
                     stats.spawned_by_cpe.fetch_add(1, Ordering::Relaxed);
-                    tx.send(Msg::Chunk { task, start, end, done: Arc::clone(&done) })
-                        .expect("job server alive");
+                    queue.send(Msg::Chunk {
+                        task,
+                        start,
+                        end,
+                        done: Arc::clone(&done),
+                    });
                     start = end;
                 }
-                done.done(); // the team-head job itself retires
+                done.done(); // surrender the team head's barrier ticket
             }
             Msg::Shutdown => break,
         }
@@ -232,7 +330,7 @@ fn worker_loop(rx: Receiver<Msg>, tx: Sender<Msg>, stats: Arc<JobStats>) {
 impl Drop for JobServer {
     fn drop(&mut self) {
         for _ in &self.workers {
-            let _ = self.sender.send(Msg::Shutdown);
+            self.queue.send(Msg::Shutdown);
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -344,5 +442,79 @@ mod tests {
         let server = JobServer::new(2);
         server.parallel_for(0, 16, &|_| panic!("must not run"));
         server.target_parallel_for(0, 16, &|_| panic!("must not run"));
+    }
+
+    /// Barrier convention stress, MPE path: 1-item chunks mean every index
+    /// is its own job and the latch starts at exactly `n_items`. The wait
+    /// must neither hang (too many tickets) nor release before every write
+    /// lands (too few).
+    #[test]
+    fn barrier_conventions_one_item_chunks_mpe_path() {
+        let server = JobServer::new(8);
+        for round in 0..20 {
+            let n = 257 + round; // odd sizes, never a multiple of the team
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            server.parallel_for(n, 1, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            // No early release: by the time parallel_for returns, every
+            // index has been written exactly once.
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    /// Barrier convention stress, target path: 1-item chunks through a team
+    /// head. The latch starts at `n_items + 1`; the team head's extra ticket
+    /// must be surrendered (no hang) and must hold the MPE back until all
+    /// chunks are enqueued (no early release).
+    #[test]
+    fn barrier_conventions_one_item_chunks_target_path() {
+        let server = JobServer::new(8);
+        for round in 0..20 {
+            let n = 131 + round;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            server.target_parallel_for(n, 1, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+        // Every chunk went through the team head, none through the MPE.
+        assert_eq!(server.stats.spawned_by_mpe.load(Ordering::Relaxed), 20);
+        let expected_cpe: u64 = (0..20u64).map(|r| 131 + r).sum();
+        assert_eq!(
+            server.stats.spawned_by_cpe.load(Ordering::Relaxed),
+            expected_cpe
+        );
+        assert_eq!(
+            server.stats.chunks_run.load(Ordering::Relaxed),
+            expected_cpe
+        );
+    }
+
+    /// Fewer items than CPEs: most workers stay idle, and the idle majority
+    /// must not be counted as barrier participants. Both paths must return
+    /// promptly with every item done exactly once.
+    #[test]
+    fn barrier_conventions_fewer_items_than_cpes() {
+        let server = JobServer::new(32);
+        for n in [1usize, 2, 3, 5, 31] {
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            server.parallel_for(n, 1, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "mpe path, n={n}"
+            );
+
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            server.target_parallel_for(n, 1, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "target path, n={n}"
+            );
+        }
     }
 }

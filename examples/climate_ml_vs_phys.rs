@@ -13,13 +13,16 @@ fn zonal_bands(model: &GristModel<f64>, field: &[f64], nbands: usize) -> Vec<f64
     let mesh = &model.solver.mesh;
     let mut sum = vec![0.0; nbands];
     let mut wgt = vec![0.0; nbands];
-    for c in 0..mesh.n_cells() {
+    for (c, &v) in field.iter().enumerate() {
         let i = (((model.lats[c] / std::f64::consts::PI + 0.5) * nbands as f64) as usize)
             .min(nbands - 1);
-        sum[i] += field[c] * mesh.cell_area[c];
+        sum[i] += v * mesh.cell_area[c];
         wgt[i] += mesh.cell_area[c];
     }
-    sum.iter().zip(&wgt).map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 }).collect()
+    sum.iter()
+        .zip(&wgt)
+        .map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 })
+        .collect()
 }
 
 fn main() {
@@ -62,14 +65,31 @@ fn main() {
     for i in 0..bands {
         let lat0 = -90.0 + 180.0 * i as f64 / bands as f64;
         let lat1 = lat0 + 180.0 / bands as f64;
-        println!("  {lat0:>4.0}..{lat1:>3.0} | {:>12.3} | {:>10.3}", zc[i], zm[i]);
+        println!(
+            "  {lat0:>4.0}..{lat1:>3.0} | {:>12.3} | {:>10.3}",
+            zc[i], zm[i]
+        );
     }
 
     // Both suites should put their rain maximum in the deep tropics.
-    let argmax = |z: &[f64]| z.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+    let argmax = |z: &[f64]| {
+        z.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+    };
     let (ic, im) = (argmax(&zc), argmax(&zm));
     println!("\nrain-band peak band: conventional {ic}, ML {im} (tropics = bands 4–5)");
-    assert!((3..=6).contains(&ic) && (3..=6).contains(&im), "rain band must be tropical");
-    assert!(m_ml.state.u.as_slice().iter().all(|x| x.is_finite()), "ML run must stay stable");
-    println!("ok: both suites produce a tropical rain band and stable integrations (Fig. 8 shape).");
+    assert!(
+        (3..=6).contains(&ic) && (3..=6).contains(&im),
+        "rain band must be tropical"
+    );
+    assert!(
+        m_ml.state.u.as_slice().iter().all(|x| x.is_finite()),
+        "ML run must stay stable"
+    );
+    println!(
+        "ok: both suites produce a tropical rain band and stable integrations (Fig. 8 shape)."
+    );
 }

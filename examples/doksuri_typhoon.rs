@@ -40,8 +40,7 @@ fn main() {
     // Rows from north to south over 0–50N; columns 90–150E.
     for i in (12..19).rev() {
         let mut line = String::new();
-        for j in 36..45 {
-            let v = grid[i][j];
+        for &v in &grid[i][36..45] {
             let s = ((v / max_rain.max(1e-9) * (shades.len() - 1) as f64) as usize)
                 .min(shades.len() - 1);
             line.push(shades[s]);
@@ -67,13 +66,13 @@ fn main() {
     let mut rain_core = 0.0f64;
     let mut rain_far = 0.0f64;
     let (mut n_core, mut n_far) = (0, 0);
-    for c in 0..mesh.n_cells() {
+    for (c, &r) in rain.iter().enumerate() {
         let d = mesh.cell_xyz[c].arc_dist(center);
         if d < 3.0 * tc.rmax {
-            rain_core += rain[c];
+            rain_core += r;
             n_core += 1;
         } else if d > 1.0 {
-            rain_far += rain[c];
+            rain_far += r;
             n_far += 1;
         }
     }

@@ -39,8 +39,14 @@ fn main() {
     println!("\nafter {hours} simulated hours:");
     println!("  mean surface dry pressure: {:.1} hPa", ps_mean / 100.0);
     println!("  max |wind|:                {umax:.2} m/s");
-    println!("  mean precip rate:          {:.3} mm/day", model.mean_precip_rate());
-    println!("  measured speed:            {sdpd:.0} SDPD ({:.2} SYPD)", sdpd / 365.0);
+    println!(
+        "  mean precip rate:          {:.3} mm/day",
+        model.mean_precip_rate()
+    );
+    println!(
+        "  measured speed:            {sdpd:.0} SDPD ({:.2} SYPD)",
+        sdpd / 365.0
+    );
     assert!(model.state.u.as_slice().iter().all(|x| x.is_finite()));
     println!("\nok: coupled model ran stably.");
 }

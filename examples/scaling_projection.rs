@@ -13,7 +13,12 @@ use sunway_sim::SunwaySpec;
 fn main() {
     let spec = SunwaySpec::next_gen();
     println!("next-generation Sunway (modeled):");
-    println!("  nodes: {}  cores/node: {}  total cores: {}", spec.nodes, spec.cores_per_node(), spec.total_cores());
+    println!(
+        "  nodes: {}  cores/node: {}  total cores: {}",
+        spec.nodes,
+        spec.cores_per_node(),
+        spec.total_cores()
+    );
     println!(
         "  per CG: 1 MPE + {} CPEs, {} KB LDM ({} KB as {}-way LDCache), {:.1} GB/s DDR",
         spec.cpes_per_cg,
@@ -29,7 +34,10 @@ fn main() {
 
     let model = SdpdModel::default();
     let grids = table2_grids();
-    let mix_ml = Scheme { mixed: true, ml_physics: true };
+    let mix_ml = Scheme {
+        mixed: true,
+        ml_physics: true,
+    };
 
     println!("weak scaling (MIX-ML), ~320 cells per core group:");
     for (label, procs) in weak_scaling_ladder() {
@@ -48,7 +56,10 @@ fn main() {
     let top = 524_288;
     let r12 = model.project(g12, mix_ml, top);
     let r11 = model.project(g11s, mix_ml, top);
-    println!("\nheadline endpoints at {top} processes = {} cores:", top * 65);
+    println!(
+        "\nheadline endpoints at {top} processes = {} cores:",
+        top * 65
+    );
     println!(
         "  G11S (3 km): {:>5.0} SDPD = {:.2} SYPD   [paper: 491 SDPD]",
         r11.sdpd,

@@ -43,8 +43,9 @@ fn main() {
 
     // --- SWGOMP offload: !$omp target + !$omp do ---
     let server = JobServer::new(64); // the 64 CPEs of one core group
-    let tend: Vec<std::sync::atomic::AtomicU64> =
-        (0..mesh.n_edges() * nlev).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+    let tend: Vec<std::sync::atomic::AtomicU64> = (0..mesh.n_edges() * nlev)
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
     let t1 = Instant::now();
     server.target_parallel_for(mesh.n_edges(), 256, &|e| {
         let [c1, c2] = mesh.edge_cells[e];
@@ -67,8 +68,14 @@ fn main() {
     assert!(ke_zero.as_slice().iter().all(|&x| x == 0.0));
 
     println!("\ntend_grad_ke_at_edge (the Fig. 4 kernel):");
-    println!("  serial (\"MPE\"):        {:>8.2} ms", t_serial.as_secs_f64() * 1e3);
-    println!("  SWGOMP target offload: {:>8.2} ms (bit-exact)", t_offload.as_secs_f64() * 1e3);
+    println!(
+        "  serial (\"MPE\"):        {:>8.2} ms",
+        t_serial.as_secs_f64() * 1e3
+    );
+    println!(
+        "  SWGOMP target offload: {:>8.2} ms (bit-exact)",
+        t_offload.as_secs_f64() * 1e3
+    );
     println!("\nFig. 5 job-spawning hierarchy:");
     println!(
         "  jobs spawned by MPE:       {}",

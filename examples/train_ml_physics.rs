@@ -24,7 +24,10 @@ fn main() {
         cfg.fine_level, cfg.coarse_level, cfg.n_periods, cfg.days_per_period, cfg.steps_per_day
     );
     for p in grist_ml::TRAINING_PERIODS.iter().take(cfg.n_periods) {
-        println!("  period: {:22} ONI {:+.1}  MJO {:.1}", p.name, p.oni, p.mjo);
+        println!(
+            "  period: {:22} ONI {:+.1}  MJO {:.1}",
+            p.name, p.oni, p.mjo
+        );
     }
     let data = generate_training_data(&cfg);
     println!(
@@ -36,7 +39,10 @@ fn main() {
 
     println!("Training (Adam, minibatch 16)...");
     let (suite, report) = train_ml_suite(&data, 16, 20, 42);
-    println!("  train/test split:      {:.1}:1 (paper: 7:1)", report.train_test_ratio);
+    println!(
+        "  train/test split:      {:.1}:1 (paper: 7:1)",
+        report.train_test_ratio
+    );
     println!(
         "  CNN  test MSE:         {:.5}  (untrained: {:.1}, {:.0}x better)",
         report.cnn_test_loss,

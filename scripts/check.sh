@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, and format-check the whole workspace.
+# Everything runs offline (see README "Offline builds").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace --all-targets
+
+echo "== cargo test =="
+cargo test --workspace --release -q
+
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "All checks passed."

@@ -82,7 +82,13 @@ fn full_scheme_matrix_runs_stably() {
 fn mixed_precision_gate_passes_on_the_cyclone_case() {
     let cfg = RunConfig::for_level(2, 10);
     let gate = precision_gate(&cfg, 4.0 * 3600.0, |m| {
-        add_tropical_cyclone(m, &TropicalCyclone { rmax: 0.2, ..Default::default() })
+        add_tropical_cyclone(
+            m,
+            &TropicalCyclone {
+                rmax: 0.2,
+                ..Default::default()
+            },
+        )
     });
     assert!(
         gate.passes(),
@@ -97,7 +103,13 @@ fn cyclone_rainfall_pattern_is_reproducible_across_precisions() {
     let run = |_mixed: bool| -> (grist_mesh::HexMesh, Vec<f64>) {
         let cfg = RunConfig::for_level(3, 10);
         let mut m = GristModel::<f64>::new(cfg);
-        add_tropical_cyclone(&mut m, &TropicalCyclone { rmax: 0.12, ..Default::default() });
+        add_tropical_cyclone(
+            &mut m,
+            &TropicalCyclone {
+                rmax: 0.12,
+                ..Default::default()
+            },
+        );
         m.advance(4.0 * m.config.dt_phy);
         (m.solver.mesh.clone(), m.precip_accum.clone())
     };
@@ -125,7 +137,11 @@ fn sixty_layer_stretched_configuration_is_stable() {
         let m = solver.mesh.edge_mid[e];
         let zonal = grist_mesh::Vec3::new(0.0, 0.0, 1.0).cross(m);
         for k in 0..60 {
-            state.u.set(k, e, 12.0 * m.lat().cos() * zonal.dot(solver.mesh.edge_normal[e]));
+            state.u.set(
+                k,
+                e,
+                12.0 * m.lat().cos() * zonal.dot(solver.mesh.edge_normal[e]),
+            );
         }
     }
     let m0 = solver.total_dry_mass(&state);
@@ -188,5 +204,8 @@ fn sun_declination_shifts_the_insolation_hemisphere() {
         (n / wn, s / ws)
     };
     let (n, s) = gsw_by_hemi(&north);
-    assert!(n > 1.5 * s, "boreal summer should light the north: N {n} vs S {s}");
+    assert!(
+        n > 1.5 * s,
+        "boreal summer should light the north: N {n} vs S {s}"
+    );
 }

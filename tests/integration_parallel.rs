@@ -6,7 +6,7 @@ use grist_dycore::{Field2, SweSolver};
 use grist_mesh::{HaloLayout, HexMesh, Partition};
 use grist_runtime::{exchange_gathered, grouped_write, run_world, VarList};
 use std::sync::atomic::Ordering;
-use sunway_sim::JobServer;
+use sunway_sim::{JobServer, Substrate};
 
 /// Run the shallow-water TC2 case distributed over `n_ranks`, exchanging
 /// halos every step, and compare the assembled field with a serial run.
@@ -75,12 +75,11 @@ fn distributed_swe_matches_serial(n_ranks: usize, steps: usize) {
             assembled[c as usize] = v;
         }
     }
-    for c in 0..mesh.n_cells() {
+    for (c, &a) in assembled.iter().enumerate() {
         let s = sstate.h.at(0, c);
         assert!(
-            (assembled[c] - s).abs() < 1e-9 * s.abs().max(1.0),
-            "cell {c}: distributed {} vs serial {s}",
-            assembled[c]
+            (a - s).abs() < 1e-9 * s.abs().max(1.0),
+            "cell {c}: distributed {a} vs serial {s}"
         );
     }
 }
@@ -98,19 +97,23 @@ fn distributed_swe_agrees_with_serial_7_ranks() {
 #[test]
 fn job_server_executes_a_real_divergence_kernel() {
     // Map a dycore-style edge loop onto the CPE job server and compare with
-    // the rayon-parallel operator.
+    // the substrate-dispatched operator.
     let mesh = HexMesh::build(3);
-    let geom: grist_dycore::ScaledGeometry<f64> =
-        grist_dycore::ScaledGeometry::new(&mesh, grist_mesh::EARTH_RADIUS_M, grist_mesh::EARTH_OMEGA);
+    let geom: grist_dycore::ScaledGeometry<f64> = grist_dycore::ScaledGeometry::new(
+        &mesh,
+        grist_mesh::EARTH_RADIUS_M,
+        grist_mesh::EARTH_OMEGA,
+    );
     let nlev = 8;
     let flux = Field2::<f64>::from_fn(nlev, mesh.n_edges(), |k, e| ((e * 3 + k) % 17) as f64 - 8.0);
     let mut expected = Field2::<f64>::zeros(nlev, mesh.n_cells());
-    grist_dycore::operators::divergence(&mesh, &geom, &flux, &mut expected);
+    grist_dycore::operators::divergence(&Substrate::serial(), &mesh, &geom, &flux, &mut expected);
 
     // SWGOMP path: one team-head offload over cells ("!$omp target ... do").
     let server = JobServer::new(16);
-    let out: Vec<std::sync::Mutex<Vec<f64>>> =
-        (0..mesh.n_cells()).map(|_| std::sync::Mutex::new(vec![0.0; nlev])).collect();
+    let out: Vec<std::sync::Mutex<Vec<f64>>> = (0..mesh.n_cells())
+        .map(|_| std::sync::Mutex::new(vec![0.0; nlev]))
+        .collect();
     server.target_parallel_for(mesh.n_cells(), 32, &|c| {
         let mut col = vec![0.0f64; nlev];
         let rng = mesh.cell_edges.row_range(c);
@@ -126,9 +129,12 @@ fn job_server_executes_a_real_divergence_kernel() {
         }
         *out[c].lock().unwrap() = col;
     });
-    assert_eq!(server.stats.spawned_by_cpe.load(Ordering::Relaxed), (mesh.n_cells() as u64).div_ceil(32));
-    for c in 0..mesh.n_cells() {
-        let got = out[c].lock().unwrap();
+    assert_eq!(
+        server.stats.spawned_by_cpe.load(Ordering::Relaxed),
+        (mesh.n_cells() as u64).div_ceil(32)
+    );
+    for (c, cell) in out.iter().enumerate() {
+        let got = cell.lock().unwrap();
         for k in 0..nlev {
             assert!(
                 (got[k] - expected.at(k, c)).abs() < 1e-12,
@@ -165,5 +171,8 @@ fn grouped_io_roundtrips_a_partitioned_field() {
             n_records += r.len();
         }
     }
-    assert_eq!(n_records, n_ranks, "every rank's record must reach a leader");
+    assert_eq!(
+        n_records, n_ranks,
+        "every rank's record must reach a leader"
+    );
 }

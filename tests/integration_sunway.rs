@@ -29,11 +29,20 @@ fn dycore_cost_descriptors_drive_the_fig9_model() {
     let model = PerfModel::default();
     let (nc, ne, nlev) = (40_962, 122_880, 30);
     let kernels = vec![
-        to_spec("grad_kinetic_energy", grad_kinetic_energy_cost::<f64>(ne, nlev)),
-        to_spec("primal_normal_flux_edge", primal_normal_flux_edge_cost::<f64>(ne, nlev)),
+        to_spec(
+            "grad_kinetic_energy",
+            grad_kinetic_energy_cost::<f64>(ne, nlev),
+        ),
+        to_spec(
+            "primal_normal_flux_edge",
+            primal_normal_flux_edge_cost::<f64>(ne, nlev),
+        ),
         to_spec("compute_rrr", compute_rrr_cost::<f64>(nc, nlev)),
         to_spec("calc_coriolis_term", calc_coriolis_term_cost(ne, nlev)),
-        to_spec("tracer_transport_hori_flux_limiter", tracer_flux_limiter_cost::<f64>(ne, nlev)),
+        to_spec(
+            "tracer_transport_hori_flux_limiter",
+            tracer_flux_limiter_cost::<f64>(ne, nlev),
+        ),
     ];
     for k in &kernels {
         let base = kernel_time(k, ExecTarget::MpeDp, &spec, &model);
@@ -55,8 +64,8 @@ fn dycore_cost_descriptors_drive_the_fig9_model() {
             > s("primal_normal_flux_edge", ExecTarget::CpeDpDst),
         "divide/pow-heavy kernel must benefit from MIX"
     );
-    let cor_gain = s("calc_coriolis_term", ExecTarget::CpeMixDst)
-        / s("calc_coriolis_term", ExecTarget::CpeDp);
+    let cor_gain =
+        s("calc_coriolis_term", ExecTarget::CpeMixDst) / s("calc_coriolis_term", ExecTarget::CpeDp);
     assert!(
         (0.95..1.1).contains(&cor_gain),
         "coriolis should gain ~nothing from MIX+DST: {cor_gain}"
