@@ -45,7 +45,7 @@ fn bench_halo_exchange() {
             list.push("a", 4, &mut f1);
             list.push("b", 1, &mut f2);
             list.push("c", 2, &mut f3);
-            exchange_gathered(&mut ctx, locale, &mut list, 1);
+            exchange_gathered(&mut ctx, locale, &mut list, 1).expect("uniform lists");
         });
     });
     g.finish();

@@ -1,0 +1,81 @@
+//! Compare a fresh `BENCH_*.json` document against a committed baseline and
+//! exit nonzero when anything regressed — the CI bench gate.
+//!
+//! Usage:
+//!   cargo run --release -p grist-bench --bin bench_compare -- \
+//!       OLD.json NEW.json [--tolerance PCT] [--time-tolerance PCT]
+//!
+//! Exit codes: 0 = no regressions, 1 = regressions found, 2 = bad
+//! usage/unreadable/malformed input.
+
+use grist_bench::compare::{compare_docs, CompareConfig};
+use sunway_sim::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_compare OLD.json NEW.json [--tolerance PCT] [--time-tolerance PCT]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut cfg = CompareConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut pct = |name: &str| -> f64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("bench_compare: {name} needs a non-negative percentage");
+                    usage();
+                })
+        };
+        match a.as_str() {
+            "--tolerance" => cfg.tolerance = pct("--tolerance"),
+            "--time-tolerance" => cfg.time_tolerance = pct("--time-tolerance"),
+            _ if a.starts_with("--") => usage(),
+            other => paths.push(other),
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        usage();
+    };
+
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench_compare: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+
+    match compare_docs(&old, &new, &cfg) {
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            std::process::exit(2);
+        }
+        Ok(regressions) if regressions.is_empty() => {
+            println!(
+                "bench_compare: OK — {new_path} within tolerance of {old_path} \
+                 (counters ±{}%, wall times +{}%)",
+                cfg.tolerance, cfg.time_tolerance
+            );
+        }
+        Ok(regressions) => {
+            eprintln!(
+                "bench_compare: {} regression(s) in {new_path} vs {old_path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

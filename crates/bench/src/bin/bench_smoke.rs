@@ -1,0 +1,25 @@
+//! Runs the pinned smoke benchmark suite and writes the `BENCH_*.json`
+//! document (see `grist_bench::smoke` for exactly what runs).
+//!
+//! Usage: `cargo run --release -p grist-bench --bin bench_smoke -- [OUT.json]`
+//! (defaults to stdout when no path is given).
+
+use std::io::Write;
+
+fn main() {
+    let text = grist_bench::smoke::run_smoke().pretty();
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &text).unwrap_or_else(|e| {
+                eprintln!("bench_smoke: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("bench_smoke: wrote {path} ({} bytes)", text.len());
+        }
+        None => {
+            std::io::stdout()
+                .write_all(text.as_bytes())
+                .expect("stdout");
+        }
+    }
+}

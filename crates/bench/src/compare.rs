@@ -1,0 +1,388 @@
+//! Baseline comparison for `BENCH_*.json` documents — the logic behind the
+//! `bench_compare` binary and the CI bench-smoke gate.
+//!
+//! Two tolerance regimes, reflecting what is and is not deterministic in the
+//! smoke suite (see [`crate::smoke`]):
+//!
+//! * **Deterministic quantities** — kernel call/item/byte counts, the
+//!   hardware-model counters, and the analytic projections — are held to
+//!   `tolerance` percent in *both* directions: an unexplained drop in
+//!   `ldcache.misses` is as much a behavioral change as a rise.
+//!   `sdpd.*` projections are the exception: higher is strictly better, so
+//!   only a drop flags.
+//! * **Wall-clock times** (kernel/span `nanos`) vary with host load, so they
+//!   are gated only *upward* at the looser `time_tolerance`, and only for
+//!   entries whose baseline time clears `min_time_ns` (tiny kernels jitter
+//!   by orders of magnitude).
+//!
+//! A kernel, span, counter, or projection present in the baseline but
+//! missing from the new document always flags — silently losing coverage
+//! must not pass the gate.
+
+use std::fmt;
+use sunway_sim::{Json, MetricsSnapshot};
+
+/// Tolerances for one comparison run.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Percent band for deterministic quantities (both directions).
+    pub tolerance: f64,
+    /// Percent band for wall-time regressions (upward only).
+    pub time_tolerance: f64,
+    /// Wall-time entries below this baseline total are not time-gated.
+    pub min_time_ns: u64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            tolerance: 10.0,
+            time_tolerance: 400.0,
+            min_time_ns: 5_000_000,
+        }
+    }
+}
+
+/// One detected regression. `new` is NaN when the entry vanished entirely.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub what: String,
+    pub old: f64,
+    pub new: f64,
+    pub limit_pct: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.new.is_nan() {
+            write!(
+                f,
+                "{}: present in baseline ({}) but missing",
+                self.what, self.old
+            )
+        } else {
+            let pct = if self.old != 0.0 {
+                (self.new - self.old) / self.old * 100.0
+            } else {
+                f64::INFINITY
+            };
+            write!(
+                f,
+                "{}: {} -> {} ({:+.1}%, limit {}%)",
+                self.what, self.old, self.new, pct, self.limit_pct
+            )
+        }
+    }
+}
+
+/// Compare two benchmark documents; `Err` for malformed inputs, otherwise
+/// the (possibly empty) list of regressions.
+pub fn compare_docs(
+    old: &Json,
+    new: &Json,
+    cfg: &CompareConfig,
+) -> Result<Vec<Regression>, String> {
+    for (label, doc) in [("baseline", old), ("new", new)] {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label} document has no \"schema\" string"))?;
+        if schema != crate::smoke::SCHEMA {
+            return Err(format!(
+                "{label} document has schema {schema:?}, expected {:?}",
+                crate::smoke::SCHEMA
+            ));
+        }
+    }
+    let parse_metrics = |label: &str, doc: &Json| -> Result<MetricsSnapshot, String> {
+        let v = doc
+            .get("metrics")
+            .ok_or_else(|| format!("{label} document has no \"metrics\" section"))?;
+        MetricsSnapshot::from_json_value(v).map_err(|e| format!("{label} metrics: {e}"))
+    };
+    let old_m = parse_metrics("baseline", old)?;
+    let new_m = parse_metrics("new", new)?;
+
+    let mut out = Vec::new();
+
+    for (name, o) in &old_m.kernels {
+        match new_m.kernels.get(name) {
+            None => out.push(missing(format!("kernel {name}"), o.calls as f64)),
+            Some(n) => {
+                check_count(
+                    &mut out,
+                    format!("kernel {name} calls"),
+                    o.calls,
+                    n.calls,
+                    cfg,
+                );
+                check_count(
+                    &mut out,
+                    format!("kernel {name} items"),
+                    o.items,
+                    n.items,
+                    cfg,
+                );
+                check_count(
+                    &mut out,
+                    format!("kernel {name} bytes"),
+                    o.bytes,
+                    n.bytes,
+                    cfg,
+                );
+                check_time(
+                    &mut out,
+                    format!("kernel {name} nanos"),
+                    o.nanos,
+                    n.nanos,
+                    cfg,
+                );
+            }
+        }
+    }
+    for (name, o) in &old_m.spans {
+        match new_m.spans.get(name) {
+            None => out.push(missing(format!("span {name}"), o.calls as f64)),
+            Some(n) => {
+                check_count(
+                    &mut out,
+                    format!("span {name} calls"),
+                    o.calls,
+                    n.calls,
+                    cfg,
+                );
+                check_time(
+                    &mut out,
+                    format!("span {name} nanos"),
+                    o.nanos,
+                    n.nanos,
+                    cfg,
+                );
+            }
+        }
+    }
+    for (name, &o) in &old_m.counters {
+        match new_m.counters.get(name) {
+            None => out.push(missing(format!("counter {name}"), o as f64)),
+            Some(&n) => check_count(&mut out, format!("counter {name}"), o, n, cfg),
+        }
+    }
+
+    // Projections: numeric leaf map; sdpd.* is higher-is-better.
+    let old_p = projections(old);
+    let new_p = projections(new);
+    for (key, o) in &old_p {
+        let Some(&n) = new_p.get(key) else {
+            out.push(missing(format!("projection {key}"), *o));
+            continue;
+        };
+        let band = cfg.tolerance / 100.0;
+        let regressed = if key.starts_with("sdpd.") {
+            n < o * (1.0 - band)
+        } else {
+            (n - o).abs() > o.abs().max(f64::MIN_POSITIVE) * band
+        };
+        if regressed {
+            out.push(Regression {
+                what: format!("projection {key}"),
+                old: *o,
+                new: n,
+                limit_pct: cfg.tolerance,
+            });
+        }
+    }
+
+    Ok(out)
+}
+
+fn projections(doc: &Json) -> std::collections::BTreeMap<String, f64> {
+    doc.get("projections")
+        .and_then(Json::as_obj)
+        .map(|fields| {
+            fields
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn missing(what: String, old: f64) -> Regression {
+    Regression {
+        what,
+        old,
+        new: f64::NAN,
+        limit_pct: 0.0,
+    }
+}
+
+/// Deterministic count: relative deviation beyond `tolerance` in either
+/// direction flags (denominator floored at 1 so zero baselines behave).
+fn check_count(out: &mut Vec<Regression>, what: String, old: u64, new: u64, cfg: &CompareConfig) {
+    let (o, n) = (old as f64, new as f64);
+    if (n - o).abs() / o.max(1.0) > cfg.tolerance / 100.0 {
+        out.push(Regression {
+            what,
+            old: o,
+            new: n,
+            limit_pct: cfg.tolerance,
+        });
+    }
+}
+
+/// Wall time: only an *increase* beyond `time_tolerance` flags, and only for
+/// entries big enough to time reliably.
+fn check_time(out: &mut Vec<Regression>, what: String, old: u64, new: u64, cfg: &CompareConfig) {
+    if old < cfg.min_time_ns {
+        return;
+    }
+    let (o, n) = (old as f64, new as f64);
+    if n > o * (1.0 + cfg.time_tolerance / 100.0) {
+        out.push(Regression {
+            what,
+            old: o,
+            new: n,
+            limit_pct: cfg.time_tolerance,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(kernel_nanos: u64, calls: u64, misses: u64, sdpd: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema": "grist-bench-v1",
+              "config": {{"level": 2}},
+              "projections": {{"sdpd.weak.G6.p128": {sdpd}, "fig9.compute_rrr.MPE-DP_s": 0.5}},
+              "metrics": {{
+                "kernels": {{"step/dycore/compute_rrr":
+                  {{"calls": {calls}, "nanos": {kernel_nanos}, "items": 100, "bytes": 800}}}},
+                "spans": {{"step": {{"calls": {calls}, "nanos": {kernel_nanos}}}}},
+                "counters": {{"ldcache.misses": {misses}}}
+              }}
+            }}"#
+        ))
+        .expect("test doc parses")
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let a = doc(50_000_000, 16, 1000, 300.0);
+        let r = compare_docs(&a, &a, &CompareConfig::default()).unwrap();
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn noisy_wall_time_within_band_passes_but_blowup_flags() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let cfg = CompareConfig::default();
+        // 3x slower: inside the 400% band.
+        let r = compare_docs(&old, &doc(150_000_000, 16, 1000, 300.0), &cfg).unwrap();
+        assert!(r.is_empty(), "{r:?}");
+        // 6x slower: flags both the kernel and the span.
+        let r = compare_docs(&old, &doc(300_000_000, 16, 1000, 300.0), &cfg).unwrap();
+        assert_eq!(r.len(), 2, "{r:?}");
+        assert!(r.iter().all(|x| x.what.ends_with("nanos")));
+        // Faster never flags.
+        let r = compare_docs(&old, &doc(1_000_000, 16, 1000, 300.0), &cfg).unwrap();
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn tiny_kernels_are_not_time_gated() {
+        let cfg = CompareConfig::default();
+        let r = compare_docs(
+            &doc(1_000, 16, 1000, 300.0),
+            &doc(900_000, 16, 1000, 300.0),
+            &cfg,
+        )
+        .unwrap();
+        assert!(r.is_empty(), "sub-floor jitter must not flag: {r:?}");
+    }
+
+    #[test]
+    fn counter_drift_flags_in_both_directions() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let cfg = CompareConfig::default();
+        for bad in [1200, 800] {
+            let r = compare_docs(&old, &doc(50_000_000, 16, bad, 300.0), &cfg).unwrap();
+            assert_eq!(r.len(), 1, "{r:?}");
+            assert!(r[0].what.contains("ldcache.misses"));
+        }
+        // Within 10%: fine.
+        let r = compare_docs(&old, &doc(50_000_000, 16, 1050, 300.0), &cfg).unwrap();
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn call_count_change_flags() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let r = compare_docs(
+            &old,
+            &doc(50_000_000, 32, 1000, 300.0),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(r.iter().any(|x| x.what.contains("calls")), "{r:?}");
+    }
+
+    #[test]
+    fn sdpd_projection_is_higher_is_better() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let cfg = CompareConfig::default();
+        // 50% faster projection: improvement, passes.
+        let r = compare_docs(&old, &doc(50_000_000, 16, 1000, 450.0), &cfg).unwrap();
+        assert!(r.is_empty(), "{r:?}");
+        // 20% drop: regression.
+        let r = compare_docs(&old, &doc(50_000_000, 16, 1000, 240.0), &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].what.contains("sdpd"));
+    }
+
+    #[test]
+    fn missing_kernel_flags() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let mut new = doc(50_000_000, 16, 1000, 300.0);
+        // Rename the kernel out from under the baseline.
+        let Json::Obj(fields) = &mut new else {
+            panic!()
+        };
+        let metrics = &mut fields.iter_mut().find(|(k, _)| k == "metrics").unwrap().1;
+        let Json::Obj(mf) = metrics else { panic!() };
+        let kernels = &mut mf.iter_mut().find(|(k, _)| k == "kernels").unwrap().1;
+        let Json::Obj(kf) = kernels else { panic!() };
+        kf[0].0 = "step/dycore/renamed".into();
+        let r = compare_docs(&old, &new, &CompareConfig::default()).unwrap();
+        assert!(
+            r.iter()
+                .any(|x| x.what.contains("compute_rrr") && x.new.is_nan()),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let good = doc(1, 1, 1, 1.0);
+        let bad = Json::parse(r#"{"schema": "other", "metrics": {}}"#).unwrap();
+        assert!(compare_docs(&good, &bad, &CompareConfig::default()).is_err());
+        let none = Json::parse("{}").unwrap();
+        assert!(compare_docs(&none, &good, &CompareConfig::default()).is_err());
+    }
+
+    #[test]
+    fn regressions_render_readably() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let r = compare_docs(
+            &old,
+            &doc(50_000_000, 16, 2000, 300.0),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        let text = r[0].to_string();
+        assert!(text.contains("ldcache.misses"), "{text}");
+        assert!(text.contains("+100.0%"), "{text}");
+    }
+}

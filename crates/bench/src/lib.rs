@@ -1,9 +1,14 @@
-//! Shared helpers for the figure/table harness binaries: aligned-column
-//! table printing and CSV output into `results/`.
+//! Shared helpers for the figure/table harness binaries (aligned-column
+//! table printing, CSV output into `results/`), plus the benchmark-baseline
+//! pipeline: [`smoke`] produces the pinned `BENCH_*.json` documents and
+//! [`compare`] gates a fresh run against a committed baseline.
 
 // Indexed loops mirror the Fortran stencil kernels they reproduce and are
 // clearer than iterator chains for staggered-grid code.
 #![allow(clippy::needless_range_loop)]
+pub mod compare;
+pub mod smoke;
+
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;

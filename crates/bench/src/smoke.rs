@@ -1,0 +1,217 @@
+//! The pinned smoke benchmark behind `scripts/bench.sh` and the committed
+//! `BENCH_*.json` baselines: a miniature pass over the repo's three
+//! evaluation axes (Fig. 9 kernel model, Fig. 10/11 scaling projections, and
+//! the live coupled model on the CPE-teams substrate), every knob pinned so
+//! the document is reproducible.
+//!
+//! Everything except wall-clock nanoseconds is deterministic: kernel call /
+//! item / byte counts, the `dma.*` / `ldcache.*` / `alloc.*` / `halo.*`
+//! hardware-model counters, and the analytic SDPD projections. The
+//! [`crate::compare`] gate therefore holds those to a tight tolerance and
+//! wall times to a loose one.
+
+use grist_core::{GristModel, RunConfig};
+use grist_mesh::{HaloLayout, HexMesh, Partition};
+use grist_runtime::scaling::{table2_grids, weak_scaling_ladder, Scheme, SdpdModel};
+use grist_runtime::{exchange_gathered_metered, run_world, VarList};
+use sunway_sim::dma::{simulate_dma_batch_metered, DmaRequest};
+use sunway_sim::perf::{fig9_kernels, kernel_time_metered, ExecTarget, PerfModel};
+use sunway_sim::{Json, Metrics, MetricsSnapshot, Substrate, SunwaySpec};
+
+/// Document schema tag checked by [`crate::compare::compare_docs`].
+pub const SCHEMA: &str = "grist-bench-v1";
+
+/// Pinned smoke configuration — changing any of these invalidates committed
+/// baselines, so bump the `BENCH_*.json` sequence number when you do.
+pub const SMOKE_LEVEL: u32 = 2;
+pub const SMOKE_NLEV: usize = 10;
+pub const SMOKE_CPES: usize = 16;
+pub const SMOKE_DYN_STEPS: usize = 16;
+/// Fig. 9 model sizes: the G6 grid of the paper's 100 km demo case.
+pub const FIG9_CELLS: usize = 40_962;
+pub const FIG9_EDGES: usize = 122_880;
+pub const FIG9_NLEV: usize = 30;
+/// Halo-exchange smoke world.
+pub const HALO_RANKS: usize = 4;
+pub const HALO_MESH_LEVEL: u32 = 3;
+
+/// Run the full smoke suite and assemble the benchmark document.
+pub fn run_smoke() -> Json {
+    let config = RunConfig::for_level(SMOKE_LEVEL, SMOKE_NLEV);
+
+    // --- live coupled model on the CPE-teams substrate (kernel section) ---
+    let mut model =
+        GristModel::<f64>::with_substrate(config.clone(), Substrate::cpe_teams(SMOKE_CPES));
+    model.advance(SMOKE_DYN_STEPS as f64 * config.dt_dyn);
+    let mut snap = model.metrics_snapshot();
+
+    // --- hardware-model smokes, recorded into a second registry ---
+    let extra = Metrics::default();
+    let spec = SunwaySpec::next_gen();
+    let perf = PerfModel::default();
+
+    // Fig. 9: modeled kernel times for every kernel × target, metered so the
+    // LDCache/allocator simulators fill `ldcache.*` / `alloc.*`.
+    let mut projections: Vec<(String, f64)> = Vec::new();
+    for k in &fig9_kernels(FIG9_CELLS, FIG9_EDGES, FIG9_NLEV) {
+        for target in ExecTarget::fig9_all() {
+            let t = kernel_time_metered(k, target, &spec, &perf, &extra);
+            projections.push((format!("fig9.{}.{}_s", k.name, target.label()), t));
+        }
+    }
+
+    // DMA engine: the omnicopy batch shape (64 CPEs × 192 KB).
+    let reqs: Vec<DmaRequest> = (0..64)
+        .map(|cpe| DmaRequest {
+            cpe,
+            bytes: 192 * 1024,
+            issue_t: 0.0,
+        })
+        .collect();
+    simulate_dma_batch_metered(&spec, &reqs, &extra);
+
+    // Halo exchange: a 4-rank world swapping a two-variable gather list,
+    // metered into `halo.*` (the registry is shared across rank threads).
+    {
+        let mesh = HexMesh::build(HALO_MESH_LEVEL);
+        let partition = Partition::build(&mesh, HALO_RANKS, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        let metrics = &extra;
+        run_world(HALO_RANKS, |mut ctx| {
+            let locale = &layout.locales[ctx.rank];
+            let mut h = vec![0.0f64; n * SMOKE_NLEV];
+            let mut u = vec![0.0f64; n * SMOKE_NLEV];
+            let mut list = VarList::new();
+            list.push("h", SMOKE_NLEV, &mut h);
+            list.push("u", SMOKE_NLEV, &mut u);
+            exchange_gathered_metered(&mut ctx, locale, &mut list, 1, metrics)
+                .expect("uniform smoke lists")
+        });
+    }
+
+    // Fig. 10: the weak-scaling ladder under the full MIX-ML scheme.
+    let sdpd = SdpdModel::default();
+    let grids = table2_grids();
+    let mix_ml = Scheme {
+        mixed: true,
+        ml_physics: true,
+    };
+    for (label, procs) in weak_scaling_ladder() {
+        let grid = grids
+            .iter()
+            .find(|g| g.label == label)
+            .expect("ladder grid present in Table 2");
+        let r = sdpd.project(grid, mix_ml, procs);
+        projections.push((format!("sdpd.weak.{label}.p{procs}"), r.sdpd));
+        projections.push((format!("commfrac.weak.{label}.p{procs}"), r.comm_fraction));
+    }
+
+    // Fig. 11: strong scaling of the G6 grid across every Table-3 scheme.
+    let g6 = grids
+        .iter()
+        .find(|g| g.label == "G6")
+        .expect("G6 in Table 2");
+    for procs in [64usize, 256, 1024] {
+        for scheme in Scheme::all() {
+            let r = sdpd.project(g6, scheme, procs);
+            projections.push((
+                format!("sdpd.strong.G6.{}.p{procs}", scheme.label()),
+                r.sdpd,
+            ));
+        }
+    }
+
+    // Merge the hardware-model registry into the model snapshot (counter
+    // namespaces are summed; the extra registry records no kernels/spans).
+    merge_snapshots(&mut snap, &extra.snapshot());
+
+    projections.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("config".into(), config_json(&config)),
+        (
+            "projections".into(),
+            Json::Obj(
+                projections
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+        ("metrics".into(), snap.to_json_value()),
+    ])
+}
+
+/// Fold `extra` into `base` (sum on key collision in every section).
+pub fn merge_snapshots(base: &mut MetricsSnapshot, extra: &MetricsSnapshot) {
+    for (k, s) in &extra.kernels {
+        let e = base.kernels.entry(k.clone()).or_default();
+        e.calls += s.calls;
+        e.nanos += s.nanos;
+        e.items += s.items;
+        e.bytes += s.bytes;
+    }
+    for (k, s) in &extra.spans {
+        let e = base.spans.entry(k.clone()).or_default();
+        e.calls += s.calls;
+        e.nanos += s.nanos;
+    }
+    for (k, &v) in &extra.counters {
+        *base.counters.entry(k.clone()).or_default() += v;
+    }
+}
+
+fn config_json(config: &RunConfig) -> Json {
+    let n = |x: f64| Json::Num(x);
+    Json::Obj(vec![
+        ("level".into(), n(SMOKE_LEVEL as f64)),
+        ("nlev".into(), n(SMOKE_NLEV as f64)),
+        ("n_cpes".into(), n(SMOKE_CPES as f64)),
+        ("dyn_steps".into(), n(SMOKE_DYN_STEPS as f64)),
+        ("dt_dyn".into(), n(config.dt_dyn)),
+        ("fig9_cells".into(), n(FIG9_CELLS as f64)),
+        ("fig9_edges".into(), n(FIG9_EDGES as f64)),
+        ("fig9_nlev".into(), n(FIG9_NLEV as f64)),
+        ("halo_ranks".into(), n(HALO_RANKS as f64)),
+        ("halo_mesh_level".into(), n(HALO_MESH_LEVEL as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunway_sim::KernelStats;
+
+    #[test]
+    fn merge_sums_overlapping_sections() {
+        let mut a = MetricsSnapshot::default();
+        a.kernels.insert(
+            "k".into(),
+            KernelStats {
+                calls: 1,
+                nanos: 10,
+                items: 5,
+                bytes: 0,
+            },
+        );
+        a.counters.insert("dma.bytes".into(), 100);
+        let mut b = MetricsSnapshot::default();
+        b.kernels.insert(
+            "k".into(),
+            KernelStats {
+                calls: 2,
+                nanos: 20,
+                items: 5,
+                bytes: 8,
+            },
+        );
+        b.counters.insert("dma.bytes".into(), 28);
+        b.counters.insert("halo.messages".into(), 3);
+        merge_snapshots(&mut a, &b);
+        assert_eq!(a.kernels["k"].calls, 3);
+        assert_eq!(a.kernels["k"].bytes, 8);
+        assert_eq!(a.counters["dma.bytes"], 128);
+        assert_eq!(a.counters["halo.messages"], 3);
+    }
+}

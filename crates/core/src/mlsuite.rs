@@ -124,6 +124,8 @@ impl MlSuite {
     /// Run on many columns in parallel — "a simplified, unified computational
     /// pattern (primarily matrix multiplication)".
     pub fn step_columns(&self, cols: &[Column]) -> Vec<MlOutput> {
+        // Attribute the inference fan-out to the "ml" trace span.
+        let _span = self.sub.span("ml");
         let n = cols.len();
         let mut out: Vec<Option<MlOutput>> = (0..n).map(|_| None).collect();
         {

@@ -10,7 +10,7 @@ use grist_dycore::{NhSolver, NhState, Real, VerticalCoord};
 use grist_mesh::HexMesh;
 use grist_physics::suite::SuiteConfig;
 use grist_physics::{ColumnPhysicsState, ConventionalSuite, SurfaceDiag, Tendencies};
-use sunway_sim::{format_kernel_report, KernelReportRow, Substrate};
+use sunway_sim::{format_kernel_report, KernelReportRow, Metrics, MetricsSnapshot, Substrate};
 
 /// Which physics suite is coupled (Table 3's "Physics" column).
 #[allow(clippy::large_enum_variant)] // one engine per model; size is irrelevant
@@ -169,6 +169,24 @@ impl<R: Real> GristModel<R> {
         self.solver.sub.reset_profile();
     }
 
+    /// The shared observability registry behind [`Self::kernel_report`]:
+    /// span-qualified kernel stats, trace spans, and hardware-model counters
+    /// (`dma.*`, `ldcache.*`, `halo.*`, …).
+    pub fn metrics(&self) -> &Metrics {
+        self.solver.sub.metrics()
+    }
+
+    /// Snapshot of the registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics().snapshot()
+    }
+
+    /// The registry serialized as a pretty-printed JSON document — the
+    /// payload `scripts/bench.sh` folds into `BENCH_*.json` baselines.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
+    }
+
     pub fn n_cells(&self) -> usize {
         self.solver.mesh.n_cells()
     }
@@ -176,6 +194,10 @@ impl<R: Real> GristModel<R> {
     /// One dynamics substep.
     pub fn step_dyn(&mut self) {
         let dt = self.config.dt_dyn;
+        // Root trace span: kernels record under `step/dycore/...`.
+        // (Cloned handle: the guard must not borrow `self`.)
+        let span_sub = self.solver.sub.clone();
+        let _span = span_sub.span("step");
         self.solver.step(&mut self.state, dt);
         self.time_s += dt;
         self.dyn_steps_taken += 1;
@@ -183,6 +205,10 @@ impl<R: Real> GristModel<R> {
 
     /// One physics step over `dt_phy`, using the §3.2.4 coupling interface.
     pub fn step_physics(&mut self) {
+        // Root trace span: suite kernels record under `step/physics/...` (or
+        // `step/ml/...` for the ML suite).
+        let span_sub = self.solver.sub.clone();
+        let _span = span_sub.span("step");
         let dt_phy = self.config.dt_phy;
         let utc_hours = (self.time_s / 3600.0) % 24.0;
         let (lats, lons) = (&self.lats, &self.lons);

@@ -267,6 +267,11 @@ impl<R: Real> NhSolver<R> {
     /// forward-backward update, then the implicit vertical acoustic solve,
     /// then FCT tracer transport.
     pub fn step(&mut self, state: &mut NhState<R>, dt: f64) {
+        // All kernels below record under the "dycore" trace span, so the
+        // metrics registry can attribute step time to the dynamical core.
+        // (Cloned handle: the guard must not borrow `self`.)
+        let span_sub = self.sub.clone();
+        let _span = span_sub.span("dycore");
         self.diagnose(state);
         let nlev = self.vc.nlev;
         let mesh = &self.mesh;

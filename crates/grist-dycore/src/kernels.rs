@@ -60,7 +60,10 @@ pub fn grad_kinetic_energy<R: Real>(
 ) {
     let nlev = ke.nlev();
     let cols = ColumnsMut::new(tend.as_mut_slice(), nlev);
-    sub.run("grad_kinetic_energy", cols.len(), |e| {
+    // 4 streamed arrays per edge column (ke×2, inv_de, tend) — see
+    // `grad_kinetic_energy_cost`; feeds the dma.* counters under CPE teams.
+    let bytes = 4 * nlev * R::BYTES;
+    sub.run_with_bytes("grad_kinetic_energy", cols.len(), bytes, |e| {
         // SAFETY: each edge index is dispatched exactly once.
         let col = unsafe { cols.col(e) };
         let [c1, c2] = mesh.edge_cells[e];
@@ -101,7 +104,9 @@ pub fn primal_normal_flux_edge<R: Real>(
     let p0 = R::from_f64(P0);
     let rd = R::from_f64(RDRY);
     let cols = ColumnsMut::new(flux.as_mut_slice(), nlev);
-    sub.run("primal_normal_flux_edge", cols.len(), |e| {
+    // 7 streamed arrays (u, dpi×2, theta×2, le, flux) per edge column.
+    let bytes = 7 * nlev * R::BYTES;
+    sub.run_with_bytes("primal_normal_flux_edge", cols.len(), bytes, |e| {
         // SAFETY: each edge index is dispatched exactly once.
         let col = unsafe { cols.col(e) };
         let [c1, c2] = mesh.edge_cells[e];
@@ -149,7 +154,9 @@ pub fn compute_rrr<R: Real>(
     let nlev = dpi.nlev();
     let rv_over_rd = R::from_f64(461.5 / RDRY);
     let cols = ColumnsMut::new(rrr.as_mut_slice(), nlev);
-    sub.run("compute_rrr", cols.len(), |c| {
+    // 7 streamed arrays (dpi, dphi, qv, qc, qr, theta, rrr) per cell column.
+    let bytes = 7 * nlev * R::BYTES;
+    sub.run_with_bytes("compute_rrr", cols.len(), bytes, |c| {
         // SAFETY: each cell index is dispatched exactly once.
         let col = unsafe { cols.col(c) };
         let (d, f) = (dpi.col(c), dphi.col(c));
@@ -188,7 +195,9 @@ pub fn calc_coriolis_term<R: Real>(
 ) {
     let nlev = vt.nlev();
     let cols = ColumnsMut::new(tend.as_mut_slice(), nlev);
-    sub.run("calc_coriolis_term", cols.len(), |e| {
+    // 3 streamed arrays (pv, vt, tend) per edge column.
+    let bytes = 3 * nlev * R::BYTES;
+    sub.run_with_bytes("calc_coriolis_term", cols.len(), bytes, |e| {
         // SAFETY: each edge index is dispatched exactly once.
         let col = unsafe { cols.col(e) };
         let (p, v) = (pv_edge.col(e), vt.col(e));

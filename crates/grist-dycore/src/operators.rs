@@ -25,13 +25,13 @@ pub struct ScaledGeometry<R: Real> {
     pub inv_cell_area: Vec<R>,
     /// 1 / (dual-triangle area · R²)  [1/m²]
     pub inv_vert_area: Vec<R>,
-    /// Primal edge length · R  [m]
+    /// Primal edge length · R  \[m\]
     pub edge_le: Vec<R>,
-    /// Dual edge length · R  [m]
+    /// Dual edge length · R  \[m\]
     pub edge_de: Vec<R>,
     /// 1 / (dual edge length · R)  [1/m]
     pub inv_edge_de: Vec<R>,
-    /// le · de / 4  [m²] — kinetic-energy weight per edge.
+    /// le · de / 4  \[m²\] — kinetic-energy weight per edge.
     pub ke_weight: Vec<R>,
     /// Coriolis parameter at dual vertices  [1/s]
     pub f_vert: Vec<R>,

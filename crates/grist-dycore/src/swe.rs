@@ -150,6 +150,10 @@ impl<R: Real> SweSolver<R> {
 
     /// One Wicker–Skamarock RK3 step of size `dt` seconds.
     pub fn step_rk3(&mut self, state: &mut SweState<R>, dt: f64) {
+        // Attribute every kernel in the three RK stages to the dycore span.
+        // (Cloned handle: the guard must not borrow `self`.)
+        let span_sub = self.sub.clone();
+        let _span = span_sub.span("dycore");
         let dt = R::from_f64(dt);
         let mut s1 = state.clone();
         let mut s2 = state.clone();

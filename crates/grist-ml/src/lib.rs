@@ -3,9 +3,9 @@
 //! The AI-enhanced physics suite of the GRIST-rs reproduction (§3.2): a
 //! dependency-free f32 neural-network library (dense + 1-D conv layers with
 //! hand-written backprop and Adam), the paper's two models — the 11-layer
-//! ~0.5M-parameter [`TendencyCnn`](models::TendencyCnn) for the Q1/Q2
+//! ~0.5M-parameter [`TendencyCnn`] for the Q1/Q2
 //! physical tendencies and the 7-layer residual
-//! [`RadiationMlp`](models::RadiationMlp) for the `gsw`/`glw` surface
+//! [`RadiationMlp`] for the `gsw`/`glw` surface
 //! radiation diagnostics — plus the train/test split and normalization
 //! machinery of §3.2.1 and the achieved-peak-fraction model behind §4.7's
 //! efficiency claims.

@@ -1,4 +1,4 @@
-//! The Adam optimizer, operating on [`Param`](crate::tensor::Param) tensors.
+//! The Adam optimizer, operating on [`Param`] tensors.
 
 use crate::tensor::Param;
 

@@ -108,7 +108,7 @@ pub fn gravity_wave_drag(
     (du, dv)
 }
 
-/// Convenience: fold GWD into a [`Tendencies`]-adjacent wind budget check
+/// Convenience: fold GWD into a [`crate::column::Tendencies`]-adjacent wind budget check
 /// (total momentum removed, N·s/m² per unit area).
 pub fn column_momentum_sink(col: &Column, du: &[f64], dv: &[f64]) -> f64 {
     (0..col.nlev())

@@ -180,6 +180,8 @@ impl ConventionalSuite {
         dt_rad: f64,
     ) -> Vec<PhysicsOutput> {
         assert_eq!(cols.len(), states.len());
+        // Attribute the column sweep to the "physics" trace span.
+        let _span = self.sub.span("physics");
         let n = cols.len();
         let mut out: Vec<Option<PhysicsOutput>> = (0..n).map(|_| None).collect();
         {

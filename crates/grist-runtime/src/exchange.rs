@@ -10,6 +10,8 @@
 
 use crate::comm::RankCtx;
 use grist_mesh::RankLocale;
+use std::fmt;
+use sunway_sim::Metrics;
 
 /// A registered exchange variable: a full-size (global-cell-indexed) field
 /// with `nlev` values per cell, of which only the owned cells are valid
@@ -50,10 +52,92 @@ impl<'a> VarList<'a> {
     }
 }
 
+/// A failed halo exchange: the packed buffer received from a peer does not
+/// match the values the local gather list expects — ranks disagree on the
+/// variable list, level counts, or halo layout. The error carries enough
+/// context to identify the mismatched pairing without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeError {
+    /// Rank that sent the malformed message.
+    pub src: usize,
+    /// Receiving rank.
+    pub rank: usize,
+    /// Message tag of the exchange round.
+    pub tag: u32,
+    /// Values the receiver's list expects (`halo cells × values per cell`).
+    pub expected_values: usize,
+    /// Values actually received.
+    pub got_values: usize,
+    /// Halo cells the receiver expects from `src`.
+    pub halo_cells: usize,
+    /// Sum of `nlev` over the receiver's registered variables.
+    pub values_per_cell: usize,
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "halo exchange (tag {}): rank {} received {} values from rank {} \
+             but its gather list expects {} ({} halo cells x {} values/cell) — \
+             ranks disagree on the variable list or halo layout",
+            self.tag,
+            self.rank,
+            self.got_values,
+            self.src,
+            self.expected_values,
+            self.halo_cells,
+            self.values_per_cell,
+        )
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// What one exchange round moved: message and payload-byte totals from this
+/// rank's perspective (sends only, so summing over ranks counts each message
+/// once).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeReceipt {
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+}
+
+fn check_buffer(
+    ctx: &RankCtx,
+    src: usize,
+    tag: u32,
+    got_values: usize,
+    halo_cells: usize,
+    values_per_cell: usize,
+) -> Result<(), ExchangeError> {
+    let expected_values = halo_cells * values_per_cell;
+    if got_values != expected_values {
+        return Err(ExchangeError {
+            src,
+            rank: ctx.rank,
+            tag,
+            expected_values,
+            got_values,
+            halo_cells,
+            values_per_cell,
+        });
+    }
+    Ok(())
+}
+
 /// One gathered halo exchange: a single send per neighbour carrying every
-/// listed variable, and a matching unpack of the received halos.
-pub fn exchange_gathered(ctx: &mut RankCtx, locale: &RankLocale, list: &mut VarList<'_>, tag: u32) {
+/// listed variable, and a matching unpack of the received halos. A received
+/// buffer whose size disagrees with the local gather list is a descriptive
+/// [`ExchangeError`] rather than a slice-index panic.
+pub fn exchange_gathered(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    tag: u32,
+) -> Result<ExchangeReceipt, ExchangeError> {
     let per_cell = list.values_per_cell();
+    let mut receipt = ExchangeReceipt::default();
     // Pack & send: one message per destination rank.
     for (dest, cells) in &locale.send {
         let mut buf = Vec::with_capacity(cells.len() * per_cell);
@@ -63,16 +147,14 @@ pub fn exchange_gathered(ctx: &mut RankCtx, locale: &RankLocale, list: &mut VarL
                 buf.extend_from_slice(&var.data[base..base + var.nlev]);
             }
         }
+        receipt.messages_sent += 1;
+        receipt.bytes_sent += (buf.len() * std::mem::size_of::<f64>()) as u64;
         ctx.send(*dest, tag, buf);
     }
     // Receive & unpack in the mirrored order.
     for (src, cells) in &locale.recv {
         let buf = ctx.recv(*src, tag);
-        assert_eq!(
-            buf.len(),
-            cells.len() * per_cell,
-            "halo message size mismatch"
-        );
+        check_buffer(ctx, *src, tag, buf.len(), cells.len(), per_cell)?;
         let mut pos = 0;
         for &c in cells {
             for var in &mut list.vars {
@@ -82,6 +164,25 @@ pub fn exchange_gathered(ctx: &mut RankCtx, locale: &RankLocale, list: &mut VarL
             }
         }
     }
+    Ok(receipt)
+}
+
+/// [`exchange_gathered`] plus counter recording: the round's message/byte
+/// totals land in the registry's `halo.exchanges` / `halo.messages` /
+/// `halo.bytes` counters (per-rank sends, so world totals match
+/// [`crate::comm::CommStats`] for exchange-only traffic).
+pub fn exchange_gathered_metered(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    tag: u32,
+    metrics: &Metrics,
+) -> Result<ExchangeReceipt, ExchangeError> {
+    let receipt = exchange_gathered(ctx, locale, list, tag)?;
+    metrics.counter_add("halo.exchanges", 1);
+    metrics.counter_add("halo.messages", receipt.messages_sent);
+    metrics.counter_add("halo.bytes", receipt.bytes_sent);
+    Ok(receipt)
 }
 
 /// The naive alternative (one message per variable per neighbour) for the
@@ -91,7 +192,8 @@ pub fn exchange_per_variable(
     locale: &RankLocale,
     list: &mut VarList<'_>,
     tag: u32,
-) {
+) -> Result<ExchangeReceipt, ExchangeError> {
+    let mut receipt = ExchangeReceipt::default();
     for vi in 0..list.vars.len() {
         let t = tag + vi as u32;
         for (dest, cells) in &locale.send {
@@ -101,11 +203,14 @@ pub fn exchange_per_variable(
                 let base = c as usize * var.nlev;
                 buf.extend_from_slice(&var.data[base..base + var.nlev]);
             }
+            receipt.messages_sent += 1;
+            receipt.bytes_sent += (buf.len() * std::mem::size_of::<f64>()) as u64;
             ctx.send(*dest, t, buf);
         }
         for (src, cells) in &locale.recv {
             let buf = ctx.recv(*src, t);
             let var = &mut list.vars[vi];
+            check_buffer(ctx, *src, t, buf.len(), cells.len(), var.nlev)?;
             let mut pos = 0;
             for &c in cells {
                 let base = c as usize * var.nlev;
@@ -114,6 +219,7 @@ pub fn exchange_per_variable(
             }
         }
     }
+    Ok(receipt)
 }
 
 #[cfg(test)]
@@ -145,19 +251,21 @@ mod tests {
                 }
             }
             {
+                const NAMES: [&str; 3] = ["a", "b", "c"];
                 let mut list = VarList::new();
-                let mut iter = fields.iter_mut();
-                let f0 = iter.next().unwrap();
-                let f1 = iter.next().unwrap();
-                let f2 = iter.next().unwrap();
-                list.push("a", nlev[0], f0);
-                list.push("b", nlev[1], f1);
-                list.push("c", nlev[2], f2);
-                if gathered {
-                    exchange_gathered(&mut ctx, locale, &mut list, 10);
-                } else {
-                    exchange_per_variable(&mut ctx, locale, &mut list, 10);
+                for (v, field) in fields.iter_mut().enumerate() {
+                    list.push(NAMES[v], nlev[v], field);
                 }
+                let receipt = if gathered {
+                    exchange_gathered(&mut ctx, locale, &mut list, 10)
+                } else {
+                    exchange_per_variable(&mut ctx, locale, &mut list, 10)
+                }
+                .expect("well-formed world must exchange cleanly");
+                assert_eq!(
+                    receipt.messages_sent as usize,
+                    locale.send.len() * if gathered { 1 } else { nlev.len() }
+                );
             }
             // Verify all halo cells.
             for (_, cells) in &locale.recv {
@@ -187,6 +295,79 @@ mod tests {
     #[test]
     fn per_variable_exchange_fills_halos_correctly() {
         halo_roundtrip(false);
+    }
+
+    #[test]
+    fn short_buffer_is_a_descriptive_error_not_a_panic() {
+        // Two ranks that disagree on the variable list: rank 0 registers one
+        // variable, rank 1 registers two. Rank 1's receive must fail with a
+        // diagnosable ExchangeError instead of panicking mid-unpack.
+        let mesh = HexMesh::build(2);
+        let parts = 2;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        let (results, _) = run_world(parts, move |mut ctx| {
+            let locale = &layout.locales[ctx.rank];
+            let mut f0 = vec![0.0f64; n * 2];
+            let mut f1 = vec![0.0f64; n * 3];
+            let mut list = VarList::new();
+            list.push("a", 2, &mut f0);
+            if ctx.rank == 1 {
+                list.push("b", 3, &mut f1);
+            }
+            exchange_gathered(&mut ctx, locale, &mut list, 7).err()
+        });
+        // The disagreement is visible from both sides: each rank receives a
+        // buffer sized for the *other* list.
+        let err = results[1]
+            .clone()
+            .expect("rank 1 expects 5 values/cell but receives 2 — must error");
+        let err0 = results[0]
+            .clone()
+            .expect("rank 0 expects 2 values/cell but receives 5 — must error");
+        assert_eq!(err0.values_per_cell, 2);
+        assert_eq!(err0.got_values, err0.halo_cells * 5);
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.src, 0);
+        assert_eq!(err.tag, 7);
+        assert_eq!(err.values_per_cell, 5);
+        assert_eq!(err.expected_values, err.halo_cells * 5);
+        let msg = err.to_string();
+        assert!(msg.contains("rank 1"), "missing receiver rank: {msg}");
+        assert!(msg.contains("tag 7"), "missing tag: {msg}");
+        assert!(
+            msg.contains("halo cells"),
+            "missing layout diagnosis: {msg}"
+        );
+    }
+
+    #[test]
+    fn metered_exchange_records_halo_counters() {
+        let mesh = HexMesh::build(3);
+        let parts = 4;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        let (results, stats) = run_world(parts, move |mut ctx| {
+            let metrics = sunway_sim::Metrics::default();
+            let locale = &layout.locales[ctx.rank];
+            let mut f0 = vec![0.0f64; n * 2];
+            let mut list = VarList::new();
+            list.push("a", 2, &mut f0);
+            let r = exchange_gathered_metered(&mut ctx, locale, &mut list, 3, &metrics)
+                .expect("uniform lists exchange cleanly");
+            assert_eq!(metrics.counter("halo.exchanges"), 1);
+            assert_eq!(metrics.counter("halo.messages"), r.messages_sent);
+            assert_eq!(metrics.counter("halo.bytes"), r.bytes_sent);
+            (r.messages_sent, r.bytes_sent)
+        });
+        // Per-rank send-side receipts must sum to the world's comm totals.
+        let total_msgs: u64 = results.iter().map(|r| r.0).sum();
+        let total_bytes: u64 = results.iter().map(|r| r.1).sum();
+        assert_eq!(total_msgs, stats.messages.load(Ordering::Relaxed));
+        assert_eq!(total_bytes, stats.bytes.load(Ordering::Relaxed));
+        assert!(total_msgs > 0, "level-3 mesh over 4 ranks must have halos");
     }
 
     #[test]

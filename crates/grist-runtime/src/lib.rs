@@ -18,7 +18,10 @@ pub mod scaling;
 
 pub use collectives::{allgather, allreduce_vec, broadcast, reduce};
 pub use comm::{run_world, CommStats, RankCtx};
-pub use exchange::{exchange_gathered, exchange_per_variable, VarList};
+pub use exchange::{
+    exchange_gathered, exchange_gathered_metered, exchange_per_variable, ExchangeError,
+    ExchangeReceipt, VarList,
+};
 pub use fattree::{boundary_fraction, exchange_time, ExchangeProfile, ExchangeTime};
 pub use pio::{grouped_write, io_group, n_writers, IoGroup};
 pub use scaling::{table2_grids, weak_scaling_ladder, GridSpec, Scheme, SdpdModel, SdpdResult};

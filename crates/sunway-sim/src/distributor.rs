@@ -115,6 +115,26 @@ impl PoolAllocator {
     pub fn ways(&self) -> usize {
         self.ways
     }
+
+    /// Number of live allocations whose base landed on a cache set (lane)
+    /// already taken by an earlier allocation — the thrash-risk count.
+    /// 0 means every base starts in its own lane (the distributor's goal);
+    /// the aligned policy reports `n − 1` for `n` same-size large arrays,
+    /// since every way-aligned base maps to set 0.
+    pub fn lane_conflicts(&self) -> u64 {
+        let mut seen = std::collections::BTreeSet::new();
+        self.base_sets()
+            .into_iter()
+            .filter(|&s| !seen.insert(s))
+            .count() as u64
+    }
+
+    /// Fold the allocator's distribution quality into the metrics registry:
+    /// `alloc.allocations` and `alloc.lane_conflicts`.
+    pub fn record_into(&self, metrics: &crate::metrics::Metrics) {
+        metrics.counter_add("alloc.allocations", self.allocations.len() as u64);
+        metrics.counter_add("alloc.lane_conflicts", self.lane_conflicts());
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +227,24 @@ mod tests {
             a.reset();
             assert!(a.lane_concentration().is_nan());
         }
+    }
+
+    #[test]
+    fn lane_conflicts_flag_aligned_but_not_distributed_layouts() {
+        let s = spec();
+        let n = 7;
+        let mut aligned = PoolAllocator::new(AllocPolicy::Aligned, &s, n);
+        let mut dist = PoolAllocator::new(AllocPolicy::Distributed, &s, n);
+        for _ in 0..n {
+            aligned.alloc(256 * 1024);
+            dist.alloc(256 * 1024);
+        }
+        assert_eq!(aligned.lane_conflicts(), (n - 1) as u64);
+        assert_eq!(dist.lane_conflicts(), 0);
+        let m = crate::metrics::Metrics::default();
+        aligned.record_into(&m);
+        assert_eq!(m.counter("alloc.allocations"), n as u64);
+        assert_eq!(m.counter("alloc.lane_conflicts"), (n - 1) as u64);
     }
 
     #[test]

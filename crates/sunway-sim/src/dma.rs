@@ -99,6 +99,22 @@ pub fn simulate_dma_batch(spec: &SunwaySpec, requests: &[DmaRequest]) -> Vec<Dma
         .collect()
 }
 
+/// [`simulate_dma_batch`] plus counter recording: the batch's transaction
+/// and payload-byte totals land in the registry's `dma.transactions` /
+/// `dma.bytes` counters before the fluid simulation runs.
+pub fn simulate_dma_batch_metered(
+    spec: &SunwaySpec,
+    requests: &[DmaRequest],
+    metrics: &crate::metrics::Metrics,
+) -> Vec<DmaCompletion> {
+    metrics.counter_add("dma.transactions", requests.len() as u64);
+    metrics.counter_add(
+        "dma.bytes",
+        requests.iter().map(|r| r.bytes as u64).sum::<u64>(),
+    );
+    simulate_dma_batch(spec, requests)
+}
+
 /// Effective bandwidth of one isolated transfer of `bytes` (amortization
 /// curve: small transfers are latency-bound).
 pub fn effective_bandwidth(spec: &SunwaySpec, bytes: usize) -> f64 {
@@ -178,6 +194,23 @@ mod tests {
         let t_small = done.iter().find(|d| d.cpe == 1).unwrap().finish_t;
         let t_big = done.iter().find(|d| d.cpe == 0).unwrap().finish_t;
         assert!(t_small < t_big);
+    }
+
+    #[test]
+    fn metered_batch_counts_transactions_and_bytes() {
+        let s = spec();
+        let reqs: Vec<DmaRequest> = (0..8)
+            .map(|cpe| DmaRequest {
+                cpe,
+                bytes: 1024,
+                issue_t: 0.0,
+            })
+            .collect();
+        let m = crate::metrics::Metrics::default();
+        let done = simulate_dma_batch_metered(&s, &reqs, &m);
+        assert_eq!(done.len(), 8);
+        assert_eq!(m.counter("dma.transactions"), 8);
+        assert_eq!(m.counter("dma.bytes"), 8 * 1024);
     }
 
     #[test]

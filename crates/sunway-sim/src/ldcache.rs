@@ -30,6 +30,11 @@ pub struct LdCache {
     clock: u64,
     pub hits: u64,
     pub misses: u64,
+    /// Misses that evicted a *valid* line — lane-conflict (capacity/conflict)
+    /// misses, as opposed to cold misses filling an invalid way. This is the
+    /// thrashing signature of Fig. 6a: aligned arrays mapping to one lane
+    /// evict each other on every access.
+    pub conflict_evictions: u64,
 }
 
 impl LdCache {
@@ -44,6 +49,7 @@ impl LdCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            conflict_evictions: 0,
         }
     }
 
@@ -71,15 +77,20 @@ impl LdCache {
         self.misses += 1;
         let mut victim = 0;
         let mut oldest = u64::MAX;
+        let mut cold = false;
         for w in 0..self.ways {
             if self.tags[base + w] == u64::MAX {
                 victim = w;
+                cold = true;
                 break;
             }
             if self.stamp[base + w] < oldest {
                 oldest = self.stamp[base + w];
                 victim = w;
             }
+        }
+        if !cold {
+            self.conflict_evictions += 1;
         }
         self.tags[base + victim] = tag;
         self.stamp[base + victim] = self.clock;
@@ -96,6 +107,16 @@ impl LdCache {
     pub fn reset_stats(&mut self) {
         self.hits = 0;
         self.misses = 0;
+        self.conflict_evictions = 0;
+    }
+
+    /// Fold the access statistics into the metrics registry's
+    /// `ldcache.hits` / `ldcache.misses` / `ldcache.conflict_evictions`
+    /// counters.
+    pub fn record_into(&self, metrics: &crate::metrics::Metrics) {
+        metrics.counter_add("ldcache.hits", self.hits);
+        metrics.counter_add("ldcache.misses", self.misses);
+        metrics.counter_add("ldcache.conflict_evictions", self.conflict_evictions);
     }
 }
 
@@ -183,6 +204,35 @@ mod tests {
         assert_eq!(c.access(128), Access::Miss); // evicts B (LRU)
         assert_eq!(c.access(0), Access::Hit); // A survived
         assert_eq!(c.access(64), Access::Miss); // B was evicted
+    }
+
+    #[test]
+    fn conflict_evictions_separate_thrashing_from_cold_misses() {
+        // A single sequential stream misses only on cold lines: no valid
+        // line is ever evicted within the touched footprint.
+        let mut c = small_cache();
+        simulate_streams(&mut c, &[0], 8, 1000); // 8 KB < 128 KB capacity
+        assert!(c.misses > 0);
+        assert_eq!(c.conflict_evictions, 0, "pure cold misses expected");
+        // Five way-aligned arrays thrash: almost every miss evicts a line
+        // another stream still needs.
+        let mut c = small_cache();
+        let bases = aligned_bases(5, 32 * 1024);
+        simulate_streams(&mut c, &bases, 8, 10_000);
+        assert!(
+            c.conflict_evictions > c.misses / 2,
+            "thrashing must show as conflict evictions: {} of {} misses",
+            c.conflict_evictions,
+            c.misses
+        );
+        // And the counters flow into the registry.
+        let m = crate::metrics::Metrics::default();
+        c.record_into(&m);
+        assert_eq!(m.counter("ldcache.misses"), c.misses);
+        assert_eq!(
+            m.counter("ldcache.conflict_evictions"),
+            c.conflict_evictions
+        );
     }
 
     #[test]

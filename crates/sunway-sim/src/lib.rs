@@ -11,14 +11,22 @@
 //!   fixes the thrashing (§3.3.3).
 //! * [`swgomp`] — the SWGOMP job-server thread hierarchy (Fig. 5): MPE
 //!   spawns team heads, team heads spawn team members, on real threads.
-//! * [`omnicopy`] — LDM scratch arena + DMA-aware copy (§3.3.2).
+//! * [`omnicopy`](mod@omnicopy) — LDM scratch arena + DMA-aware copy (§3.3.2).
 //! * [`perf`] — the roofline model behind Fig. 9 (compute-bound MPE,
 //!   bandwidth-bound CPE cluster, f32 traffic halving).
+//! * [`metrics`] — the unified observability registry: hierarchical trace
+//!   spans, per-kernel stats, and hardware-model counters, shared by every
+//!   clone of a [`substrate::Substrate`].
+//! * [`json`] — the dependency-free JSON reader/writer behind the
+//!   `BENCH_*.json` benchmark baselines (the workspace builds offline, so
+//!   serde is unavailable).
 
 pub mod arch;
 pub mod distributor;
 pub mod dma;
+pub mod json;
 pub mod ldcache;
+pub mod metrics;
 pub mod omnicopy;
 pub mod perf;
 pub mod substrate;
@@ -27,13 +35,19 @@ pub mod swgomp;
 pub use arch::SunwaySpec;
 pub use distributor::{AllocPolicy, PoolAllocator};
 pub use dma::{
-    amortization_threshold, effective_bandwidth, simulate_dma_batch, DmaCompletion, DmaRequest,
+    amortization_threshold, effective_bandwidth, simulate_dma_batch, simulate_dma_batch_metered,
+    DmaCompletion, DmaRequest,
 };
+pub use json::{Json, JsonError};
 pub use ldcache::{simulate_streams, Access, LdCache};
+pub use metrics::{KernelStats, Metrics, MetricsSnapshot, SpanGuard, SpanStats};
 pub use omnicopy::{omnicopy, CopyStats, LdmArena, LdmOverflow, Space};
-pub use perf::{fig9_kernels, fig9_table, kernel_time, ExecTarget, KernelSpec, PerfModel};
+pub use perf::{
+    fig9_kernels, fig9_table, kernel_time, kernel_time_metered, stream_hit_ratio,
+    stream_hit_ratio_metered, ExecTarget, KernelSpec, PerfModel,
+};
 pub use substrate::{
-    format_kernel_report, ColumnsMut, ExecTargetKind, KernelReportRow, KernelStats, Profiler,
+    format_kernel_report, kernel_report_rows, ColumnsMut, ExecTargetKind, KernelReportRow,
     Substrate,
 };
 pub use swgomp::{JobServer, JobStats};

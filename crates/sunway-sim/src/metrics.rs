@@ -1,0 +1,394 @@
+//! The unified observability registry: hierarchical trace spans, per-kernel
+//! wall-time/call accounting, and named hardware-model counters — the
+//! measurement spine behind the paper's evaluation (Figs. 9–11 all depend on
+//! per-kernel and per-exchange attribution).
+//!
+//! One [`Metrics`] is shared by every clone of a
+//! [`Substrate`](crate::substrate::Substrate): the model driver opens spans
+//! (`step` → `dycore`/`physics`/`ml`), every named kernel dispatch records
+//! under the currently open span path, and the hardware simulators
+//! ([`dma`](crate::dma), [`ldcache`](crate::ldcache),
+//! [`distributor`](crate::distributor), `omnicopy`, and the halo exchange in
+//! `grist-runtime`) feed counters like `dma.bytes`, `ldcache.misses`, and
+//! `halo.messages`. [`MetricsSnapshot`] freezes the whole registry and
+//! round-trips through JSON for the `BENCH_*.json` baselines checked by
+//! `bench_compare`.
+
+use crate::json::Json;
+use crate::omnicopy::CopyStats;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Accumulated cost of one named kernel (keyed by its full span path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Dispatch count.
+    pub calls: u64,
+    /// Total wall time across all dispatches.
+    pub nanos: u64,
+    /// Total loop iterations (cells/edges/columns) dispatched.
+    pub items: u64,
+    /// Modeled DMA payload bytes attributed to this kernel (only kernels
+    /// dispatched with an explicit per-item byte cost report nonzero).
+    pub bytes: u64,
+}
+
+/// Accumulated cost of one span (keyed by its full path, e.g. `step/dycore`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    pub calls: u64,
+    pub nanos: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetricsState {
+    kernels: BTreeMap<String, KernelStats>,
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, u64>,
+    /// The currently open span names, innermost last. Spans are opened by
+    /// the (single) driver thread, so one stack suffices.
+    stack: Vec<&'static str>,
+}
+
+/// The shared metrics registry. Interior-mutable: recording takes `&self`,
+/// so clones of a substrate, solvers, and physics suites all accumulate into
+/// the same registry concurrently.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    state: Mutex<MetricsState>,
+}
+
+/// RAII guard returned by [`Metrics::span`]; closes the span (recording its
+/// wall time) on drop.
+pub struct SpanGuard<'a> {
+    metrics: &'a Metrics,
+    started: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let nanos = self.started.elapsed().as_nanos() as u64;
+        let mut st = self.metrics.state.lock().expect("metrics poisoned");
+        let path = st.stack.join("/");
+        let e = st.spans.entry(path).or_default();
+        e.calls += 1;
+        e.nanos += nanos;
+        st.stack.pop();
+    }
+}
+
+impl Metrics {
+    /// Open a trace span; kernels dispatched while the guard lives are
+    /// attributed under `<open spans>/<name>/<kernel>`. Spans nest:
+    /// the guard records its own wall time on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.state
+            .lock()
+            .expect("metrics poisoned")
+            .stack
+            .push(name);
+        SpanGuard {
+            metrics: self,
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one dispatch of the named kernel under the open span path.
+    pub fn record_kernel(&self, name: &'static str, nanos: u64, items: u64, bytes: u64) {
+        let mut st = self.state.lock().expect("metrics poisoned");
+        let key = if st.stack.is_empty() {
+            name.to_string()
+        } else {
+            let mut k = st.stack.join("/");
+            k.push('/');
+            k.push_str(name);
+            k
+        };
+        let e = st.kernels.entry(key).or_default();
+        e.calls += 1;
+        e.nanos += nanos;
+        e.items += items;
+        e.bytes += bytes;
+    }
+
+    /// Add `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let mut st = self.state.lock().expect("metrics poisoned");
+        match st.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                st.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Fold an [`omnicopy`](crate::omnicopy::omnicopy) statistics block into
+    /// the DMA counters.
+    pub fn absorb_copy_stats(&self, stats: &CopyStats) {
+        self.counter_add(
+            "dma.transactions",
+            stats.dma_transfers.load(Ordering::Relaxed),
+        );
+        self.counter_add("dma.bytes", stats.dma_bytes.load(Ordering::Relaxed));
+        self.counter_add(
+            "ldm.local_copies",
+            stats.local_copies.load(Ordering::Relaxed),
+        );
+        self.counter_add("ldm.local_bytes", stats.local_bytes.load(Ordering::Relaxed));
+    }
+
+    /// Freeze every kernel, span, and counter into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let st = self.state.lock().expect("metrics poisoned");
+        MetricsSnapshot {
+            kernels: st.kernels.clone(),
+            spans: st.spans.clone(),
+            counters: st.counters.clone(),
+        }
+    }
+
+    /// Per-kernel stats only (the legacy profiler view).
+    pub fn kernel_snapshot(&self) -> Vec<(String, KernelStats)> {
+        self.state
+            .lock()
+            .expect("metrics poisoned")
+            .kernels
+            .iter()
+            .map(|(n, &s)| (n.clone(), s))
+            .collect()
+    }
+
+    /// Clear all kernels, spans, and counters (open spans stay open: the
+    /// stack is preserved so guards still pop correctly).
+    pub fn reset(&self) {
+        let mut st = self.state.lock().expect("metrics poisoned");
+        st.kernels.clear();
+        st.spans.clear();
+        st.counters.clear();
+    }
+}
+
+/// An immutable copy of the registry, serializable to/from JSON.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub kernels: BTreeMap<String, KernelStats>,
+    pub spans: BTreeMap<String, SpanStats>,
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// As a JSON value with `kernels`/`spans`/`counters` objects (stable,
+    /// sorted key order — BTreeMap iteration).
+    pub fn to_json_value(&self) -> Json {
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("calls".into(), Json::Num(s.calls as f64)),
+                        ("nanos".into(), Json::Num(s.nanos as f64)),
+                        ("items".into(), Json::Num(s.items as f64)),
+                        ("bytes".into(), Json::Num(s.bytes as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("calls".into(), Json::Num(s.calls as f64)),
+                        ("nanos".into(), Json::Num(s.nanos as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| (name.clone(), Json::Num(v as f64)))
+            .collect();
+        Json::Obj(vec![
+            ("kernels".into(), Json::Obj(kernels)),
+            ("spans".into(), Json::Obj(spans)),
+            ("counters".into(), Json::Obj(counters)),
+        ])
+    }
+
+    /// Pretty JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().pretty()
+    }
+
+    /// Rebuild from a JSON value of the [`Self::to_json_value`] shape.
+    /// Missing sections are treated as empty; malformed entries are errors.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let mut snap = MetricsSnapshot::default();
+        if let Some(fields) = v.get("kernels").and_then(Json::as_obj) {
+            for (name, entry) in fields {
+                let get = |k: &str| -> Result<u64, String> {
+                    entry
+                        .get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("kernel {name:?}: bad or missing field {k:?}"))
+                };
+                snap.kernels.insert(
+                    name.clone(),
+                    KernelStats {
+                        calls: get("calls")?,
+                        nanos: get("nanos")?,
+                        items: get("items")?,
+                        bytes: get("bytes")?,
+                    },
+                );
+            }
+        }
+        if let Some(fields) = v.get("spans").and_then(Json::as_obj) {
+            for (name, entry) in fields {
+                let get = |k: &str| -> Result<u64, String> {
+                    entry
+                        .get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("span {name:?}: bad or missing field {k:?}"))
+                };
+                snap.spans.insert(
+                    name.clone(),
+                    SpanStats {
+                        calls: get("calls")?,
+                        nanos: get("nanos")?,
+                    },
+                );
+            }
+        }
+        if let Some(fields) = v.get("counters").and_then(Json::as_obj) {
+            for (name, entry) in fields {
+                let v = entry
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {name:?}: not a non-negative integer"))?;
+                snap.counters.insert(name.clone(), v);
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Parse a JSON document produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_nest_under_open_spans() {
+        let m = Metrics::default();
+        m.record_kernel("bare", 10, 1, 0);
+        {
+            let _step = m.span("step");
+            {
+                let _dy = m.span("dycore");
+                m.record_kernel("flux", 5, 100, 800);
+                m.record_kernel("flux", 7, 100, 800);
+            }
+            m.record_kernel("exchange", 3, 1, 0);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.kernels["bare"].calls, 1);
+        let flux = &snap.kernels["step/dycore/flux"];
+        assert_eq!(
+            (flux.calls, flux.nanos, flux.items, flux.bytes),
+            (2, 12, 200, 1600)
+        );
+        assert_eq!(snap.kernels["step/exchange"].calls, 1);
+        // Both spans closed and recorded their own wall time.
+        assert_eq!(snap.spans["step"].calls, 1);
+        assert_eq!(snap.spans["step/dycore"].calls, 1);
+        assert!(snap.spans["step"].nanos >= snap.spans["step/dycore"].nanos);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = Metrics::default();
+        m.counter_add("dma.bytes", 100);
+        m.counter_add("dma.bytes", 28);
+        m.counter_add("halo.messages", 3);
+        m.counter_add("never.incremented", 0); // no-op: not materialized
+        assert_eq!(m.counter("dma.bytes"), 128);
+        assert_eq!(m.counter("absent"), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        m.reset();
+        assert_eq!(m.counter("dma.bytes"), 0);
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_exactly() {
+        let m = Metrics::default();
+        {
+            let _s = m.span("step");
+            m.record_kernel("k1", 123_456_789, 42, 7);
+        }
+        m.record_kernel("k2", 1, 1, 0);
+        m.counter_add("ldcache.misses", 987_654_321);
+        let snap = m.snapshot();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).expect("parse back");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_entries() {
+        assert!(MetricsSnapshot::from_json("{").is_err());
+        let bad = r#"{"kernels": {"k": {"calls": -1, "nanos": 0, "items": 0, "bytes": 0}}}"#;
+        let e = MetricsSnapshot::from_json(bad).unwrap_err();
+        assert!(e.contains("calls"), "{e}");
+        let missing = r#"{"counters": {"c": "not a number"}}"#;
+        assert!(MetricsSnapshot::from_json(missing).is_err());
+        // Missing sections are fine.
+        assert_eq!(
+            MetricsSnapshot::from_json("{}").unwrap(),
+            MetricsSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn absorb_copy_stats_maps_to_dma_counters() {
+        use std::sync::atomic::Ordering;
+        let stats = CopyStats::default();
+        stats.dma_transfers.store(4, Ordering::Relaxed);
+        stats.dma_bytes.store(4096, Ordering::Relaxed);
+        stats.local_copies.store(2, Ordering::Relaxed);
+        stats.local_bytes.store(64, Ordering::Relaxed);
+        let m = Metrics::default();
+        m.absorb_copy_stats(&stats);
+        assert_eq!(m.counter("dma.transactions"), 4);
+        assert_eq!(m.counter("dma.bytes"), 4096);
+        assert_eq!(m.counter("ldm.local_copies"), 2);
+        assert_eq!(m.counter("ldm.local_bytes"), 64);
+    }
+}

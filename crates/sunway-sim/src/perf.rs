@@ -137,11 +137,39 @@ pub fn stream_hit_ratio(
     elem_bytes: usize,
     policy: AllocPolicy,
 ) -> f64 {
+    stream_hit_ratio_inner(spec, arrays, elem_bytes, policy, None)
+}
+
+/// [`stream_hit_ratio`] with counter recording: the simulated cache's
+/// hit/miss/conflict-eviction totals and the allocator's lane-conflict
+/// count land in the metrics registry (`ldcache.*`, `alloc.*`).
+pub fn stream_hit_ratio_metered(
+    spec: &SunwaySpec,
+    arrays: usize,
+    elem_bytes: usize,
+    policy: AllocPolicy,
+    metrics: &crate::metrics::Metrics,
+) -> f64 {
+    stream_hit_ratio_inner(spec, arrays, elem_bytes, policy, Some(metrics))
+}
+
+fn stream_hit_ratio_inner(
+    spec: &SunwaySpec,
+    arrays: usize,
+    elem_bytes: usize,
+    policy: AllocPolicy,
+    metrics: Option<&crate::metrics::Metrics>,
+) -> f64 {
     let mut alloc = PoolAllocator::new(policy, spec, arrays.max(1));
     let bases: Vec<u64> = (0..arrays).map(|_| alloc.alloc(512 * 1024)).collect();
     let mut cache = LdCache::sw26010p(spec);
     // Enough iterations to wash out cold misses.
-    simulate_streams(&mut cache, &bases, elem_bytes, 20_000)
+    let ratio = simulate_streams(&mut cache, &bases, elem_bytes, 20_000);
+    if let Some(m) = metrics {
+        cache.record_into(m);
+        alloc.record_into(m);
+    }
+    ratio
 }
 
 /// Modeled execution time of `kernel` on `target` \[seconds\].
@@ -150,6 +178,30 @@ pub fn kernel_time(
     target: ExecTarget,
     spec: &SunwaySpec,
     model: &PerfModel,
+) -> f64 {
+    kernel_time_inner(kernel, target, spec, model, None)
+}
+
+/// [`kernel_time`] with counter recording: CPE targets run the LDCache and
+/// allocator simulators, whose hit/miss/conflict totals are folded into the
+/// registry (the MPE path touches no simulated cache, so it records
+/// nothing).
+pub fn kernel_time_metered(
+    kernel: &KernelSpec,
+    target: ExecTarget,
+    spec: &SunwaySpec,
+    model: &PerfModel,
+    metrics: &crate::metrics::Metrics,
+) -> f64 {
+    kernel_time_inner(kernel, target, spec, model, Some(metrics))
+}
+
+fn kernel_time_inner(
+    kernel: &KernelSpec,
+    target: ExecTarget,
+    spec: &SunwaySpec,
+    model: &PerfModel,
+    metrics: Option<&crate::metrics::Metrics>,
 ) -> f64 {
     let pts = kernel.points as f64;
     let elem = target.elem_bytes(kernel.has_mixed_variant);
@@ -171,7 +223,7 @@ pub fn kernel_time(
         }
         _ => {
             let compute = pts * slots_per_point / (spec.cpes_per_cg as f64 * model.cpe_sustained);
-            let hit = stream_hit_ratio(spec, kernel.arrays, elem, target.policy());
+            let hit = stream_hit_ratio_inner(spec, kernel.arrays, elem, target.policy(), metrics);
             // A miss fetches a whole cache line; traffic per access is
             // line·(1−hit) (the streaming ideal 1−hit = elem/line recovers
             // exactly elem bytes per access).
@@ -369,6 +421,24 @@ mod tests {
             (1.5..2.5).contains(&ratio),
             "f32 should ~halve memory time: {ratio}"
         );
+    }
+
+    #[test]
+    fn metered_kernel_time_matches_and_fills_cache_counters() {
+        let (spec, model, kernels) = setup();
+        let m = crate::metrics::Metrics::default();
+        let rrr = kernels.iter().find(|k| k.name == "compute_rrr").unwrap();
+        // MPE path: no simulated cache, no counters.
+        let t_mpe = kernel_time_metered(rrr, ExecTarget::MpeDp, &spec, &model, &m);
+        assert_eq!(t_mpe, kernel_time(rrr, ExecTarget::MpeDp, &spec, &model));
+        assert_eq!(m.counter("ldcache.misses"), 0);
+        // CPE path: identical time, counters populated.
+        let t_cpe = kernel_time_metered(rrr, ExecTarget::CpeMix, &spec, &model, &m);
+        assert_eq!(t_cpe, kernel_time(rrr, ExecTarget::CpeMix, &spec, &model));
+        assert!(m.counter("ldcache.hits") + m.counter("ldcache.misses") > 0);
+        assert_eq!(m.counter("alloc.allocations"), rrr.arrays as u64);
+        // The un-distributed CpeMix target thrashes 7 aligned arrays.
+        assert!(m.counter("ldcache.conflict_evictions") > 0);
     }
 
     #[test]

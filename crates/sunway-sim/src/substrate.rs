@@ -9,21 +9,24 @@
 //! [`JobServer::target_parallel_for`] — the `!$omp target` path — chunked to
 //! emulate CPE teams.
 //!
-//! Kernels are *named* at the dispatch site; the substrate records wall time
-//! and invocation counts per name in a shared [`Profiler`], so a model run
-//! can attribute its time to dycore vs. physics vs. exchange (feeding the
-//! Fig. 9-style measured table and `GristModel::kernel_report()`).
+//! Kernels are *named* at the dispatch site; the substrate records wall
+//! time, invocation counts, dispatched items, and attributed DMA bytes per
+//! name in a shared [`Metrics`] registry, under the trace-span path the
+//! driver currently has open (e.g. `step/dycore/hevi_mass_flux`). That feeds
+//! the Fig. 9-style measured table, `GristModel::kernel_report()`, and the
+//! machine-readable `GristModel::metrics_json()` consumed by the
+//! `BENCH_*.json` baseline pipeline.
 //!
 //! Cloning a `Substrate` is cheap and shares the job server *and* the
-//! profiler, so a solver and the model driver holding clones of the same
-//! substrate accumulate into one report.
+//! metrics registry, so a solver and the model driver holding clones of the
+//! same substrate accumulate into one report.
 
 use crate::distributor::AllocPolicy;
+use crate::metrics::{Metrics, SpanGuard};
 use crate::swgomp::JobServer;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Where loop iterations execute.
@@ -35,57 +38,21 @@ pub enum ExecTargetKind {
     CpeTeams,
 }
 
-/// Accumulated cost of one named kernel.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct KernelStats {
-    pub calls: u64,
-    pub nanos: u64,
-}
-
-/// Per-kernel wall-time/invocation accounting, keyed by the static kernel
-/// name given at each dispatch site. BTreeMap so reports are stably ordered.
-#[derive(Debug, Default)]
-pub struct Profiler {
-    kernels: Mutex<BTreeMap<&'static str, KernelStats>>,
-}
-
-impl Profiler {
-    fn record(&self, name: &'static str, nanos: u64) {
-        let mut k = self.kernels.lock().expect("profiler poisoned");
-        let e = k.entry(name).or_default();
-        e.calls += 1;
-        e.nanos += nanos;
-    }
-
-    /// Current accumulated stats for every kernel seen so far.
-    pub fn snapshot(&self) -> Vec<(&'static str, KernelStats)> {
-        self.kernels
-            .lock()
-            .expect("profiler poisoned")
-            .iter()
-            .map(|(&n, &s)| (n, s))
-            .collect()
-    }
-
-    pub fn reset(&self) {
-        self.kernels.lock().expect("profiler poisoned").clear();
-    }
-}
-
-/// One row of a kernel report, ready for display.
+/// One row of a kernel report, ready for display. `name` is the full
+/// span-qualified kernel path (e.g. `step/dycore/hevi_mass_flux`).
 #[derive(Debug, Clone)]
 pub struct KernelReportRow {
-    pub name: &'static str,
+    pub name: String,
     pub calls: u64,
     pub total_ms: f64,
     pub mean_us: f64,
 }
 
-/// Turn a profiler snapshot into display rows, sorted by total time
+/// Turn the registry's kernel table into display rows, sorted by total time
 /// descending (the Fig. 9 convention: hottest kernel first).
-pub fn kernel_report_rows(profiler: &Profiler) -> Vec<KernelReportRow> {
-    let mut rows: Vec<KernelReportRow> = profiler
-        .snapshot()
+pub fn kernel_report_rows(metrics: &Metrics) -> Vec<KernelReportRow> {
+    let mut rows: Vec<KernelReportRow> = metrics
+        .kernel_snapshot()
         .into_iter()
         .map(|(name, s)| KernelReportRow {
             name,
@@ -122,13 +89,13 @@ struct SubstrateInner {
     kind: ExecTargetKind,
     server: Option<JobServer>,
     policy: AllocPolicy,
-    profiler: Profiler,
+    metrics: Metrics,
 }
 
 /// A cheap-to-clone handle selecting the execution target for named kernels.
 ///
 /// Held by `SweSolver`, the HEVI `NhSolver`, and the physics suites; all
-/// clones share one [`JobServer`] and one [`Profiler`].
+/// clones share one [`JobServer`] and one [`Metrics`] registry.
 #[derive(Clone)]
 pub struct Substrate {
     inner: Arc<SubstrateInner>,
@@ -158,7 +125,7 @@ impl Substrate {
                 kind: ExecTargetKind::Serial,
                 server: None,
                 policy: AllocPolicy::Distributed,
-                profiler: Profiler::default(),
+                metrics: Metrics::default(),
             }),
         }
     }
@@ -177,7 +144,7 @@ impl Substrate {
                 kind: ExecTargetKind::CpeTeams,
                 server: Some(JobServer::new(n_cpes)),
                 policy,
-                profiler: Profiler::default(),
+                metrics: Metrics::default(),
             }),
         }
     }
@@ -205,8 +172,16 @@ impl Substrate {
         self.inner.server.as_ref()
     }
 
-    pub fn profiler(&self) -> &Profiler {
-        &self.inner.profiler
+    /// The shared observability registry: per-kernel stats, trace spans,
+    /// and hardware-model counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Open a trace span on the shared registry; kernels dispatched while
+    /// the guard lives are attributed under it (see [`Metrics::span`]).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.inner.metrics.span(name)
     }
 
     /// Dispatch `0..n_items`, untimed. Serial target runs in order on the
@@ -226,24 +201,52 @@ impl Substrate {
         }
     }
 
-    /// Dispatch `0..n_items` as the named kernel, recording wall time and
-    /// the invocation in the shared profiler.
+    /// Dispatch `0..n_items` as the named kernel, recording wall time, the
+    /// invocation, and the item count in the shared registry.
     pub fn run<F: Fn(usize) + Sync>(&self, name: &'static str, n_items: usize, f: F) {
+        self.run_with_bytes(name, n_items, 0, f);
+    }
+
+    /// [`Self::run`] with a per-item DMA payload estimate: a kernel that
+    /// streams `k` arrays of `e`-byte elements per iteration passes
+    /// `bytes_per_item = k·e`, and the dispatch attributes `n_items·k·e`
+    /// modeled DMA bytes to the kernel *and* the global `dma.bytes` /
+    /// `dma.transactions` counters (one transaction per dispatched CPE
+    /// chunk, matching the omnicopy batching granularity). Offload targets
+    /// only — the serial MPE path does scalar loads, not DMA.
+    pub fn run_with_bytes<F: Fn(usize) + Sync>(
+        &self,
+        name: &'static str,
+        n_items: usize,
+        bytes_per_item: usize,
+        f: F,
+    ) {
         let t0 = Instant::now();
         self.parallel_for(n_items, &f);
-        self.inner
-            .profiler
-            .record(name, t0.elapsed().as_nanos() as u64);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let metrics = &self.inner.metrics;
+        let mut bytes = 0u64;
+        if let Some(server) = &self.inner.server {
+            metrics.counter_add("substrate.dispatches", 1);
+            metrics.counter_add("substrate.items", n_items as u64);
+            if bytes_per_item > 0 {
+                bytes = (n_items * bytes_per_item) as u64;
+                let chunk = n_items.div_ceil(4 * server.n_cpes).max(1);
+                metrics.counter_add("dma.bytes", bytes);
+                metrics.counter_add("dma.transactions", n_items.div_ceil(chunk) as u64);
+            }
+        }
+        metrics.record_kernel(name, nanos, n_items as u64, bytes);
     }
 
     /// Report rows for every kernel dispatched through this substrate (or
     /// any clone of it), hottest first.
     pub fn kernel_report(&self) -> Vec<KernelReportRow> {
-        kernel_report_rows(&self.inner.profiler)
+        kernel_report_rows(&self.inner.metrics)
     }
 
     pub fn reset_profile(&self) {
-        self.inner.profiler.reset();
+        self.inner.metrics.reset();
     }
 }
 
@@ -386,6 +389,38 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, i as f64);
         }
+    }
+
+    #[test]
+    fn spans_qualify_kernel_names_and_bytes_feed_dma_counters() {
+        let sub = Substrate::cpe_teams(4);
+        {
+            let _step = sub.span("step");
+            let _dy = sub.span("dycore");
+            sub.run_with_bytes("streamed", 1000, 48, |_| {});
+        }
+        let rows = sub.kernel_report();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "step/dycore/streamed");
+        let m = sub.metrics();
+        assert_eq!(m.counter("dma.bytes"), 48_000);
+        assert!(m.counter("dma.transactions") >= 1);
+        assert_eq!(m.counter("substrate.dispatches"), 1);
+        assert_eq!(m.counter("substrate.items"), 1000);
+        let snap = m.snapshot();
+        assert_eq!(snap.kernels["step/dycore/streamed"].bytes, 48_000);
+        assert_eq!(snap.spans["step/dycore"].calls, 1);
+    }
+
+    #[test]
+    fn serial_target_attributes_no_dma_traffic() {
+        let sub = Substrate::serial();
+        sub.run_with_bytes("streamed", 100, 48, |_| {});
+        assert_eq!(sub.metrics().counter("dma.bytes"), 0);
+        assert_eq!(sub.metrics().counter("substrate.dispatches"), 0);
+        let snap = sub.metrics().snapshot();
+        assert_eq!(snap.kernels["streamed"].items, 100);
+        assert_eq!(snap.kernels["streamed"].bytes, 0);
     }
 
     #[test]

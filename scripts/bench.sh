@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run the pinned smoke benchmark suite (Fig. 9 kernel model, Fig. 10/11
+# scaling projections, and the live coupled model on the CPE-teams
+# substrate) and write the machine-readable document to BENCH_0002.json at
+# the repo root (override with $1). Compare against a committed baseline
+# with:
+#   cargo run --release -p grist-bench --bin bench_compare -- \
+#       BENCH_0002.json new.json --tolerance 10
+# Everything runs offline (see README "Offline builds").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_0002.json}"
+
+echo "== bench smoke -> ${out} =="
+cargo run --release -p grist-bench --bin bench_smoke -- "${out}"

@@ -16,4 +16,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo doc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== bench smoke vs committed baseline =="
+cargo run --release -p grist-bench --bin bench_smoke -- target/bench_smoke.json
+cargo run --release -p grist-bench --bin bench_compare -- \
+    BENCH_0002.json target/bench_smoke.json --tolerance 10
+
 echo "All checks passed."

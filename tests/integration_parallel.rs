@@ -48,7 +48,8 @@ fn distributed_swe_matches_serial(n_ranks: usize, steps: usize) {
             }
             let mut list = VarList::new();
             list.push("h", 1, state.h.as_mut_slice());
-            exchange_gathered(&mut ctx, locale, &mut list, 100 + step as u32);
+            exchange_gathered(&mut ctx, locale, &mut list, 100 + step as u32)
+                .expect("all ranks register the same list");
             for (_, cells) in &locale.recv {
                 for &c in cells {
                     let got = state.h.at(0, c as usize);

@@ -42,9 +42,10 @@ fn swe_tc2_height_matches_serial_on_cpe_teams() {
     // The teams run must actually have dispatched through the profiler.
     let report = teams.sub.kernel_report();
     assert!(!report.is_empty(), "CPE-teams run recorded no kernels");
+    // Kernel names are span-qualified (`dycore/swe_momentum_tend`).
     assert!(report
         .iter()
-        .any(|r| r.name == "swe_momentum_tend" && r.calls >= steps as u64));
+        .any(|r| r.name.ends_with("swe_momentum_tend") && r.calls >= steps as u64));
 }
 
 /// Coupled-model surface pressure after ≥10 dynamics steps (with physics
@@ -81,13 +82,14 @@ fn kernel_report_covers_dycore_and_physics() {
 
     let report = m.kernel_report();
     assert!(!report.is_empty());
-    let names: Vec<&str> = report.iter().map(|r| r.name).collect();
+    let names: Vec<&str> = report.iter().map(|r| r.name.as_str()).collect();
+    // Names carry the full trace-span path (model step → suite → kernel).
     assert!(
-        names.contains(&"hevi_momentum_update"),
+        names.contains(&"step/dycore/hevi_momentum_update"),
         "dycore kernel missing: {names:?}"
     );
     assert!(
-        names.contains(&"physics_columns"),
+        names.contains(&"step/physics/physics_columns"),
         "physics kernel missing: {names:?}"
     );
     for r in &report {
@@ -102,7 +104,7 @@ fn kernel_report_covers_dycore_and_physics() {
     // The formatted table carries every kernel name.
     let text = m.kernel_report_text();
     for r in &report {
-        assert!(text.contains(r.name));
+        assert!(text.contains(r.name.as_str()));
     }
 
     // And reset clears the accumulation.
