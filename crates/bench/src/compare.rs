@@ -17,7 +17,11 @@
 //!
 //! A kernel, span, counter, or projection present in the baseline but
 //! missing from the new document always flags — silently losing coverage
-//! must not pass the gate.
+//! must not pass the gate. The reverse also flags: an entry present in the
+//! new document but absent from the baseline means the baseline no longer
+//! describes the workload and must be regenerated, not silently accepted.
+//! Zero-valued baseline entries get an explicit "appeared with zero
+//! baseline" diagnostic instead of a meaningless infinite percentage.
 
 use std::fmt;
 use sunway_sim::{Json, MetricsSnapshot};
@@ -43,7 +47,8 @@ impl Default for CompareConfig {
     }
 }
 
-/// One detected regression. `new` is NaN when the entry vanished entirely.
+/// One detected regression. `new` is NaN when the entry vanished from the
+/// new document; `old` is NaN when the entry has no baseline at all.
 #[derive(Debug, Clone)]
 pub struct Regression {
     pub what: String,
@@ -54,18 +59,28 @@ pub struct Regression {
 
 impl fmt::Display for Regression {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.new.is_nan() {
+        if self.old.is_nan() {
+            write!(
+                f,
+                "{}: missing from baseline (new document has {}) — regenerate the baseline",
+                self.what, self.new
+            )
+        } else if self.new.is_nan() {
             write!(
                 f,
                 "{}: present in baseline ({}) but missing",
                 self.what, self.old
             )
+        } else if self.old == 0.0 {
+            // A percentage against a zero baseline is undefined; say what
+            // actually happened instead of printing "inf%".
+            write!(
+                f,
+                "{}: appeared with zero baseline (new {}, limit {}%)",
+                self.what, self.new, self.limit_pct
+            )
         } else {
-            let pct = if self.old != 0.0 {
-                (self.new - self.old) / self.old * 100.0
-            } else {
-                f64::INFINITY
-            };
+            let pct = (self.new - self.old) / self.old * 100.0;
             write!(
                 f,
                 "{}: {} -> {} ({:+.1}%, limit {}%)",
@@ -177,10 +192,14 @@ pub fn compare_docs(
             continue;
         };
         let band = cfg.tolerance / 100.0;
-        let regressed = if key.starts_with("sdpd.") {
+        let regressed = if *o == 0.0 {
+            // No meaningful relative band exists; any appearance flags with
+            // the explicit zero-baseline diagnostic.
+            n != 0.0
+        } else if key.starts_with("sdpd.") {
             n < o * (1.0 - band)
         } else {
-            (n - o).abs() > o.abs().max(f64::MIN_POSITIVE) * band
+            (n - o).abs() > o.abs() * band
         };
         if regressed {
             out.push(Regression {
@@ -189,6 +208,29 @@ pub fn compare_docs(
                 new: n,
                 limit_pct: cfg.tolerance,
             });
+        }
+    }
+
+    // Entries the baseline has never seen: the baseline no longer describes
+    // the workload, so flag each one instead of silently accepting it.
+    for (name, n) in &new_m.kernels {
+        if !old_m.kernels.contains_key(name) {
+            out.push(unbaselined(format!("kernel {name}"), n.calls as f64));
+        }
+    }
+    for (name, n) in &new_m.spans {
+        if !old_m.spans.contains_key(name) {
+            out.push(unbaselined(format!("span {name}"), n.calls as f64));
+        }
+    }
+    for (name, &n) in &new_m.counters {
+        if !old_m.counters.contains_key(name) {
+            out.push(unbaselined(format!("counter {name}"), n as f64));
+        }
+    }
+    for (key, &n) in &new_p {
+        if !old_p.contains_key(key) {
+            out.push(unbaselined(format!("projection {key}"), n));
         }
     }
 
@@ -216,11 +258,26 @@ fn missing(what: String, old: f64) -> Regression {
     }
 }
 
+fn unbaselined(what: String, new: f64) -> Regression {
+    Regression {
+        what,
+        old: f64::NAN,
+        new,
+        limit_pct: 0.0,
+    }
+}
+
 /// Deterministic count: relative deviation beyond `tolerance` in either
-/// direction flags (denominator floored at 1 so zero baselines behave).
+/// direction flags. A zero baseline has no relative band, so any nonzero
+/// new value flags with the explicit zero-baseline diagnostic.
 fn check_count(out: &mut Vec<Regression>, what: String, old: u64, new: u64, cfg: &CompareConfig) {
     let (o, n) = (old as f64, new as f64);
-    if (n - o).abs() / o.max(1.0) > cfg.tolerance / 100.0 {
+    let regressed = if old == 0 {
+        new != 0
+    } else {
+        (n - o).abs() / o > cfg.tolerance / 100.0
+    };
+    if regressed {
         out.push(Regression {
             what,
             old: o,
@@ -361,6 +418,55 @@ mod tests {
                 .any(|x| x.what.contains("compute_rrr") && x.new.is_nan()),
             "{r:?}"
         );
+    }
+
+    #[test]
+    fn zero_baseline_counter_is_a_diagnostic_not_a_division_by_zero() {
+        let old = doc(50_000_000, 16, 0, 300.0);
+        let cfg = CompareConfig::default();
+        // Zero stays zero: fine.
+        let r = compare_docs(&old, &doc(50_000_000, 16, 0, 300.0), &cfg).unwrap();
+        assert!(r.is_empty(), "{r:?}");
+        // Any appearance over a zero baseline flags, readably.
+        let r = compare_docs(&old, &doc(50_000_000, 16, 7, 300.0), &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        let text = r[0].to_string();
+        assert!(text.contains("ldcache.misses"), "{text}");
+        assert!(text.contains("zero baseline"), "{text}");
+        assert!(!text.contains("inf"), "no infinite percentage: {text}");
+    }
+
+    #[test]
+    fn new_only_entries_are_flagged_not_silently_passed() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let mut new = doc(50_000_000, 16, 1000, 300.0);
+        // Grow the new document: an extra counter the baseline never saw.
+        let Json::Obj(fields) = &mut new else {
+            panic!()
+        };
+        let metrics = &mut fields.iter_mut().find(|(k, _)| k == "metrics").unwrap().1;
+        let Json::Obj(mf) = metrics else { panic!() };
+        let counters = &mut mf.iter_mut().find(|(k, _)| k == "counters").unwrap().1;
+        let Json::Obj(cf) = counters else { panic!() };
+        cf.push(("fault.injected".into(), Json::Num(3.0)));
+        let r = compare_docs(&old, &new, &CompareConfig::default()).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].old.is_nan());
+        let text = r[0].to_string();
+        assert!(text.contains("fault.injected"), "{text}");
+        assert!(text.contains("missing from baseline"), "{text}");
+        assert!(text.contains("regenerate"), "{text}");
+    }
+
+    #[test]
+    fn zero_baseline_projection_flags_on_appearance() {
+        let old = doc(50_000_000, 16, 1000, 0.0);
+        let cfg = CompareConfig::default();
+        let r = compare_docs(&old, &doc(50_000_000, 16, 1000, 0.0), &cfg).unwrap();
+        assert!(r.is_empty(), "{r:?}");
+        let r = compare_docs(&old, &doc(50_000_000, 16, 1000, 1.0e-12), &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].to_string().contains("zero baseline"), "{}", r[0]);
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! Checkpoint/restart for the coupled model.
+//!
+//! The recovery ladder's last rung (a halo exchange that failed even after
+//! retries, or a prognostic field that blew up under reduced precision)
+//! rolls the model back to its last known-good state. That only works if
+//! the checkpoint is *bitwise* faithful: a restored-then-stepped run must be
+//! indistinguishable from an uninterrupted one, or "recovery" silently forks
+//! the trajectory.
+//!
+//! JSON's decimal numbers cannot carry `f64` exactly (and the in-tree
+//! [`Json`] writer refuses non-finite values outright), so prognostic data
+//! is serialized as *bit patterns*: each `f64` becomes 16 lowercase hex
+//! digits of its IEEE-754 representation, concatenated into one string per
+//! field. That round-trips every value — including NaN payloads mid-blowup —
+//! exactly, through the same dependency-free [`Json`] module the benchmark
+//! baselines use. Working-precision (`R = f32`) fields widen losslessly to
+//! `f64` on capture and narrow back exactly on restore (`f32 → f64` is
+//! value-preserving in both directions).
+//!
+//! Every capture ticks `checkpoint.captures` and adds the serialized size to
+//! `checkpoint.bytes` in the model's metrics registry.
+
+use crate::model::GristModel;
+use grist_dycore::{Field2, Real};
+use std::fmt;
+use sunway_sim::Json;
+
+/// Schema tag guarding against feeding some other JSON document (e.g. a
+/// bench baseline) to [`GristModel::restore`].
+pub const CHECKPOINT_SCHEMA: &str = "grist-checkpoint-v1";
+
+/// A malformed or mismatched checkpoint document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    pub what: String,
+}
+
+impl CheckpointError {
+    fn new(what: impl Into<String>) -> Self {
+        CheckpointError { what: what.into() }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint error: {}", self.what)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Encode a slice of `f64` as concatenated 16-hex-digit IEEE-754 bit
+/// patterns — the bitwise-lossless wire format of checkpoint fields.
+pub fn encode_bits(values: &[f64]) -> String {
+    use fmt::Write;
+    let mut s = String::with_capacity(values.len() * 16);
+    for v in values {
+        write!(s, "{:016x}", v.to_bits()).expect("writing to String cannot fail");
+    }
+    s
+}
+
+/// Decode a string produced by [`encode_bits`].
+pub fn decode_bits(s: &str) -> Result<Vec<f64>, CheckpointError> {
+    if !s.len().is_multiple_of(16) {
+        return Err(CheckpointError::new(format!(
+            "bit-pattern string length {} is not a multiple of 16",
+            s.len()
+        )));
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 16);
+    for chunk in bytes.chunks_exact(16) {
+        let hex = std::str::from_utf8(chunk)
+            .map_err(|_| CheckpointError::new("bit-pattern string is not ASCII"))?;
+        let bits = u64::from_str_radix(hex, 16)
+            .map_err(|_| CheckpointError::new(format!("invalid hex chunk {hex:?}")))?;
+        out.push(f64::from_bits(bits));
+    }
+    Ok(out)
+}
+
+/// A captured model state: prognostics, surface, clocks — everything
+/// [`GristModel::restore`] needs to resume bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    doc: Json,
+    bytes: usize,
+}
+
+impl Checkpoint {
+    /// The serialized document (what would be written to disk).
+    pub fn to_json(&self) -> String {
+        self.doc.pretty()
+    }
+
+    /// Parse a serialized checkpoint, verifying the schema tag.
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        let doc = Json::parse(text)
+            .map_err(|e| CheckpointError::new(format!("unparsable document: {e}")))?;
+        match doc.get("schema").and_then(|s| s.as_str()) {
+            Some(CHECKPOINT_SCHEMA) => {}
+            other => {
+                return Err(CheckpointError::new(format!(
+                    "schema tag {other:?}, expected {CHECKPOINT_SCHEMA:?}"
+                )))
+            }
+        }
+        Ok(Checkpoint {
+            doc,
+            bytes: text.len(),
+        })
+    }
+
+    /// Serialized size in bytes (what `checkpoint.bytes` meters).
+    pub fn byte_len(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn doc(&self) -> &Json {
+        &self.doc
+    }
+
+    fn str_field(&self, section: &str, key: &str) -> Result<&str, CheckpointError> {
+        self.doc
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| CheckpointError::new(format!("missing field {section}.{key}")))
+    }
+
+    fn bits_field(&self, section: &str, key: &str, n: usize) -> Result<Vec<f64>, CheckpointError> {
+        let v = decode_bits(self.str_field(section, key)?)?;
+        if v.len() != n {
+            return Err(CheckpointError::new(format!(
+                "field {section}.{key} holds {} values, model expects {n}",
+                v.len()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+fn field_bits<R: Real>(f: &Field2<R>) -> Json {
+    Json::Str(encode_bits(&f.to_f64_vec()))
+}
+
+fn restore_field<R: Real>(dst: &mut Field2<R>, src: &[f64]) {
+    for (d, &v) in dst.as_mut_slice().iter_mut().zip(src) {
+        *d = R::from_f64(v);
+    }
+}
+
+impl<R: Real> GristModel<R> {
+    /// Capture a restartable snapshot of the prognostic + tracer state, the
+    /// surface, and the model clocks. Ticks `checkpoint.captures` and
+    /// `checkpoint.bytes` on the shared metrics registry.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let shape = Json::Obj(vec![
+            ("nlev".into(), Json::Num(self.config.nlev as f64)),
+            ("ncells".into(), Json::Num(self.state.dpi.ncols() as f64)),
+            ("nedges".into(), Json::Num(self.state.u.ncols() as f64)),
+            (
+                "ntracers".into(),
+                Json::Num(self.state.tracers.len() as f64),
+            ),
+        ]);
+        let state = Json::Obj(vec![
+            ("dpi".into(), field_bits(&self.state.dpi)),
+            ("theta_m".into(), field_bits(&self.state.theta_m)),
+            ("u".into(), field_bits(&self.state.u)),
+            ("w".into(), field_bits(&self.state.w)),
+            ("phi".into(), field_bits(&self.state.phi)),
+            (
+                "tracers".into(),
+                Json::Arr(self.state.tracers.iter().map(field_bits).collect()),
+            ),
+        ]);
+        let surface = Json::Obj(vec![
+            ("tskin".into(), Json::Str(encode_bits(&self.surface.tskin))),
+            ("coszr".into(), Json::Str(encode_bits(&self.surface.coszr))),
+            (
+                "albedo".into(),
+                Json::Str(encode_bits(&self.surface.albedo)),
+            ),
+            (
+                "ocean".into(),
+                Json::Str(
+                    self.surface
+                        .ocean
+                        .iter()
+                        .map(|&o| if o { '1' } else { '0' })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let clock = Json::Obj(vec![
+            ("time_s".into(), Json::Str(encode_bits(&[self.time_s]))),
+            (
+                "declination".into(),
+                Json::Str(encode_bits(&[self.declination])),
+            ),
+            ("dyn_steps".into(), Json::Num(self.dyn_steps_taken as f64)),
+            (
+                "precip_accum".into(),
+                Json::Str(encode_bits(&self.precip_accum)),
+            ),
+        ]);
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str(CHECKPOINT_SCHEMA.into())),
+            ("precision".into(), Json::Str(R::NAME.into())),
+            ("shape".into(), shape),
+            ("clock".into(), clock),
+            ("state".into(), state),
+            ("surface".into(), surface),
+        ]);
+        let bytes = doc.pretty().len();
+        let m = self.metrics();
+        m.counter_add("checkpoint.captures", 1);
+        m.counter_add("checkpoint.bytes", bytes as u64);
+        Checkpoint { doc, bytes }
+    }
+
+    /// Roll the model back to `ck`. Shapes are validated against this model;
+    /// prognostics, tracers, surface, and clocks are restored bit-for-bit
+    /// (diagnostic caches like `last_diag` are rebuilt by the next physics
+    /// step). Ticks `recovery.restores` on success.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        let shape_of = |key: &str| {
+            ck.doc
+                .get("shape")
+                .and_then(|s| s.get(key))
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| CheckpointError::new(format!("missing shape.{key}")))
+        };
+        let (nlev, ncells, nedges, ntracers) = (
+            shape_of("nlev")? as usize,
+            shape_of("ncells")? as usize,
+            shape_of("nedges")? as usize,
+            shape_of("ntracers")? as usize,
+        );
+        if nlev != self.config.nlev
+            || ncells != self.state.dpi.ncols()
+            || nedges != self.state.u.ncols()
+            || ntracers != self.state.tracers.len()
+        {
+            return Err(CheckpointError::new(format!(
+                "shape mismatch: checkpoint ({nlev} lev, {ncells} cells, {nedges} edges, \
+                 {ntracers} tracers) vs model ({} lev, {} cells, {} edges, {} tracers)",
+                self.config.nlev,
+                self.state.dpi.ncols(),
+                self.state.u.ncols(),
+                self.state.tracers.len()
+            )));
+        }
+        // Decode everything fallibly *before* touching the model, so a
+        // truncated document cannot leave a half-restored state behind.
+        let dpi = ck.bits_field("state", "dpi", self.state.dpi.as_slice().len())?;
+        let theta_m = ck.bits_field("state", "theta_m", self.state.theta_m.as_slice().len())?;
+        let u = ck.bits_field("state", "u", self.state.u.as_slice().len())?;
+        let w = ck.bits_field("state", "w", self.state.w.as_slice().len())?;
+        let phi = ck.bits_field("state", "phi", self.state.phi.as_slice().len())?;
+        let tracer_docs = ck
+            .doc
+            .get("state")
+            .and_then(|s| s.get("tracers"))
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| CheckpointError::new("missing field state.tracers"))?;
+        if tracer_docs.len() != ntracers {
+            return Err(CheckpointError::new("tracer array length disagrees"));
+        }
+        let mut tracers = Vec::with_capacity(ntracers);
+        for (i, t) in tracer_docs.iter().enumerate() {
+            let s = t
+                .as_str()
+                .ok_or_else(|| CheckpointError::new(format!("tracer {i} is not a string")))?;
+            let v = decode_bits(s)?;
+            if v.len() != self.state.tracers[i].as_slice().len() {
+                return Err(CheckpointError::new(format!("tracer {i} length mismatch")));
+            }
+            tracers.push(v);
+        }
+        let tskin = ck.bits_field("surface", "tskin", self.surface.tskin.len())?;
+        let coszr = ck.bits_field("surface", "coszr", self.surface.coszr.len())?;
+        let albedo = ck.bits_field("surface", "albedo", self.surface.albedo.len())?;
+        let ocean_str = ck.str_field("surface", "ocean")?;
+        if ocean_str.len() != self.surface.ocean.len() {
+            return Err(CheckpointError::new("ocean mask length mismatch"));
+        }
+        let time_s = ck.bits_field("clock", "time_s", 1)?[0];
+        let declination = ck.bits_field("clock", "declination", 1)?[0];
+        let precip = ck.bits_field("clock", "precip_accum", self.precip_accum.len())?;
+        let dyn_steps = ck
+            .doc
+            .get("clock")
+            .and_then(|c| c.get("dyn_steps"))
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| CheckpointError::new("missing clock.dyn_steps"))?
+            as usize;
+
+        restore_field(&mut self.state.dpi, &dpi);
+        restore_field(&mut self.state.theta_m, &theta_m);
+        restore_field(&mut self.state.u, &u);
+        restore_field(&mut self.state.w, &w);
+        restore_field(&mut self.state.phi, &phi);
+        for (field, v) in self.state.tracers.iter_mut().zip(&tracers) {
+            restore_field(field, v);
+        }
+        self.surface.tskin = tskin;
+        self.surface.coszr = coszr;
+        self.surface.albedo = albedo;
+        for (o, b) in self.surface.ocean.iter_mut().zip(ocean_str.bytes()) {
+            *o = b == b'1';
+        }
+        self.time_s = time_s;
+        self.declination = declination;
+        self.precip_accum = precip;
+        self.dyn_steps_taken = dyn_steps;
+        self.metrics().counter_add("recovery.restores", 1);
+        Ok(())
+    }
+
+    /// FNV-1a hash over the bit patterns of every prognostic field, the
+    /// surface skin temperature, and the model clock — a cheap fingerprint
+    /// for "two runs converged to the identical state".
+    pub fn state_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        for f in [
+            &self.state.dpi,
+            &self.state.theta_m,
+            &self.state.w,
+            &self.state.phi,
+        ] {
+            h.update(f.as_slice());
+        }
+        h.update(&self.state.u.to_f64_vec());
+        for t in &self.state.tracers {
+            h.update(&t.to_f64_vec());
+        }
+        h.update(&self.surface.tskin);
+        h.update(&self.precip_accum);
+        h.update(&[self.time_s, self.declination]);
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a over f64 bit patterns.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, values: &[f64]) {
+        for v in values {
+            for b in v.to_bits().to_le_bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+
+    #[test]
+    fn bit_pattern_roundtrip_is_lossless_including_nan_payloads() {
+        let values = [
+            0.0,
+            -0.0,
+            1.0,
+            std::f64::consts::PI,
+            1.0e-308,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+        ];
+        let decoded = decode_bits(&encode_bits(&values)).unwrap();
+        assert_eq!(decoded.len(), values.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} round-tripped as {b}");
+        }
+    }
+
+    #[test]
+    fn malformed_bit_strings_are_typed_errors() {
+        assert!(decode_bits("0123456789abcde").is_err(), "length % 16 != 0");
+        assert!(decode_bits("zzzzzzzzzzzzzzzz").is_err(), "non-hex");
+        assert!(decode_bits("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_serializes_parses_and_restores_bitwise() {
+        let mut m = GristModel::<f64>::new(RunConfig::for_level(2, 6));
+        m.advance(2.0 * m.config.dt_phy);
+        let ck = m.checkpoint();
+        let text = ck.to_json();
+        assert_eq!(ck.byte_len(), text.len());
+        let reparsed = Checkpoint::from_json(&text).unwrap();
+        // Wreck the model, then restore from the re-parsed document.
+        let hash = m.state_hash();
+        let t = m.time_s;
+        m.advance(m.config.dt_phy);
+        assert_ne!(m.state_hash(), hash, "advancing must change the hash");
+        m.restore(&reparsed).unwrap();
+        assert_eq!(m.state_hash(), hash, "restore must be bit-for-bit");
+        assert_eq!(m.time_s, t);
+        let metrics = m.metrics();
+        assert_eq!(metrics.counter("checkpoint.captures"), 1);
+        assert_eq!(metrics.counter("checkpoint.bytes"), ck.byte_len() as u64);
+        assert_eq!(metrics.counter("recovery.restores"), 1);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_schema_and_wrong_shape() {
+        let m = GristModel::<f64>::new(RunConfig::for_level(2, 6));
+        let err = Checkpoint::from_json(r#"{"schema": "grist-bench-v1"}"#).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+        // A checkpoint from a different vertical resolution must not restore.
+        let other = GristModel::<f64>::new(RunConfig::for_level(2, 8)).checkpoint();
+        let mut m = m;
+        let err = m.restore(&other).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn f32_model_checkpoints_restore_its_working_precision_exactly() {
+        let mut m = GristModel::<f32>::new(RunConfig::for_level(2, 6));
+        m.advance(2.0 * m.config.dt_phy);
+        let ck = m.checkpoint();
+        let u_before: Vec<f32> = m.state.u.as_slice().to_vec();
+        let hash = m.state_hash();
+        m.advance(m.config.dt_phy);
+        m.restore(&Checkpoint::from_json(&ck.to_json()).unwrap())
+            .unwrap();
+        assert_eq!(m.state_hash(), hash);
+        assert_eq!(
+            m.state.u.as_slice(),
+            &u_before[..],
+            "f32 u restored exactly"
+        );
+    }
+}

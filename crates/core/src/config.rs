@@ -10,6 +10,33 @@ pub fn table3_schemes() -> [Scheme; 4] {
     Scheme::all()
 }
 
+/// How the model driver survives injected or real faults: the retry/degrade
+/// ladder for substrate dispatches and the checkpoint/health cadence used by
+/// `GristModel::advance_resilient`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Dyn steps between automatic checkpoints.
+    pub checkpoint_interval: usize,
+    /// Dyn steps between prognostic-field health scans.
+    pub health_interval: usize,
+    /// Checkpoint restores tolerated before the run is declared lost.
+    pub max_restores: u32,
+    /// Re-issues of a failed CpeTeams dispatch before degrading to serial
+    /// (forwarded into `FaultPlan::with_max_retries` by chaos drivers).
+    pub max_dispatch_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: 8,
+            health_interval: 4,
+            max_restores: 3,
+            max_dispatch_retries: 2,
+        }
+    }
+}
+
 /// A runnable model configuration (host-scale analogue of a Table 2 row).
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -31,6 +58,8 @@ pub struct RunConfig {
     pub t_ref: f64,
     /// Reference surface (dry) pressure \[Pa\].
     pub ps_ref: f64,
+    /// Fault-recovery ladder configuration.
+    pub recovery: RecoveryPolicy,
 }
 
 impl RunConfig {
@@ -53,11 +82,17 @@ impl RunConfig {
             ml_physics: false,
             t_ref: 288.0,
             ps_ref: 1.0e5,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
     pub fn with_precision(mut self, p: PrecisionMode) -> Self {
         self.precision = p;
+        self
+    }
+
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 

@@ -12,22 +12,26 @@
 // clearer than iterator chains for staggered-grid code.
 #![allow(clippy::needless_range_loop)]
 pub mod cases;
+pub mod checkpoint;
 pub mod config;
 pub mod coupling;
 pub mod datagen;
 pub mod diag;
+pub mod health;
 pub mod history;
 pub mod mlsuite;
 pub mod model;
 
 pub use cases::{add_baroclinic_jet, add_supercell_patch, add_tropical_cyclone, TropicalCyclone};
-pub use config::{table2_grids, table3_schemes, GridSpec, RunConfig, Scheme};
+pub use checkpoint::{decode_bits, encode_bits, Checkpoint, CheckpointError, CHECKPOINT_SCHEMA};
+pub use config::{table2_grids, table3_schemes, GridSpec, RecoveryPolicy, RunConfig, Scheme};
 pub use coupling::{apply_tendencies, extract_columns, SurfaceState};
 pub use datagen::{
     coarse_grain_columns, generate_training_data, train_ml_suite, CoarseMap, DataGenConfig,
     GeneratedData, TrainReport,
 };
 pub use diag::{bin_latlon, precision_gate, spatial_correlation, PrecisionGate};
+pub use health::{HealthReport, HealthThresholds, RunState};
 pub use history::{read_snapshot, HistoryRecord, HistoryWriter, Snapshot};
 pub use mlsuite::{MlOutput, MlSuite};
-pub use model::{GristModel, PhysicsEngine};
+pub use model::{GristModel, PhysicsEngine, RecoveryOutcome};

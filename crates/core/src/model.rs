@@ -2,8 +2,10 @@
 //! (conventional or ML) advancing together on the Table-2 cadence
 //! (dyn < trac < phy < rad).
 
+use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
 use crate::coupling::{apply_tendencies, extract_columns, SurfaceState};
+use crate::health::{HealthReport, RunState};
 use crate::mlsuite::MlSuite;
 use grist_dycore::hevi::NhConfig;
 use grist_dycore::{NhSolver, NhState, Real, VerticalCoord};
@@ -52,7 +54,24 @@ pub struct GristModel<R: Real> {
     pub last_tendencies: Vec<Tendencies>,
     /// Solar declination used for the insolation cycle \[rad\].
     pub declination: f64,
-    dyn_steps_taken: usize,
+    pub(crate) dyn_steps_taken: usize,
+    /// Last checkpoint captured by [`Self::advance_resilient`] — the state
+    /// the recovery ladder rolls back to when a health scan finds corruption.
+    pub(crate) last_checkpoint: Option<Checkpoint>,
+}
+
+/// What one [`GristModel::advance_resilient`] window did: how often the
+/// recovery ladder fired and where the run ended up.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// The window finished with a non-corrupt state.
+    pub completed: bool,
+    /// Checkpoint restores performed.
+    pub restores: u32,
+    /// Checkpoints captured.
+    pub checkpoints: u64,
+    /// Health report at the end of the window.
+    pub final_health: HealthReport,
 }
 
 impl<R: Real> GristModel<R> {
@@ -117,6 +136,7 @@ impl<R: Real> GristModel<R> {
             declination: 0.0,
             config,
             dyn_steps_taken: 0,
+            last_checkpoint: None,
         }
     }
 
@@ -247,6 +267,105 @@ impl<R: Real> GristModel<R> {
             if self.dyn_steps_taken.is_multiple_of(dyn_per_phy) {
                 self.step_physics();
             }
+        }
+    }
+
+    /// Dynamics substeps taken since initialization (rewound by
+    /// [`Self::restore`](GristModel::restore)).
+    pub fn dyn_steps(&self) -> usize {
+        self.dyn_steps_taken
+    }
+
+    /// The last checkpoint [`Self::advance_resilient`] captured, if any —
+    /// persists across calls so a blowup detected at the *start* of a window
+    /// can still roll back to the previous window's state.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// [`Self::advance`] under the configured
+    /// [`RecoveryPolicy`](crate::config::RecoveryPolicy): checkpoints are
+    /// captured every `checkpoint_interval` dyn steps, the prognostic fields
+    /// are health-scanned every `health_interval` steps, and a scan that
+    /// finds corruption (NaN/Inf, non-physical layers) restores the last
+    /// checkpoint instead of crashing — up to `max_restores` times, after
+    /// which the window is abandoned with `completed = false`.
+    ///
+    /// Deterministic by construction: the checkpoint/scan cadence is keyed
+    /// to `dyn_steps_taken` (which restores rewind), so a fixed corruption
+    /// produces the same rollback points on every run.
+    pub fn advance_resilient(&mut self, seconds: f64) -> RecoveryOutcome {
+        let policy = self.config.recovery.clone();
+        let mut restores = 0u32;
+        let mut checkpoints = 0u64;
+        // Entry scan: corruption carried in from outside this window can
+        // only be repaired if a previous window left a checkpoint behind.
+        let mut report = self.health();
+        if report.state == RunState::Corrupt {
+            match self.last_checkpoint.clone() {
+                Some(ck) if restores < policy.max_restores => {
+                    self.restore(&ck).expect("own checkpoint must restore");
+                    restores += 1;
+                    report = self.health();
+                }
+                _ => {}
+            }
+            if report.state == RunState::Corrupt {
+                return RecoveryOutcome {
+                    completed: false,
+                    restores,
+                    checkpoints,
+                    final_health: report,
+                };
+            }
+        }
+        if self.last_checkpoint.is_none() {
+            self.last_checkpoint = Some(self.checkpoint());
+            checkpoints += 1;
+        }
+        let t_end = self.time_s + seconds;
+        let dyn_per_phy = self.config.dyn_per_phy().max(1);
+        while self.time_s < t_end - 1e-6 {
+            self.step_dyn();
+            if self.dyn_steps_taken.is_multiple_of(dyn_per_phy) {
+                self.step_physics();
+            }
+            let steps = self.dyn_steps_taken;
+            let scan_due =
+                policy.health_interval > 0 && steps.is_multiple_of(policy.health_interval);
+            let ck_due =
+                policy.checkpoint_interval > 0 && steps.is_multiple_of(policy.checkpoint_interval);
+            if scan_due || ck_due {
+                report = self.health();
+                if report.state == RunState::Corrupt {
+                    if restores >= policy.max_restores {
+                        return RecoveryOutcome {
+                            completed: false,
+                            restores,
+                            checkpoints,
+                            final_health: report,
+                        };
+                    }
+                    let ck = self
+                        .last_checkpoint
+                        .clone()
+                        .expect("checkpoint captured at window entry");
+                    self.restore(&ck).expect("own checkpoint must restore");
+                    restores += 1;
+                    continue;
+                }
+                if ck_due {
+                    self.last_checkpoint = Some(self.checkpoint());
+                    checkpoints += 1;
+                }
+            }
+        }
+        let final_health = self.health();
+        RecoveryOutcome {
+            completed: final_health.state != RunState::Corrupt,
+            restores,
+            checkpoints,
+            final_health,
         }
     }
 
@@ -384,6 +503,35 @@ mod tests {
             m.surface.tskin[ocean_c], ocean_t0,
             "SST must stay prescribed"
         );
+    }
+
+    #[test]
+    fn advance_resilient_rolls_back_a_nan_blowup() {
+        let mut m = GristModel::<f64>::new(small_config());
+        let out = m.advance_resilient(2.0 * m.config.dt_phy);
+        assert!(out.completed, "{}", out.final_health.diagnosis);
+        assert_eq!(out.restores, 0);
+        assert!(out.checkpoints >= 1, "entry checkpoint must be captured");
+        assert!(m.last_checkpoint().is_some());
+        // Poke a NaN between windows; the next window's entry scan must
+        // detect it and roll back to the previous window's checkpoint.
+        m.state.u.set(0, 3, f64::NAN);
+        let out2 = m.advance_resilient(m.config.dt_phy);
+        assert!(out2.completed, "{}", out2.final_health.diagnosis);
+        assert_eq!(out2.restores, 1);
+        assert!(m.state.u.as_slice().iter().all(|x| x.is_finite()));
+        assert!(m.metrics().counter("recovery.restores") >= 1);
+    }
+
+    #[test]
+    fn unrecoverable_corruption_is_reported_not_panicked() {
+        let mut m = GristModel::<f64>::new(small_config());
+        // Corrupt before any checkpoint exists: nothing to roll back to.
+        m.state.u.set(0, 3, f64::NAN);
+        let out = m.advance_resilient(m.config.dt_phy);
+        assert!(!out.completed);
+        assert_eq!(out.final_health.state, crate::health::RunState::Corrupt);
+        assert_eq!(out.restores, 0);
     }
 
     #[test]

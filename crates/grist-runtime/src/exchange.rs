@@ -11,6 +11,7 @@
 use crate::comm::RankCtx;
 use grist_mesh::RankLocale;
 use std::fmt;
+use sunway_sim::fault::{FaultPlan, FaultSite};
 use sunway_sim::Metrics;
 
 /// A registered exchange variable: a full-size (global-cell-indexed) field
@@ -179,6 +180,71 @@ pub fn exchange_gathered_metered(
     metrics: &Metrics,
 ) -> Result<ExchangeReceipt, ExchangeError> {
     let receipt = exchange_gathered(ctx, locale, list, tag)?;
+    metrics.counter_add("halo.exchanges", 1);
+    metrics.counter_add("halo.messages", receipt.messages_sent);
+    metrics.counter_add("halo.bytes", receipt.bytes_sent);
+    Ok(receipt)
+}
+
+/// Deterministic event key for the halo-exchange fault site: derived from
+/// `(receiving rank, sending rank, tag)` rather than a shared counter, so
+/// rank-thread interleaving cannot perturb a seeded fault schedule. Exposed
+/// so chaos tests can [`FaultPlan::pin`] a specific message of a specific
+/// round.
+pub fn halo_fault_key(rank: usize, src: usize, tag: u32) -> u64 {
+    ((rank as u64) << 40) ^ ((src as u64) << 20) ^ tag as u64
+}
+
+/// [`exchange_gathered_metered`] under an armed [`FaultPlan`]: before each
+/// received message is unpacked, the plan decides (keyed on
+/// [`halo_fault_key`]) whether the message was truncated in flight. An
+/// injected truncation drops the buffer's trailing value and ticks the
+/// `fault.injected` counter; the damage then surfaces through the normal
+/// malformed-buffer detection as a typed [`ExchangeError`] — the same error
+/// path a real size mismatch takes, so recovery code handles both alike.
+///
+/// On error the remaining messages of the round are left un-received; a
+/// retry after checkpoint restore must use a fresh `tag` so stale parked
+/// messages cannot satisfy it.
+pub fn exchange_gathered_chaos(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    tag: u32,
+    metrics: &Metrics,
+    plan: &FaultPlan,
+) -> Result<ExchangeReceipt, ExchangeError> {
+    let per_cell = list.values_per_cell();
+    let mut receipt = ExchangeReceipt::default();
+    for (dest, cells) in &locale.send {
+        let mut buf = Vec::with_capacity(cells.len() * per_cell);
+        for &c in cells {
+            for var in &list.vars {
+                let base = c as usize * var.nlev;
+                buf.extend_from_slice(&var.data[base..base + var.nlev]);
+            }
+        }
+        receipt.messages_sent += 1;
+        receipt.bytes_sent += (buf.len() * std::mem::size_of::<f64>()) as u64;
+        ctx.send(*dest, tag, buf);
+    }
+    for (src, cells) in &locale.recv {
+        let mut buf = ctx.recv(*src, tag);
+        let key = halo_fault_key(ctx.rank, *src, tag);
+        if plan.should_fail(FaultSite::HaloExchange, key, 0) && !buf.is_empty() {
+            metrics.counter_add("fault.injected", 1);
+            buf.pop();
+        }
+        check_buffer(ctx, *src, tag, buf.len(), cells.len(), per_cell)?;
+        let mut pos = 0;
+        for &c in cells {
+            for var in &mut list.vars {
+                let base = c as usize * var.nlev;
+                var.data[base..base + var.nlev].copy_from_slice(&buf[pos..pos + var.nlev]);
+                pos += var.nlev;
+            }
+        }
+    }
     metrics.counter_add("halo.exchanges", 1);
     metrics.counter_add("halo.messages", receipt.messages_sent);
     metrics.counter_add("halo.bytes", receipt.bytes_sent);
@@ -378,5 +444,233 @@ mod tests {
         let (m_naive, b_naive) = halo_roundtrip(false);
         assert_eq!(b_gather, b_naive, "payload volume must be identical");
         assert_eq!(m_naive, 3 * m_gather, "3 vars should gather 3:1");
+    }
+
+    #[test]
+    fn chaos_exchange_without_halo_faults_matches_the_metered_path() {
+        let mesh = HexMesh::build(2);
+        let parts = 3;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        // Dispatch-only faults armed: the halo site stays quiet.
+        let plan = FaultPlan::new(4).with_rate(FaultSite::Dispatch, 1.0);
+        let (results, _) = run_world(parts, |mut ctx| {
+            let metrics = sunway_sim::Metrics::default();
+            let locale = &layout.locales[ctx.rank];
+            let mut f0 = vec![1.5f64; n * 2];
+            let mut list = VarList::new();
+            list.push("a", 2, &mut f0);
+            let r = exchange_gathered_chaos(&mut ctx, locale, &mut list, 2, &metrics, &plan)
+                .expect("no halo faults armed");
+            assert_eq!(metrics.counter("fault.injected"), 0);
+            assert_eq!(metrics.counter("halo.exchanges"), 1);
+            r.messages_sent
+        });
+        assert!(results.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn pinned_halo_fault_truncates_exactly_the_named_message() {
+        let mesh = HexMesh::build(2);
+        let parts = 3;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        // Pick a (receiver, sender) pair that actually exchanges.
+        let victim = layout
+            .locales
+            .iter()
+            .find(|l| !l.recv.is_empty())
+            .expect("some rank has halos");
+        let (rank, src, tag) = (victim.rank, victim.recv[0].0, 31u32);
+        let plan = FaultPlan::new(0).pin(FaultSite::HaloExchange, halo_fault_key(rank, src, tag));
+        let (results, _) = run_world(parts, |mut ctx| {
+            let metrics = sunway_sim::Metrics::default();
+            let locale = &layout.locales[ctx.rank];
+            let mut f0 = vec![2.0f64; n * 3];
+            let mut list = VarList::new();
+            list.push("a", 3, &mut f0);
+            exchange_gathered_chaos(&mut ctx, locale, &mut list, tag, &metrics, &plan).err()
+        });
+        for (r, err) in results.iter().enumerate() {
+            if r == rank {
+                let e = err.clone().expect("the pinned message must fail");
+                assert_eq!(e.src, src);
+                assert_eq!(e.tag, tag);
+                assert_eq!(
+                    e.got_values,
+                    e.expected_values - 1,
+                    "truncation drops exactly the trailing value"
+                );
+            } else {
+                assert!(err.is_none(), "rank {r} was not targeted: {err:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generative_roundtrip_under_permuted_partitions_and_lists() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mesh = HexMesh::build(3);
+        let n = mesh.n_cells();
+        const NAMES: [&str; 4] = ["w", "x", "y", "z"];
+        fn truth(seed: u64, v: usize, c: usize, k: usize) -> f64 {
+            (seed + 1) as f64 * 1.0e7 + (v * 100_000 + c * 10 + k) as f64
+        }
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+            let parts = rng.gen_range(2usize..7);
+            let iters = rng.gen_range(0usize..4);
+            let partition = Partition::build(&mesh, parts, iters);
+            let layout = HaloLayout::build(&mesh, &partition, 1);
+            let n_vars = rng.gen_range(1usize..5);
+            let nlev: Vec<usize> = (0..n_vars).map(|_| rng.gen_range(1usize..5)).collect();
+            // Every rank registers in the same permuted order; unpack must
+            // still land each variable's halos in the right field.
+            let mut order: Vec<usize> = (0..n_vars).collect();
+            order.shuffle(&mut rng);
+            let (checked, _) = run_world(parts, |mut ctx| {
+                let locale = &layout.locales[ctx.rank];
+                let mut fields: Vec<Vec<f64>> =
+                    nlev.iter().map(|&l| vec![f64::NAN; n * l]).collect();
+                for &c in &locale.owned_cells {
+                    for (v, field) in fields.iter_mut().enumerate() {
+                        for k in 0..nlev[v] {
+                            field[c as usize * nlev[v] + k] = truth(seed, v, c as usize, k);
+                        }
+                    }
+                }
+                {
+                    let mut refs: Vec<Option<&mut Vec<f64>>> =
+                        fields.iter_mut().map(Some).collect();
+                    let mut list = VarList::new();
+                    for &v in &order {
+                        list.push(NAMES[v], nlev[v], refs[v].take().unwrap());
+                    }
+                    exchange_gathered(&mut ctx, locale, &mut list, 100 + seed as u32)
+                        .expect("agreeing permuted lists must exchange cleanly");
+                }
+                let mut checked = 0usize;
+                for (_, cells) in &locale.recv {
+                    for &c in cells {
+                        for (v, field) in fields.iter().enumerate() {
+                            for k in 0..nlev[v] {
+                                assert_eq!(
+                                    field[c as usize * nlev[v] + k],
+                                    truth(seed, v, c as usize, k),
+                                    "seed {seed}: halo value wrong for var {v}"
+                                );
+                                checked += 1;
+                            }
+                        }
+                    }
+                }
+                checked
+            });
+            assert!(
+                checked.iter().sum::<usize>() > 0,
+                "seed {seed}: world had no halos to verify"
+            );
+        }
+    }
+
+    #[test]
+    fn generative_truncated_buffers_error_deterministically() {
+        let mesh = HexMesh::build(2);
+        let n = mesh.n_cells();
+        let mut total_errs = 0usize;
+        for seed in 0..8u64 {
+            let parts = 3 + (seed as usize % 3);
+            let partition = Partition::build(&mesh, parts, 2);
+            let layout = HaloLayout::build(&mesh, &partition, 1);
+            let plan = FaultPlan::new(seed).with_rate(FaultSite::HaloExchange, 0.4);
+            let storm = |plan: &FaultPlan| {
+                let (results, _) = run_world(parts, |mut ctx| {
+                    let metrics = sunway_sim::Metrics::default();
+                    let locale = &layout.locales[ctx.rank];
+                    let mut f0 = vec![1.0f64; n * 2];
+                    let mut list = VarList::new();
+                    list.push("a", 2, &mut f0);
+                    let res =
+                        exchange_gathered_chaos(&mut ctx, locale, &mut list, 5, &metrics, plan);
+                    (res.err(), metrics.counter("fault.injected"))
+                });
+                results
+            };
+            let first = storm(&plan);
+            let second = storm(&plan);
+            assert_eq!(
+                first, second,
+                "seed {seed}: fault schedule must not depend on thread timing"
+            );
+            for (rank, (err, injected)) in first.iter().enumerate() {
+                match err {
+                    None => assert_eq!(
+                        *injected, 0,
+                        "seed {seed} rank {rank}: injection must surface as an error"
+                    ),
+                    Some(e) => {
+                        total_errs += 1;
+                        assert_eq!(e.rank, rank);
+                        assert_eq!(
+                            e.got_values,
+                            e.expected_values - 1,
+                            "seed {seed}: truncation drops exactly one value"
+                        );
+                        assert!(*injected >= 1);
+                    }
+                }
+            }
+        }
+        assert!(
+            total_errs > 0,
+            "a 40% truncation rate over 8 worlds must fire at least once"
+        );
+    }
+
+    #[test]
+    fn generative_list_disagreement_is_caught_by_every_involved_rank() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mesh = HexMesh::build(2);
+        let n = mesh.n_cells();
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37));
+            let parts = rng.gen_range(2usize..6);
+            let culprit = rng.gen_range(0usize..parts);
+            let extra_nlev = rng.gen_range(1usize..4);
+            let partition = Partition::build(&mesh, parts, 2);
+            let layout = HaloLayout::build(&mesh, &partition, 1);
+            let (results, _) = run_world(parts, |mut ctx| {
+                let locale = &layout.locales[ctx.rank];
+                let mut f0 = vec![0.0f64; n * 2];
+                let mut f1 = vec![0.0f64; n * extra_nlev];
+                let mut list = VarList::new();
+                list.push("a", 2, &mut f0);
+                if ctx.rank == culprit {
+                    list.push("b", extra_nlev, &mut f1);
+                }
+                exchange_gathered(&mut ctx, locale, &mut list, 9).err()
+            });
+            for (rank, err) in results.iter().enumerate() {
+                let recv_from: Vec<usize> =
+                    layout.locales[rank].recv.iter().map(|&(s, _)| s).collect();
+                if rank == culprit && !recv_from.is_empty() {
+                    let e = err.clone().expect("culprit expects more values than sent");
+                    assert_eq!(e.values_per_cell, 2 + extra_nlev, "seed {seed}");
+                } else if recv_from.contains(&culprit) {
+                    // An earlier neighbour's message is clean, so the error —
+                    // when it comes — must blame the culprit.
+                    let e = err.clone().expect("culprit's neighbours must detect");
+                    assert_eq!(e.src, culprit, "seed {seed}");
+                    assert_eq!(e.got_values, e.halo_cells * (2 + extra_nlev));
+                } else {
+                    assert!(err.is_none(), "seed {seed} rank {rank}: {err:?}");
+                }
+            }
+        }
     }
 }

@@ -19,8 +19,8 @@ pub mod scaling;
 pub use collectives::{allgather, allreduce_vec, broadcast, reduce};
 pub use comm::{run_world, CommStats, RankCtx};
 pub use exchange::{
-    exchange_gathered, exchange_gathered_metered, exchange_per_variable, ExchangeError,
-    ExchangeReceipt, VarList,
+    exchange_gathered, exchange_gathered_chaos, exchange_gathered_metered, exchange_per_variable,
+    halo_fault_key, ExchangeError, ExchangeReceipt, VarList,
 };
 pub use fattree::{boundary_fraction, exchange_time, ExchangeProfile, ExchangeTime};
 pub use pio::{grouped_write, io_group, n_writers, IoGroup};

@@ -20,10 +20,14 @@
 //! * [`json`] — the dependency-free JSON reader/writer behind the
 //!   `BENCH_*.json` benchmark baselines (the workspace builds offline, so
 //!   serde is unavailable).
+//! * [`fault`] — seeded deterministic fault injection (stalled dispatches,
+//!   corrupt DMA payloads, truncated halo messages) feeding the substrate's
+//!   retry/degrade recovery ladder.
 
 pub mod arch;
 pub mod distributor;
 pub mod dma;
+pub mod fault;
 pub mod json;
 pub mod ldcache;
 pub mod metrics;
@@ -38,6 +42,7 @@ pub use dma::{
     amortization_threshold, effective_bandwidth, simulate_dma_batch, simulate_dma_batch_metered,
     DmaCompletion, DmaRequest,
 };
+pub use fault::{FaultError, FaultPlan, FaultSite};
 pub use json::{Json, JsonError};
 pub use ldcache::{simulate_streams, Access, LdCache};
 pub use metrics::{KernelStats, Metrics, MetricsSnapshot, SpanGuard, SpanStats};

@@ -19,6 +19,13 @@ cargo fmt --check
 echo "== cargo doc =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "== chaos suite (3 fixed fault seeds) =="
+for seed in 42 7 1234; do
+    echo "-- CHAOS_SEED=$seed"
+    CHAOS_SEED=$seed cargo test --release -q --test integration_chaos
+    CHAOS_SEED=$seed cargo run --release -p grist-bench --bin chaos_smoke
+done
+
 echo "== bench smoke vs committed baseline =="
 cargo run --release -p grist-bench --bin bench_smoke -- target/bench_smoke.json
 cargo run --release -p grist-bench --bin bench_compare -- \
