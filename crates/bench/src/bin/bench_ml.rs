@@ -1,0 +1,68 @@
+//! Runs the pinned batched-vs-per-column ML inference benchmark and writes
+//! the `BENCH_0004.json` document (see `grist_bench::ml` for what runs).
+//!
+//! Usage:
+//!   cargo run --release -p grist-bench --bin bench_ml -- [OUT.json] [--min-speedup X]
+//!
+//! Defaults to stdout when no path is given. The binary fails (exit 1) when
+//! the batched engine is slower than `--min-speedup` × the per-column path
+//! on the *serial* target — the acceptance floor is 3×; pass
+//! `--min-speedup 0` to disable the gate when exploring.
+
+use std::io::Write;
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut min_speedup = 3.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-speedup" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--min-speedup needs a value"));
+                min_speedup = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--min-speedup value must be a number"));
+            }
+            _ if arg.starts_with("--") => usage(&format!("unknown flag {arg}")),
+            _ if out_path.is_none() => out_path = Some(arg),
+            _ => usage("at most one output path"),
+        }
+    }
+
+    let bench = grist_bench::ml::run_ml();
+    eprintln!(
+        "bench_ml: serial batched/per-column speedup {:.2}x, cpe {:.2}x",
+        bench.serial_speedup, bench.cpe_speedup
+    );
+
+    let text = bench.doc.pretty();
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &text).unwrap_or_else(|e| {
+                eprintln!("bench_ml: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("bench_ml: wrote {path} ({} bytes)", text.len());
+        }
+        None => {
+            std::io::stdout()
+                .write_all(text.as_bytes())
+                .expect("stdout");
+        }
+    }
+
+    if bench.serial_speedup < min_speedup {
+        eprintln!(
+            "bench_ml: FAIL — serial speedup {:.2}x below the {min_speedup}x floor",
+            bench.serial_speedup
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("bench_ml: {msg}\nusage: bench_ml [OUT.json] [--min-speedup X]");
+    std::process::exit(2);
+}

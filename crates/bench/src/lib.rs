@@ -7,6 +7,7 @@
 // clearer than iterator chains for staggered-grid code.
 #![allow(clippy::needless_range_loop)]
 pub mod compare;
+pub mod ml;
 pub mod smoke;
 
 use std::fs;

@@ -33,5 +33,5 @@ pub use datagen::{
 pub use diag::{bin_latlon, precision_gate, spatial_correlation, PrecisionGate};
 pub use health::{HealthReport, HealthThresholds, RunState};
 pub use history::{read_snapshot, HistoryRecord, HistoryWriter, Snapshot};
-pub use mlsuite::{MlOutput, MlSuite};
+pub use mlsuite::{MlOutput, MlSuite, ScratchPool, DEFAULT_ML_BLOCK};
 pub use model::{GristModel, PhysicsEngine, RecoveryOutcome};

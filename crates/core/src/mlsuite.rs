@@ -3,12 +3,109 @@
 //! (gsw/glw), and the conventional physics *diagnostic* module (surface
 //! precipitation from the moisture budget) — "they together form the new
 //! model physics suite".
+//!
+//! ## Batched inference (the §3.3.4 "unified computational pattern")
+//!
+//! [`MlSuite::step_columns`] packs blocks of [`MlSuite::block`] columns into
+//! row-major `[B × n_in]` stage matrices and runs each block through
+//! `grist_ml`'s im2col + GEMM engine — one `Substrate` dispatch item per
+//! *block*, metered with `run_with_bytes` so DMA counters, the `ml` trace
+//! span and the fault/degradation path all see the batched kernel. All
+//! intermediate storage comes from a shared [`ScratchPool`]; after warm-up
+//! the steady-state loop performs zero heap allocations (inference side —
+//! the `MlOutput` assembly still allocates its `Tendencies`, exactly as the
+//! per-column path always has), which
+//! [`MlSuite::scratch_alloc_events`] lets tests assert.
+//!
+//! The batched path is **bitwise identical** to the per-column reference
+//! ([`MlSuite::step_columns_per_column`]): the GEMM kernel accumulates each
+//! output element in the same order as the matrix–vector loops (see
+//! `grist_ml::gemm`), so equivalence tests use exact equality and the chaos
+//! suite's determinism guarantees carry over unchanged.
 
-use grist_ml::models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use grist_ml::batch::{CnnScratch, MlpScratch};
+use grist_ml::models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS, CNN_OUTPUT_CHANNELS};
+use grist_ml::{cnn_batch_flops, mlp_batch_flops};
 use grist_physics::column::consts::LVAP;
 use grist_physics::surface::{bulk_fluxes, SurfaceConfig};
 use grist_physics::{Column, SurfaceDiag, Tendencies};
 use sunway_sim::{ColumnsMut, Substrate};
+
+/// Default number of columns per batched dispatch block. Sized so the
+/// largest LDM-*resident* panel (an activation matrix, `ch × B·nlev` f32:
+/// 240 KB for the production-like 64-channel, 30-level suite) fills but
+/// does not overflow a CPE's 256 KB LDM. The 3× larger im2col panel never
+/// needs to be resident — the GEMM tiling streams it in `KC`-deep slivers
+/// — see DESIGN.md "Batched ML inference".
+pub const DEFAULT_ML_BLOCK: usize = 32;
+
+/// Per-block working storage: the packed stage matrices plus the network
+/// scratch arenas. Lives in a [`ScratchPool`] and is reused across blocks
+/// and steps.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    cnn: CnnScratch,
+    mlp: MlpScratch,
+    xs_cnn: Vec<f32>,
+    ys_cnn: Vec<f32>,
+    xs_mlp: Vec<f32>,
+    ys_mlp: Vec<f32>,
+    grows: u64,
+}
+
+impl BlockScratch {
+    fn ensure(&mut self, b: usize, nlev: usize, n_in_mlp: usize, n_out_mlp: usize) {
+        let want = b * CNN_INPUT_CHANNELS * nlev;
+        if self.xs_cnn.len() < want {
+            self.grows += 1;
+            self.xs_cnn.resize(want, 0.0);
+            self.ys_cnn.resize(b * CNN_OUTPUT_CHANNELS * nlev, 0.0);
+            self.xs_mlp.resize(b * n_in_mlp, 0.0);
+            self.ys_mlp.resize(b * n_out_mlp, 0.0);
+        }
+    }
+
+    fn alloc_events(&self) -> u64 {
+        self.grows + self.cnn.grows() + self.mlp.grows()
+    }
+}
+
+/// A free-list of `BlockScratch` arenas shared (via `Arc`) by every clone
+/// of a suite. Workers pop an arena per block and push it back when done;
+/// one arena is created per *concurrently active* worker, after which the
+/// pool is in steady state and [`Self::alloc_events`] stops moving.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<BlockScratch>>,
+    created: AtomicU64,
+}
+
+impl ScratchPool {
+    fn take(&self) -> BlockScratch {
+        let popped = self.free.lock().unwrap().pop();
+        popped.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            BlockScratch::default()
+        })
+    }
+
+    fn put(&self, s: BlockScratch) {
+        self.free.lock().unwrap().push(s);
+    }
+
+    /// Total allocation events: arenas created plus every buffer growth
+    /// inside the pooled arenas. Constant across repeated `step_columns`
+    /// calls ⇒ the batched inference loop is allocation-free. (Only
+    /// meaningful between dispatches, when all arenas are back in the
+    /// pool.)
+    pub fn alloc_events(&self) -> u64 {
+        let free = self.free.lock().unwrap();
+        self.created.load(Ordering::Relaxed) + free.iter().map(|s| s.alloc_events()).sum::<u64>()
+    }
+}
 
 /// The coupled ML physics suite.
 #[derive(Debug, Clone)]
@@ -16,8 +113,17 @@ pub struct MlSuite {
     pub cnn: TendencyCnn,
     pub mlp: RadiationMlp,
     pub nlev: usize,
-    /// Execution target for the per-column inference fan-out (§3.3.4).
+    /// Execution target for the blocked inference fan-out (§3.3.4).
     pub sub: Substrate,
+    /// Surface-layer parameters for the bulk-flux diagnostic — previously
+    /// hardcoded to `SurfaceConfig::default()`; now plumbed so a model
+    /// configured with non-default surface physics keeps it under the ML
+    /// suite too (ocean β, matching the conventional suite's ocean branch).
+    pub surface: SurfaceConfig,
+    /// Columns per batched dispatch block.
+    pub block: usize,
+    /// Shared scratch arenas for the batched engine.
+    scratch: Arc<ScratchPool>,
 }
 
 /// Output of the ML suite on one column (mirrors the conventional suite's).
@@ -45,58 +151,71 @@ impl MlSuite {
             mlp,
             nlev,
             sub: Substrate::serial(),
+            surface: SurfaceConfig::default(),
+            block: DEFAULT_ML_BLOCK,
+            scratch: Arc::new(ScratchPool::default()),
         }
     }
 
     /// Build the CNN input vector `[U|V|T|Q|P] × nlev` from a column
     /// (raw physical units; normalization is the model's).
     pub fn cnn_input(&self, col: &Column) -> Vec<f32> {
-        let nlev = self.nlev;
-        let mut x = Vec::with_capacity(CNN_INPUT_CHANNELS * nlev);
-        x.extend(col.u.iter().map(|&v| v as f32));
-        x.extend(col.v.iter().map(|&v| v as f32));
-        x.extend(col.t.iter().map(|&v| v as f32));
-        x.extend(col.qv.iter().map(|&v| v as f32));
-        x.extend(col.p.iter().map(|&v| v as f32));
+        let mut x = vec![0.0f32; CNN_INPUT_CHANNELS * self.nlev];
+        self.cnn_input_into(col, &mut x);
         x
+    }
+
+    /// Fill a `[5 × nlev]` slice with the CNN input — the allocation-free
+    /// form the batched packer uses.
+    pub fn cnn_input_into(&self, col: &Column, x: &mut [f32]) {
+        let nlev = self.nlev;
+        debug_assert_eq!(x.len(), CNN_INPUT_CHANNELS * nlev);
+        let fields: [&[f64]; CNN_INPUT_CHANNELS] = [&col.u, &col.v, &col.t, &col.qv, &col.p];
+        for (chunk, field) in x.chunks_mut(nlev).zip(fields) {
+            for (d, &s) in chunk.iter_mut().zip(field) {
+                *d = s as f32;
+            }
+        }
     }
 
     /// Build the radiation MLP input `[T | Q | tskin | coszr]`.
     pub fn mlp_input(&self, col: &Column) -> Vec<f32> {
-        let mut x = Vec::with_capacity(2 * self.nlev + 2);
-        x.extend(col.t.iter().map(|&v| v as f32));
-        x.extend(col.qv.iter().map(|&v| v as f32));
-        x.push(col.tskin as f32);
-        x.push(col.coszr as f32);
+        let mut x = vec![0.0f32; 2 * self.nlev + 2];
+        self.mlp_input_into(col, &mut x);
         x
     }
 
-    /// Run the suite on one column.
-    pub fn step_column(&self, col: &Column) -> MlOutput {
+    /// Fill a `[2·nlev + 2]` slice with the MLP input (allocation-free
+    /// form).
+    pub fn mlp_input_into(&self, col: &Column, x: &mut [f32]) {
         let nlev = self.nlev;
-        // --- ML physical tendency module ---
-        let mut x = self.cnn_input(col);
-        self.cnn.normalize_input(&mut x);
-        let mut y = vec![0.0f32; 2 * nlev];
-        self.cnn.infer(&x, &mut y);
-        self.cnn.denormalize_output(&mut y);
+        debug_assert_eq!(x.len(), 2 * nlev + 2);
+        for (d, &s) in x[..nlev].iter_mut().zip(&col.t) {
+            *d = s as f32;
+        }
+        for (d, &s) in x[nlev..2 * nlev].iter_mut().zip(&col.qv) {
+            *d = s as f32;
+        }
+        x[2 * nlev] = col.tskin as f32;
+        x[2 * nlev + 1] = col.coszr as f32;
+    }
+
+    /// Assemble one column's [`MlOutput`] from the *denormalized* CNN
+    /// profile `y [2 × nlev]` and MLP diagnostics `r [n_out]` — the shared
+    /// tail of the per-column and batched paths.
+    fn assemble_output(&self, col: &Column, y: &[f32], r: &[f32]) -> MlOutput {
+        let nlev = self.nlev;
         let mut tend = Tendencies::zeros(nlev);
         for k in 0..nlev {
             tend.dt_dt[k] = y[k] as f64; // Q1
             tend.dqv_dt[k] = y[nlev + k] as f64; // Q2
         }
-
-        // --- ML radiation/surface diagnostic module ---
-        let mut rx = self.mlp_input(col);
-        self.mlp.normalize_input(&mut rx);
-        let mut r = self.mlp.infer(&rx);
-        self.mlp.denormalize_output(&mut r);
         let gsw = (r[0] as f64).max(0.0);
         let glw = (r[1] as f64).max(0.0);
         // Learned precipitation diagnostic (third MLP output); if the suite
         // was built with only the two radiation outputs, fall back to the
         // column moisture-budget closure P = E − ∫Q2 dm.
-        let (shflx, lhflx) = bulk_fluxes(col, &SurfaceConfig::default(), 1.0);
+        let (shflx, lhflx) = bulk_fluxes(col, &self.surface, self.surface.beta_ocean);
         let precip = if r.len() >= 3 {
             (r[2] as f64).max(0.0)
         } else {
@@ -106,7 +225,6 @@ impl MlSuite {
             }
             (lhflx / LVAP - dq_int).max(0.0) * 86_400.0
         };
-
         MlOutput {
             tend,
             diag: SurfaceDiag {
@@ -121,10 +239,106 @@ impl MlSuite {
         }
     }
 
-    /// Run on many columns in parallel — "a simplified, unified computational
-    /// pattern (primarily matrix multiplication)".
+    /// Run the suite on one column (matrix–vector reference path).
+    pub fn step_column(&self, col: &Column) -> MlOutput {
+        let nlev = self.nlev;
+        // --- ML physical tendency module ---
+        let mut x = self.cnn_input(col);
+        self.cnn.normalize_input(&mut x);
+        let mut y = vec![0.0f32; 2 * nlev];
+        self.cnn.infer(&x, &mut y);
+        self.cnn.denormalize_output(&mut y);
+
+        // --- ML radiation/surface diagnostic module ---
+        let mut rx = self.mlp_input(col);
+        self.mlp.normalize_input(&mut rx);
+        let mut r = self.mlp.infer(&rx);
+        self.mlp.denormalize_output(&mut r);
+
+        self.assemble_output(col, &y, &r)
+    }
+
+    /// Run one block of columns through the batched GEMM engine, writing
+    /// each result into its slot of `out` at `lo + i`.
+    fn step_block(
+        &self,
+        cols: &[Column],
+        lo: usize,
+        hi: usize,
+        out: &ColumnsMut<'_, Option<MlOutput>>,
+        s: &mut BlockScratch,
+    ) {
+        let block = &cols[lo..hi];
+        let b = block.len();
+        let nlev = self.nlev;
+        let (n_in, n_out) = (self.mlp.n_in, self.mlp.n_out);
+        s.ensure(b, nlev, n_in, n_out);
+
+        // Pack + normalize the stage matrices (row per column).
+        let xs_cnn = &mut s.xs_cnn[..b * CNN_INPUT_CHANNELS * nlev];
+        for (i, col) in block.iter().enumerate() {
+            let row = &mut xs_cnn[i * CNN_INPUT_CHANNELS * nlev..][..CNN_INPUT_CHANNELS * nlev];
+            self.cnn_input_into(col, row);
+            self.cnn.normalize_input(row);
+        }
+        let xs_mlp = &mut s.xs_mlp[..b * n_in];
+        for (i, col) in block.iter().enumerate() {
+            let row = &mut xs_mlp[i * n_in..][..n_in];
+            self.mlp_input_into(col, row);
+            self.mlp.normalize_input(row);
+        }
+
+        // One im2col+GEMM pass per network for the whole block.
+        let ys_cnn = &mut s.ys_cnn[..b * CNN_OUTPUT_CHANNELS * nlev];
+        self.cnn.infer_batch(b, xs_cnn, ys_cnn, &mut s.cnn);
+        let ys_mlp = &mut s.ys_mlp[..b * n_out];
+        self.mlp.infer_batch(b, xs_mlp, ys_mlp, &mut s.mlp);
+
+        // Denormalize and assemble per column.
+        for (i, col) in block.iter().enumerate() {
+            let y = &mut ys_cnn[i * CNN_OUTPUT_CHANNELS * nlev..][..CNN_OUTPUT_CHANNELS * nlev];
+            self.cnn.denormalize_output(y);
+            let r = &mut ys_mlp[i * n_out..][..n_out];
+            self.mlp.denormalize_output(r);
+            // SAFETY: each output index is written by exactly one block.
+            *unsafe { out.at(lo + i) } = Some(self.assemble_output(col, y, r));
+        }
+    }
+
+    /// Run on many columns — "a simplified, unified computational pattern
+    /// (primarily matrix multiplication)": blocks of [`Self::block`]
+    /// columns, each lowered to im2col + GEMM, one `Substrate` dispatch
+    /// item per block with the streamed bytes metered for the DMA model.
     pub fn step_columns(&self, cols: &[Column]) -> Vec<MlOutput> {
         // Attribute the inference fan-out to the "ml" trace span.
+        let _span = self.sub.span("ml");
+        let n = cols.len();
+        let block = self.block.max(1);
+        let n_blocks = n.div_ceil(block);
+        // Streamed per block: CNN in/out (5+2 profiles) + MLP in/out
+        // (2·nlev+2 in, 3 out ≈ +5), all f32.
+        let bytes_per_block = 4 * block * (9 * self.nlev + 5);
+        let mut out: Vec<Option<MlOutput>> = (0..n).map(|_| None).collect();
+        {
+            let out_view = ColumnsMut::new(&mut out, 1);
+            self.sub
+                .run_with_bytes("ml_physics_blocks", n_blocks, bytes_per_block, |bi| {
+                    let lo = bi * block;
+                    let hi = (lo + block).min(n);
+                    let mut scratch = self.scratch.take();
+                    self.step_block(cols, lo, hi, &out_view, &mut scratch);
+                    self.scratch.put(scratch);
+                });
+        }
+        out.into_iter()
+            .map(|o| o.expect("block dispatched"))
+            .collect()
+    }
+
+    /// The pre-batching reference: one dispatch item per column, each a
+    /// matrix–vector inference. Kept for equivalence tests and as the
+    /// "before" side of the `bench_ml` speedup measurement.
+    pub fn step_columns_per_column(&self, cols: &[Column]) -> Vec<MlOutput> {
         let _span = self.sub.span("ml");
         let n = cols.len();
         let mut out: Vec<Option<MlOutput>> = (0..n).map(|_| None).collect();
@@ -145,6 +359,20 @@ impl MlSuite {
         self.cnn.flops() + self.mlp.flops()
     }
 
+    /// FLOPs the batched engine issues for a block of `b` columns, summed
+    /// from the exact GEMM shapes the lowering performs. Consistency:
+    /// `batch_flops(b) == b · flops_per_column()`.
+    pub fn batch_flops(&self, b: usize) -> u64 {
+        cnn_batch_flops(&self.cnn, b) + mlp_batch_flops(&self.mlp, b)
+    }
+
+    /// Allocation events inside the batched-inference scratch arenas (see
+    /// [`ScratchPool::alloc_events`]). Flat across steps ⇒ zero-alloc
+    /// steady state.
+    pub fn scratch_alloc_events(&self) -> u64 {
+        self.scratch.alloc_events()
+    }
+
     /// Save the trained suite (both networks + normalization) to one file —
     /// the "weight of the AI-enhanced physics suite along with its
     /// corresponding parameter files" of the paper's artifact.
@@ -155,7 +383,9 @@ impl MlSuite {
         Ok(())
     }
 
-    /// Load a suite saved with [`Self::save`].
+    /// Load a suite saved with [`Self::save`]. Runtime knobs (substrate,
+    /// surface config, block size) are not part of the weight file and come
+    /// back as defaults.
     pub fn load(path: &std::path::Path) -> std::io::Result<MlSuite> {
         let mut f = std::fs::File::open(path)?;
         let cnn = TendencyCnn::load_from(&mut f)?;
@@ -166,6 +396,9 @@ impl MlSuite {
             mlp,
             nlev,
             sub: Substrate::serial(),
+            surface: SurfaceConfig::default(),
+            block: DEFAULT_ML_BLOCK,
+            scratch: Arc::new(ScratchPool::default()),
         })
     }
 }
@@ -205,21 +438,89 @@ mod tests {
         assert_eq!(rx[11], col.coszr as f32);
     }
 
+    fn varied_columns(nlev: usize, n: usize) -> Vec<Column> {
+        (0..n)
+            .map(|i| {
+                let mut c = Column::reference(nlev);
+                c.t[nlev / 2] += (i % 17) as f64 * 0.3;
+                c.qv[nlev - 1] *= 1.0 + 0.01 * (i % 5) as f64;
+                c
+            })
+            .collect()
+    }
+
     #[test]
     fn parallel_and_serial_agree() {
         let suite = MlSuite::untrained(10, 8, 3);
-        let cols: Vec<Column> = (0..8)
-            .map(|i| {
-                let mut c = Column::reference(10);
-                c.t[5] += i as f64;
-                c
-            })
-            .collect();
+        let cols = varied_columns(10, 8);
         let par = suite.step_columns(&cols);
         for (c, p) in cols.iter().zip(&par) {
             let s = suite.step_column(c);
             assert_eq!(s.tend.dt_dt, p.tend.dt_dt);
         }
+    }
+
+    #[test]
+    fn batched_blocks_match_per_column_dispatch_bitwise() {
+        // n chosen to exercise a full block, a partial tail block, and the
+        // b=1 degenerate tail.
+        let mut suite = MlSuite::untrained(9, 8, 11);
+        suite.block = 4;
+        for n in [1usize, 3, 4, 5, 9] {
+            let cols = varied_columns(9, n);
+            let batched = suite.step_columns(&cols);
+            let reference = suite.step_columns_per_column(&cols);
+            for (a, b) in batched.iter().zip(&reference) {
+                assert_eq!(a.tend.dt_dt, b.tend.dt_dt);
+                assert_eq!(a.tend.dqv_dt, b.tend.dqv_dt);
+                assert_eq!(a.diag.gsw, b.diag.gsw);
+                assert_eq!(a.diag.glw, b.diag.glw);
+                assert_eq!(a.diag.precip, b.diag.precip);
+                assert_eq!(a.diag.shflx, b.diag.shflx);
+                assert_eq!(a.diag.lhflx, b.diag.lhflx);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_steady_state_is_allocation_free() {
+        let mut suite = MlSuite::untrained(8, 8, 5);
+        suite.block = 4;
+        let cols = varied_columns(8, 11);
+        suite.step_columns(&cols); // warm-up grows the arenas
+        let warm = suite.scratch_alloc_events();
+        assert!(warm >= 1);
+        for _ in 0..5 {
+            suite.step_columns(&cols);
+        }
+        assert_eq!(
+            suite.scratch_alloc_events(),
+            warm,
+            "batched inference allocated in steady state"
+        );
+    }
+
+    #[test]
+    fn configured_surface_parameters_reach_bulk_fluxes() {
+        // The old code hardcoded SurfaceConfig::default() here; pin that
+        // the configured parameters now flow through both paths.
+        let mut suite = MlSuite::untrained(6, 4, 2);
+        let col = Column::reference(6);
+        let base = suite.step_column(&col);
+        suite.surface.ch *= 2.0;
+        let out = suite.step_column(&col);
+        let (sh, lh) = bulk_fluxes(&col, &suite.surface, suite.surface.beta_ocean);
+        assert_eq!(out.diag.shflx, sh);
+        assert_eq!(out.diag.lhflx, lh);
+        assert!(
+            (out.diag.shflx - 2.0 * base.diag.shflx).abs() < 1e-9,
+            "bulk SH flux is linear in ch: {} vs 2×{}",
+            out.diag.shflx,
+            base.diag.shflx
+        );
+        let batched = suite.step_columns(std::slice::from_ref(&col));
+        assert_eq!(batched[0].diag.shflx, sh);
+        assert_eq!(batched[0].diag.lhflx, lh);
     }
 
     #[test]
@@ -256,6 +557,9 @@ mod tests {
             "precip {} vs expected {expected}",
             out.diag.precip
         );
+        // The budget closure must survive batching too.
+        let batched = suite.step_columns(std::slice::from_ref(&col));
+        assert_eq!(batched[0].diag.precip, out.diag.precip);
     }
 
     #[test]
@@ -280,5 +584,17 @@ mod tests {
         let suite = MlSuite::untrained(30, 128, 1);
         assert!(suite.flops_per_column() > suite.cnn.flops());
         assert!(suite.flops_per_column() > 1_000_000);
+    }
+
+    #[test]
+    fn batch_flops_match_gemm_shapes_exactly() {
+        let suite = MlSuite::untrained(16, 64, 4);
+        for b in [1u64, 3, 32, 33, 64] {
+            assert_eq!(
+                suite.batch_flops(b as usize),
+                b * suite.flops_per_column(),
+                "batched GEMM op count must be exactly b × per-column FLOPs"
+            );
+        }
     }
 }

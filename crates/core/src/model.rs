@@ -112,6 +112,10 @@ impl<R: Real> GristModel<R> {
         let physics = if config.ml_physics {
             let mut suite = MlSuite::untrained(config.nlev, 32, 2024);
             suite.sub = sub.clone();
+            // Same surface-layer parameters the conventional suite would
+            // run with, so switching physics engines doesn't silently
+            // change the bulk-flux diagnostic.
+            suite.surface = SuiteConfig::default().surface;
             PhysicsEngine::Ml(Box::new(suite))
         } else {
             let states = (0..nc)

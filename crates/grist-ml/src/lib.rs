@@ -13,17 +13,23 @@
 // Indexed loops mirror the Fortran stencil kernels they reproduce and are
 // clearer than iterator chains for staggered-grid code.
 #![allow(clippy::needless_range_loop)]
+pub mod batch;
 pub mod data;
 pub mod ensemble;
 pub mod flops;
+pub mod gemm;
 pub mod io;
 pub mod models;
 pub mod optim;
 pub mod tensor;
 
+pub use batch::{
+    cnn_batch_flops, mlp_batch_flops, CnnScratch, ColumnScratch, MlpScratch, SampleLayout,
+};
 pub use data::{ChannelNormalizer, Dataset, Sample, TrainingPeriod, TRAINING_PERIODS};
 pub use ensemble::CnnEnsemble;
 pub use flops::{achieved_peak_fraction, compare_radiation, RadiationComparison, WorkloadMix};
+pub use gemm::{gemm_flops, gemm_nn};
 pub use models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS, CNN_OUTPUT_CHANNELS};
 pub use optim::{Adam, AdamConfig};
 pub use tensor::{mse_loss, Conv1d, Dense, Param, Relu};

@@ -11,6 +11,7 @@
 //!   provide physical features of the model top insolation and surface
 //!   state".
 
+use crate::batch::ColumnScratch;
 use crate::io::{
     check_magic, read_f32_vec, read_norm_pairs, read_u64, write_f32_slice, write_magic,
     write_norm_pairs, write_u64, KIND_CNN, KIND_MLP,
@@ -28,10 +29,10 @@ pub const CNN_OUTPUT_CHANNELS: usize = 2;
 
 /// One residual unit: conv → ReLU → conv, added to the input.
 #[derive(Debug, Clone)]
-struct ResUnit {
-    conv1: Conv1d,
+pub(crate) struct ResUnit {
+    pub(crate) conv1: Conv1d,
     relu: Relu,
-    conv2: Conv1d,
+    pub(crate) conv2: Conv1d,
 }
 
 impl ResUnit {
@@ -75,10 +76,10 @@ impl ResUnit {
 pub struct TendencyCnn {
     pub nlev: usize,
     pub channels: usize,
-    input: Conv1d,
+    pub(crate) input: Conv1d,
     input_relu: Relu,
-    res: Vec<ResUnit>,
-    output: Conv1d,
+    pub(crate) res: Vec<ResUnit>,
+    pub(crate) output: Conv1d,
     /// Per-channel input normalization (mean, 1/std) — fit on training data.
     pub in_norm: Vec<(f32, f32)>,
     /// Per-channel output denormalization (mean, std).
@@ -166,18 +167,28 @@ impl TendencyCnn {
     }
 
     /// Inference on a normalized input, writing the normalized output.
+    ///
+    /// Convenience wrapper over [`Self::infer_into`] that allocates fresh
+    /// scratch — fine for one-off calls; hot loops should hold a
+    /// [`ColumnScratch`] (or batch with
+    /// [`Self::infer_batch`](crate::batch)) instead.
     pub fn infer(&self, x: &[f32], y: &mut [f32]) {
+        let mut scratch = ColumnScratch::new();
+        self.infer_into(x, y, &mut scratch);
+    }
+
+    /// Inference on a normalized input using caller-provided scratch: no
+    /// allocations once `scratch` has warmed up.
+    pub fn infer_into(&self, x: &[f32], y: &mut [f32], scratch: &mut ColumnScratch) {
         let n = self.channels * self.nlev;
-        let mut a = vec![0.0f32; n];
-        let mut b = vec![0.0f32; n];
-        let mut c = vec![0.0f32; n];
-        self.input.infer(x, &mut a);
-        Relu::infer(&mut a);
+        let (mut a, b, mut c) = scratch.planes(n);
+        self.input.infer(x, a);
+        Relu::infer(a);
         for r in &self.res {
-            r.infer(&a, &mut b, &mut c);
+            r.infer(a, b, c);
             std::mem::swap(&mut a, &mut c);
         }
-        self.output.infer(&a, y);
+        self.output.infer(a, y);
     }
 
     /// One SGD sample: forward, MSE vs `target` (normalized), backward.
@@ -279,9 +290,9 @@ pub struct RadiationMlp {
     pub n_in: usize,
     pub n_out: usize,
     pub width: usize,
-    input: Dense,
-    hidden: Vec<Dense>, // 5 hidden layers with residual skips
-    output: Dense,
+    pub(crate) input: Dense,
+    pub(crate) hidden: Vec<Dense>, // 5 hidden layers with residual skips
+    pub(crate) output: Dense,
     relus: Vec<Relu>,
     pub in_norm: Vec<(f32, f32)>,
     /// (mean, std) per output (gsw, glw, …).
@@ -353,21 +364,32 @@ impl RadiationMlp {
     }
 
     /// Inference returning the diagnostics in normalized space.
+    ///
+    /// Convenience wrapper over [`Self::infer_into`] that allocates fresh
+    /// scratch and an output Vec per call — hot loops should hold a
+    /// [`ColumnScratch`] or batch instead.
     pub fn infer(&self, x: &[f32]) -> Vec<f32> {
-        let mut h = vec![0.0f32; self.width];
-        self.input.infer(x, &mut h);
-        Relu::infer(&mut h);
-        let mut z = vec![0.0f32; self.width];
+        let mut scratch = ColumnScratch::new();
+        let mut out = vec![0.0f32; self.n_out];
+        self.infer_into(x, &mut out, &mut scratch);
+        out
+    }
+
+    /// Inference writing the normalized diagnostics into `y` using
+    /// caller-provided scratch: no allocations once `scratch` has warmed up.
+    pub fn infer_into(&self, x: &[f32], y: &mut [f32], scratch: &mut ColumnScratch) {
+        debug_assert_eq!(y.len(), self.n_out);
+        let (h, z, _) = scratch.planes(self.width);
+        self.input.infer(x, h);
+        Relu::infer(h);
         for layer in &self.hidden {
-            layer.infer(&h, &mut z);
-            Relu::infer(&mut z);
-            for (a, b) in h.iter_mut().zip(&z) {
+            layer.infer(h, z);
+            Relu::infer(z);
+            for (a, b) in h.iter_mut().zip(z.iter()) {
                 *a += b;
             }
         }
-        let mut out = vec![0.0f32; self.n_out];
-        self.output.infer(&h, &mut out);
-        out
+        self.output.infer(h, y);
     }
 
     pub fn train_sample(&mut self, x: &[f32], target: &[f32]) -> f32 {

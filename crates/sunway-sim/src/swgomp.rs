@@ -111,21 +111,60 @@ enum Msg {
 /// 1-item chunks and `n_items < n_cpes` stress shapes.
 struct Barrier {
     remaining: AtomicUsize,
+    /// Parking lot for [`Self::wait`]'s slow path. On real hardware the MPE
+    /// spin-waits its LDM flag, but here blocked "MPEs" share host cores
+    /// with the CPE workers — an unbounded hot spin burns a core per
+    /// blocked waiter on an oversubscribed host (CI), starving the very
+    /// workers it is waiting for.
+    lock: Mutex<()>,
+    released: Condvar,
 }
+
+/// Busy-spin iterations before [`Barrier::wait`] starts yielding.
+const BARRIER_SPIN_ROUNDS: usize = 1 << 10;
+/// `yield_now` rounds after spinning, before parking on the condvar.
+const BARRIER_YIELD_ROUNDS: usize = 64;
 
 impl Barrier {
     fn new(n: usize) -> Arc<Self> {
         Arc::new(Barrier {
             remaining: AtomicUsize::new(n),
+            lock: Mutex::new(()),
+            released: Condvar::new(),
         })
     }
+
     fn done(&self) {
-        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last ticket: serialize against a waiter between its count
+            // check and its `Condvar::wait` (the lock closes that window),
+            // then wake every parked waiter.
+            let _guard = self.lock.lock().expect("barrier poisoned");
+            self.released.notify_all();
+        }
     }
+
     fn wait(&self) {
-        while self.remaining.load(Ordering::Acquire) != 0 {
+        // Fast path: bounded spin — chunks usually retire in microseconds,
+        // and parking immediately would add a syscall to every dispatch.
+        for _ in 0..BARRIER_SPIN_ROUNDS {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
             std::hint::spin_loop();
+        }
+        for _ in 0..BARRIER_YIELD_ROUNDS {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
             std::thread::yield_now();
+        }
+        // Slow path: park until the last `done` notifies. The count is
+        // re-checked under the lock, so a release between the spin phase
+        // and acquiring the lock cannot be missed.
+        let mut guard = self.lock.lock().expect("barrier poisoned");
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            guard = self.released.wait(guard).expect("barrier poisoned");
         }
     }
 }
@@ -489,6 +528,34 @@ mod tests {
             server.stats.chunks_run.load(Ordering::Relaxed),
             expected_cpe
         );
+    }
+
+    /// The parking slow path: a ticket that retires long after the spin and
+    /// yield budgets are exhausted must still release the waiter (and not
+    /// hang on a missed wakeup).
+    #[test]
+    fn barrier_wait_parks_until_late_completion() {
+        for _ in 0..10 {
+            let done = Barrier::new(1);
+            let d2 = Arc::clone(&done);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                d2.done();
+            });
+            done.wait(); // far beyond the spin/yield budget → parks
+            assert_eq!(done.remaining.load(Ordering::Relaxed), 0);
+            t.join().unwrap();
+        }
+    }
+
+    /// A barrier that is already released must never block, whichever path
+    /// the waiter takes.
+    #[test]
+    fn barrier_wait_returns_immediately_when_released() {
+        let done = Barrier::new(1);
+        done.done();
+        done.wait();
+        done.wait(); // idempotent
     }
 
     /// Fewer items than CPEs: most workers stay idle, and the idle majority

@@ -31,4 +31,9 @@ cargo run --release -p grist-bench --bin bench_smoke -- target/bench_smoke.json
 cargo run --release -p grist-bench --bin bench_compare -- \
     BENCH_0002.json target/bench_smoke.json --tolerance 10
 
+echo "== bench ml (batched >= 3x per-column) vs committed baseline =="
+cargo run --release -p grist-bench --bin bench_ml -- target/bench_ml.json
+cargo run --release -p grist-bench --bin bench_compare -- \
+    BENCH_0004.json target/bench_ml.json --tolerance 10
+
 echo "All checks passed."

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests of the batched GEMM inference engine: the
+//! property-style equivalence suite (batched [`MlSuite::step_columns`] vs
+//! the per-column reference, bitwise, across every batch shape and both
+//! execution targets), the zero-allocation steady-state guarantee, the
+//! FLOP-accounting consistency check against the exact GEMM op counts the
+//! lowering issues, and the surface-parameter plumbing pin.
+
+use grist_core::{MlSuite, DEFAULT_ML_BLOCK};
+use grist_ml::gemm_flops;
+use grist_physics::surface::bulk_fluxes;
+use grist_physics::Column;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sunway_sim::Substrate;
+
+/// Seeded column population (vendored `rand` shim — deterministic per
+/// seed): the reference column with every ML-visible field perturbed.
+fn random_columns(nlev: usize, n: usize, seed: u64) -> Vec<Column> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = Column::reference(nlev);
+            for k in 0..nlev {
+                c.u[k] += rng.gen_range(-5.0..5.0);
+                c.v[k] += rng.gen_range(-5.0..5.0);
+                c.t[k] += rng.gen_range(-3.0..3.0);
+                c.qv[k] *= 1.0 + rng.gen_range(-0.2..0.2);
+            }
+            c.tskin += rng.gen_range(-5.0..5.0);
+            c.coszr = rng.gen_range(0.0..1.0);
+            c
+        })
+        .collect()
+}
+
+/// The batch shapes the issue calls out: degenerate, sub-block, exactly one
+/// block, one past a block boundary, and a multi-block run with a tail.
+fn batch_sizes() -> [usize; 5] {
+    [1, 3, DEFAULT_ML_BLOCK, DEFAULT_ML_BLOCK + 1, 64]
+}
+
+#[test]
+fn batched_matches_per_column_bitwise_on_both_targets() {
+    let nlev = 12;
+    for (ti, sub) in [Substrate::serial(), Substrate::cpe_teams(8)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut suite = MlSuite::untrained(nlev, 16, 0xB10C);
+        suite.sub = sub;
+        for (ni, n) in batch_sizes().into_iter().enumerate() {
+            let cols = random_columns(nlev, n, 1000 + (ti * 10 + ni) as u64);
+            let batched = suite.step_columns(&cols);
+            let reference = suite.step_columns_per_column(&cols);
+            assert_eq!(batched.len(), n);
+            for (i, (a, b)) in batched.iter().zip(&reference).enumerate() {
+                // Bitwise: the GEMM engine preserves the per-column
+                // accumulation order exactly (see grist_ml::gemm).
+                assert_eq!(a.tend.dt_dt, b.tend.dt_dt, "target {ti} n {n} col {i}");
+                assert_eq!(a.tend.dqv_dt, b.tend.dqv_dt, "target {ti} n {n} col {i}");
+                assert_eq!(a.diag.gsw, b.diag.gsw);
+                assert_eq!(a.diag.glw, b.diag.glw);
+                assert_eq!(a.diag.precip, b.diag.precip);
+                assert_eq!(a.diag.shflx, b.diag.shflx);
+                assert_eq!(a.diag.lhflx, b.diag.lhflx);
+                assert_eq!(a.diag.tskin, b.diag.tskin);
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_results_are_independent_of_execution_target() {
+    let nlev = 10;
+    let cols = random_columns(nlev, DEFAULT_ML_BLOCK + 5, 77);
+    let mut serial = MlSuite::untrained(nlev, 16, 9);
+    serial.sub = Substrate::serial();
+    let mut cpe = MlSuite::untrained(nlev, 16, 9);
+    cpe.sub = Substrate::cpe_teams(8);
+    let a = serial.step_columns(&cols);
+    let b = cpe.step_columns(&cols);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.tend.dt_dt, y.tend.dt_dt);
+        assert_eq!(x.tend.dqv_dt, y.tend.dqv_dt);
+        assert_eq!(x.diag.gsw, y.diag.gsw);
+        assert_eq!(x.diag.precip, y.diag.precip);
+    }
+}
+
+#[test]
+fn batched_steady_state_allocates_nothing_after_warmup() {
+    let nlev = 10;
+    let cols = random_columns(nlev, 48, 5); // 2 blocks at the default size
+    let n_blocks = cols.len().div_ceil(DEFAULT_ML_BLOCK) as u64;
+
+    // Serial: exactly one arena, and the event counter must go flat after
+    // the first call.
+    let suite = MlSuite::untrained(nlev, 16, 7);
+    suite.step_columns(&cols);
+    let serial_events = suite.scratch_alloc_events();
+    assert!(serial_events >= 1);
+    for _ in 0..6 {
+        suite.step_columns(&cols);
+    }
+    assert_eq!(
+        suite.scratch_alloc_events(),
+        serial_events,
+        "serial batched loop allocated in steady state"
+    );
+
+    // CPE teams: the pool creates at most one arena per concurrently active
+    // block, each growing exactly as the serial arena did — so the total is
+    // bounded by n_blocks × the serial count, and never moves past it.
+    let mut suite = MlSuite::untrained(nlev, 16, 7);
+    suite.sub = Substrate::cpe_teams(8);
+    for _ in 0..4 {
+        suite.step_columns(&cols);
+    }
+    let warm = suite.scratch_alloc_events();
+    for _ in 0..6 {
+        suite.step_columns(&cols);
+    }
+    let after = suite.scratch_alloc_events();
+    assert!(after >= warm, "event counter must be monotone");
+    assert!(
+        after <= n_blocks * serial_events,
+        "cpe pool exceeded one arena per block: {after} > {n_blocks} x {serial_events}"
+    );
+}
+
+#[test]
+fn flops_accounting_matches_the_exact_gemm_op_counts() {
+    // Independent derivation of the GEMM shapes the batched lowering
+    // issues, from the published architecture: a 5→ch k=3 input conv, five
+    // residual units of two ch→ch k=3 convs, a ch→2 k=1 readout (each conv
+    // is one im2col GEMM over b·nlev output positions), and the 7-layer MLP
+    // (n_in→64, five 64→64, 64→n_out) on b-wide activation panels.
+    let (nlev, ch) = (16usize, 64usize);
+    let suite = MlSuite::untrained(nlev, ch, 4);
+    let cnn = |b: usize| {
+        gemm_flops(ch, b * nlev, 5 * 3)
+            + 5 * 2 * gemm_flops(ch, b * nlev, ch * 3)
+            + gemm_flops(2, b * nlev, ch)
+    };
+    let (n_in, width, n_out) = (2 * nlev + 2, 64usize, 3usize);
+    let mlp = |b: usize| {
+        gemm_flops(width, b, n_in) + 5 * gemm_flops(width, b, width) + gemm_flops(n_out, b, width)
+    };
+    for b in batch_sizes() {
+        assert_eq!(
+            suite.batch_flops(b),
+            cnn(b) + mlp(b),
+            "batch_flops(b={b}) disagrees with the lowered GEMM shapes"
+        );
+        assert_eq!(
+            suite.batch_flops(b),
+            b as u64 * suite.flops_per_column(),
+            "batched op count must be exactly b x the per-column count"
+        );
+    }
+}
+
+#[test]
+fn configured_surface_parameters_flow_through_the_batched_path() {
+    let nlev = 8;
+    let mut suite = MlSuite::untrained(nlev, 8, 2);
+    suite.surface.ch *= 1.7;
+    suite.surface.wind_floor = 2.5;
+    suite.surface.beta_ocean = 0.8;
+    let cols = random_columns(nlev, 5, 9);
+    let out = suite.step_columns(&cols);
+    for (col, o) in cols.iter().zip(&out) {
+        let (sh, lh) = bulk_fluxes(col, &suite.surface, suite.surface.beta_ocean);
+        assert_eq!(o.diag.shflx, sh, "configured surface lost in batching");
+        assert_eq!(o.diag.lhflx, lh, "configured surface lost in batching");
+    }
+}
