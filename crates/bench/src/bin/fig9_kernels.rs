@@ -8,6 +8,9 @@
 //! 2. measured host-CPU timings of the *real* kernels in f64 vs f32 — the
 //!    portable sanity check that mixed precision pays off on bandwidth-bound
 //!    kernels on commodity hardware too.
+//!
+//! Pass `--json` to emit one machine-readable document (schema
+//! `grist-fig9-v1`) on stdout instead of the tables/CSVs.
 
 use grist_bench::{fmt, Table};
 use grist_dycore::kernels as dk;
@@ -16,7 +19,7 @@ use grist_dycore::{Field2, Real};
 use grist_mesh::{HexMesh, EARTH_OMEGA, EARTH_RADIUS_M};
 use std::time::Instant;
 use sunway_sim::perf::{fig9_kernels, fig9_table, ExecTarget, PerfModel};
-use sunway_sim::{format_kernel_report, Substrate, SunwaySpec};
+use sunway_sim::{format_kernel_report, Json, Substrate, SunwaySpec};
 
 fn time_host_kernels<R: Real>(
     sub: &Substrate,
@@ -67,13 +70,53 @@ fn time_host_kernels<R: Real>(
 }
 
 fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
     let spec = SunwaySpec::next_gen();
     let model = PerfModel::default();
     let nlev = 30;
 
-    println!("# Figure 9 (modeled): kernel speedups over MPE-DP, G6 grid, 64 CPEs/CG\n");
     let kernels = fig9_kernels(40_962, 122_880, nlev);
     let table = fig9_table(&kernels, &spec, &model);
+
+    let mesh = HexMesh::build(5);
+    let reps = 10;
+    let sub = Substrate::cpe_teams(64);
+    let t64 = time_host_kernels::<f64>(&sub, &mesh, nlev, reps);
+    let t32 = time_host_kernels::<f32>(&sub, &mesh, nlev, reps);
+
+    if json_mode {
+        let mut modeled: Vec<(String, Json)> = Vec::new();
+        for row in &table {
+            for &(target, s) in &row.speedup {
+                modeled.push((format!("{}.{}", row.name, target.label()), Json::Num(s)));
+            }
+        }
+        let mut host: Vec<(String, Json)> = Vec::new();
+        for ((name, a), (_, b)) in t64.iter().zip(&t32) {
+            host.push((format!("{name}.f64_ms"), Json::Num(a * 1e3)));
+            host.push((format!("{name}.f32_ms"), Json::Num(b * 1e3)));
+            host.push((format!("{name}.ratio"), Json::Num(a / b)));
+        }
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("grist-fig9-v1".into())),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("cells".into(), Json::Num(40_962.0)),
+                    ("edges".into(), Json::Num(122_880.0)),
+                    ("nlev".into(), Json::Num(nlev as f64)),
+                    ("host_mesh_level".into(), Json::Num(5.0)),
+                    ("host_reps".into(), Json::Num(reps as f64)),
+                ]),
+            ),
+            ("modeled_speedup".into(), Json::Obj(modeled)),
+            ("host".into(), Json::Obj(host)),
+        ]);
+        println!("{}", doc.pretty());
+        return;
+    }
+
+    println!("# Figure 9 (modeled): kernel speedups over MPE-DP, G6 grid, 64 CPEs/CG\n");
     let mut t = Table::new(&["kernel", "CPE-DP", "CPE-DP+DST", "CPE-MIX", "CPE-MIX+DST"]);
     for row in &table {
         let get = |target: ExecTarget| -> String {
@@ -97,11 +140,6 @@ fn main() {
     println!("\nPaper band check: major-kernel CPE-MIX+DST speedups should sit near 20–70x\n");
 
     println!("# Host measurement: real kernels, f64 vs f32 (G5 grid, {nlev} levels)\n");
-    let mesh = HexMesh::build(5);
-    let reps = 10;
-    let sub = Substrate::cpe_teams(64);
-    let t64 = time_host_kernels::<f64>(&sub, &mesh, nlev, reps);
-    let t32 = time_host_kernels::<f32>(&sub, &mesh, nlev, reps);
     let mut th = Table::new(&["kernel", "f64 (ms)", "f32 (ms)", "f64/f32"]);
     for ((name, a), (_, b)) in t64.iter().zip(&t32) {
         th.row(&[name.to_string(), fmt(a * 1e3), fmt(b * 1e3), fmt(a / b)]);

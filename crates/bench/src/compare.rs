@@ -15,6 +15,14 @@
 //!   entries whose baseline time clears `min_time_ns` (tiny kernels jitter
 //!   by orders of magnitude).
 //!
+//! The optional `trace` section (tracing-overhead measurement, see
+//! `crate::smoke::trace_overhead`) is gated **absolutely** rather than
+//! against the baseline: `overhead_off_pct` must stay under the 1%
+//! disabled-tracing budget regardless of what the baseline measured on its
+//! host. A baseline without the section never flags its appearance (older
+//! baselines predate it), but a baseline *with* the section flags its
+//! disappearance like any other lost coverage.
+//!
 //! A kernel, span, counter, or projection present in the baseline but
 //! missing from the new document always flags — silently losing coverage
 //! must not pass the gate. The reverse also flags: an entry present in the
@@ -36,6 +44,10 @@ pub struct CompareConfig {
     /// Wall-time entries below this baseline total are not time-gated.
     pub min_time_ns: u64,
 }
+
+/// Absolute budget for `trace.overhead_off_pct`: compiled-in but disabled
+/// tracing may cost at most this share of the smoke window.
+pub const TRACE_OFF_BUDGET_PCT: f64 = 1.0;
 
 impl Default for CompareConfig {
     fn default() -> Self {
@@ -78,6 +90,15 @@ impl fmt::Display for Regression {
                 f,
                 "{}: appeared with zero baseline (new {}, limit {}%)",
                 self.what, self.new, self.limit_pct
+            )
+        } else if self.limit_pct == 0.0 {
+            // Absolute gate (see `over_budget`): `old` carries the budget,
+            // not a baseline measurement, so a relative percentage would
+            // mislead.
+            write!(
+                f,
+                "{}: {} exceeds the absolute budget {}",
+                self.what, self.new, self.old
             )
         } else {
             let pct = (self.new - self.old) / self.old * 100.0;
@@ -211,6 +232,27 @@ pub fn compare_docs(
         }
     }
 
+    // Tracing overhead: an absolute gate, not a drift gate — the budget is
+    // a property of the tracing design (disabled instrumentation must be
+    // free), so it holds whatever the baseline's host happened to measure.
+    let trace_pct = |doc: &Json| {
+        doc.get("trace")
+            .map(|t| t.get("overhead_off_pct").and_then(Json::as_f64))
+    };
+    match (trace_pct(old), trace_pct(new)) {
+        (Some(o), None) => out.push(missing(
+            "trace overhead_off_pct".into(),
+            o.unwrap_or(f64::NAN),
+        )),
+        (_, Some(None)) => {
+            return Err("new document trace section has no numeric overhead_off_pct".into())
+        }
+        (_, Some(Some(pct))) if pct.is_nan() || pct >= TRACE_OFF_BUDGET_PCT => out.push(
+            over_budget("trace overhead_off_pct".into(), pct, TRACE_OFF_BUDGET_PCT),
+        ),
+        _ => {}
+    }
+
     // Entries the baseline has never seen: the baseline no longer describes
     // the workload, so flag each one instead of silently accepting it.
     for (name, n) in &new_m.kernels {
@@ -262,6 +304,18 @@ fn unbaselined(what: String, new: f64) -> Regression {
     Regression {
         what,
         old: f64::NAN,
+        new,
+        limit_pct: 0.0,
+    }
+}
+
+/// Absolute-budget violation: `old` carries the budget itself (there is no
+/// baseline to compare against) and `limit_pct: 0.0` selects the dedicated
+/// rendering in [`Regression`]'s `Display`.
+fn over_budget(what: String, new: f64, budget: f64) -> Regression {
+    Regression {
+        what,
+        old: budget,
         new,
         limit_pct: 0.0,
     }
@@ -467,6 +521,56 @@ mod tests {
         let r = compare_docs(&old, &doc(50_000_000, 16, 1000, 1.0e-12), &cfg).unwrap();
         assert_eq!(r.len(), 1, "{r:?}");
         assert!(r[0].to_string().contains("zero baseline"), "{}", r[0]);
+    }
+
+    /// Append a `trace` section (as `bench_smoke` does) to a test document.
+    fn with_trace(mut doc: Json, overhead_off_pct: Json) -> Json {
+        let Json::Obj(fields) = &mut doc else {
+            panic!()
+        };
+        fields.push((
+            "trace".into(),
+            Json::Obj(vec![("overhead_off_pct".into(), overhead_off_pct)]),
+        ));
+        doc
+    }
+
+    #[test]
+    fn trace_overhead_is_gated_absolutely_not_against_baseline() {
+        let cfg = CompareConfig::default();
+        let base = doc(50_000_000, 16, 1000, 300.0);
+        // Baseline without the section: appearance never flags, budget holds.
+        let ok = with_trace(base.clone(), Json::Num(0.02));
+        assert!(compare_docs(&base, &ok, &cfg).unwrap().is_empty());
+        let r = compare_docs(&base, &with_trace(base.clone(), Json::Num(2.5)), &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        let text = r[0].to_string();
+        assert!(text.contains("overhead_off_pct"), "{text}");
+        assert!(text.contains("absolute budget 1"), "{text}");
+        // Even a baseline that itself blew the budget does not excuse it.
+        let bad_base = with_trace(base.clone(), Json::Num(3.0));
+        let r = compare_docs(&bad_base, &with_trace(base.clone(), Json::Num(2.5)), &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+    }
+
+    #[test]
+    fn trace_section_lost_from_new_document_flags() {
+        let cfg = CompareConfig::default();
+        let plain = doc(50_000_000, 16, 1000, 300.0);
+        let base = with_trace(plain.clone(), Json::Num(0.02));
+        let r = compare_docs(&base, &plain, &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].new.is_nan());
+        assert!(r[0].to_string().contains("overhead_off_pct"), "{}", r[0]);
+    }
+
+    #[test]
+    fn trace_section_without_a_numeric_overhead_is_an_error() {
+        let cfg = CompareConfig::default();
+        let base = doc(50_000_000, 16, 1000, 300.0);
+        let bad = with_trace(base.clone(), Json::Str("fast".into()));
+        let err = compare_docs(&base, &bad, &cfg).unwrap_err();
+        assert!(err.contains("overhead_off_pct"), "{err}");
     }
 
     #[test]

@@ -143,6 +143,68 @@ pub fn run_smoke() -> Json {
     ])
 }
 
+/// Tracing-overhead measurement behind the smoke document's `"trace"`
+/// section (inserted by the `bench_smoke` binary; deliberately *not* part
+/// of [`run_smoke`] so the pinned `metrics`/`projections` sections are
+/// byte-identical whether or not the overhead probe runs).
+///
+/// The headline number, `overhead_off_pct`, is the cost of *compiled-in but
+/// disabled* tracing, estimated robustly instead of by differencing two
+/// noisy wall times: a tight probe measures the disabled fast path (one
+/// relaxed atomic load) in ns/event, a traced window counts how many events
+/// the workload would record, and the product over the untraced window's
+/// wall time bounds the disabled overhead. `overhead_on_pct` (the full
+/// cost of recording) is reported for context but is wall-vs-wall and
+/// therefore noisy; only the `off` number is gated (< 1% — see
+/// [`crate::compare`] and the `bench_smoke` binary).
+pub fn trace_overhead() -> Json {
+    const PROBE_CALLS: u64 = 4_000_000;
+
+    // (a) Disabled fast path in isolation: `Tracer::begin` is the guard
+    // every instrumented site runs first, and when tracing is off it is the
+    // *only* thing that runs.
+    let probe = Metrics::default();
+    let tracer = probe.tracer();
+    let t0 = std::time::Instant::now();
+    for _ in 0..PROBE_CALLS {
+        std::hint::black_box(tracer.begin());
+    }
+    let off_ns_per_event = t0.elapsed().as_nanos() as f64 / PROBE_CALLS as f64;
+
+    // (b) The smoke model window, untraced and traced. The traced run also
+    // yields the event count (recorded + evicted) the workload generates.
+    let run_window = |traced: bool| -> (f64, u64) {
+        let metrics = Metrics::default();
+        if traced {
+            metrics.tracer().enable();
+        }
+        let config = RunConfig::for_level(SMOKE_LEVEL, SMOKE_NLEV);
+        let mut model = GristModel::<f64>::with_substrate(
+            config.clone(),
+            Substrate::cpe_teams_with_metrics(SMOKE_CPES, metrics.clone()),
+        );
+        let t0 = std::time::Instant::now();
+        model.advance(SMOKE_DYN_STEPS as f64 * config.dt_dyn);
+        let wall = t0.elapsed().as_secs_f64();
+        let snap = metrics.tracer().snapshot();
+        (wall, snap.total_events() as u64 + snap.dropped)
+    };
+    let (wall_off, _) = run_window(false);
+    let (wall_on, events) = run_window(true);
+
+    let overhead_off_pct = off_ns_per_event * events as f64 / (wall_off * 1e9) * 100.0;
+    let overhead_on_pct = (wall_on - wall_off) / wall_off * 100.0;
+    Json::Obj(vec![
+        ("probe_calls".into(), Json::Num(PROBE_CALLS as f64)),
+        ("off_ns_per_event".into(), Json::Num(off_ns_per_event)),
+        ("events_per_window".into(), Json::Num(events as f64)),
+        ("window_off_ms".into(), Json::Num(wall_off * 1e3)),
+        ("window_on_ms".into(), Json::Num(wall_on * 1e3)),
+        ("overhead_off_pct".into(), Json::Num(overhead_off_pct)),
+        ("overhead_on_pct".into(), Json::Num(overhead_on_pct)),
+    ])
+}
+
 /// Fold `extra` into `base` (sum on key collision in every section).
 pub fn merge_snapshots(base: &mut MetricsSnapshot, extra: &MetricsSnapshot) {
     for (k, s) in &extra.kernels {

@@ -318,6 +318,13 @@ impl MlSuite {
         // Streamed per block: CNN in/out (5+2 profiles) + MLP in/out
         // (2·nlev+2 in, 3 out ≈ +5), all f32.
         let bytes_per_block = 4 * block * (9 * self.nlev + 5);
+        // Exact FLOP accounting for the roofline attribution: the sum of
+        // the per-block GEMM shapes actually dispatched (`batch_flops`),
+        // surfaced as the `ml.flops_batched` counter.
+        let flops: u64 = (0..n_blocks)
+            .map(|bi| self.batch_flops(((bi * block + block).min(n)) - bi * block))
+            .sum();
+        self.sub.metrics().counter_add("ml.flops_batched", flops);
         let mut out: Vec<Option<MlOutput>> = (0..n).map(|_| None).collect();
         {
             let out_view = ColumnsMut::new(&mut out, 1);
@@ -341,6 +348,10 @@ impl MlSuite {
     pub fn step_columns_per_column(&self, cols: &[Column]) -> Vec<MlOutput> {
         let _span = self.sub.span("ml");
         let n = cols.len();
+        // Exact FLOPs for this path: n independent matrix–vector inferences.
+        self.sub
+            .metrics()
+            .counter_add("ml.flops_percol", n as u64 * self.flops_per_column());
         let mut out: Vec<Option<MlOutput>> = (0..n).map(|_| None).collect();
         {
             let out_cols = ColumnsMut::new(&mut out, 1);

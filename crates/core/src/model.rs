@@ -12,7 +12,10 @@ use grist_dycore::{NhSolver, NhState, Real, VerticalCoord};
 use grist_mesh::HexMesh;
 use grist_physics::suite::SuiteConfig;
 use grist_physics::{ColumnPhysicsState, ConventionalSuite, SurfaceDiag, Tendencies};
-use sunway_sim::{format_kernel_report, KernelReportRow, Metrics, MetricsSnapshot, Substrate};
+use sunway_sim::{
+    format_kernel_report, KernelReportRow, Metrics, MetricsSnapshot, RooflineInputs, Substrate,
+    TraceReport,
+};
 
 /// Which physics suite is coupled (Table 3's "Physics" column).
 #[allow(clippy::large_enum_variant)] // one engine per model; size is irrelevant
@@ -211,6 +214,35 @@ impl<R: Real> GristModel<R> {
         self.metrics_snapshot().to_json()
     }
 
+    /// Roofline constants and exact FLOP totals for [`Self::trace_report`]:
+    /// the CPE-cluster peak and per-CG DDR bandwidth of the next-gen
+    /// hardware spec, plus the `ml.flops_*` counters the ML suite ticks
+    /// from its exact per-GEMM accounting (`MlSuite::batch_flops`), keyed
+    /// by the leaf kernel that spent them.
+    pub fn roofline_inputs(&self) -> RooflineInputs {
+        let spec = sunway_sim::SunwaySpec::next_gen();
+        let mut inputs = RooflineInputs::from_arch(&spec);
+        let m = self.metrics();
+        for (counter, leaf) in [
+            ("ml.flops_batched", "ml_physics_blocks"),
+            ("ml.flops_percol", "ml_physics_columns"),
+        ] {
+            let flops = m.counter(counter);
+            if flops > 0 {
+                inputs.flops_by_kernel.insert(leaf.to_string(), flops);
+            }
+        }
+        inputs
+    }
+
+    /// The Fig. 9-style attribution report over the tracer's current
+    /// snapshot: per-kernel critical-path share, halo wait/transfer split,
+    /// rank imbalance, and roofline placement (see `sunway_sim::trace`).
+    /// Enable tracing first: `model.metrics().tracer().enable()`.
+    pub fn trace_report(&self) -> TraceReport {
+        sunway_sim::analyze(&self.metrics().tracer().snapshot(), &self.roofline_inputs())
+    }
+
     pub fn n_cells(&self) -> usize {
         self.solver.mesh.n_cells()
     }
@@ -221,6 +253,10 @@ impl<R: Real> GristModel<R> {
         // Root trace span: kernels record under `step/dycore/...`.
         // (Cloned handle: the guard must not borrow `self`.)
         let span_sub = self.solver.sub.clone();
+        span_sub
+            .metrics()
+            .tracer()
+            .set_step(self.dyn_steps_taken as u64);
         let _span = span_sub.span("step");
         self.solver.step(&mut self.state, dt);
         self.time_s += dt;
@@ -232,6 +268,10 @@ impl<R: Real> GristModel<R> {
         // Root trace span: suite kernels record under `step/physics/...` (or
         // `step/ml/...` for the ML suite).
         let span_sub = self.solver.sub.clone();
+        span_sub
+            .metrics()
+            .tracer()
+            .set_step(self.dyn_steps_taken as u64);
         let _span = span_sub.span("step");
         let dt_phy = self.config.dt_phy;
         let utc_hours = (self.time_s / 3600.0) % 24.0;

@@ -12,6 +12,7 @@ use crate::comm::RankCtx;
 use grist_mesh::RankLocale;
 use std::fmt;
 use sunway_sim::fault::{FaultPlan, FaultSite};
+use sunway_sim::trace::{self, EventKind};
 use sunway_sim::Metrics;
 
 /// A registered exchange variable: a full-size (global-cell-indexed) field
@@ -127,16 +128,26 @@ fn check_buffer(
     Ok(())
 }
 
-/// One gathered halo exchange: a single send per neighbour carrying every
-/// listed variable, and a matching unpack of the received halos. A received
-/// buffer whose size disagrees with the local gather list is a descriptive
-/// [`ExchangeError`] rather than a slice-index panic.
-pub fn exchange_gathered(
+/// The shared pack/send/recv/unpack core behind every gathered-exchange
+/// entry point. `metrics` turns on counter recording *and* event tracing
+/// (the round as an [`EventKind::HaloExchange`] duration event, each
+/// blocking receive as an [`EventKind::HaloWait`]); `plan` arms the chaos
+/// truncation schedule.
+fn exchange_gathered_inner(
     ctx: &mut RankCtx,
     locale: &RankLocale,
     list: &mut VarList<'_>,
     tag: u32,
+    metrics: Option<&Metrics>,
+    plan: Option<&FaultPlan>,
 ) -> Result<ExchangeReceipt, ExchangeError> {
+    let tracer = metrics.map(|m| m.tracer()).filter(|t| t.is_enabled());
+    if tracer.is_some() {
+        // Rank threads are dedicated: declare once so every event this
+        // thread records (including model kernels) files under its lane.
+        trace::set_thread_rank(ctx.rank as u32);
+    }
+    let t_round = tracer.and_then(|t| t.begin());
     let per_cell = list.values_per_cell();
     let mut receipt = ExchangeReceipt::default();
     // Pack & send: one message per destination rank.
@@ -153,25 +164,82 @@ pub fn exchange_gathered(
         ctx.send(*dest, tag, buf);
     }
     // Receive & unpack in the mirrored order.
-    for (src, cells) in &locale.recv {
-        let buf = ctx.recv(*src, tag);
-        check_buffer(ctx, *src, tag, buf.len(), cells.len(), per_cell)?;
-        let mut pos = 0;
-        for &c in cells {
-            for var in &mut list.vars {
-                let base = c as usize * var.nlev;
-                var.data[base..base + var.nlev].copy_from_slice(&buf[pos..pos + var.nlev]);
-                pos += var.nlev;
+    let recv_result = (|| {
+        for (src, cells) in &locale.recv {
+            let t_wait = tracer.and_then(|t| t.begin());
+            let mut buf = ctx.recv(*src, tag);
+            if let (Some(t), Some(t0)) = (tracer, t_wait) {
+                t.record_complete(
+                    EventKind::HaloWait,
+                    &format!("halo_wait<-{src}"),
+                    t0,
+                    1,
+                    (buf.len() * std::mem::size_of::<f64>()) as u64,
+                );
+            }
+            if let Some(plan) = plan {
+                let key = halo_fault_key(ctx.rank, *src, tag);
+                if plan.should_fail(FaultSite::HaloExchange, key, 0) && !buf.is_empty() {
+                    if let Some(m) = metrics {
+                        m.counter_add("fault.injected", 1);
+                    }
+                    buf.pop();
+                }
+            }
+            check_buffer(ctx, *src, tag, buf.len(), cells.len(), per_cell)?;
+            let mut pos = 0;
+            for &c in cells {
+                for var in &mut list.vars {
+                    let base = c as usize * var.nlev;
+                    var.data[base..base + var.nlev].copy_from_slice(&buf[pos..pos + var.nlev]);
+                    pos += var.nlev;
+                }
             }
         }
+        Ok(())
+    })();
+    // The round event is recorded on the error path too: a truncated round
+    // still spent real wall time, and its waits are already on the
+    // timeline, so omitting it would leave the analyzer's halo wait total
+    // exceeding its round total. The `halo.*` success counters below keep
+    // their error-free semantics.
+    if let (Some(t), Some(t0)) = (tracer, t_round) {
+        t.record_complete(
+            EventKind::HaloExchange,
+            "halo_exchange",
+            t0,
+            receipt.messages_sent,
+            receipt.bytes_sent,
+        );
+    }
+    recv_result?;
+    if let Some(m) = metrics {
+        m.counter_add("halo.exchanges", 1);
+        m.counter_add("halo.messages", receipt.messages_sent);
+        m.counter_add("halo.bytes", receipt.bytes_sent);
     }
     Ok(receipt)
+}
+
+/// One gathered halo exchange: a single send per neighbour carrying every
+/// listed variable, and a matching unpack of the received halos. A received
+/// buffer whose size disagrees with the local gather list is a descriptive
+/// [`ExchangeError`] rather than a slice-index panic.
+pub fn exchange_gathered(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    tag: u32,
+) -> Result<ExchangeReceipt, ExchangeError> {
+    exchange_gathered_inner(ctx, locale, list, tag, None, None)
 }
 
 /// [`exchange_gathered`] plus counter recording: the round's message/byte
 /// totals land in the registry's `halo.exchanges` / `halo.messages` /
 /// `halo.bytes` counters (per-rank sends, so world totals match
-/// [`crate::comm::CommStats`] for exchange-only traffic).
+/// [`crate::comm::CommStats`] for exchange-only traffic). With the
+/// registry's tracer enabled, the round and each blocking receive also land
+/// on the rank's trace lane as `halo` / `halo_wait` events.
 pub fn exchange_gathered_metered(
     ctx: &mut RankCtx,
     locale: &RankLocale,
@@ -179,11 +247,7 @@ pub fn exchange_gathered_metered(
     tag: u32,
     metrics: &Metrics,
 ) -> Result<ExchangeReceipt, ExchangeError> {
-    let receipt = exchange_gathered(ctx, locale, list, tag)?;
-    metrics.counter_add("halo.exchanges", 1);
-    metrics.counter_add("halo.messages", receipt.messages_sent);
-    metrics.counter_add("halo.bytes", receipt.bytes_sent);
-    Ok(receipt)
+    exchange_gathered_inner(ctx, locale, list, tag, Some(metrics), None)
 }
 
 /// Deterministic event key for the halo-exchange fault site: derived from
@@ -214,41 +278,7 @@ pub fn exchange_gathered_chaos(
     metrics: &Metrics,
     plan: &FaultPlan,
 ) -> Result<ExchangeReceipt, ExchangeError> {
-    let per_cell = list.values_per_cell();
-    let mut receipt = ExchangeReceipt::default();
-    for (dest, cells) in &locale.send {
-        let mut buf = Vec::with_capacity(cells.len() * per_cell);
-        for &c in cells {
-            for var in &list.vars {
-                let base = c as usize * var.nlev;
-                buf.extend_from_slice(&var.data[base..base + var.nlev]);
-            }
-        }
-        receipt.messages_sent += 1;
-        receipt.bytes_sent += (buf.len() * std::mem::size_of::<f64>()) as u64;
-        ctx.send(*dest, tag, buf);
-    }
-    for (src, cells) in &locale.recv {
-        let mut buf = ctx.recv(*src, tag);
-        let key = halo_fault_key(ctx.rank, *src, tag);
-        if plan.should_fail(FaultSite::HaloExchange, key, 0) && !buf.is_empty() {
-            metrics.counter_add("fault.injected", 1);
-            buf.pop();
-        }
-        check_buffer(ctx, *src, tag, buf.len(), cells.len(), per_cell)?;
-        let mut pos = 0;
-        for &c in cells {
-            for var in &mut list.vars {
-                let base = c as usize * var.nlev;
-                var.data[base..base + var.nlev].copy_from_slice(&buf[pos..pos + var.nlev]);
-                pos += var.nlev;
-            }
-        }
-    }
-    metrics.counter_add("halo.exchanges", 1);
-    metrics.counter_add("halo.messages", receipt.messages_sent);
-    metrics.counter_add("halo.bytes", receipt.bytes_sent);
-    Ok(receipt)
+    exchange_gathered_inner(ctx, locale, list, tag, Some(metrics), Some(plan))
 }
 
 /// The naive alternative (one message per variable per neighbour) for the

@@ -23,6 +23,9 @@
 //! * [`fault`] — seeded deterministic fault injection (stalled dispatches,
 //!   corrupt DMA payloads, truncated halo messages) feeding the substrate's
 //!   retry/degrade recovery ladder.
+//! * [`trace`] — event-level timelines behind the aggregated registry:
+//!   bounded per-thread ring buffers, Chrome/Perfetto `trace_event` export
+//!   with per-rank/per-CPE lanes, and the roofline attribution report.
 
 pub mod arch;
 pub mod distributor;
@@ -35,6 +38,7 @@ pub mod omnicopy;
 pub mod perf;
 pub mod substrate;
 pub mod swgomp;
+pub mod trace;
 
 pub use arch::SunwaySpec;
 pub use distributor::{AllocPolicy, PoolAllocator};
@@ -56,3 +60,7 @@ pub use substrate::{
     Substrate,
 };
 pub use swgomp::{JobServer, JobStats};
+pub use trace::{
+    analyze, validate_chrome, ChromeStats, EventKind, RooflineInputs, TraceEvent, TraceReport,
+    TraceSnapshot, Tracer,
+};

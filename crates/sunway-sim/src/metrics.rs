@@ -16,9 +16,10 @@
 
 use crate::json::Json;
 use crate::omnicopy::CopyStats;
+use crate::trace::{self, EventKind, Tracer};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Accumulated cost of one named kernel (keyed by its full span path).
@@ -47,64 +48,142 @@ struct MetricsState {
     kernels: BTreeMap<String, KernelStats>,
     spans: BTreeMap<String, SpanStats>,
     counters: BTreeMap<String, u64>,
-    /// The currently open span names, innermost last. Spans are opened by
-    /// the (single) driver thread, so one stack suffices.
-    stack: Vec<&'static str>,
+    /// Currently open span names, innermost last, keyed by the opening
+    /// thread's [`trace::thread_lane`]: in a shared-registry multi-rank run
+    /// each driver thread keeps its own stack, so concurrent spans cannot
+    /// corrupt each other's kernel paths.
+    stacks: BTreeMap<u32, Vec<&'static str>>,
 }
 
-/// The shared metrics registry. Interior-mutable: recording takes `&self`,
-/// so clones of a substrate, solvers, and physics suites all accumulate into
-/// the same registry concurrently.
 #[derive(Debug, Default)]
-pub struct Metrics {
+struct MetricsInner {
     state: Mutex<MetricsState>,
+    trace: Tracer,
+}
+
+/// The shared metrics registry. Interior-mutable and cheaply cloneable:
+/// recording takes `&self`, clones share one registry (`Arc` inside), so a
+/// substrate's clones, solvers, physics suites — and, via
+/// [`Substrate::serial_with_metrics`](crate::substrate::Substrate::serial_with_metrics),
+/// whole rank worlds — all accumulate into the same registry concurrently.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
 }
 
 /// RAII guard returned by [`Metrics::span`]; closes the span (recording its
 /// wall time) on drop.
 pub struct SpanGuard<'a> {
     metrics: &'a Metrics,
+    lane: u32,
     started: Instant,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let nanos = self.started.elapsed().as_nanos() as u64;
-        let mut st = self.metrics.state.lock().expect("metrics poisoned");
-        let path = st.stack.join("/");
-        let e = st.spans.entry(path).or_default();
+        let mut st = self.metrics.inner.state.lock().expect("metrics poisoned");
+        let path = st
+            .stacks
+            .get(&self.lane)
+            .map(|s| s.join("/"))
+            .unwrap_or_default();
+        let e = st.spans.entry(path.clone()).or_default();
         e.calls += 1;
         e.nanos += nanos;
-        st.stack.pop();
+        if let Some(stack) = st.stacks.get_mut(&self.lane) {
+            stack.pop();
+        }
+        drop(st);
+        self.metrics
+            .inner
+            .trace
+            .record_complete(EventKind::Span, &path, self.started, 0, 0);
+    }
+}
+
+/// Counters whose ticks double as trace events: resilience-ladder state
+/// transitions, mirrored as instant markers on the recording thread's lane.
+fn counter_trace_kind(name: &str) -> Option<EventKind> {
+    match name {
+        "fault.injected" => Some(EventKind::Fault),
+        "fault.retries" => Some(EventKind::Retry),
+        "fault.degradations" => Some(EventKind::Degradation),
+        "checkpoint.captures" => Some(EventKind::Checkpoint),
+        "recovery.restores" => Some(EventKind::Restore),
+        _ => None,
     }
 }
 
 impl Metrics {
-    /// Open a trace span; kernels dispatched while the guard lives are
-    /// attributed under `<open spans>/<name>/<kernel>`. Spans nest:
-    /// the guard records its own wall time on drop.
+    /// Open a trace span **on the calling thread**; kernels this thread
+    /// dispatches while the guard lives are attributed under
+    /// `<open spans>/<name>/<kernel>`. Spans nest; the guard records its own
+    /// wall time on drop.
+    ///
+    /// # Merge semantics (pinned)
+    ///
+    /// Span paths are *names*, not occurrences: identically-named sibling
+    /// spans under the same parent — and repeated openings of the same span,
+    /// like `step` once per model step — merge into one [`SpanStats`] entry
+    /// and one kernel key. That is deliberate: the registry answers "how
+    /// much per kind of work", keeping keys stable across step counts so
+    /// `BENCH_*.json` baselines compare run-to-run. Distinguishing
+    /// *occurrences* (this `step` vs. the previous one) is the job of the
+    /// [`trace`] timeline, where every span guard emits its
+    /// own timestamped event.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
-        self.state
+        let lane = trace::thread_lane();
+        self.inner
+            .state
             .lock()
             .expect("metrics poisoned")
-            .stack
+            .stacks
+            .entry(lane)
+            .or_default()
             .push(name);
         SpanGuard {
             metrics: self,
+            lane,
             started: Instant::now(),
         }
     }
 
-    /// Record one dispatch of the named kernel under the open span path.
+    /// The event tracer sharing this registry's lifetime (disabled by
+    /// default; see [`trace::Tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.trace
+    }
+
+    /// The calling thread's span-qualified key for `name` (what
+    /// [`Self::record_kernel`] would file under right now).
+    pub fn qualified_kernel(&self, name: &str) -> String {
+        let lane = trace::thread_lane();
+        let st = self.inner.state.lock().expect("metrics poisoned");
+        match st.stacks.get(&lane) {
+            Some(stack) if !stack.is_empty() => {
+                let mut k = stack.join("/");
+                k.push('/');
+                k.push_str(name);
+                k
+            }
+            _ => name.to_string(),
+        }
+    }
+
+    /// Record one dispatch of the named kernel under the calling thread's
+    /// open span path.
     pub fn record_kernel(&self, name: &'static str, nanos: u64, items: u64, bytes: u64) {
-        let mut st = self.state.lock().expect("metrics poisoned");
-        let key = if st.stack.is_empty() {
-            name.to_string()
-        } else {
-            let mut k = st.stack.join("/");
-            k.push('/');
-            k.push_str(name);
-            k
+        let lane = trace::thread_lane();
+        let mut st = self.inner.state.lock().expect("metrics poisoned");
+        let key = match st.stacks.get(&lane) {
+            Some(stack) if !stack.is_empty() => {
+                let mut k = stack.join("/");
+                k.push('/');
+                k.push_str(name);
+                k
+            }
+            _ => name.to_string(),
         };
         let e = st.kernels.entry(key).or_default();
         e.calls += 1;
@@ -114,22 +193,33 @@ impl Metrics {
     }
 
     /// Add `delta` to the named counter (created at zero on first use).
+    /// Resilience counters (`fault.*`, `checkpoint.captures`,
+    /// `recovery.restores`) also emit an instant trace event when tracing
+    /// is enabled.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if delta == 0 {
             return;
         }
-        let mut st = self.state.lock().expect("metrics poisoned");
-        match st.counters.get_mut(name) {
-            Some(v) => *v += delta,
-            None => {
-                st.counters.insert(name.to_string(), delta);
+        {
+            let mut st = self.inner.state.lock().expect("metrics poisoned");
+            match st.counters.get_mut(name) {
+                Some(v) => *v += delta,
+                None => {
+                    st.counters.insert(name.to_string(), delta);
+                }
+            }
+        }
+        if self.inner.trace.is_enabled() {
+            if let Some(kind) = counter_trace_kind(name) {
+                self.inner.trace.record_instant(kind, name, delta, 0);
             }
         }
     }
 
     /// Current value of a counter (0 if never recorded).
     pub fn counter(&self, name: &str) -> u64 {
-        self.state
+        self.inner
+            .state
             .lock()
             .expect("metrics poisoned")
             .counters
@@ -155,7 +245,7 @@ impl Metrics {
 
     /// Freeze every kernel, span, and counter into a snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let st = self.state.lock().expect("metrics poisoned");
+        let st = self.inner.state.lock().expect("metrics poisoned");
         MetricsSnapshot {
             kernels: st.kernels.clone(),
             spans: st.spans.clone(),
@@ -165,7 +255,8 @@ impl Metrics {
 
     /// Per-kernel stats only (the legacy profiler view).
     pub fn kernel_snapshot(&self) -> Vec<(String, KernelStats)> {
-        self.state
+        self.inner
+            .state
             .lock()
             .expect("metrics poisoned")
             .kernels
@@ -175,9 +266,9 @@ impl Metrics {
     }
 
     /// Clear all kernels, spans, and counters (open spans stay open: the
-    /// stack is preserved so guards still pop correctly).
+    /// per-thread stacks are preserved so guards still pop correctly).
     pub fn reset(&self) {
-        let mut st = self.state.lock().expect("metrics poisoned");
+        let mut st = self.inner.state.lock().expect("metrics poisoned");
         st.kernels.clear();
         st.spans.clear();
         st.counters.clear();
@@ -242,7 +333,9 @@ impl MetricsSnapshot {
     }
 
     /// Rebuild from a JSON value of the [`Self::to_json_value`] shape.
-    /// Missing sections are treated as empty; malformed entries are errors.
+    /// Missing sections are treated as empty; malformed entries and
+    /// duplicate keys within a section are descriptive errors (a duplicated
+    /// kernel would otherwise silently shadow the earlier stats).
     pub fn from_json_value(v: &Json) -> Result<Self, String> {
         let mut snap = MetricsSnapshot::default();
         if let Some(fields) = v.get("kernels").and_then(Json::as_obj) {
@@ -253,15 +346,15 @@ impl MetricsSnapshot {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| format!("kernel {name:?}: bad or missing field {k:?}"))
                 };
-                snap.kernels.insert(
-                    name.clone(),
-                    KernelStats {
-                        calls: get("calls")?,
-                        nanos: get("nanos")?,
-                        items: get("items")?,
-                        bytes: get("bytes")?,
-                    },
-                );
+                let stats = KernelStats {
+                    calls: get("calls")?,
+                    nanos: get("nanos")?,
+                    items: get("items")?,
+                    bytes: get("bytes")?,
+                };
+                if snap.kernels.insert(name.clone(), stats).is_some() {
+                    return Err(format!("kernel {name:?}: duplicate key"));
+                }
             }
         }
         if let Some(fields) = v.get("spans").and_then(Json::as_obj) {
@@ -272,13 +365,13 @@ impl MetricsSnapshot {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| format!("span {name:?}: bad or missing field {k:?}"))
                 };
-                snap.spans.insert(
-                    name.clone(),
-                    SpanStats {
-                        calls: get("calls")?,
-                        nanos: get("nanos")?,
-                    },
-                );
+                let stats = SpanStats {
+                    calls: get("calls")?,
+                    nanos: get("nanos")?,
+                };
+                if snap.spans.insert(name.clone(), stats).is_some() {
+                    return Err(format!("span {name:?}: duplicate key"));
+                }
             }
         }
         if let Some(fields) = v.get("counters").and_then(Json::as_obj) {
@@ -286,7 +379,9 @@ impl MetricsSnapshot {
                 let v = entry
                     .as_u64()
                     .ok_or_else(|| format!("counter {name:?}: not a non-negative integer"))?;
-                snap.counters.insert(name.clone(), v);
+                if snap.counters.insert(name.clone(), v).is_some() {
+                    return Err(format!("counter {name:?}: duplicate key"));
+                }
             }
         }
         Ok(snap)
@@ -374,6 +469,176 @@ mod tests {
             MetricsSnapshot::from_json("{}").unwrap(),
             MetricsSnapshot::default()
         );
+    }
+
+    #[test]
+    fn from_json_truncated_inputs_error_descriptively_never_panic() {
+        // Every prefix of a valid document must parse-fail cleanly (or, for
+        // the rare prefix that is itself valid JSON, build a snapshot).
+        let m = Metrics::default();
+        {
+            let _s = m.span("step");
+            m.record_kernel("k", 42, 7, 8);
+        }
+        m.counter_add("dma.bytes", 9);
+        let full = m.snapshot().to_json();
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &full[..cut];
+            match MetricsSnapshot::from_json(prefix) {
+                Ok(_) => {} // e.g. cut == 0 is not valid, but be permissive
+                Err(e) => assert!(!e.is_empty(), "error message must be descriptive"),
+            }
+        }
+        // A structurally truncated (but syntactically valid) entry errors
+        // with the offending field named.
+        let cut_field = r#"{"kernels": {"k": {"calls": 1, "nanos": 2}}}"#;
+        let e = MetricsSnapshot::from_json(cut_field).unwrap_err();
+        assert!(e.contains("items"), "{e}");
+    }
+
+    #[test]
+    fn from_json_wrong_typed_values_error_descriptively() {
+        for (doc, needle) in [
+            (
+                r#"{"kernels": {"k": {"calls": "3", "nanos": 0, "items": 0, "bytes": 0}}}"#,
+                "calls",
+            ),
+            (
+                r#"{"kernels": {"k": {"calls": 1.5, "nanos": 0, "items": 0, "bytes": 0}}}"#,
+                "calls",
+            ),
+            (r#"{"kernels": {"k": [1, 2, 3, 4]}}"#, "calls"),
+            (r#"{"spans": {"s": {"calls": true, "nanos": 0}}}"#, "calls"),
+            (r#"{"spans": {"s": {"calls": 1, "nanos": null}}}"#, "nanos"),
+            (r#"{"counters": {"c": -4}}"#, "non-negative"),
+            (r#"{"counters": {"c": {}}}"#, "non-negative"),
+        ] {
+            let e = MetricsSnapshot::from_json(doc).unwrap_err();
+            assert!(
+                e.contains(needle),
+                "doc {doc}: error {e:?} lacks {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_duplicate_keys_are_rejected_not_last_wins() {
+        let dup_kernel = r#"{"kernels": {
+            "k": {"calls": 1, "nanos": 1, "items": 1, "bytes": 1},
+            "k": {"calls": 2, "nanos": 2, "items": 2, "bytes": 2}}}"#;
+        let e = MetricsSnapshot::from_json(dup_kernel).unwrap_err();
+        assert!(e.contains("duplicate") && e.contains('k'), "{e}");
+        let dup_span =
+            r#"{"spans": {"s": {"calls": 1, "nanos": 1}, "s": {"calls": 1, "nanos": 1}}}"#;
+        assert!(MetricsSnapshot::from_json(dup_span)
+            .unwrap_err()
+            .contains("duplicate"));
+        let dup_counter = r#"{"counters": {"c": 1, "c": 2}}"#;
+        assert!(MetricsSnapshot::from_json(dup_counter)
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn sibling_spans_with_one_name_merge_by_contract() {
+        // The pinned merge semantics (see `Metrics::span` docs): same-named
+        // sibling spans — and re-opened spans — share one key; occurrence
+        // identity lives in the trace timeline instead.
+        let m = Metrics::default();
+        m.tracer().enable();
+        {
+            let _step = m.span("step");
+            {
+                let _a = m.span("physics");
+                m.record_kernel("work", 5, 1, 0);
+            }
+            {
+                let _b = m.span("physics"); // identically-named sibling
+                m.record_kernel("work", 7, 1, 0);
+            }
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.spans["step/physics"].calls, 2, "siblings merge");
+        let w = &snap.kernels["step/physics/work"];
+        assert_eq!((w.calls, w.nanos), (2, 12), "one merged kernel key");
+        // ...but the trace distinguishes the two occurrences in time.
+        let tr = m.tracer().snapshot();
+        let phys: Vec<_> = tr
+            .lanes
+            .iter()
+            .flat_map(|l| &l.events)
+            .filter(|e| e.kind == crate::trace::EventKind::Span && e.name == "step/physics")
+            .collect();
+        assert_eq!(phys.len(), 2, "two span events, one per occurrence");
+        assert!(phys[0].t0_ns <= phys[1].t0_ns);
+    }
+
+    #[test]
+    fn span_stacks_are_per_thread_under_a_shared_registry() {
+        // Two concurrent "rank drivers" sharing one registry must not leak
+        // span paths into each other's kernel keys.
+        let m = Metrics::default();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let spawn = |name: &'static str, kernel: &'static str| {
+            let m = m.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _outer = m.span(name);
+                barrier.wait(); // both spans open concurrently
+                m.record_kernel(kernel, 1, 1, 0);
+                barrier.wait();
+            })
+        };
+        let a = spawn("alpha", "ka");
+        let b = spawn("beta", "kb");
+        a.join().unwrap();
+        b.join().unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.kernels["alpha/ka"].calls, 1);
+        assert_eq!(snap.kernels["beta/kb"].calls, 1);
+        assert_eq!(snap.spans["alpha"].calls, 1);
+        assert_eq!(snap.spans["beta"].calls, 1);
+    }
+
+    #[test]
+    fn resilience_counters_mirror_into_trace_events() {
+        use crate::trace::EventKind;
+        let m = Metrics::default();
+        m.counter_add("fault.injected", 1); // tracing off: counter only
+        m.tracer().enable();
+        m.counter_add("fault.injected", 2);
+        m.counter_add("fault.retries", 1);
+        m.counter_add("fault.degradations", 1);
+        m.counter_add("checkpoint.captures", 1);
+        m.counter_add("recovery.restores", 1);
+        m.counter_add("dma.bytes", 4096); // not a resilience counter
+        let snap = m.tracer().snapshot();
+        assert_eq!(snap.count_kind(EventKind::Fault), 1);
+        assert_eq!(snap.count_kind(EventKind::Retry), 1);
+        assert_eq!(snap.count_kind(EventKind::Degradation), 1);
+        assert_eq!(snap.count_kind(EventKind::Checkpoint), 1);
+        assert_eq!(snap.count_kind(EventKind::Restore), 1);
+        assert_eq!(snap.total_events(), 5, "dma.bytes emits no event");
+        let fault = snap
+            .lanes
+            .iter()
+            .flat_map(|l| &l.events)
+            .find(|e| e.kind == EventKind::Fault)
+            .unwrap();
+        assert_eq!(fault.items, 2, "delta rides on the event");
+        assert_eq!(m.counter("fault.injected"), 3);
+    }
+
+    #[test]
+    fn qualified_kernel_matches_record_kernel_keys() {
+        let m = Metrics::default();
+        assert_eq!(m.qualified_kernel("bare"), "bare");
+        let _s = m.span("step");
+        let _d = m.span("dycore");
+        assert_eq!(m.qualified_kernel("flux"), "step/dycore/flux");
     }
 
     #[test]

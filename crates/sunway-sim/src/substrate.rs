@@ -25,6 +25,7 @@ use crate::distributor::AllocPolicy;
 use crate::fault::{FaultError, FaultPlan, FaultSite};
 use crate::metrics::{Metrics, SpanGuard};
 use crate::swgomp::JobServer;
+use crate::trace::{self, EventKind};
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
@@ -124,12 +125,20 @@ impl Default for Substrate {
 impl Substrate {
     /// The fallback target: every kernel runs on the calling thread.
     pub fn serial() -> Self {
+        Substrate::serial_with_metrics(Metrics::default())
+    }
+
+    /// Serial target recording into an existing (shared) registry — the
+    /// multi-rank idiom: every rank builds its own substrate over one cloned
+    /// [`Metrics`], so kernel stats, counters, and the event trace merge
+    /// into a single world-wide view.
+    pub fn serial_with_metrics(metrics: Metrics) -> Self {
         Substrate {
             inner: Arc::new(SubstrateInner {
                 kind: ExecTargetKind::Serial,
                 server: None,
                 policy: AllocPolicy::Distributed,
-                metrics: Metrics::default(),
+                metrics,
                 fault: Mutex::new(None),
             }),
         }
@@ -139,6 +148,20 @@ impl Substrate {
     /// the paper's address-distributing allocation policy.
     pub fn cpe_teams(n_cpes: usize) -> Self {
         Substrate::with_policy(n_cpes, AllocPolicy::Distributed)
+    }
+
+    /// [`Self::cpe_teams`] recording into an existing (shared) registry;
+    /// see [`Self::serial_with_metrics`].
+    pub fn cpe_teams_with_metrics(n_cpes: usize, metrics: Metrics) -> Self {
+        Substrate {
+            inner: Arc::new(SubstrateInner {
+                kind: ExecTargetKind::CpeTeams,
+                server: Some(JobServer::new(n_cpes)),
+                policy: AllocPolicy::Distributed,
+                metrics,
+                fault: Mutex::new(None),
+            }),
+        }
     }
 
     /// Offload target with an explicit [`AllocPolicy`] (for the Fig. 9 DST
@@ -260,6 +283,15 @@ impl Substrate {
                 f(i);
             }
             let nanos = t0.elapsed().as_nanos() as u64;
+            if metrics.tracer().is_enabled() {
+                metrics.tracer().record_complete(
+                    EventKind::Kernel,
+                    &metrics.qualified_kernel(name),
+                    t0,
+                    n_items as u64,
+                    0,
+                );
+            }
             metrics.record_kernel(name, nanos, n_items as u64, 0);
         }
     }
@@ -311,7 +343,11 @@ impl Substrate {
     }
 
     /// The clean dispatch path: execute on the configured target and record
-    /// kernel stats plus offload/DMA counters.
+    /// kernel stats plus offload/DMA counters. With tracing enabled this
+    /// also emits one [`EventKind::Kernel`] event on the dispatching thread,
+    /// per-chunk [`EventKind::Chunk`] events on the worker lanes (attributed
+    /// to the dispatcher's rank), and a [`EventKind::Dma`] instant carrying
+    /// the modeled payload.
     fn dispatch_recorded<F: Fn(usize) + Sync>(
         &self,
         name: &'static str,
@@ -319,19 +355,54 @@ impl Substrate {
         bytes_per_item: usize,
         f: &F,
     ) {
-        let t0 = Instant::now();
-        self.parallel_for(n_items, f);
-        let nanos = t0.elapsed().as_nanos() as u64;
         let metrics = &self.inner.metrics;
+        let tracer = metrics.tracer();
+        let traced = tracer.is_enabled();
+        let qualified = if traced {
+            Some(metrics.qualified_kernel(name))
+        } else {
+            None
+        };
+        let t0 = Instant::now();
+        match (&self.inner.server, &qualified) {
+            (Some(server), Some(qname)) if n_items > 0 => {
+                // Traced offload: wrap the body so each worker opens a chunk
+                // timer at its chunk's first index and closes it at the last
+                // (same chunk arithmetic as `parallel_for`).
+                let chunk = n_items.div_ceil(4 * server.n_cpes).max(1);
+                let rank = trace::thread_rank();
+                let wrapped = |i: usize| {
+                    if i.is_multiple_of(chunk) {
+                        trace::chunk_begin();
+                    }
+                    f(i);
+                    if (i + 1).is_multiple_of(chunk) || i + 1 == n_items {
+                        let items = (i % chunk + 1) as u64;
+                        tracer.record_chunk_end(qname, rank, items);
+                    }
+                };
+                server.target_parallel_for(n_items, chunk, &wrapped);
+            }
+            _ => self.parallel_for(n_items, f),
+        }
+        let nanos = t0.elapsed().as_nanos() as u64;
         let mut bytes = 0u64;
+        let mut transactions = 0u64;
         if let Some(server) = &self.inner.server {
             metrics.counter_add("substrate.dispatches", 1);
             metrics.counter_add("substrate.items", n_items as u64);
             if bytes_per_item > 0 {
                 bytes = (n_items * bytes_per_item) as u64;
                 let chunk = n_items.div_ceil(4 * server.n_cpes).max(1);
+                transactions = n_items.div_ceil(chunk) as u64;
                 metrics.counter_add("dma.bytes", bytes);
-                metrics.counter_add("dma.transactions", n_items.div_ceil(chunk) as u64);
+                metrics.counter_add("dma.transactions", transactions);
+            }
+        }
+        if let Some(qname) = &qualified {
+            tracer.record_complete(EventKind::Kernel, qname, t0, n_items as u64, bytes);
+            if bytes > 0 {
+                tracer.record_instant(EventKind::Dma, qname, transactions, bytes);
             }
         }
         metrics.record_kernel(name, nanos, n_items as u64, bytes);

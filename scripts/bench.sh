@@ -2,8 +2,10 @@
 # Run the pinned smoke benchmark suite (Fig. 9 kernel model, Fig. 10/11
 # scaling projections, and the live coupled model on the CPE-teams
 # substrate) and write the machine-readable document to BENCH_0002.json at
-# the repo root (override with $1). Compare against a committed baseline
-# with:
+# the repo root (override with $1). The document's "trace" section carries
+# the tracing-overhead measurement; bench_smoke itself fails when disabled
+# tracing costs >= 1% of the smoke window, and bench_compare re-checks the
+# same absolute budget. Compare against a committed baseline with:
 #   cargo run --release -p grist-bench --bin bench_compare -- \
 #       BENCH_0002.json new.json --tolerance 10
 # Everything runs offline (see README "Offline builds").

@@ -26,6 +26,10 @@ for seed in 42 7 1234; do
     CHAOS_SEED=$seed cargo run --release -p grist-bench --bin chaos_smoke
 done
 
+echo "== trace report (traced multi-rank chaos run + attribution) =="
+cargo run --release -p grist-bench --bin trace_report -- \
+    target/trace.json target/trace_report.json
+
 echo "== bench smoke vs committed baseline =="
 cargo run --release -p grist-bench --bin bench_smoke -- target/bench_smoke.json
 cargo run --release -p grist-bench --bin bench_compare -- \
