@@ -5,11 +5,10 @@
 //! the paper observes rising from 19% to 37%).
 
 use grist_bench::{fmt, Table};
-use grist_runtime::scaling::{table2_grids, weak_scaling_ladder, Scheme, SdpdModel};
+use grist_runtime::scaling::{grid_by_label, weak_scaling_ladder, Scheme, SdpdModel};
 
 fn main() {
     let model = SdpdModel::default();
-    let grids = table2_grids();
     let ladder = weak_scaling_ladder();
 
     println!("# Figure 10: weak scaling (mixed precision), 128 → 524,288 CGs\n");
@@ -36,9 +35,9 @@ fn main() {
     let mut base_ml = 0.0;
     let mut shares = Vec::new();
     for (i, (label, procs)) in ladder.iter().enumerate() {
-        let g = grids.iter().find(|g| g.label == *label).unwrap();
-        let r_phy = model.project(g, mix_phy, *procs);
-        let r_ml = model.project(g, mix_ml, *procs);
+        let g = grid_by_label(label).expect("ladder labels are Table 2 rows");
+        let r_phy = model.project(&g, mix_phy, *procs);
+        let r_ml = model.project(&g, mix_ml, *procs);
         if i == 0 {
             base_phy = r_phy.sdpd;
             base_ml = r_ml.sdpd;
@@ -65,8 +64,8 @@ fn main() {
          - largest run uses 524,288 × 65 = 34,078,720 cores (\"34 million cores\")",
         {
             let ok = ladder.iter().all(|(label, procs)| {
-                let g = grids.iter().find(|g| g.label == *label).unwrap();
-                model.project(g, mix_ml, *procs).sdpd > model.project(g, mix_phy, *procs).sdpd
+                let g = grid_by_label(label).expect("ladder labels are Table 2 rows");
+                model.project(&g, mix_ml, *procs).sdpd > model.project(&g, mix_phy, *procs).sdpd
             });
             if ok {
                 "yes"

@@ -4,13 +4,12 @@
 //! `eff(N) = (P_N / N) / (P_32768 / 32768)`.
 
 use grist_bench::{fmt, Table};
-use grist_runtime::scaling::{table2_grids, Scheme, SdpdModel};
+use grist_runtime::scaling::{grid_by_label, Scheme, SdpdModel};
 
 fn main() {
     let model = SdpdModel::default();
-    let grids = table2_grids();
-    let g12 = grids.iter().find(|g| g.label == "G12").unwrap();
-    let g11s = grids.iter().find(|g| g.label == "G11S").unwrap();
+    let g12 = &grid_by_label("G12").expect("Table 2 row");
+    let g11s = &grid_by_label("G11S").expect("Table 2 row");
     let procs: Vec<usize> = (0..5).map(|i| 32_768usize << i).collect();
 
     println!("# Figure 11: strong scaling, 32,768 → 524,288 CGs\n");

@@ -21,6 +21,7 @@ pub mod health;
 pub mod history;
 pub mod mlsuite;
 pub mod model;
+pub mod overlap;
 
 pub use cases::{add_baroclinic_jet, add_supercell_patch, add_tropical_cyclone, TropicalCyclone};
 pub use checkpoint::{decode_bits, encode_bits, Checkpoint, CheckpointError, CHECKPOINT_SCHEMA};
@@ -34,4 +35,5 @@ pub use diag::{bin_latlon, precision_gate, spatial_correlation, PrecisionGate};
 pub use health::{HealthReport, HealthThresholds, RunState};
 pub use history::{read_snapshot, HistoryRecord, HistoryWriter, Snapshot};
 pub use mlsuite::{MlOutput, MlSuite, ScratchPool, DEFAULT_ML_BLOCK};
-pub use model::{GristModel, PhysicsEngine, RecoveryOutcome};
+pub use model::{GristModel, HaloHook, HaloPhase, PhysicsEngine, RecoveryOutcome};
+pub use overlap::{swe_dyn_step, DynStepMode};

@@ -17,6 +17,21 @@ use sunway_sim::{
     TraceReport,
 };
 
+/// Which side of the dyn step a [`GristModel`] halo hook is called on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaloPhase {
+    /// Before the solver step: begin the async exchange (pack + send) so
+    /// the messages are in flight during interior compute.
+    Begin,
+    /// After the solver step: complete the exchange (receive + unpack).
+    Complete,
+}
+
+/// Per-step halo callback of a multi-rank [`GristModel`] driver: owns the
+/// rank context and the in-flight [`grist_runtime::PendingExchange`]
+/// between the [`HaloPhase::Begin`] and [`HaloPhase::Complete`] calls.
+pub type HaloHook<R> = Box<dyn FnMut(HaloPhase, &mut NhState<R>) + Send>;
+
 /// Which physics suite is coupled (Table 3's "Physics" column).
 #[allow(clippy::large_enum_variant)] // one engine per model; size is irrelevant
 pub enum PhysicsEngine {
@@ -61,6 +76,9 @@ pub struct GristModel<R: Real> {
     /// Last checkpoint captured by [`Self::advance_resilient`] — the state
     /// the recovery ladder rolls back to when a health scan finds corruption.
     pub(crate) last_checkpoint: Option<Checkpoint>,
+    /// Multi-rank halo hook called around every [`Self::step_dyn`]
+    /// (see [`Self::set_halo_hook`]). `None` for single-rank runs.
+    halo_hook: Option<HaloHook<R>>,
 }
 
 /// What one [`GristModel::advance_resilient`] window did: how often the
@@ -144,7 +162,22 @@ impl<R: Real> GristModel<R> {
             config,
             dyn_steps_taken: 0,
             last_checkpoint: None,
+            halo_hook: None,
         }
+    }
+
+    /// Install the multi-rank halo hook: called with [`HaloPhase::Begin`]
+    /// immediately before each dyn-step's solver integration and with
+    /// [`HaloPhase::Complete`] immediately after, so a rank driver can
+    /// overlap its gathered halo exchange (begin: pack + send; complete:
+    /// receive + unpack) with the step's interior compute.
+    pub fn set_halo_hook(&mut self, hook: HaloHook<R>) {
+        self.halo_hook = Some(hook);
+    }
+
+    /// Remove the halo hook (single-rank operation).
+    pub fn clear_halo_hook(&mut self) {
+        self.halo_hook = None;
     }
 
     /// Add an idealized continent (rebuilding the per-column land states
@@ -258,7 +291,17 @@ impl<R: Real> GristModel<R> {
             .tracer()
             .set_step(self.dyn_steps_taken as u64);
         let _span = span_sub.span("step");
+        // The hook is taken out of `self` for the duration of the step so it
+        // can receive `&mut self.state` without aliasing the model.
+        let mut hook = self.halo_hook.take();
+        if let Some(h) = hook.as_mut() {
+            h(HaloPhase::Begin, &mut self.state);
+        }
         self.solver.step(&mut self.state, dt);
+        if let Some(h) = hook.as_mut() {
+            h(HaloPhase::Complete, &mut self.state);
+        }
+        self.halo_hook = hook;
         self.time_s += dt;
         self.dyn_steps_taken += 1;
     }

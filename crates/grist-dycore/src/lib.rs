@@ -29,5 +29,5 @@ pub use field::{Field1, Field2};
 pub use hevi::{NhSolver, NhState};
 pub use operators::ScaledGeometry;
 pub use real::{relative_l2_error, PrecisionMode, Real, MIXED_PRECISION_ERROR_THRESHOLD};
-pub use swe::{SweSolver, SweState};
+pub use swe::{SwePhases, SweSolver, SweState, SweSubset};
 pub use vertical::VerticalCoord;

@@ -162,6 +162,29 @@ impl<R: Real> ScaledGeometry<R> {
     }
 }
 
+/// Dispatch `body` over either the full `0..n_full` range (`subset: None`)
+/// or an explicit index list, under the same kernel name — the index-subset
+/// machinery behind the interior/halo phase split. Per-index arithmetic is
+/// identical in both modes, so running an operator over a partition of the
+/// index space (interior first, remainder later) produces bitwise the same
+/// output as one full dispatch.
+///
+/// Callers restricted to a subset must pass unique indices: the operator
+/// bodies write through [`ColumnsMut`] under the "each index dispatched
+/// exactly once" contract.
+pub fn run_on<F: Fn(usize) + Sync>(
+    sub: &Substrate,
+    name: &'static str,
+    n_full: usize,
+    subset: Option<&[u32]>,
+    body: F,
+) {
+    match subset {
+        None => sub.run(name, n_full, body),
+        Some(ix) => sub.run(name, ix.len(), |j| body(ix[j] as usize)),
+    }
+}
+
 /// Divergence of an edge-normal flux field, at cells:
 /// `div_i = (1/A_i) Σ_e s(i,e) F_e le_e`.
 pub fn divergence<R: Real>(
@@ -171,10 +194,22 @@ pub fn divergence<R: Real>(
     flux_edge: &Field2<R>,
     out: &mut Field2<R>,
 ) {
+    divergence_on(sub, mesh, geom, flux_edge, out, None);
+}
+
+/// [`divergence`] restricted to a cell subset (`None` = all cells).
+pub fn divergence_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    geom: &ScaledGeometry<R>,
+    flux_edge: &Field2<R>,
+    out: &mut Field2<R>,
+    cells: Option<&[u32]>,
+) {
     let nlev = flux_edge.nlev();
     debug_assert_eq!(out.nlev(), nlev);
     let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
-    sub.run("divergence", cols.len(), |c| {
+    run_on(sub, "divergence", cols.len(), cells, |c| {
         // SAFETY: each cell index is dispatched exactly once.
         let col = unsafe { cols.col(c) };
         col.fill(R::ZERO);
@@ -202,9 +237,21 @@ pub fn gradient<R: Real>(
     h_cell: &Field2<R>,
     out: &mut Field2<R>,
 ) {
+    gradient_on(sub, mesh, geom, h_cell, out, None);
+}
+
+/// [`gradient`] restricted to an edge subset (`None` = all edges).
+pub fn gradient_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    geom: &ScaledGeometry<R>,
+    h_cell: &Field2<R>,
+    out: &mut Field2<R>,
+    edges: Option<&[u32]>,
+) {
     let nlev = h_cell.nlev();
     let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
-    sub.run("gradient", cols.len(), |e| {
+    run_on(sub, "gradient", cols.len(), edges, |e| {
         // SAFETY: each edge index is dispatched exactly once.
         let col = unsafe { cols.col(e) };
         let [c1, c2] = mesh.edge_cells[e];
@@ -226,9 +273,21 @@ pub fn vorticity<R: Real>(
     u_edge: &Field2<R>,
     out: &mut Field2<R>,
 ) {
+    vorticity_on(sub, mesh, geom, u_edge, out, None);
+}
+
+/// [`vorticity`] restricted to a vertex subset (`None` = all vertices).
+pub fn vorticity_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    geom: &ScaledGeometry<R>,
+    u_edge: &Field2<R>,
+    out: &mut Field2<R>,
+    verts: Option<&[u32]>,
+) {
     let nlev = u_edge.nlev();
     let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
-    sub.run("vorticity", cols.len(), |v| {
+    run_on(sub, "vorticity", cols.len(), verts, |v| {
         // SAFETY: each vertex index is dispatched exactly once.
         let col = unsafe { cols.col(v) };
         col.fill(R::ZERO);
@@ -256,9 +315,21 @@ pub fn kinetic_energy<R: Real>(
     u_edge: &Field2<R>,
     out: &mut Field2<R>,
 ) {
+    kinetic_energy_on(sub, mesh, geom, u_edge, out, None);
+}
+
+/// [`kinetic_energy`] restricted to a cell subset (`None` = all cells).
+pub fn kinetic_energy_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    geom: &ScaledGeometry<R>,
+    u_edge: &Field2<R>,
+    out: &mut Field2<R>,
+    cells: Option<&[u32]>,
+) {
     let nlev = u_edge.nlev();
     let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
-    sub.run("kinetic_energy", cols.len(), |c| {
+    run_on(sub, "kinetic_energy", cols.len(), cells, |c| {
         // SAFETY: each cell index is dispatched exactly once.
         let col = unsafe { cols.col(c) };
         col.fill(R::ZERO);
@@ -283,10 +354,21 @@ pub fn cell_to_edge<R: Real>(
     h_cell: &Field2<R>,
     out: &mut Field2<R>,
 ) {
+    cell_to_edge_on(sub, mesh, h_cell, out, None);
+}
+
+/// [`cell_to_edge`] restricted to an edge subset (`None` = all edges).
+pub fn cell_to_edge_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    h_cell: &Field2<R>,
+    out: &mut Field2<R>,
+    edges: Option<&[u32]>,
+) {
     let nlev = h_cell.nlev();
     let half = R::from_f64(0.5);
     let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
-    sub.run("cell_to_edge", cols.len(), |e| {
+    run_on(sub, "cell_to_edge", cols.len(), edges, |e| {
         // SAFETY: each edge index is dispatched exactly once.
         let col = unsafe { cols.col(e) };
         let [c1, c2] = mesh.edge_cells[e];
@@ -305,10 +387,21 @@ pub fn vert_to_edge<R: Real>(
     f_vert: &Field2<R>,
     out: &mut Field2<R>,
 ) {
+    vert_to_edge_on(sub, mesh, f_vert, out, None);
+}
+
+/// [`vert_to_edge`] restricted to an edge subset (`None` = all edges).
+pub fn vert_to_edge_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    f_vert: &Field2<R>,
+    out: &mut Field2<R>,
+    edges: Option<&[u32]>,
+) {
     let nlev = f_vert.nlev();
     let half = R::from_f64(0.5);
     let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
-    sub.run("vert_to_edge", cols.len(), |e| {
+    run_on(sub, "vert_to_edge", cols.len(), edges, |e| {
         // SAFETY: each edge index is dispatched exactly once.
         let col = unsafe { cols.col(e) };
         let [v1, v2] = mesh.edge_verts[e];
@@ -330,10 +423,24 @@ pub fn vert_velocity<R: Real>(
     out_e: &mut Field2<R>,
     out_n: &mut Field2<R>,
 ) {
+    vert_velocity_on(sub, mesh, geom, u_edge, out_e, out_n, None);
+}
+
+/// [`vert_velocity`] restricted to a vertex subset (`None` = all vertices).
+#[allow(clippy::too_many_arguments)]
+pub fn vert_velocity_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    geom: &ScaledGeometry<R>,
+    u_edge: &Field2<R>,
+    out_e: &mut Field2<R>,
+    out_n: &mut Field2<R>,
+    verts: Option<&[u32]>,
+) {
     let nlev = u_edge.nlev();
     let cols_e = ColumnsMut::new(out_e.as_mut_slice(), nlev);
     let cols_n = ColumnsMut::new(out_n.as_mut_slice(), nlev);
-    sub.run("vert_velocity", cols_e.len(), |v| {
+    run_on(sub, "vert_velocity", cols_e.len(), verts, |v| {
         // SAFETY: each vertex index is dispatched exactly once.
         let ce = unsafe { cols_e.col(v) };
         let cn = unsafe { cols_n.col(v) };
@@ -364,10 +471,24 @@ pub fn tangential_velocity<R: Real>(
     vert_vn: &Field2<R>,
     out: &mut Field2<R>,
 ) {
+    tangential_velocity_on(sub, mesh, geom, vert_ve, vert_vn, out, None);
+}
+
+/// [`tangential_velocity`] restricted to an edge subset (`None` = all).
+#[allow(clippy::too_many_arguments)]
+pub fn tangential_velocity_on<R: Real>(
+    sub: &Substrate,
+    mesh: &HexMesh,
+    geom: &ScaledGeometry<R>,
+    vert_ve: &Field2<R>,
+    vert_vn: &Field2<R>,
+    out: &mut Field2<R>,
+    edges: Option<&[u32]>,
+) {
     let nlev = vert_ve.nlev();
     let half = R::from_f64(0.5);
     let cols = ColumnsMut::new(out.as_mut_slice(), nlev);
-    sub.run("tangential_velocity", cols.len(), |e| {
+    run_on(sub, "tangential_velocity", cols.len(), edges, |e| {
         // SAFETY: each edge index is dispatched exactly once.
         let col = unsafe { cols.col(e) };
         let [v1, v2] = mesh.edge_verts[e];

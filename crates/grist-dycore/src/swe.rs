@@ -21,7 +21,102 @@ use crate::operators as op;
 use crate::operators::ScaledGeometry;
 use crate::real::Real;
 use grist_mesh::{HexMesh, Vec3, EARTH_OMEGA, EARTH_RADIUS_M};
+use std::collections::BTreeSet;
 use sunway_sim::{ColumnsMut, Substrate};
+
+/// Per-kernel index subsets for one phase of a phased tendency evaluation:
+/// which cells, edges, and vertices each kernel of [`SweSolver::tendencies`]
+/// touches during that phase. Built by [`SwePhases::build`].
+#[derive(Debug, Clone)]
+pub struct SweSubset {
+    /// Divergence / kinetic-energy / Bernoulli / mass-tendency cells.
+    pub cells: Vec<u32>,
+    /// Edges of the mass-flux chain (`cell_to_edge`, `swe_mass_flux`):
+    /// every edge incident to a phase cell.
+    pub flux_edges: Vec<u32>,
+    /// Edges of the momentum chain (`gradient`, `vert_to_edge`,
+    /// `tangential_velocity`, `swe_momentum_tend`): edges whose both cells
+    /// are phase cells, so the Bernoulli values they read were computed in
+    /// the same phase.
+    pub momentum_edges: Vec<u32>,
+    /// Vertices of the momentum-chain edges (`vorticity`,
+    /// `swe_abs_vorticity`, `vert_velocity`).
+    pub verts: Vec<u32>,
+}
+
+/// A two-phase cover of the full index space for the shallow-water
+/// tendencies: `interior` runs first (e.g. overlapped with an in-flight
+/// halo exchange), `remainder` completes every output index the interior
+/// phase skipped. Each cell/edge/vertex of every kernel is dispatched
+/// exactly once across the two phases, and every stencil a phase-1 kernel
+/// reads is produced in phase 1, so
+/// `tendencies_subset(interior); tendencies_subset(remainder)` is bitwise
+/// identical to one full [`SweSolver::tendencies`] call — for *any* choice
+/// of interior cells.
+///
+/// For overlap correctness (reading only owned data while halos are in
+/// flight) the interior cells must additionally come from a
+/// `RankLocale::phase_split` with pad ≥ 1: the interior mass-flux chain
+/// reads `h` at the interior cells and their first neighbours.
+#[derive(Debug, Clone)]
+pub struct SwePhases {
+    pub interior: SweSubset,
+    pub remainder: SweSubset,
+}
+
+impl SwePhases {
+    /// Derive the kernel subsets from an interior cell set.
+    pub fn build(mesh: &HexMesh, interior_cells: &[u32]) -> Self {
+        let interior_set: BTreeSet<u32> = interior_cells.iter().copied().collect();
+        let mut flux_edges: BTreeSet<u32> = BTreeSet::new();
+        for &c in interior_cells {
+            for &e in mesh.cell_edges.row(c as usize) {
+                flux_edges.insert(e);
+            }
+        }
+        let momentum_edges: Vec<u32> = (0..mesh.n_edges() as u32)
+            .filter(|&e| {
+                let [c1, c2] = mesh.edge_cells[e as usize];
+                interior_set.contains(&c1) && interior_set.contains(&c2)
+            })
+            .collect();
+        let mut verts: BTreeSet<u32> = BTreeSet::new();
+        for &e in &momentum_edges {
+            for v in mesh.edge_verts[e as usize] {
+                verts.insert(v);
+            }
+        }
+        let interior = SweSubset {
+            cells: {
+                let mut c = interior_cells.to_vec();
+                c.sort_unstable();
+                c
+            },
+            flux_edges: flux_edges.iter().copied().collect(),
+            momentum_edges: momentum_edges.clone(),
+            verts: verts.iter().copied().collect(),
+        };
+        let momentum_set: BTreeSet<u32> = momentum_edges.iter().copied().collect();
+        let remainder = SweSubset {
+            cells: (0..mesh.n_cells() as u32)
+                .filter(|c| !interior_set.contains(c))
+                .collect(),
+            flux_edges: (0..mesh.n_edges() as u32)
+                .filter(|e| !flux_edges.contains(e))
+                .collect(),
+            momentum_edges: (0..mesh.n_edges() as u32)
+                .filter(|e| !momentum_set.contains(e))
+                .collect(),
+            verts: (0..mesh.n_verts() as u32)
+                .filter(|v| !verts.contains(v))
+                .collect(),
+        };
+        SwePhases {
+            interior,
+            remainder,
+        }
+    }
+}
 
 /// Shallow-water prognostic state.
 #[derive(Debug, Clone)]
@@ -89,59 +184,124 @@ impl<R: Real> SweSolver<R> {
 
     /// Evaluate tendencies `(dh/dt, du/dt)` for `state` into `(th, tu)`.
     pub fn tendencies(&mut self, state: &SweState<R>, th: &mut Field2<R>, tu: &mut Field2<R>) {
+        self.tendencies_impl(state, th, tu, None);
+    }
+
+    /// [`Self::tendencies`] restricted to one phase of a [`SwePhases`]
+    /// cover: only the subset's cells/edges/vertices are written, through
+    /// the same kernels (same names, same per-index arithmetic). Running
+    /// the interior and remainder subsets back-to-back is bitwise identical
+    /// to one full `tendencies` call.
+    pub fn tendencies_subset(
+        &mut self,
+        state: &SweState<R>,
+        th: &mut Field2<R>,
+        tu: &mut Field2<R>,
+        subset: &SweSubset,
+    ) {
+        self.tendencies_impl(state, th, tu, Some(subset));
+    }
+
+    fn tendencies_impl(
+        &mut self,
+        state: &SweState<R>,
+        th: &mut Field2<R>,
+        tu: &mut Field2<R>,
+        subset: Option<&SweSubset>,
+    ) {
         let mesh = &self.mesh;
         let geom = &self.geom;
         let sub = self.sub.clone();
+        let cells = subset.map(|s| s.cells.as_slice());
+        let flux_edges = subset.map(|s| s.flux_edges.as_slice());
+        let momentum_edges = subset.map(|s| s.momentum_edges.as_slice());
+        let verts = subset.map(|s| s.verts.as_slice());
         // Mass flux and its divergence.
-        op::cell_to_edge(&sub, mesh, &state.h, &mut self.h_edge);
+        op::cell_to_edge_on(&sub, mesh, &state.h, &mut self.h_edge, flux_edges);
         {
             let h_edge = &self.h_edge;
             let u = &state.u;
             let cols = ColumnsMut::new(self.flux.as_mut_slice(), 1);
-            sub.run("swe_mass_flux", cols.len(), |e| {
+            op::run_on(&sub, "swe_mass_flux", cols.len(), flux_edges, |e| {
                 // SAFETY: each edge index is dispatched exactly once.
                 *unsafe { cols.at(e) } = h_edge.at(0, e) * u.at(0, e);
             });
         }
-        op::divergence(&sub, mesh, geom, &self.flux, th);
-        for v in th.as_mut_slice() {
-            *v = -*v;
+        op::divergence_on(&sub, mesh, geom, &self.flux, th, cells);
+        match cells {
+            None => {
+                for v in th.as_mut_slice() {
+                    *v = -*v;
+                }
+            }
+            Some(cs) => {
+                let nlev = th.nlev();
+                for &c in cs {
+                    for k in 0..nlev {
+                        let v = th.at(k, c as usize);
+                        th.set(k, c as usize, -v);
+                    }
+                }
+            }
         }
 
         // Bernoulli function K + g(h+b) and its gradient.
-        op::kinetic_energy(&sub, mesh, geom, &state.u, &mut self.ke);
+        op::kinetic_energy_on(&sub, mesh, geom, &state.u, &mut self.ke, cells);
         let g = R::from_f64(GRAVITY);
         {
             let ke = &self.ke;
             let topo = &self.topo;
             let h = &state.h;
             let cols = ColumnsMut::new(self.bern.as_mut_slice(), 1);
-            sub.run("swe_bernoulli", cols.len(), |c| {
+            op::run_on(&sub, "swe_bernoulli", cols.len(), cells, |c| {
                 // SAFETY: each cell index is dispatched exactly once.
                 *unsafe { cols.at(c) } = ke.at(0, c) + g * (h.at(0, c) + topo.at(0, c));
             });
         }
-        op::gradient(&sub, mesh, geom, &self.bern, &mut self.grad_b);
+        op::gradient_on(
+            &sub,
+            mesh,
+            geom,
+            &self.bern,
+            &mut self.grad_b,
+            momentum_edges,
+        );
 
         // Absolute vorticity at edges, tangential velocity, Coriolis term.
-        op::vorticity(&sub, mesh, geom, &state.u, &mut self.vor);
+        op::vorticity_on(&sub, mesh, geom, &state.u, &mut self.vor, verts);
         {
             let cols = ColumnsMut::new(self.vor.as_mut_slice(), 1);
-            sub.run("swe_abs_vorticity", cols.len(), |v| {
+            op::run_on(&sub, "swe_abs_vorticity", cols.len(), verts, |v| {
                 // SAFETY: each vertex index is dispatched exactly once.
                 *unsafe { cols.at(v) } += geom.f_vert[v];
             });
         }
-        op::vert_to_edge(&sub, mesh, &self.vor, &mut self.pv_edge);
-        op::vert_velocity(&sub, mesh, geom, &state.u, &mut self.ve, &mut self.vn);
-        op::tangential_velocity(&sub, mesh, geom, &self.ve, &self.vn, &mut self.vt);
+        op::vert_to_edge_on(&sub, mesh, &self.vor, &mut self.pv_edge, momentum_edges);
+        op::vert_velocity_on(
+            &sub,
+            mesh,
+            geom,
+            &state.u,
+            &mut self.ve,
+            &mut self.vn,
+            verts,
+        );
+        op::tangential_velocity_on(
+            &sub,
+            mesh,
+            geom,
+            &self.ve,
+            &self.vn,
+            &mut self.vt,
+            momentum_edges,
+        );
 
         {
             let pv_edge = &self.pv_edge;
             let vt = &self.vt;
             let grad_b = &self.grad_b;
             let cols = ColumnsMut::new(tu.as_mut_slice(), 1);
-            sub.run("swe_momentum_tend", cols.len(), |e| {
+            op::run_on(&sub, "swe_momentum_tend", cols.len(), momentum_edges, |e| {
                 // SAFETY: each edge index is dispatched exactly once.
                 *unsafe { cols.at(e) } = pv_edge.at(0, e) * vt.at(0, e) - grad_b.at(0, e);
             });
@@ -150,6 +310,23 @@ impl<R: Real> SweSolver<R> {
 
     /// One Wicker–Skamarock RK3 step of size `dt` seconds.
     pub fn step_rk3(&mut self, state: &mut SweState<R>, dt: f64) {
+        self.step_rk3_with_stage1(state, dt, |solver, st, th, tu| {
+            solver.tendencies(st, th, tu);
+        });
+    }
+
+    /// [`Self::step_rk3`] with the first-stage tendency evaluation supplied
+    /// by the caller — the hook the halo-overlap driver uses to interleave
+    /// an async exchange with phased tendencies: `stage1` typically runs
+    /// the interior subset, completes the in-flight exchange (restoring
+    /// `state.h` halos, hence the `&mut SweState`), then runs the
+    /// remainder subset. Stages 2 and 3 always evaluate full tendencies;
+    /// with `stage1 = |s, st, th, tu| s.tendencies(st, th, tu)` this is
+    /// exactly `step_rk3`.
+    pub fn step_rk3_with_stage1<F>(&mut self, state: &mut SweState<R>, dt: f64, stage1: F)
+    where
+        F: FnOnce(&mut Self, &mut SweState<R>, &mut Field2<R>, &mut Field2<R>),
+    {
         // Attribute every kernel in the three RK stages to the dycore span.
         // (Cloned handle: the guard must not borrow `self`.)
         let span_sub = self.sub.clone();
@@ -160,7 +337,7 @@ impl<R: Real> SweSolver<R> {
         let mut th = self.dh.clone();
         let mut tu = self.du.clone();
 
-        self.tendencies(state, &mut th, &mut tu);
+        stage1(self, state, &mut th, &mut tu);
         s1.h.copy_from(&state.h);
         s1.u.copy_from(&state.u);
         s1.h.axpy(dt / R::from_f64(3.0), &th);
@@ -324,6 +501,72 @@ mod tests {
             err < crate::real::MIXED_PRECISION_ERROR_THRESHOLD,
             "f32 deviation {err}"
         );
+    }
+
+    #[test]
+    fn swe_phases_cover_every_index_exactly_once() {
+        let mesh = HexMesh::build(3);
+        // An arbitrary, deliberately ragged interior set.
+        let interior: Vec<u32> = (0..mesh.n_cells() as u32).filter(|c| c % 3 != 1).collect();
+        let phases = SwePhases::build(&mesh, &interior);
+        let check = |a: &[u32], b: &[u32], n: usize, what: &str| {
+            let mut all: Vec<u32> = a.iter().chain(b).copied().collect();
+            all.sort_unstable();
+            let expect: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(all, expect, "{what} must partition 0..{n}");
+        };
+        check(
+            &phases.interior.cells,
+            &phases.remainder.cells,
+            mesh.n_cells(),
+            "cells",
+        );
+        check(
+            &phases.interior.flux_edges,
+            &phases.remainder.flux_edges,
+            mesh.n_edges(),
+            "flux edges",
+        );
+        check(
+            &phases.interior.momentum_edges,
+            &phases.remainder.momentum_edges,
+            mesh.n_edges(),
+            "momentum edges",
+        );
+        check(
+            &phases.interior.verts,
+            &phases.remainder.verts,
+            mesh.n_verts(),
+            "verts",
+        );
+    }
+
+    #[test]
+    fn phased_stage1_is_bitwise_identical_to_full_step() {
+        // The tentpole invariant: interior-then-remainder phased tendencies
+        // in stage 1 must reproduce the plain step exactly, for an
+        // arbitrary interior set (no tolerance — bit equality).
+        let mesh = HexMesh::build(3);
+        let interior: Vec<u32> = (0..mesh.n_cells() as u32).filter(|c| c % 2 == 0).collect();
+        let phases = SwePhases::build(&mesh, &interior);
+        let dt = 400.0;
+
+        let mut plain = SweSolver::<f64>::new(mesh.clone());
+        let mut a = williamson_tc2::<f64>(&plain.mesh);
+        let mut phased = SweSolver::<f64>::new(mesh);
+        let mut b = williamson_tc2::<f64>(&phased.mesh);
+        for _ in 0..3 {
+            plain.step_rk3(&mut a, dt);
+            phased.step_rk3_with_stage1(&mut b, dt, |sv, st, th, tu| {
+                sv.tendencies_subset(st, th, tu, &phases.interior);
+                // An async halo completion would land here.
+                sv.tendencies_subset(st, th, tu, &phases.remainder);
+            });
+        }
+        let bits =
+            |f: &Field2<f64>| -> Vec<u64> { f.as_slice().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&a.h), bits(&b.h), "h must match bit-for-bit");
+        assert_eq!(bits(&a.u), bits(&b.u), "u must match bit-for-bit");
     }
 
     #[test]

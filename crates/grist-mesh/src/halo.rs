@@ -27,6 +27,89 @@ pub struct RankLocale {
     pub local_edges: Vec<u32>,
 }
 
+/// Partition of one rank's owned region into a halo-independent interior
+/// and a halo-adjacent boundary, the static schedule behind overlapping
+/// halo exchange with interior compute: while neighbour messages are in
+/// flight, kernels restricted to `interior_cells` / `interior_edges` read
+/// only owned data, so they can run concurrently with the exchange; the
+/// boundary remainder runs after the halos arrive.
+#[derive(Debug, Clone)]
+pub struct PhaseSplit {
+    /// Owned cells at least `pad` rings away from any non-owned cell
+    /// (every neighbour within `pad` hops is owned).
+    pub interior_cells: Vec<u32>,
+    /// Owned cells within `pad` rings of a non-owned cell.
+    pub boundary_cells: Vec<u32>,
+    /// Local edges with both adjacent cells interior.
+    pub interior_edges: Vec<u32>,
+    /// The remaining local edges (at least one adjacent cell is boundary
+    /// or non-owned).
+    pub boundary_edges: Vec<u32>,
+}
+
+impl RankLocale {
+    /// Split the owned region for exchange/compute overlap. `pad` is the
+    /// stencil radius the interior phase must tolerate: with `pad = p`,
+    /// every cell within `p` hops of an interior cell is owned, so any
+    /// chain of depth-1 kernels that stays `p` rings deep never reads a
+    /// halo value. All four index lists are sorted; interior and boundary
+    /// sets are disjoint and together cover exactly the owned cells /
+    /// local edges.
+    pub fn phase_split(&self, mesh: &HexMesh, pad: usize) -> PhaseSplit {
+        assert!(pad >= 1, "interior pad must be at least 1");
+        let owned: BTreeSet<u32> = self.owned_cells.iter().copied().collect();
+        // Ring 1: owned cells touching a non-owned cell; grow `pad - 1`
+        // more rings inward.
+        let mut boundary: BTreeSet<u32> = self
+            .owned_cells
+            .iter()
+            .copied()
+            .filter(|&c| {
+                mesh.cell_neighbors
+                    .row(c as usize)
+                    .iter()
+                    .any(|nb| !owned.contains(nb))
+            })
+            .collect();
+        let mut frontier = boundary.clone();
+        for _ in 1..pad {
+            let mut next = BTreeSet::new();
+            for &c in &frontier {
+                for &nb in mesh.cell_neighbors.row(c as usize) {
+                    if owned.contains(&nb) && !boundary.contains(&nb) {
+                        next.insert(nb);
+                    }
+                }
+            }
+            boundary.extend(next.iter().copied());
+            frontier = next;
+        }
+        let interior_cells: Vec<u32> = self
+            .owned_cells
+            .iter()
+            .copied()
+            .filter(|c| !boundary.contains(c))
+            .collect();
+        let interior_set: BTreeSet<u32> = interior_cells.iter().copied().collect();
+        let mut interior_edges = Vec::new();
+        let mut boundary_edges = Vec::new();
+        for &e in &self.local_edges {
+            let [c1, c2] = mesh.edge_cells[e as usize];
+            if interior_set.contains(&c1) && interior_set.contains(&c2) {
+                interior_edges.push(e);
+            } else {
+                boundary_edges.push(e);
+            }
+        }
+        PhaseSplit {
+            interior_cells,
+            boundary_cells: boundary.into_iter().collect(),
+            interior_edges,
+            boundary_edges,
+        }
+    }
+}
+
 /// Halo layouts for every rank of a partition.
 #[derive(Debug, Clone)]
 pub struct HaloLayout {
@@ -211,6 +294,85 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn phase_split_partitions_owned_cells_and_local_edges() {
+        let (mesh, _, h) = setup(3, 5, 1);
+        for loc in &h.locales {
+            let split = loc.phase_split(&mesh, 1);
+            let mut cells: Vec<u32> = split
+                .interior_cells
+                .iter()
+                .chain(&split.boundary_cells)
+                .copied()
+                .collect();
+            cells.sort_unstable();
+            assert_eq!(cells, loc.owned_cells, "rank {}: cells", loc.rank);
+            let interior: BTreeSet<u32> = split.interior_cells.iter().copied().collect();
+            for c in &split.boundary_cells {
+                assert!(!interior.contains(c), "rank {}: overlap", loc.rank);
+            }
+            let mut edges: Vec<u32> = split
+                .interior_edges
+                .iter()
+                .chain(&split.boundary_edges)
+                .copied()
+                .collect();
+            edges.sort_unstable();
+            assert_eq!(edges, loc.local_edges, "rank {}: edges", loc.rank);
+        }
+    }
+
+    #[test]
+    fn interior_cells_only_see_owned_neighbors() {
+        // The whole point of the split: a depth-1 stencil at an interior
+        // cell (or either cell of an interior edge) never reads a halo.
+        let (mesh, _, h) = setup(3, 5, 1);
+        for loc in &h.locales {
+            let owned: BTreeSet<u32> = loc.owned_cells.iter().copied().collect();
+            let split = loc.phase_split(&mesh, 1);
+            for &c in &split.interior_cells {
+                for &nb in mesh.cell_neighbors.row(c as usize) {
+                    assert!(
+                        owned.contains(&nb),
+                        "rank {}: interior cell {c} has non-owned neighbor {nb}",
+                        loc.rank
+                    );
+                }
+            }
+            let interior: BTreeSet<u32> = split.interior_cells.iter().copied().collect();
+            for &e in &split.interior_edges {
+                for c in mesh.edge_cells[e as usize] {
+                    assert!(interior.contains(&c), "interior edge {e} touches boundary");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_pad_shrinks_the_interior_monotonically() {
+        let (mesh, _, h) = setup(3, 4, 1);
+        for loc in &h.locales {
+            let s1 = loc.phase_split(&mesh, 1);
+            let s2 = loc.phase_split(&mesh, 2);
+            let i2: BTreeSet<u32> = s2.interior_cells.iter().copied().collect();
+            let i1: BTreeSet<u32> = s1.interior_cells.iter().copied().collect();
+            assert!(i2.is_subset(&i1), "pad 2 interior must shrink");
+            // pad-2 interior cells are 2 hops from any non-owned cell.
+            let owned: BTreeSet<u32> = loc.owned_cells.iter().copied().collect();
+            for &c in &s2.interior_cells {
+                for &nb in mesh.cell_neighbors.row(c as usize) {
+                    assert!(owned.contains(&nb));
+                    for &nb2 in mesh.cell_neighbors.row(nb as usize) {
+                        assert!(
+                            owned.contains(&nb2),
+                            "cell {c}: 2-ring neighbor {nb2} not owned"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

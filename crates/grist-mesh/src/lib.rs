@@ -25,7 +25,7 @@ pub mod quality;
 pub mod reorder;
 pub mod vec3;
 
-pub use halo::{HaloLayout, RankLocale};
+pub use halo::{HaloLayout, PhaseSplit, RankLocale};
 pub use hexmesh::{Csr, HexMesh};
 pub use icosahedron::Triangulation;
 pub use partition::{Partition, PartitionQuality};

@@ -7,17 +7,28 @@
 //! volumes measured here feed the fat-tree network model directly.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Message payload (f64 values, the model's lingua franca).
 type Payload = Vec<f64>;
 
+enum Body {
+    Data(Payload),
+    /// World-abort poison: `failed_rank` panicked. Any rank that receives
+    /// this while blocked unwinds immediately instead of waiting forever
+    /// for a message the dead rank will never send.
+    Abort {
+        failed_rank: usize,
+    },
+}
+
 struct Envelope {
     from: usize,
     tag: u32,
-    data: Payload,
+    body: Body,
 }
 
 /// Global communication statistics.
@@ -51,11 +62,12 @@ impl RankCtx {
         let _ = self.peers[dest].send(Envelope {
             from: self.rank,
             tag,
-            data,
+            body: Body::Data(data),
         });
     }
 
-    /// Blocking receive matching `(from, tag)`.
+    /// Blocking receive matching `(from, tag)`. Panics with a descriptive
+    /// error if the world was aborted by another rank's failure.
     pub fn recv(&mut self, from: usize, tag: u32) -> Payload {
         if let Some(q) = self.parked.get_mut(&(from, tag)) {
             if let Some(p) = q.pop_front() {
@@ -64,13 +76,21 @@ impl RankCtx {
         }
         loop {
             let env = self.inbox.recv().expect("world alive");
+            let data = match env.body {
+                Body::Data(data) => data,
+                Body::Abort { failed_rank } => panic!(
+                    "world aborted: rank {failed_rank} panicked while rank {} \
+                     was blocked in recv(from={from}, tag={tag})",
+                    self.rank
+                ),
+            };
             if env.from == from && env.tag == tag {
-                return env.data;
+                return data;
             }
             self.parked
                 .entry((env.from, env.tag))
                 .or_default()
-                .push_back(env.data);
+                .push_back(data);
         }
     }
 
@@ -99,8 +119,26 @@ impl RankCtx {
     }
 }
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `f` on `n_ranks` rank threads and collect their return values in rank
-/// order. Panics in any rank propagate.
+/// order.
+///
+/// If any rank panics, the failure is caught on that rank's thread, a
+/// world-abort poison is broadcast so every peer blocked in `recv` unwinds
+/// promptly (instead of deadlocking on a message the dead rank will never
+/// send), and `run_world` re-panics on the calling thread with a message
+/// naming the *first* failed rank and its panic message — cascade aborts on
+/// surviving ranks never mask the root cause.
 pub fn run_world<T: Send, F>(n_ranks: usize, f: F) -> (Vec<T>, Arc<CommStats>)
 where
     F: Fn(RankCtx) -> T + Sync,
@@ -113,26 +151,69 @@ where
         senders.push(tx);
         receivers.push(rx);
     }
+    // First failure wins: a rank that panics records itself here *before*
+    // broadcasting the abort poison, so the cascade panics it triggers on
+    // surviving ranks find the slot already taken.
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
     let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (rank, inbox) in receivers.into_iter().enumerate() {
+            let peers = senders.clone();
             let ctx = RankCtx {
                 rank,
                 n_ranks,
-                peers: senders.clone(),
+                peers: peers.clone(),
                 inbox,
                 parked: HashMap::new(),
                 stats: Arc::clone(&stats),
             };
             let f = &f;
-            handles.push(scope.spawn(move || f(ctx)));
+            let failure = &failure;
+            handles.push(scope.spawn(move || {
+                match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        {
+                            let mut slot = failure.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some((rank, msg));
+                            }
+                        }
+                        // Poison every peer; a receiver that already left
+                        // the world simply drops the envelope.
+                        for peer in &peers {
+                            let _ = peer.send(Envelope {
+                                from: rank,
+                                tag: 0,
+                                body: Body::Abort { failed_rank: rank },
+                            });
+                        }
+                        None
+                    }
+                }
+            }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
-            results[rank] = Some(h.join().expect("rank panicked"));
+            results[rank] = h
+                .join()
+                .unwrap_or_else(|_| panic!("run_world: rank {rank} thread died unexpectedly"));
         }
     });
-    (results.into_iter().map(|r| r.unwrap()).collect(), stats)
+    if let Some((rank, msg)) = failure.into_inner().expect("failure slot") {
+        panic!("run_world: rank {rank} panicked: {msg}");
+    }
+    (
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(rank, r)| {
+                r.unwrap_or_else(|| panic!("run_world: rank {rank} produced no result"))
+            })
+            .collect(),
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -186,6 +267,43 @@ mod tests {
         });
         assert_eq!(stats.messages.load(Ordering::Relaxed), 1);
         assert_eq!(stats.bytes.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn rank_panic_aborts_the_world_with_a_descriptive_error() {
+        // Regression: before the world-abort poison, survivors blocked in
+        // recv() on the dead rank forever and thread::scope never exited.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_world(4, |mut ctx| {
+                if ctx.rank == 2 {
+                    panic!("injected failure");
+                }
+                // Survivors block on a message rank 2 will never send.
+                ctx.recv(2, 9)[0]
+            })
+        }))
+        .expect_err("world must abort, not hang");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("rank 2"), "error must name the rank: {msg}");
+        assert!(
+            msg.contains("injected failure"),
+            "error must carry the original panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn rank_panic_propagates_even_when_no_rank_is_blocked() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_world(3, |ctx| {
+                if ctx.rank == 1 {
+                    panic!("boom");
+                }
+                ctx.rank as f64
+            })
+        }))
+        .expect_err("failure must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("rank 1") && msg.contains("boom"), "{msg}");
     }
 
     #[test]

@@ -52,6 +52,14 @@ impl<'a> VarList<'a> {
     pub fn values_per_cell(&self) -> usize {
         self.vars.iter().map(|v| v.nlev).sum()
     }
+
+    /// The list's shape: `(name, nlev)` per registered variable, in order.
+    /// An async exchange records this at begin time and checks it at
+    /// complete time, so the unpack cannot silently land in different
+    /// fields than the pack read from.
+    pub fn signature(&self) -> Vec<(&'static str, usize)> {
+        self.vars.iter().map(|v| (v.name, v.nlev)).collect()
+    }
 }
 
 /// A failed halo exchange: the packed buffer received from a peer does not
@@ -128,6 +136,81 @@ fn check_buffer(
     Ok(())
 }
 
+/// Pack one message per destination rank and send it. The send half of
+/// every exchange — synchronous rounds call it back-to-back with
+/// [`recv_and_unpack`]; the async begin/complete API splits the two around
+/// interior compute.
+fn pack_and_send(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &VarList<'_>,
+    tag: u32,
+) -> ExchangeReceipt {
+    let per_cell = list.values_per_cell();
+    let mut receipt = ExchangeReceipt::default();
+    for (dest, cells) in &locale.send {
+        let mut buf = Vec::with_capacity(cells.len() * per_cell);
+        for &c in cells {
+            for var in &list.vars {
+                let base = c as usize * var.nlev;
+                buf.extend_from_slice(&var.data[base..base + var.nlev]);
+            }
+        }
+        receipt.messages_sent += 1;
+        receipt.bytes_sent += (buf.len() * std::mem::size_of::<f64>()) as u64;
+        ctx.send(*dest, tag, buf);
+    }
+    receipt
+}
+
+/// Receive one message per source rank (in the locale's mirrored order) and
+/// unpack it into the gather list's halo cells. Each blocking receive is
+/// traced as an [`EventKind::HaloWait`]; `plan` arms the chaos truncation
+/// schedule.
+fn recv_and_unpack(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    tag: u32,
+    tracer: Option<&trace::Tracer>,
+    metrics: Option<&Metrics>,
+    plan: Option<&FaultPlan>,
+) -> Result<(), ExchangeError> {
+    let per_cell = list.values_per_cell();
+    for (src, cells) in &locale.recv {
+        let t_wait = tracer.and_then(|t| t.begin());
+        let mut buf = ctx.recv(*src, tag);
+        if let (Some(t), Some(t0)) = (tracer, t_wait) {
+            t.record_complete(
+                EventKind::HaloWait,
+                &format!("halo_wait<-{src}"),
+                t0,
+                1,
+                (buf.len() * std::mem::size_of::<f64>()) as u64,
+            );
+        }
+        if let Some(plan) = plan {
+            let key = halo_fault_key(ctx.rank, *src, tag);
+            if plan.should_fail(FaultSite::HaloExchange, key, 0) && !buf.is_empty() {
+                if let Some(m) = metrics {
+                    m.counter_add("fault.injected", 1);
+                }
+                buf.pop();
+            }
+        }
+        check_buffer(ctx, *src, tag, buf.len(), cells.len(), per_cell)?;
+        let mut pos = 0;
+        for &c in cells {
+            for var in &mut list.vars {
+                let base = c as usize * var.nlev;
+                var.data[base..base + var.nlev].copy_from_slice(&buf[pos..pos + var.nlev]);
+                pos += var.nlev;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The shared pack/send/recv/unpack core behind every gathered-exchange
 /// entry point. `metrics` turns on counter recording *and* event tracing
 /// (the round as an [`EventKind::HaloExchange`] duration event, each
@@ -148,56 +231,8 @@ fn exchange_gathered_inner(
         trace::set_thread_rank(ctx.rank as u32);
     }
     let t_round = tracer.and_then(|t| t.begin());
-    let per_cell = list.values_per_cell();
-    let mut receipt = ExchangeReceipt::default();
-    // Pack & send: one message per destination rank.
-    for (dest, cells) in &locale.send {
-        let mut buf = Vec::with_capacity(cells.len() * per_cell);
-        for &c in cells {
-            for var in &list.vars {
-                let base = c as usize * var.nlev;
-                buf.extend_from_slice(&var.data[base..base + var.nlev]);
-            }
-        }
-        receipt.messages_sent += 1;
-        receipt.bytes_sent += (buf.len() * std::mem::size_of::<f64>()) as u64;
-        ctx.send(*dest, tag, buf);
-    }
-    // Receive & unpack in the mirrored order.
-    let recv_result = (|| {
-        for (src, cells) in &locale.recv {
-            let t_wait = tracer.and_then(|t| t.begin());
-            let mut buf = ctx.recv(*src, tag);
-            if let (Some(t), Some(t0)) = (tracer, t_wait) {
-                t.record_complete(
-                    EventKind::HaloWait,
-                    &format!("halo_wait<-{src}"),
-                    t0,
-                    1,
-                    (buf.len() * std::mem::size_of::<f64>()) as u64,
-                );
-            }
-            if let Some(plan) = plan {
-                let key = halo_fault_key(ctx.rank, *src, tag);
-                if plan.should_fail(FaultSite::HaloExchange, key, 0) && !buf.is_empty() {
-                    if let Some(m) = metrics {
-                        m.counter_add("fault.injected", 1);
-                    }
-                    buf.pop();
-                }
-            }
-            check_buffer(ctx, *src, tag, buf.len(), cells.len(), per_cell)?;
-            let mut pos = 0;
-            for &c in cells {
-                for var in &mut list.vars {
-                    let base = c as usize * var.nlev;
-                    var.data[base..base + var.nlev].copy_from_slice(&buf[pos..pos + var.nlev]);
-                    pos += var.nlev;
-                }
-            }
-        }
-        Ok(())
-    })();
+    let receipt = pack_and_send(ctx, locale, list, tag);
+    let recv_result = recv_and_unpack(ctx, locale, list, tag, tracer, metrics, plan);
     // The round event is recorded on the error path too: a truncated round
     // still spent real wall time, and its waits are already on the
     // timeline, so omitting it would leave the analyzer's halo wait total
@@ -219,6 +254,169 @@ fn exchange_gathered_inner(
         m.counter_add("halo.bytes", receipt.bytes_sent);
     }
     Ok(receipt)
+}
+
+/// An in-flight async exchange: [`exchange_gathered_begin`] has packed and
+/// sent this rank's halo messages, and the matching
+/// [`exchange_gathered_complete`] call has not yet received the neighbours'
+/// replies. Holds the begin-time gather-list signature so the completion
+/// can refuse to unpack into a different list.
+#[must_use = "an async exchange that is begun must be completed, or peers' messages leak into the parked queue"]
+pub struct PendingExchange {
+    tag: u32,
+    receipt: ExchangeReceipt,
+    signature: Vec<(&'static str, usize)>,
+}
+
+impl PendingExchange {
+    /// Tag of the in-flight round.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// Send-side totals of the begin half.
+    pub fn receipt(&self) -> ExchangeReceipt {
+        self.receipt
+    }
+}
+
+fn exchange_gathered_begin_inner(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &VarList<'_>,
+    tag: u32,
+    metrics: Option<&Metrics>,
+) -> PendingExchange {
+    let tracer = metrics.map(|m| m.tracer()).filter(|t| t.is_enabled());
+    if tracer.is_some() {
+        trace::set_thread_rank(ctx.rank as u32);
+    }
+    let t0 = tracer.and_then(|t| t.begin());
+    let receipt = pack_and_send(ctx, locale, list, tag);
+    // The pack+send half carries the round's message/byte counts; the
+    // completion half records a zero-count HaloExchange event, so an async
+    // round's *transfer* time (total minus wait) stays comparable with a
+    // synchronous round's even though it spans two events.
+    if let (Some(t), Some(t0)) = (tracer, t0) {
+        t.record_complete(
+            EventKind::HaloExchange,
+            "halo_pack_send",
+            t0,
+            receipt.messages_sent,
+            receipt.bytes_sent,
+        );
+    }
+    PendingExchange {
+        tag,
+        receipt,
+        signature: list.signature(),
+    }
+}
+
+/// Begin an asynchronous gathered halo exchange: pack and send this rank's
+/// halo messages, then return immediately so the caller can run
+/// halo-independent interior kernels while neighbours' messages are in
+/// flight. Pair with [`exchange_gathered_complete`] on the same gather
+/// list. The overlapped pair is bitwise-equal to one [`exchange_gathered`]
+/// call: identical messages, identical unpack order.
+pub fn exchange_gathered_begin(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &VarList<'_>,
+    tag: u32,
+) -> PendingExchange {
+    exchange_gathered_begin_inner(ctx, locale, list, tag, None)
+}
+
+/// [`exchange_gathered_begin`] with counter/trace recording (the pack+send
+/// half lands as a `halo_pack_send` event; `halo.*` counters tick at
+/// completion so sync and async rounds count identically).
+pub fn exchange_gathered_begin_metered(
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &VarList<'_>,
+    tag: u32,
+    metrics: &Metrics,
+) -> PendingExchange {
+    exchange_gathered_begin_inner(ctx, locale, list, tag, Some(metrics))
+}
+
+fn exchange_gathered_complete_inner(
+    pending: PendingExchange,
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    metrics: Option<&Metrics>,
+    plan: Option<&FaultPlan>,
+) -> Result<ExchangeReceipt, ExchangeError> {
+    assert_eq!(
+        pending.signature,
+        list.signature(),
+        "async exchange (tag {}) completed with a different gather list than it began with \
+         — pack read from one set of fields, unpack would land in another",
+        pending.tag
+    );
+    let tracer = metrics.map(|m| m.tracer()).filter(|t| t.is_enabled());
+    if tracer.is_some() {
+        trace::set_thread_rank(ctx.rank as u32);
+    }
+    let t0 = tracer.and_then(|t| t.begin());
+    let recv_result = recv_and_unpack(ctx, locale, list, pending.tag, tracer, metrics, plan);
+    if let (Some(t), Some(t0)) = (tracer, t0) {
+        // Zero counts: the round's messages/bytes were recorded by the
+        // begin half (see `exchange_gathered_begin_inner`).
+        t.record_complete(EventKind::HaloExchange, "halo_recv_unpack", t0, 0, 0);
+    }
+    recv_result?;
+    if let Some(m) = metrics {
+        m.counter_add("halo.exchanges", 1);
+        m.counter_add("halo.messages", pending.receipt.messages_sent);
+        m.counter_add("halo.bytes", pending.receipt.bytes_sent);
+    }
+    Ok(pending.receipt)
+}
+
+/// Complete an asynchronous gathered halo exchange begun with
+/// [`exchange_gathered_begin`]: receive one message per neighbour (in the
+/// locale's mirrored order) and unpack the halos into `list`. Panics with a
+/// descriptive message if `list`'s shape differs from the one the exchange
+/// began with.
+pub fn exchange_gathered_complete(
+    pending: PendingExchange,
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+) -> Result<ExchangeReceipt, ExchangeError> {
+    exchange_gathered_complete_inner(pending, ctx, locale, list, None, None)
+}
+
+/// [`exchange_gathered_complete`] with counter/trace recording: each
+/// blocking receive lands as a `halo_wait` event and the `halo.*` counters
+/// tick exactly as one synchronous metered round would.
+pub fn exchange_gathered_complete_metered(
+    pending: PendingExchange,
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    metrics: &Metrics,
+) -> Result<ExchangeReceipt, ExchangeError> {
+    exchange_gathered_complete_inner(pending, ctx, locale, list, Some(metrics), None)
+}
+
+/// [`exchange_gathered_complete_metered`] under an armed [`FaultPlan`]: the
+/// same [`halo_fault_key`]-addressed truncation schedule as
+/// [`exchange_gathered_chaos`], applied at the receive side, so injected
+/// halo faults surface through the async API as the same typed
+/// [`ExchangeError`] the synchronous path reports.
+pub fn exchange_gathered_complete_chaos(
+    pending: PendingExchange,
+    ctx: &mut RankCtx,
+    locale: &RankLocale,
+    list: &mut VarList<'_>,
+    metrics: &Metrics,
+    plan: &FaultPlan,
+) -> Result<ExchangeReceipt, ExchangeError> {
+    exchange_gathered_complete_inner(pending, ctx, locale, list, Some(metrics), Some(plan))
 }
 
 /// One gathered halo exchange: a single send per neighbour carrying every
@@ -539,6 +737,149 @@ mod tests {
         }
     }
 
+    /// Poison halos, exchange (sync or begin/complete), return every rank's
+    /// raw field bits so the two modes can be compared for exact equality.
+    fn exchange_mode_bits(asynchronous: bool) -> Vec<Vec<u64>> {
+        let mesh = HexMesh::build(3);
+        let parts = 5;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        let nlev = 3usize;
+        let (results, _) = run_world(parts, |mut ctx| {
+            let locale = &layout.locales[ctx.rank];
+            let mut field = vec![f64::NAN; n * nlev];
+            for &c in &locale.owned_cells {
+                for k in 0..nlev {
+                    field[c as usize * nlev + k] = ((c as usize) * 10 + k) as f64 / 3.0;
+                }
+            }
+            {
+                let mut list = VarList::new();
+                list.push("h", nlev, &mut field);
+                if asynchronous {
+                    let pending = exchange_gathered_begin(&mut ctx, locale, &list, 17);
+                    // Interior compute would run here, overlapped with the
+                    // in-flight messages.
+                    exchange_gathered_complete(pending, &mut ctx, locale, &mut list)
+                } else {
+                    exchange_gathered(&mut ctx, locale, &mut list, 17)
+                }
+                .expect("uniform lists exchange cleanly");
+            }
+            field.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+        });
+        results
+    }
+
+    #[test]
+    fn async_begin_complete_is_bitwise_equal_to_synchronous() {
+        assert_eq!(
+            exchange_mode_bits(true),
+            exchange_mode_bits(false),
+            "overlapped exchange must transport exactly the synchronous bytes"
+        );
+    }
+
+    #[test]
+    fn async_metered_counters_match_one_synchronous_round() {
+        let mesh = HexMesh::build(3);
+        let parts = 4;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        let (results, _) = run_world(parts, move |mut ctx| {
+            let metrics = sunway_sim::Metrics::default();
+            let locale = &layout.locales[ctx.rank];
+            let mut f0 = vec![0.25f64; n * 2];
+            let mut list = VarList::new();
+            list.push("a", 2, &mut f0);
+            let pending = exchange_gathered_begin_metered(&mut ctx, locale, &list, 3, &metrics);
+            assert_eq!(
+                metrics.counter("halo.exchanges"),
+                0,
+                "the round counts once, at completion"
+            );
+            let r =
+                exchange_gathered_complete_metered(pending, &mut ctx, locale, &mut list, &metrics)
+                    .expect("uniform lists exchange cleanly");
+            assert_eq!(metrics.counter("halo.exchanges"), 1);
+            assert_eq!(metrics.counter("halo.messages"), r.messages_sent);
+            assert_eq!(metrics.counter("halo.bytes"), r.bytes_sent);
+            r.messages_sent
+        });
+        assert!(results.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn async_completion_with_a_different_list_panics_descriptively() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mesh = HexMesh::build(2);
+        let parts = 2;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_world(parts, |mut ctx| {
+                let locale = &layout.locales[ctx.rank];
+                let mut f0 = vec![0.0f64; n * 2];
+                let mut f1 = vec![0.0f64; n * 3];
+                let mut list = VarList::new();
+                list.push("a", 2, &mut f0);
+                let pending = exchange_gathered_begin(&mut ctx, locale, &list, 4);
+                // Complete with a *different* gather list: must refuse.
+                let mut other = VarList::new();
+                other.push("b", 3, &mut f1);
+                let _ = exchange_gathered_complete(pending, &mut ctx, locale, &mut other);
+            })
+        }))
+        .expect_err("signature mismatch must panic, not corrupt fields");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("different gather list"),
+            "panic must explain the misuse: {msg}"
+        );
+    }
+
+    #[test]
+    fn pinned_halo_fault_surfaces_through_the_async_api() {
+        let mesh = HexMesh::build(2);
+        let parts = 3;
+        let partition = Partition::build(&mesh, parts, 2);
+        let layout = HaloLayout::build(&mesh, &partition, 1);
+        let n = mesh.n_cells();
+        let victim = layout
+            .locales
+            .iter()
+            .find(|l| !l.recv.is_empty())
+            .expect("some rank has halos");
+        let (rank, src, tag) = (victim.rank, victim.recv[0].0, 41u32);
+        let plan = FaultPlan::new(0).pin(FaultSite::HaloExchange, halo_fault_key(rank, src, tag));
+        let (results, _) = run_world(parts, |mut ctx| {
+            let metrics = sunway_sim::Metrics::default();
+            let locale = &layout.locales[ctx.rank];
+            let mut f0 = vec![2.0f64; n * 3];
+            let mut list = VarList::new();
+            list.push("a", 3, &mut f0);
+            let pending = exchange_gathered_begin_metered(&mut ctx, locale, &list, tag, &metrics);
+            let res = exchange_gathered_complete_chaos(
+                pending, &mut ctx, locale, &mut list, &metrics, &plan,
+            );
+            (res.err(), metrics.counter("fault.injected"))
+        });
+        for (r, (err, injected)) in results.iter().enumerate() {
+            if r == rank {
+                let e = err.clone().expect("the pinned message must fail");
+                assert_eq!(e.src, src);
+                assert_eq!(e.tag, tag);
+                assert_eq!(e.got_values, e.expected_values - 1);
+                assert_eq!(*injected, 1, "exactly one injected truncation");
+            } else {
+                assert!(err.is_none(), "rank {r} was not targeted: {err:?}");
+            }
+        }
+    }
+
     #[test]
     fn generative_roundtrip_under_permuted_partitions_and_lists() {
         use rand::rngs::StdRng;
@@ -578,7 +919,17 @@ mod tests {
                         fields.iter_mut().map(Some).collect();
                     let mut list = VarList::new();
                     for &v in &order {
-                        list.push(NAMES[v], nlev[v], refs[v].take().unwrap());
+                        // A shuffled permutation visits each index once; a
+                        // buggy order generator would repeat one, and the
+                        // second take() would find the slot empty.
+                        let field = refs[v].take().unwrap_or_else(|| {
+                            panic!(
+                                "seed {seed}: registration order {order:?} repeats variable \
+                                 {:?} — each field can be pushed to the gather list only once",
+                                NAMES[v]
+                            )
+                        });
+                        list.push(NAMES[v], nlev[v], field);
                     }
                     exchange_gathered(&mut ctx, locale, &mut list, 100 + seed as u32)
                         .expect("agreeing permuted lists must exchange cleanly");

@@ -10,7 +10,118 @@
 
 use crate::fattree::{exchange_time, ExchangeProfile};
 use sunway_sim::perf::{kernel_time, ExecTarget, KernelSpec, PerfModel};
-use sunway_sim::SunwaySpec;
+use sunway_sim::{Metrics, SunwaySpec};
+
+/// Typed failures of the scaling-model API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalingError {
+    /// A grid label that is not a row of Table 2.
+    UnknownGrid {
+        label: String,
+        known: Vec<&'static str>,
+    },
+    /// A scaling ladder with no entries: there is no baseline point to
+    /// normalize efficiencies against.
+    EmptyLadder,
+    /// Calibration needs a counter the metrics registry never recorded.
+    MissingCounter { name: &'static str },
+}
+
+impl std::fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalingError::UnknownGrid { label, known } => {
+                write!(f, "unknown grid label {label:?}: Table 2 defines {known:?}")
+            }
+            ScalingError::EmptyLadder => write!(
+                f,
+                "scaling ladder is empty: no baseline point to normalize efficiencies against"
+            ),
+            ScalingError::MissingCounter { name } => write!(
+                f,
+                "metrics registry has no {name:?} counter: calibration needs a metered \
+                 multi-rank run (Substrate::*_with_metrics + exchange_gathered_metered)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+/// Look up a Table 2 grid by its label, with a descriptive error listing
+/// the known labels instead of a bare `unwrap` panic.
+pub fn grid_by_label(label: &str) -> Result<GridSpec, ScalingError> {
+    let grids = table2_grids();
+    grids
+        .iter()
+        .find(|g| g.label == label)
+        .copied()
+        .ok_or_else(|| ScalingError::UnknownGrid {
+            label: label.to_string(),
+            known: grids.iter().map(|g| g.label).collect(),
+        })
+}
+
+/// Project the paper's weak-scaling efficiency `eff(N) = P_N / P_base`
+/// (eq. 1) along `ladder`, normalized against the ladder's first entry.
+pub fn weak_scaling_efficiencies(
+    model: &SdpdModel,
+    scheme: Scheme,
+    ladder: &[(&str, usize)],
+) -> Result<Vec<(usize, f64)>, ScalingError> {
+    let (base_label, base_procs) = ladder.first().ok_or(ScalingError::EmptyLadder)?;
+    let base = model
+        .project(&grid_by_label(base_label)?, scheme, *base_procs)
+        .sdpd;
+    let mut effs = Vec::with_capacity(ladder.len());
+    for (label, procs) in ladder {
+        let g = grid_by_label(label)?;
+        effs.push((*procs, model.project(&g, scheme, *procs).sdpd / base));
+    }
+    Ok(effs)
+}
+
+/// Per-step structural costs measured from a metered run's counter
+/// registry. Only deterministic counters are read — never wall times — so
+/// a calibration taken on one machine reproduces bit-for-bit on another.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredCosts {
+    /// Kernel-group dispatches per rank per dynamics step
+    /// (`substrate.dispatches`).
+    pub kernel_groups_per_step: f64,
+    /// Gathered halo exchanges per rank per dynamics step
+    /// (`halo.exchanges`).
+    pub exchanges_per_step: f64,
+    /// Packed messages per exchange (`halo.messages`).
+    pub messages_per_exchange: f64,
+    /// Payload bytes per packed message (`halo.bytes`).
+    pub bytes_per_message: f64,
+}
+
+impl MeasuredCosts {
+    /// Read the per-step costs out of `metrics` after a run of
+    /// `rank_steps` rank-steps (ranks × dynamics steps, since a shared
+    /// registry sums over ranks).
+    pub fn from_metrics(metrics: &Metrics, rank_steps: u64) -> Result<Self, ScalingError> {
+        assert!(rank_steps >= 1, "calibration needs at least one step");
+        let need = |name: &'static str| -> Result<f64, ScalingError> {
+            match metrics.counter(name) {
+                0 => Err(ScalingError::MissingCounter { name }),
+                v => Ok(v as f64),
+            }
+        };
+        let dispatches = need("substrate.dispatches")?;
+        let exchanges = need("halo.exchanges")?;
+        let messages = need("halo.messages")?;
+        let bytes = need("halo.bytes")?;
+        Ok(MeasuredCosts {
+            kernel_groups_per_step: dispatches / rank_steps as f64,
+            exchanges_per_step: exchanges / rank_steps as f64,
+            messages_per_exchange: messages / exchanges,
+            bytes_per_message: bytes / messages,
+        })
+    }
+}
 
 /// Grid + timestep configuration (one row of Table 2).
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +218,11 @@ pub struct SdpdModelConfig {
     /// Relative growth of message latency per doubling of the process count
     /// (network diameter + software collective costs).
     pub latency_growth_per_doubling: f64,
+    /// Fraction of the per-step communication time hidden behind interior
+    /// compute by the async begin/complete exchange (0 = fully synchronous).
+    /// Communication can only hide under compute that exists, so the hidden
+    /// time is capped at the per-step dynamics compute.
+    pub overlap_factor: f64,
 }
 
 impl Default for SdpdModelConfig {
@@ -128,7 +244,22 @@ impl Default for SdpdModelConfig {
             per_group_overhead: 150.0e-6,
             msg_software_latency: 120.0e-6,
             latency_growth_per_doubling: 0.22,
+            overlap_factor: 0.0,
         }
+    }
+}
+
+impl SdpdModelConfig {
+    /// Replace the hand-set per-step structure constants with costs
+    /// measured from a metered run, and set the comm/compute overlap
+    /// fraction. Wall-derived constants (roofline fractions, software
+    /// latencies) stay modeled: counter-derived values are deterministic
+    /// across machines, wall times are not.
+    pub fn with_measured(mut self, costs: &MeasuredCosts, overlap_factor: f64) -> Self {
+        self.dyn_kernel_groups = costs.kernel_groups_per_step;
+        self.exchanges_per_dyn_step = costs.exchanges_per_step;
+        self.overlap_factor = overlap_factor.clamp(0.0, 1.0);
+        self
     }
 }
 
@@ -264,7 +395,11 @@ impl SdpdModel {
         let dyn_s = dyn_per_step * n_dyn * imbalance;
         let tracer_s = tracer_per_step * n_trac * imbalance;
         let physics_s = (phy_per_step * n_phy + rad_per_step * n_rad) * imbalance;
-        let comm_s = comm_per_step * n_dyn;
+        // The async begin/complete exchange hides part of the comm time
+        // behind the interior compute; it can hide at most the compute that
+        // actually runs while the messages are in flight.
+        let hidden = self.cfg.overlap_factor * comm_per_step.min(dyn_per_step);
+        let comm_s = (comm_per_step - hidden) * n_dyn;
         let total = dyn_s + tracer_s + physics_s + comm_s;
         SdpdResult {
             sdpd: 86_400.0 / total,
@@ -327,7 +462,7 @@ mod tests {
     }
 
     fn grid(label: &str) -> GridSpec {
-        *table2_grids().iter().find(|g| g.label == label).unwrap()
+        grid_by_label(label).expect("Table 2 grid")
     }
 
     const MIX_ML: Scheme = Scheme {
@@ -389,26 +524,101 @@ mod tests {
     #[test]
     fn weak_scaling_efficiency_declines_with_scale() {
         let m = model();
-        let mut effs = Vec::new();
-        let base = {
-            let g = grid("G6");
-            m.project(&g, MIX_ML, 128).sdpd
-        };
-        for (label, procs) in weak_scaling_ladder() {
-            let g = grid(label);
-            let r = m.project(&g, MIX_ML, procs);
-            effs.push((procs, r.sdpd / base));
-        }
+        let effs = weak_scaling_efficiencies(&m, MIX_ML, &weak_scaling_ladder())
+            .expect("built-in ladder is valid");
         assert!((effs[0].1 - 1.0).abs() < 1e-12);
         // Efficiency never exceeds 1 and declines overall.
         for w in effs.windows(2) {
             assert!(w[1].1 <= w[0].1 * 1.02, "weak efficiency rose: {effs:?}");
         }
-        let last = effs.last().unwrap().1;
+        let (_, last) = *effs.last().expect("ladder is non-empty");
         assert!(
             (0.2..0.95).contains(&last),
             "end-of-ladder efficiency {last}"
         );
+    }
+
+    #[test]
+    fn unknown_grid_label_yields_a_descriptive_error() {
+        let err = grid_by_label("G42").expect_err("G42 is not a Table 2 row");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("G42"),
+            "message must name the bad label: {msg}"
+        );
+        assert!(
+            msg.contains("G12"),
+            "message must list the known labels: {msg}"
+        );
+        let err = weak_scaling_efficiencies(&model(), MIX_ML, &[("nope", 128)])
+            .expect_err("bad label must propagate");
+        assert!(matches!(err, ScalingError::UnknownGrid { .. }));
+    }
+
+    #[test]
+    fn empty_ladder_yields_a_typed_error() {
+        let err =
+            weak_scaling_efficiencies(&model(), MIX_ML, &[]).expect_err("no ladder, no baseline");
+        assert_eq!(err, ScalingError::EmptyLadder);
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn calibration_rejects_an_unmetered_registry() {
+        let metrics = Metrics::default();
+        let err =
+            MeasuredCosts::from_metrics(&metrics, 8).expect_err("no counters were ever recorded");
+        assert_eq!(
+            err,
+            ScalingError::MissingCounter {
+                name: "substrate.dispatches"
+            }
+        );
+        assert!(err.to_string().contains("substrate.dispatches"), "{err}");
+        // A registry with kernels but no halo traffic names the halo counter.
+        metrics.counter_add("substrate.dispatches", 10);
+        let err = MeasuredCosts::from_metrics(&metrics, 8).expect_err("no halo counters");
+        assert_eq!(
+            err,
+            ScalingError::MissingCounter {
+                name: "halo.exchanges"
+            }
+        );
+    }
+
+    #[test]
+    fn measured_costs_come_out_per_rank_step() {
+        let metrics = Metrics::default();
+        metrics.counter_add("substrate.dispatches", 120);
+        metrics.counter_add("halo.exchanges", 12);
+        metrics.counter_add("halo.messages", 36);
+        metrics.counter_add("halo.bytes", 7_200);
+        let costs = MeasuredCosts::from_metrics(&metrics, 12).expect("all counters present");
+        assert_eq!(costs.kernel_groups_per_step, 10.0);
+        assert_eq!(costs.exchanges_per_step, 1.0);
+        assert_eq!(costs.messages_per_exchange, 3.0);
+        assert_eq!(costs.bytes_per_message, 200.0);
+        let cfg = SdpdModelConfig::default().with_measured(&costs, 0.4);
+        assert_eq!(cfg.dyn_kernel_groups, 10.0);
+        assert_eq!(cfg.exchanges_per_dyn_step, 1.0);
+        assert_eq!(cfg.overlap_factor, 0.4);
+    }
+
+    #[test]
+    fn overlap_factor_shrinks_comm_time_and_nothing_else() {
+        let base = model();
+        let mut overlapped = model();
+        overlapped.cfg.overlap_factor = 0.5;
+        let g = grid("G12");
+        let r0 = base.project(&g, MIX_PHY, 524_288);
+        let r1 = overlapped.project(&g, MIX_PHY, 524_288);
+        assert_eq!(r0.dyn_s, r1.dyn_s, "overlap must not touch compute");
+        assert_eq!(r0.tracer_s, r1.tracer_s);
+        assert_eq!(r0.physics_s, r1.physics_s);
+        assert!(r1.comm_s < r0.comm_s, "overlap must hide comm time");
+        assert!(r1.sdpd > r0.sdpd, "hidden comm must raise SDPD");
+        // Comm can hide at most under the compute that runs concurrently.
+        assert!(r0.comm_s - r1.comm_s <= 0.5 * r0.dyn_s + 1e-9);
     }
 
     #[test]

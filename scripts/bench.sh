@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Run the pinned smoke benchmark suite (Fig. 9 kernel model, Fig. 10/11
-# scaling projections, and the live coupled model on the CPE-teams
-# substrate) and write the machine-readable document to BENCH_0002.json at
-# the repo root (override with $1). The document's "trace" section carries
-# the tracing-overhead measurement; bench_smoke itself fails when disabled
-# tracing costs >= 1% of the smoke window, and bench_compare re-checks the
-# same absolute budget. Compare against a committed baseline with:
+# Regenerate the committed benchmark baselines:
+#   BENCH_0002.json    — pinned smoke suite (Fig. 9 kernel model, Fig. 10/11
+#                        scaling projections, live coupled model on the
+#                        CPE-teams substrate; override the path with $1)
+#   BENCH_scaling.json — halo-overlap gate + counter-calibrated SDPD
+#                        weak/strong-scaling projections (bench_scaling)
+# The smoke document's "trace" section carries the tracing-overhead
+# measurement; bench_smoke itself fails when disabled tracing costs >= 1%
+# of the smoke window, and bench_compare re-checks the same absolute
+# budget. bench_scaling fails unless the overlapped exchange is bitwise
+# identical to the synchronous one and cuts >= 30% of the traced halo wait
+# time. Compare against a committed baseline with:
 #   cargo run --release -p grist-bench --bin bench_compare -- \
 #       BENCH_0002.json new.json --tolerance 10
 # Everything runs offline (see README "Offline builds").
@@ -16,3 +21,6 @@ out="${1:-BENCH_0002.json}"
 
 echo "== bench smoke -> ${out} =="
 cargo run --release -p grist-bench --bin bench_smoke -- "${out}"
+
+echo "== bench scaling -> BENCH_scaling.json =="
+cargo run --release -p grist-bench --bin bench_scaling -- BENCH_scaling.json

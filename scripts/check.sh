@@ -40,4 +40,13 @@ cargo run --release -p grist-bench --bin bench_ml -- target/bench_ml.json
 cargo run --release -p grist-bench --bin bench_compare -- \
     BENCH_0004.json target/bench_ml.json --tolerance 10
 
+echo "== bench scaling (overlap gate + SDPD projections) vs committed baseline =="
+cargo run --release -p grist-bench --bin bench_scaling -- target/bench_scaling.json
+cargo run --release -p grist-bench --bin bench_compare -- \
+    BENCH_scaling.json target/bench_scaling.json --tolerance 10
+
+echo "== scaling figures (10, 11) regenerate =="
+cargo run --release -p grist-bench --bin fig10_weak_scaling > /dev/null
+cargo run --release -p grist-bench --bin fig11_strong_scaling > /dev/null
+
 echo "All checks passed."
