@@ -3,16 +3,26 @@
 //!
 //! Usage:
 //!   cargo run --release -p grist-bench --bin bench_compare -- \
-//!       OLD.json NEW.json [--tolerance PCT] [--time-tolerance PCT]
+//!       OLD.json NEW.json [--tolerance PCT] [--time-tolerance PCT] \
+//!       [--markdown-summary]
+//!
+//! `--markdown-summary` additionally prints a baseline-vs-current delta
+//! table as GitHub-flavored markdown on stdout, for appending to
+//! `$GITHUB_STEP_SUMMARY` in CI. The table is emitted whether or not the
+//! gate passes; the human pass/fail messages go to stderr so stdout stays
+//! clean markdown.
 //!
 //! Exit codes: 0 = no regressions, 1 = regressions found, 2 = bad
 //! usage/unreadable/malformed input.
 
-use grist_bench::compare::{compare_docs, CompareConfig};
+use grist_bench::compare::{compare_docs, markdown_delta_table, CompareConfig};
 use sunway_sim::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: bench_compare OLD.json NEW.json [--tolerance PCT] [--time-tolerance PCT]");
+    eprintln!(
+        "usage: bench_compare OLD.json NEW.json [--tolerance PCT] [--time-tolerance PCT] \
+         [--markdown-summary]"
+    );
     std::process::exit(2);
 }
 
@@ -20,6 +30,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut cfg = CompareConfig::default();
+    let mut markdown = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut pct = |name: &str| -> f64 {
@@ -34,6 +45,7 @@ fn main() {
         match a.as_str() {
             "--tolerance" => cfg.tolerance = pct("--tolerance"),
             "--time-tolerance" => cfg.time_tolerance = pct("--time-tolerance"),
+            "--markdown-summary" => markdown = true,
             _ if a.starts_with("--") => usage(),
             other => paths.push(other),
         }
@@ -55,13 +67,26 @@ fn main() {
     let old = load(old_path);
     let new = load(new_path);
 
+    if markdown {
+        match markdown_delta_table(&old, &new) {
+            Ok(table) => {
+                println!("### `{new_path}` vs `{old_path}`\n");
+                println!("{table}");
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     match compare_docs(&old, &new, &cfg) {
         Err(e) => {
             eprintln!("bench_compare: {e}");
             std::process::exit(2);
         }
         Ok(regressions) if regressions.is_empty() => {
-            println!(
+            eprintln!(
                 "bench_compare: OK — {new_path} within tolerance of {old_path} \
                  (counters ±{}%, wall times +{}%)",
                 cfg.tolerance, cfg.time_tolerance

@@ -163,8 +163,15 @@ fn main() {
     // --- calibrate the SDPD model from the deterministic counters ---
     let costs = MeasuredCosts::from_metrics(&sync_metrics, (RANKS * STEPS) as u64)
         .unwrap_or_else(|e| fail(&format!("calibration: {e}")));
+    // Measure the halo-surface coefficient from the same partition the run
+    // used instead of the analytic 3.5 guess (gated per part count in
+    // BENCH_partition.json; here it feeds the comm term of the projections).
+    let mesh = HexMesh::build(LEVEL);
+    let surface = Partition::build(&mesh, RANKS, 2).surface_profile(&mesh);
     let model = SdpdModel {
-        cfg: SdpdModelConfig::default().with_measured(&costs, PINNED_OVERLAP),
+        cfg: SdpdModelConfig::default()
+            .with_measured(&costs, PINNED_OVERLAP)
+            .with_measured_surface(surface.surface_coeff),
         ..SdpdModel::default()
     };
     let mix_ml = Scheme {
@@ -219,6 +226,10 @@ fn main() {
                 ("steps".into(), Json::Num(STEPS as f64)),
                 ("cpes".into(), Json::Num(CPES as f64)),
                 ("pinned_overlap_factor".into(), Json::Num(PINNED_OVERLAP)),
+                (
+                    "measured_surface_coeff".into(),
+                    Json::Num(surface.surface_coeff),
+                ),
             ]),
         ),
         (

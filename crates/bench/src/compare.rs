@@ -130,14 +130,8 @@ pub fn compare_docs(
             ));
         }
     }
-    let parse_metrics = |label: &str, doc: &Json| -> Result<MetricsSnapshot, String> {
-        let v = doc
-            .get("metrics")
-            .ok_or_else(|| format!("{label} document has no \"metrics\" section"))?;
-        MetricsSnapshot::from_json_value(v).map_err(|e| format!("{label} metrics: {e}"))
-    };
-    let old_m = parse_metrics("baseline", old)?;
-    let new_m = parse_metrics("new", new)?;
+    let old_m = doc_metrics("baseline", old)?;
+    let new_m = doc_metrics("new", new)?;
 
     let mut out = Vec::new();
 
@@ -277,6 +271,92 @@ pub fn compare_docs(
     }
 
     Ok(out)
+}
+
+/// Render a baseline-vs-current delta table as GitHub-flavored markdown —
+/// the `bench_compare --markdown-summary` payload CI appends to
+/// `$GITHUB_STEP_SUMMARY`. Every projection, counter, and kernel/span wall
+/// time appearing in either document gets a row, so drift is visible in the
+/// job summary even when it stays inside the gate's tolerance. Deterministic
+/// quantities that moved at all are bolded; wall rows are only informative.
+pub fn markdown_delta_table(old: &Json, new: &Json) -> Result<String, String> {
+    let old_m = doc_metrics("baseline", old)?;
+    let new_m = doc_metrics("new", new)?;
+    let mut rows: Vec<(String, Option<f64>, Option<f64>, bool)> = Vec::new();
+
+    let old_p = projections(old);
+    let new_p = projections(new);
+    let keys: std::collections::BTreeSet<&String> = old_p.keys().chain(new_p.keys()).collect();
+    for k in keys {
+        rows.push((
+            format!("projection `{k}`"),
+            old_p.get(k).copied(),
+            new_p.get(k).copied(),
+            true,
+        ));
+    }
+    let counter_keys: std::collections::BTreeSet<&String> =
+        old_m.counters.keys().chain(new_m.counters.keys()).collect();
+    for k in counter_keys {
+        rows.push((
+            format!("counter `{k}`"),
+            old_m.counters.get(k).map(|&v| v as f64),
+            new_m.counters.get(k).map(|&v| v as f64),
+            true,
+        ));
+    }
+    let kernel_keys: std::collections::BTreeSet<&String> =
+        old_m.kernels.keys().chain(new_m.kernels.keys()).collect();
+    for k in kernel_keys {
+        rows.push((
+            format!("kernel `{k}` ms"),
+            old_m.kernels.get(k).map(|v| v.nanos as f64 / 1e6),
+            new_m.kernels.get(k).map(|v| v.nanos as f64 / 1e6),
+            false,
+        ));
+    }
+    let span_keys: std::collections::BTreeSet<&String> =
+        old_m.spans.keys().chain(new_m.spans.keys()).collect();
+    for k in span_keys {
+        rows.push((
+            format!("span `{k}` ms"),
+            old_m.spans.get(k).map(|v| v.nanos as f64 / 1e6),
+            new_m.spans.get(k).map(|v| v.nanos as f64 / 1e6),
+            false,
+        ));
+    }
+
+    let mut out = String::from("| entry | baseline | current | delta |\n|---|---|---|---|\n");
+    let num = |v: Option<f64>| v.map_or("—".to_string(), crate::fmt);
+    for (name, o, n, deterministic) in rows {
+        let delta = match (o, n) {
+            (Some(o), Some(n)) if o != 0.0 => {
+                let pct = (n - o) / o * 100.0;
+                if pct == 0.0 {
+                    "0%".to_string()
+                } else {
+                    format!("{pct:+.1}%")
+                }
+            }
+            (Some(o), Some(n)) if o == n => "0%".to_string(),
+            _ => "—".to_string(),
+        };
+        let moved = deterministic && delta != "0%";
+        let (b0, b1) = if moved { ("**", "**") } else { ("", "") };
+        out.push_str(&format!(
+            "| {name} | {} | {} | {b0}{delta}{b1} |\n",
+            num(o),
+            num(n)
+        ));
+    }
+    Ok(out)
+}
+
+fn doc_metrics(label: &str, doc: &Json) -> Result<MetricsSnapshot, String> {
+    let v = doc
+        .get("metrics")
+        .ok_or_else(|| format!("{label} document has no \"metrics\" section"))?;
+    MetricsSnapshot::from_json_value(v).map_err(|e| format!("{label} metrics: {e}"))
 }
 
 fn projections(doc: &Json) -> std::collections::BTreeMap<String, f64> {
@@ -580,6 +660,36 @@ mod tests {
         assert!(compare_docs(&good, &bad, &CompareConfig::default()).is_err());
         let none = Json::parse("{}").unwrap();
         assert!(compare_docs(&none, &good, &CompareConfig::default()).is_err());
+    }
+
+    #[test]
+    fn markdown_delta_table_lists_every_entry_and_bolds_movement() {
+        let old = doc(50_000_000, 16, 1000, 300.0);
+        let new = doc(60_000_000, 16, 1100, 300.0);
+        let md = markdown_delta_table(&old, &new).unwrap();
+        assert!(md.starts_with("| entry | baseline | current | delta |"));
+        for needle in [
+            "projection `sdpd.weak.G6.p128`",
+            "counter `ldcache.misses`",
+            "kernel `step/dycore/compute_rrr` ms",
+            "span `step` ms",
+        ] {
+            assert!(md.contains(needle), "missing {needle} in:\n{md}");
+        }
+        // The moved counter is bolded; the unmoved projection is not.
+        assert!(md.contains("**+10.0%**"), "{md}");
+        let sdpd_row = md
+            .lines()
+            .find(|l| l.contains("sdpd.weak"))
+            .expect("sdpd row");
+        assert!(sdpd_row.contains("| 0% |"), "{sdpd_row}");
+        // Wall-time rows are informative, never bolded.
+        let kernel_row = md
+            .lines()
+            .find(|l| l.contains("compute_rrr"))
+            .expect("kernel row");
+        assert!(!kernel_row.contains("**"), "{kernel_row}");
+        assert!(markdown_delta_table(&Json::Null, &old).is_err());
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! The pinned partition-quality benchmark behind `BENCH_partition.json`:
+//! edge-cut, balance, and measured halo-surface profiles of the graph
+//! partitioner over a part-count ladder on one mesh (ROADMAP item 1's
+//! quality gate).
+//!
+//! Everything in the document is **deterministic** — the partitioner is
+//! seeded greedy growth plus boundary refinement with no randomness — so
+//! the standard [`crate::compare`] gate holds every projection to the tight
+//! tolerance. There are no kernels or wall times here; the `metrics`
+//! section is an empty snapshot kept only so the schema (and the compare
+//! pipeline) stay uniform across the `BENCH_*` family.
+//!
+//! The `surface_coeff` projections are the measured replacement for the
+//! analytic `halo_surface_fraction ≈ 3.5` guess in
+//! `grist_runtime::scaling::SdpdModelConfig`: `bench_scaling` feeds the
+//! coefficient measured on its own partition into the model via
+//! `with_measured_surface`, and this suite gates the coefficient's drift
+//! across the ladder so a partitioner regression (ragged boundaries, split
+//! parts) shows up as a bench failure, not as silently worse projections.
+
+use grist_mesh::{HexMesh, Partition};
+use sunway_sim::{Json, MetricsSnapshot};
+
+use crate::smoke::SCHEMA;
+
+/// Pinned mesh refinement level (G5: 10,242 cells — big enough that the
+/// 64-part surface law is in its asymptotic regime, small enough to
+/// partition three times in well under a second).
+pub const PART_LEVEL: u32 = 5;
+/// Part-count ladder: a 4× step per rung, spanning the rank counts the
+/// halo/scaling suites use.
+pub const PART_LADDER: [usize; 3] = [4, 16, 64];
+/// Boundary-refinement passes, matching the halo and scaling benches.
+pub const PART_REFINE_PASSES: usize = 2;
+
+/// Per-rung quality numbers, in ladder order (the binary prints these as a
+/// table; the document carries them as flat projections).
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionRung {
+    pub n_parts: usize,
+    pub edge_cut: usize,
+    pub imbalance: f64,
+    pub max_part_degree: usize,
+    pub mean_halo: f64,
+    pub max_ratio: f64,
+    pub surface_coeff: f64,
+}
+
+/// The assembled document plus the rung table behind it.
+#[derive(Debug)]
+pub struct PartitionBench {
+    pub doc: Json,
+    pub rungs: Vec<PartitionRung>,
+}
+
+/// Run the pinned ladder and assemble the `BENCH_partition.json` document.
+pub fn run_partition() -> PartitionBench {
+    run_partition_with(PART_LEVEL, &PART_LADDER)
+}
+
+/// [`run_partition`] with explicit knobs (tests use a smaller mesh).
+pub fn run_partition_with(level: u32, ladder: &[usize]) -> PartitionBench {
+    let mesh = HexMesh::build(level);
+    let mut rungs = Vec::with_capacity(ladder.len());
+    let mut projections: Vec<(String, f64)> = Vec::new();
+    for &n_parts in ladder {
+        let partition = Partition::build(&mesh, n_parts, PART_REFINE_PASSES);
+        let q = partition.quality(&mesh);
+        let s = partition.surface_profile(&mesh);
+        rungs.push(PartitionRung {
+            n_parts,
+            edge_cut: q.edge_cut,
+            imbalance: q.imbalance,
+            max_part_degree: q.max_part_degree,
+            mean_halo: s.mean_halo,
+            max_ratio: s.max_ratio,
+            surface_coeff: s.surface_coeff,
+        });
+        let pre = format!("partition.L{level}.p{n_parts}");
+        projections.push((format!("{pre}.edge_cut"), q.edge_cut as f64));
+        projections.push((format!("{pre}.imbalance"), q.imbalance));
+        projections.push((format!("{pre}.max_part_degree"), q.max_part_degree as f64));
+        projections.push((format!("{pre}.mean_halo"), s.mean_halo));
+        projections.push((format!("{pre}.max_ratio"), s.max_ratio));
+        projections.push((format!("{pre}.surface_coeff"), s.surface_coeff));
+    }
+    projections.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("mesh_level".into(), Json::Num(level as f64)),
+                ("n_cells".into(), Json::Num(mesh.n_cells() as f64)),
+                ("refine_passes".into(), Json::Num(PART_REFINE_PASSES as f64)),
+                (
+                    "ladder".into(),
+                    Json::Arr(ladder.iter().map(|&p| Json::Num(p as f64)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "projections".into(),
+            Json::Obj(
+                projections
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+        // No kernels run here; the empty snapshot keeps the document in the
+        // uniform grist-bench-v1 shape the compare gate expects.
+        ("metrics".into(), MetricsSnapshot::default().to_json_value()),
+    ]);
+
+    PartitionBench { doc, rungs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::{compare_docs, CompareConfig};
+
+    #[test]
+    fn document_has_the_bench_schema_and_sections() {
+        let b = run_partition_with(3, &[2, 4]);
+        assert_eq!(b.doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        for section in ["config", "projections", "metrics"] {
+            assert!(b.doc.get(section).is_some(), "missing {section}");
+        }
+        assert_eq!(b.rungs.len(), 2);
+    }
+
+    #[test]
+    fn ladder_projections_are_deterministic_under_the_compare_gate() {
+        let a = run_partition_with(3, &[2, 4]);
+        let b = run_partition_with(3, &[2, 4]);
+        let r = compare_docs(&a.doc, &b.doc, &CompareConfig::default()).unwrap();
+        assert!(r.is_empty(), "nondeterministic partition bench: {r:?}");
+    }
+
+    #[test]
+    fn edge_cut_grows_and_halo_shrinks_up_the_ladder() {
+        let b = run_partition_with(4, &[4, 16]);
+        let (r4, r16) = (&b.rungs[0], &b.rungs[1]);
+        assert!(
+            r16.edge_cut > r4.edge_cut,
+            "more parts must cut more edges: {} vs {}",
+            r4.edge_cut,
+            r16.edge_cut
+        );
+        assert!(
+            r16.mean_halo < r4.mean_halo,
+            "per-part halo must shrink with part size: {} vs {}",
+            r4.mean_halo,
+            r16.mean_halo
+        );
+        for r in &b.rungs {
+            assert!(r.imbalance >= 1.0 && r.imbalance < 1.5, "{r:?}");
+            assert!(r.surface_coeff > 0.5 && r.surface_coeff < 10.0, "{r:?}");
+            assert!(r.max_ratio > 0.0 && r.max_ratio < 2.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn a_partitioner_regression_is_caught_by_the_gate() {
+        let good = run_partition_with(3, &[4]);
+        let mut bad = run_partition_with(3, &[4]);
+        // Simulate a 2x edge-cut blowup in the new document.
+        let Json::Obj(fields) = &mut bad.doc else {
+            panic!()
+        };
+        let proj = &mut fields
+            .iter_mut()
+            .find(|(k, _)| k == "projections")
+            .unwrap()
+            .1;
+        let Json::Obj(pf) = proj else { panic!() };
+        for (k, v) in pf.iter_mut() {
+            if k.ends_with(".edge_cut") {
+                let Json::Num(x) = v else { panic!() };
+                *x *= 2.0;
+            }
+        }
+        let r = compare_docs(&good.doc, &bad.doc, &CompareConfig::default()).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].what.contains("edge_cut"), "{}", r[0]);
+    }
+}

@@ -28,11 +28,13 @@ use std::sync::{Arc, Mutex};
 
 use grist_ml::batch::{CnnScratch, MlpScratch};
 use grist_ml::models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS, CNN_OUTPUT_CHANNELS};
-use grist_ml::{cnn_batch_flops, mlp_batch_flops};
+use grist_ml::{cnn_batch_flops, mlp_batch_flops, GemmVariant};
 use grist_physics::column::consts::LVAP;
 use grist_physics::surface::{bulk_fluxes, SurfaceConfig};
 use grist_physics::{Column, SurfaceDiag, Tendencies};
-use sunway_sim::{ColumnsMut, Substrate};
+use sunway_sim::{
+    stage_chunks, ColumnsMut, CopyStats, DmaMode, KernelMode, LdmArena, Substrate, SunwaySpec,
+};
 
 /// Default number of columns per batched dispatch block. Sized so the
 /// largest LDM-*resident* panel (an activation matrix, `ch × B·nlev` f32:
@@ -274,25 +276,83 @@ impl MlSuite {
         let (n_in, n_out) = (self.mlp.n_in, self.mlp.n_out);
         s.ensure(b, nlev, n_in, n_out);
 
-        // Pack + normalize the stage matrices (row per column).
+        // Pack the stage matrices (row per column), raw physical units.
         let xs_cnn = &mut s.xs_cnn[..b * CNN_INPUT_CHANNELS * nlev];
         for (i, col) in block.iter().enumerate() {
             let row = &mut xs_cnn[i * CNN_INPUT_CHANNELS * nlev..][..CNN_INPUT_CHANNELS * nlev];
             self.cnn_input_into(col, row);
-            self.cnn.normalize_input(row);
         }
         let xs_mlp = &mut s.xs_mlp[..b * n_in];
         for (i, col) in block.iter().enumerate() {
             let row = &mut xs_mlp[i * n_in..][..n_in];
             self.mlp_input_into(col, row);
-            self.mlp.normalize_input(row);
         }
 
-        // One im2col+GEMM pass per network for the whole block.
+        // Normalize in place — under DmaMode::DoubleBuffered the rows are
+        // staged through LDM with the prefetch-overlap pipeline (one row
+        // per chunk), the same bits the plain in-place loop produces.
+        match self.sub.dma_mode() {
+            DmaMode::Synchronous => {
+                for row in xs_cnn.chunks_mut(CNN_INPUT_CHANNELS * nlev) {
+                    self.cnn.normalize_input(row);
+                }
+                for row in xs_mlp.chunks_mut(n_in) {
+                    self.mlp.normalize_input(row);
+                }
+            }
+            DmaMode::DoubleBuffered => {
+                let mut arena = LdmArena::new(&SunwaySpec::next_gen());
+                let stats = CopyStats::default();
+                let fault = self.sub.fault_plan();
+                let mut degradations = 0u64;
+                for (xs, row_len, net) in [
+                    (&mut *xs_cnn, CNN_INPUT_CHANNELS * nlev, true),
+                    (&mut *xs_mlp, n_in, false),
+                ] {
+                    let report = stage_chunks(
+                        DmaMode::DoubleBuffered,
+                        &mut arena,
+                        row_len,
+                        xs,
+                        &stats,
+                        fault.as_ref(),
+                        |_, row| {
+                            if net {
+                                self.cnn.normalize_input(row);
+                            } else {
+                                self.mlp.normalize_input(row);
+                            }
+                        },
+                    )
+                    .expect("ML stage rows fit the LDM arena");
+                    degradations += u64::from(report.degraded_at.is_some());
+                    self.sub
+                        .metrics()
+                        .counter_add("fault.injected", report.injected);
+                    self.sub
+                        .metrics()
+                        .counter_add("fault.retries", report.retries);
+                }
+                use std::sync::atomic::Ordering as O;
+                let m = self.sub.metrics();
+                m.counter_add("dma.transactions", stats.dma_transfers.load(O::Relaxed));
+                m.counter_add("dma.bytes", stats.dma_bytes.load(O::Relaxed));
+                m.counter_add("fault.degradations", degradations);
+            }
+        }
+
+        // One im2col+GEMM pass per network for the whole block, on the
+        // microkernel the substrate's KernelMode selects.
+        let variant = match self.sub.kernel_mode() {
+            KernelMode::ScalarReference => GemmVariant::Scalar,
+            KernelMode::Simd => GemmVariant::Simd,
+        };
         let ys_cnn = &mut s.ys_cnn[..b * CNN_OUTPUT_CHANNELS * nlev];
-        self.cnn.infer_batch(b, xs_cnn, ys_cnn, &mut s.cnn);
+        self.cnn
+            .infer_batch_with(variant, b, xs_cnn, ys_cnn, &mut s.cnn);
         let ys_mlp = &mut s.ys_mlp[..b * n_out];
-        self.mlp.infer_batch(b, xs_mlp, ys_mlp, &mut s.mlp);
+        self.mlp
+            .infer_batch_with(variant, b, xs_mlp, ys_mlp, &mut s.mlp);
 
         // Denormalize and assemble per column.
         for (i, col) in block.iter().enumerate() {
@@ -491,6 +551,46 @@ mod tests {
                 assert_eq!(a.diag.lhflx, b.diag.lhflx);
             }
         }
+    }
+
+    #[test]
+    fn kernel_and_dma_modes_are_bitwise_equivalent() {
+        let mut suite = MlSuite::untrained(9, 8, 13);
+        suite.block = 4;
+        let cols = varied_columns(9, 11);
+        let reference = {
+            suite.sub.set_kernel_mode(KernelMode::ScalarReference);
+            suite.sub.set_dma_mode(DmaMode::Synchronous);
+            suite.step_columns(&cols)
+        };
+        for kernel in [KernelMode::ScalarReference, KernelMode::Simd] {
+            for dma in [DmaMode::Synchronous, DmaMode::DoubleBuffered] {
+                suite.sub.set_kernel_mode(kernel);
+                suite.sub.set_dma_mode(dma);
+                let got = suite.step_columns(&cols);
+                for (a, b) in got.iter().zip(&reference) {
+                    assert_eq!(a.tend.dt_dt, b.tend.dt_dt, "{kernel:?}/{dma:?}");
+                    assert_eq!(a.tend.dqv_dt, b.tend.dqv_dt, "{kernel:?}/{dma:?}");
+                    assert_eq!(a.diag.gsw, b.diag.gsw, "{kernel:?}/{dma:?}");
+                    assert_eq!(a.diag.glw, b.diag.glw, "{kernel:?}/{dma:?}");
+                    assert_eq!(a.diag.precip, b.diag.precip, "{kernel:?}/{dma:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffered_staging_meters_dma_counters() {
+        let mut suite = MlSuite::untrained(8, 8, 3);
+        suite.block = 4;
+        let cols = varied_columns(8, 8);
+        let base = suite.sub.metrics().counter("dma.transactions");
+        suite.sub.set_dma_mode(DmaMode::DoubleBuffered);
+        suite.step_columns(&cols);
+        let staged = suite.sub.metrics().counter("dma.transactions") - base;
+        // 8 columns in 2 blocks: each block stages 4 CNN rows + 4 MLP rows,
+        // one get + one put per row.
+        assert_eq!(staged, 2 * (4 + 4) * 2);
     }
 
     #[test]

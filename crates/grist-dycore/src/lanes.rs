@@ -1,0 +1,146 @@
+//! Portable lane groups for the dycore's elementwise column kernels — the
+//! vector counterpart of `grist_ml::gemm::simd`, generic over the working
+//! precision [`Real`].
+//!
+//! **Lane-grouping rule.** Lanes always span *independent output elements*
+//! (adjacent levels of one column, which the Fig. 9 kernels compute
+//! pointwise), never a reduction. Every lane evaluates the exact expression
+//! the scalar loop evaluates, operation by operation, so the lane path is
+//! **bitwise identical** to the scalar-reference path — the CI kernel
+//! matrix asserts exact equality, not tolerances.
+//!
+//! [`LaneVec`] is a plain `[R; LANE_WIDTH]` whose elementwise methods
+//! compile to vector instructions (the fixed width gives the backend a
+//! statically shaped loop; see `.cargo/config.toml` for the x86-64-v3
+//! codegen floor). Branches become [`LaneVec::select_ge_zero`], a per-lane
+//! conditional move — the same `if t ≥ 0` decision the scalar code takes,
+//! made independently per lane.
+
+use crate::real::Real;
+
+/// Number of elements processed per lane group (256-bit f32 / two 256-bit
+/// f64 vectors on v3 targets).
+pub const LANE_WIDTH: usize = 8;
+
+/// One lane group of the working precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneVec<R: Real>(pub [R; LANE_WIDTH]);
+
+impl<R: Real> LaneVec<R> {
+    #[inline]
+    pub fn splat(v: R) -> Self {
+        LaneVec([v; LANE_WIDTH])
+    }
+
+    /// Load from the first `LANE_WIDTH` elements of `src`.
+    #[inline]
+    pub fn load(src: &[R]) -> Self {
+        LaneVec(std::array::from_fn(|l| src[l]))
+    }
+
+    /// Store into the first `LANE_WIDTH` elements of `dst`.
+    #[inline]
+    pub fn store(self, dst: &mut [R]) {
+        dst[..LANE_WIDTH].copy_from_slice(&self.0);
+    }
+
+    /// Per-lane `if cond[l] ≥ 0 { a[l] } else { b[l] }` — the vector form
+    /// of the upwind branches (compiles to a compare + blend).
+    #[inline]
+    pub fn select_ge_zero(cond: Self, a: Self, b: Self) -> Self {
+        LaneVec(std::array::from_fn(|l| {
+            if cond.0[l] >= R::ZERO {
+                a.0[l]
+            } else {
+                b.0[l]
+            }
+        }))
+    }
+}
+
+// The elementwise arithmetic lives on the std::ops traits (the kernels
+// import them and call method form — `a.add(b)` chains better than operator
+// syntax there), each op the exact per-lane counterpart of one scalar
+// operation.
+impl<R: Real> std::ops::Add for LaneVec<R> {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        LaneVec(std::array::from_fn(|l| self.0[l] + o.0[l]))
+    }
+}
+
+impl<R: Real> std::ops::Sub for LaneVec<R> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        LaneVec(std::array::from_fn(|l| self.0[l] - o.0[l]))
+    }
+}
+
+impl<R: Real> std::ops::Mul for LaneVec<R> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        LaneVec(std::array::from_fn(|l| self.0[l] * o.0[l]))
+    }
+}
+
+impl<R: Real> std::ops::Div for LaneVec<R> {
+    type Output = Self;
+    #[inline]
+    fn div(self, o: Self) -> Self {
+        LaneVec(std::array::from_fn(|l| self.0[l] / o.0[l]))
+    }
+}
+
+impl<R: Real> std::ops::Neg for LaneVec<R> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        LaneVec(std::array::from_fn(|l| -self.0[l]))
+    }
+}
+
+/// Largest multiple of [`LANE_WIDTH`] not exceeding `n` — the boundary
+/// between the lane-group body and the scalar tail.
+#[inline]
+pub fn lane_body(n: usize) -> usize {
+    n - n % LANE_WIDTH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ops::{Add, Div, Mul, Neg, Sub};
+
+    #[test]
+    fn lane_ops_match_scalar_bitwise() {
+        let a: Vec<f32> = (0..LANE_WIDTH).map(|i| 1.0 + i as f32 * 0.3).collect();
+        let b: Vec<f32> = (0..LANE_WIDTH).map(|i| 0.7 - i as f32 * 0.11).collect();
+        let (va, vb) = (LaneVec::load(&a), LaneVec::load(&b));
+        let mut out = vec![0.0f32; LANE_WIDTH];
+        va.add(vb).mul(va).div(vb).sub(va.neg()).store(&mut out);
+        for l in 0..LANE_WIDTH {
+            assert_eq!(out[l], (a[l] + b[l]) * a[l] / b[l] - (-a[l]));
+        }
+    }
+
+    #[test]
+    fn select_follows_the_sign_per_lane() {
+        let c: Vec<f64> = (0..LANE_WIDTH).map(|i| i as f64 - 3.5).collect();
+        let sel =
+            LaneVec::select_ge_zero(LaneVec::load(&c), LaneVec::splat(1.0), LaneVec::splat(-1.0));
+        for l in 0..LANE_WIDTH {
+            assert_eq!(sel.0[l], if c[l] >= 0.0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn lane_body_splits_at_the_width() {
+        assert_eq!(lane_body(0), 0);
+        assert_eq!(lane_body(7), 0);
+        assert_eq!(lane_body(8), 8);
+        assert_eq!(lane_body(30), 24);
+    }
+}

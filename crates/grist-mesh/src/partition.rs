@@ -30,6 +30,25 @@ pub struct PartitionQuality {
     pub max_part_degree: usize,
 }
 
+/// Measured halo-surface profile of a [`Partition`]: how many remote cells
+/// each rank actually touches, summarized as the surface-to-volume law the
+/// SDPD scaling model consumes (`halo ≈ coeff · √owned` for compact 2-D
+/// subdomains).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceProfile {
+    pub n_parts: usize,
+    /// Mean owned cells per part.
+    pub mean_cells: f64,
+    /// Mean halo width: distinct remote neighbour cells per part.
+    pub mean_halo: f64,
+    /// Worst-case halo/owned ratio over the parts (communication-boundedness
+    /// of the unluckiest rank).
+    pub max_ratio: f64,
+    /// The measured surface coefficient `mean_halo / √mean_cells` — the
+    /// replacement for the analytic 3.5 guess in `SdpdModelConfig`.
+    pub surface_coeff: f64,
+}
+
 impl Partition {
     /// Partition `mesh` into `n_parts` parts.
     ///
@@ -81,6 +100,39 @@ impl Partition {
             imbalance,
             edge_cut,
             max_part_degree,
+        }
+    }
+
+    /// Measure the halo surface-to-volume profile: for every part, the set
+    /// of distinct remote cells adjacent to its owned cells (its one-deep
+    /// halo), reduced to the mean/worst ratios and the surface coefficient.
+    pub fn surface_profile(&self, mesh: &HexMesh) -> SurfaceProfile {
+        let mut sizes = vec![0usize; self.n_parts];
+        for &p in &self.part {
+            sizes[p as usize] += 1;
+        }
+        let mut halos: Vec<std::collections::BTreeSet<u32>> =
+            vec![Default::default(); self.n_parts];
+        for &[c1, c2] in &mesh.edge_cells {
+            let (p1, p2) = (self.part[c1 as usize], self.part[c2 as usize]);
+            if p1 != p2 {
+                halos[p1 as usize].insert(c2);
+                halos[p2 as usize].insert(c1);
+            }
+        }
+        let mean_cells = mesh.n_cells() as f64 / self.n_parts as f64;
+        let mean_halo = halos.iter().map(|h| h.len()).sum::<usize>() as f64 / self.n_parts as f64;
+        let max_ratio = halos
+            .iter()
+            .zip(&sizes)
+            .map(|(h, &s)| h.len() as f64 / (s.max(1)) as f64)
+            .fold(0.0f64, f64::max);
+        SurfaceProfile {
+            n_parts: self.n_parts,
+            mean_cells,
+            mean_halo,
+            max_ratio,
+            surface_coeff: mean_halo / mean_cells.sqrt(),
         }
     }
 }
@@ -281,6 +333,45 @@ mod tests {
         let raw = Partition::build(&mesh, 8, 0).quality(&mesh);
         let refined = Partition::build(&mesh, 8, 8).quality(&mesh);
         assert!((refined.edge_cut as f64) < 1.25 * raw.edge_cut as f64);
+    }
+
+    #[test]
+    fn surface_profile_tracks_the_sqrt_law() {
+        let mesh = HexMesh::build(5);
+        let p = Partition::build(&mesh, 16, 2);
+        let s = p.surface_profile(&mesh);
+        assert_eq!(s.n_parts, 16);
+        assert!((s.mean_cells - mesh.n_cells() as f64 / 16.0).abs() < 1e-9);
+        // Compact 2-D subdomains: the perimeter coefficient sits in a
+        // narrow band around the hex-tile ideal (≈ 3.7 · √n for perfect
+        // hexagonal patches).
+        assert!(
+            (2.0..7.0).contains(&s.surface_coeff),
+            "surface coeff {}",
+            s.surface_coeff
+        );
+        assert!(
+            s.max_ratio < 1.0,
+            "halo larger than interior: {}",
+            s.max_ratio
+        );
+        // The mean halo and the edge cut describe the same boundary: each
+        // cut edge contributes one halo cell to each side, minus shared
+        // corners — so total halo ≤ 2·cut.
+        let q = p.quality(&mesh);
+        assert!(s.mean_halo * 16.0 <= 2.0 * q.edge_cut as f64);
+    }
+
+    #[test]
+    fn surface_coeff_is_stable_across_part_counts() {
+        // The coefficient is the *shape* of a subdomain boundary, so it
+        // should be roughly scale-free while halo counts vary 2×.
+        let mesh = HexMesh::build(5);
+        let s4 = Partition::build(&mesh, 4, 2).surface_profile(&mesh);
+        let s16 = Partition::build(&mesh, 16, 2).surface_profile(&mesh);
+        assert!(s4.mean_halo > 1.5 * s16.mean_halo);
+        let ratio = s4.surface_coeff / s16.surface_coeff;
+        assert!((0.5..2.0).contains(&ratio), "coeff drift {ratio}");
     }
 
     #[test]

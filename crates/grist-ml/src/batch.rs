@@ -2,7 +2,7 @@
 //!
 //! `MlSuite` packs blocks of `B` columns into row-major `[B × n_in]` stage
 //! matrices; this module runs the whole block through the networks with
-//! every layer lowered to one [`gemm_nn`] call:
+//! every layer lowered to one [`gemm_nn`](crate::gemm::gemm_nn) call:
 //!
 //! * `Conv1d` → **im2col + GEMM**. The weight tensor `[c_out × c_in × ksize]`
 //!   is *already* the row-major GEMM `A` matrix `[c_out × (c_in·ksize)]`.
@@ -17,8 +17,9 @@
 //!   `bias + acc`, the batched one `acc + bias`; f32 addition is
 //!   commutative, so the results are bitwise identical.
 //!
-//! Because [`gemm_nn`] accumulates each output element strictly in
-//! increasing-`k` order (see `gemm.rs`), and the `k` axis here enumerates
+//! Because [`gemm_nn`](crate::gemm::gemm_nn) accumulates each output
+//! element strictly in increasing-`k` order (see `gemm.rs`), and the `k`
+//! axis here enumerates
 //! `(ci, k)` / input features in exactly the order the per-column loops
 //! visit them, **batched and per-column inference agree bit for bit** (the
 //! only nominal difference is that zero padding contributes explicit
@@ -31,7 +32,7 @@
 //! first use (or a larger batch) and count every growth — the zero-alloc
 //! steady-state acceptance test asserts the counters stop moving.
 
-use crate::gemm::{gemm_flops, gemm_nn};
+use crate::gemm::{gemm_flops, gemm_nn_with, GemmVariant};
 use crate::models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS, CNN_OUTPUT_CHANNELS};
 use crate::tensor::{Conv1d, Dense, Relu};
 
@@ -112,6 +113,7 @@ fn im2col(
 /// `y += W · Col`. For 1×1 kernels on batch-activation inputs the source
 /// *is* the im2col matrix, so the gather is skipped.
 fn conv_batch(
+    variant: GemmVariant,
     conv: &Conv1d,
     b: usize,
     x: &[f32],
@@ -126,23 +128,31 @@ fn conv_batch(
     }
     if conv.ksize == 1 && lay.chan_stride == row_len && lay.samp_stride == conv.len {
         debug_assert_eq!(x.len(), conv.c_in * row_len);
-        gemm_nn(conv.c_out, row_len, conv.c_in, &conv.weight.w, x, y);
+        gemm_nn_with(
+            variant,
+            conv.c_out,
+            row_len,
+            conv.c_in,
+            &conv.weight.w,
+            x,
+            y,
+        );
     } else {
         let kdim = conv.c_in * conv.ksize;
         let col = &mut col[..kdim * row_len];
         im2col(x, lay, b, conv.c_in, conv.ksize, conv.len, col);
-        gemm_nn(conv.c_out, row_len, kdim, &conv.weight.w, col, y);
+        gemm_nn_with(variant, conv.c_out, row_len, kdim, &conv.weight.w, col, y);
     }
 }
 
 /// One batched dense layer on feature-major panels: `y [n_out × B] = W · x`
 /// then `+ bias` (bias after the dot product, as the per-column kernel
 /// effectively computes — f32 addition commutes).
-fn dense_batch(layer: &Dense, b: usize, x: &[f32], y: &mut [f32]) {
+fn dense_batch(variant: GemmVariant, layer: &Dense, b: usize, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), layer.n_in * b);
     debug_assert_eq!(y.len(), layer.n_out * b);
     y.fill(0.0);
-    gemm_nn(layer.n_out, b, layer.n_in, &layer.weight.w, x, y);
+    gemm_nn_with(variant, layer.n_out, b, layer.n_in, &layer.weight.w, x, y);
     for o in 0..layer.n_out {
         let bias = layer.bias.w[o];
         for v in &mut y[o * b..(o + 1) * b] {
@@ -267,6 +277,20 @@ impl TendencyCnn {
     /// sample), `ys` receives `[b × 2·nlev]` normalized outputs. Bitwise
     /// identical to calling [`TendencyCnn::infer`] per sample.
     pub fn infer_batch(&self, b: usize, xs: &[f32], ys: &mut [f32], s: &mut CnnScratch) {
+        self.infer_batch_with(GemmVariant::default(), b, xs, ys, s);
+    }
+
+    /// [`Self::infer_batch`] with an explicit [`GemmVariant`] — both
+    /// variants produce identical bits; the caller (usually `grist-core`
+    /// mapping the substrate's `KernelMode`) picks the microkernel.
+    pub fn infer_batch_with(
+        &self,
+        variant: GemmVariant,
+        b: usize,
+        xs: &[f32],
+        ys: &mut [f32],
+        s: &mut CnnScratch,
+    ) {
         assert_eq!(xs.len(), b * CNN_INPUT_CHANNELS * self.nlev);
         assert_eq!(ys.len(), b * CNN_OUTPUT_CHANNELS * self.nlev);
         if b == 0 {
@@ -288,20 +312,20 @@ impl TendencyCnn {
         } = s;
         let plane = ch * row_len;
         let (mut a, bb, mut c) = (&mut act_a[..plane], &mut act_b[..], &mut act_c[..plane]);
-        conv_batch(&self.input, b, xs, stage, col, a);
+        conv_batch(variant, &self.input, b, xs, stage, col, a);
         Relu::infer(a);
         for r in &self.res {
             let h1 = &mut bb[..plane];
-            conv_batch(&r.conv1, b, a, act, col, h1);
+            conv_batch(variant, &r.conv1, b, a, act, col, h1);
             Relu::infer(h1);
-            conv_batch(&r.conv2, b, h1, act, col, c);
+            conv_batch(variant, &r.conv2, b, h1, act, col, c);
             for (o, &xi) in c.iter_mut().zip(a.iter()) {
                 *o += xi;
             }
             std::mem::swap(&mut a, &mut c);
         }
         let out = &mut bb[..CNN_OUTPUT_CHANNELS * row_len];
-        conv_batch(&self.output, b, a, act, col, out);
+        conv_batch(variant, &self.output, b, a, act, col, out);
         // Un-batch [2 × b·nlev] → per-sample rows [b × 2·nlev].
         for smp in 0..b {
             for co in 0..CNN_OUTPUT_CHANNELS {
@@ -318,6 +342,19 @@ impl RadiationMlp {
     /// row-major, `ys` receives `[b × n_out]` normalized outputs. Bitwise
     /// identical to calling [`RadiationMlp::infer`] per sample.
     pub fn infer_batch(&self, b: usize, xs: &[f32], ys: &mut [f32], s: &mut MlpScratch) {
+        self.infer_batch_with(GemmVariant::default(), b, xs, ys, s);
+    }
+
+    /// [`Self::infer_batch`] with an explicit [`GemmVariant`]; see
+    /// [`TendencyCnn::infer_batch_with`].
+    pub fn infer_batch_with(
+        &self,
+        variant: GemmVariant,
+        b: usize,
+        xs: &[f32],
+        ys: &mut [f32],
+        s: &mut MlpScratch,
+    ) {
         assert_eq!(xs.len(), b * self.n_in);
         assert_eq!(ys.len(), b * self.n_out);
         if b == 0 {
@@ -333,17 +370,17 @@ impl RadiationMlp {
         }
         let h = &mut h[..self.width * b];
         let z = &mut z[..self.width * b];
-        dense_batch(&self.input, b, xt, h);
+        dense_batch(variant, &self.input, b, xt, h);
         Relu::infer(h);
         for layer in &self.hidden {
-            dense_batch(layer, b, h, z);
+            dense_batch(variant, layer, b, h, z);
             Relu::infer(z);
             for (a, &v) in h.iter_mut().zip(z.iter()) {
                 *a += v;
             }
         }
         let out = &mut out[..self.n_out * b];
-        dense_batch(&self.output, b, h, out);
+        dense_batch(variant, &self.output, b, h, out);
         for smp in 0..b {
             for o in 0..self.n_out {
                 ys[smp * self.n_out + o] = out[o * b + smp];
@@ -413,6 +450,29 @@ mod tests {
                 let y1 = net.infer(&xs[s * 12..(s + 1) * 12]);
                 assert_eq!(&ys[s * 3..(s + 1) * 3], &y1[..], "b={b} sample {s}");
             }
+        }
+    }
+
+    #[test]
+    fn batch_variants_agree_bitwise() {
+        let net = TendencyCnn::new(12, 16, 2);
+        let mlp = RadiationMlp::with_outputs(14, 3, 16, 4);
+        for b in [1usize, 3, 5] {
+            let xs: Vec<f32> = (0..b).flat_map(|s| sample(5 * 12, s)).collect();
+            let mut y_sc = vec![0.0f32; b * 2 * 12];
+            let mut y_simd = y_sc.clone();
+            let mut cs = CnnScratch::new();
+            net.infer_batch_with(GemmVariant::Scalar, b, &xs, &mut y_sc, &mut cs);
+            net.infer_batch_with(GemmVariant::Simd, b, &xs, &mut y_simd, &mut cs);
+            assert_eq!(y_sc, y_simd, "CNN variant mismatch at b={b}");
+
+            let xm: Vec<f32> = (0..b).flat_map(|s| sample(14, s + 9)).collect();
+            let mut z_sc = vec![0.0f32; b * 3];
+            let mut z_simd = z_sc.clone();
+            let mut ms = MlpScratch::new();
+            mlp.infer_batch_with(GemmVariant::Scalar, b, &xm, &mut z_sc, &mut ms);
+            mlp.infer_batch_with(GemmVariant::Simd, b, &xm, &mut z_simd, &mut ms);
+            assert_eq!(z_sc, z_simd, "MLP variant mismatch at b={b}");
         }
     }
 

@@ -55,6 +55,33 @@ pub fn achieved_peak_fraction(mix: &WorkloadMix) -> f64 {
     ((mix.cheap_flops + mix.expensive_ops) / (slots * SIMD_WIDTH)).min(MAX_FRACTION)
 }
 
+/// Fraction of a `m×n×k` GEMM's multiply-adds executed inside full
+/// `MR_SIMD × NR_SIMD` lane tiles of the SIMD microkernel (the rest runs
+/// through the scalar edge strips). Computed by replaying the exact cache
+/// blocking; `k` cancels because every C cell performs `k` MACs. Feeds the
+/// bench report so a shape-driven utilization drop is visible next to the
+/// measured speedup.
+pub fn gemm_lane_utilization(m: usize, n: usize) -> f64 {
+    use crate::gemm::simd::{MR_SIMD, NR_SIMD};
+    use crate::gemm::{MC, NC};
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    let mut lane_cells = 0u64;
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut ic = 0;
+        while ic < m {
+            let mc = MC.min(m - ic);
+            lane_cells += ((mc - mc % MR_SIMD) * (nc - nc % NR_SIMD)) as u64;
+            ic += MC;
+        }
+        jc += NC;
+    }
+    lane_cells as f64 / (m as f64 * n as f64)
+}
+
 /// The canonical RRTMG-like instruction mix (per §4.7's 6%): modest flop
 /// count, heavy exp/div use, per-layer cloud branches, little vectorization.
 pub fn rrtmg_like_mix(cheap: f64, expensive: f64, branches: f64) -> WorkloadMix {
@@ -156,6 +183,19 @@ mod tests {
             vector_fraction: 0.9,
         });
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn lane_utilization_full_tiles_and_edges() {
+        // Tile-aligned shapes are fully covered…
+        assert_eq!(gemm_lane_utilization(64, 512), 1.0);
+        assert_eq!(gemm_lane_utilization(4, 16), 1.0);
+        // …degenerate shapes are not…
+        assert_eq!(gemm_lane_utilization(0, 16), 0.0);
+        assert_eq!(gemm_lane_utilization(3, 8), 0.0);
+        // …and a ragged shape lands strictly between.
+        let u = gemm_lane_utilization(65, 17);
+        assert!(0.0 < u && u < 1.0, "utilization {u}");
     }
 
     #[test]

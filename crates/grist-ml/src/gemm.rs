@@ -30,6 +30,39 @@
 //! L2-per-core host (and map directly onto a 256 KB CPE LDM: one `MC × KC`
 //! A-panel plus a `KC × NR` B-sliver fit comfortably).
 
+pub mod simd;
+
+/// Which [`gemm_nn`]-compatible microkernel a caller selects. Both variants
+/// are *bitwise identical* (the lane kernel keeps one unfused accumulator
+/// per output element in the same increasing-`k` order — see [`simd`]);
+/// [`GemmVariant::Scalar`] is the reference oracle the CI kernel matrix
+/// checks the lanes against. `grist-core` maps the substrate's
+/// `KernelMode` onto this enum (grist-ml does not depend on sunway-sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmVariant {
+    /// The scalar reference kernel ([`gemm_nn`]).
+    Scalar,
+    /// Explicit lane groups ([`simd::gemm_nn_simd`]). Production default.
+    #[default]
+    Simd,
+}
+
+/// Dispatch `C += A·B` to the selected microkernel variant.
+pub fn gemm_nn_with(
+    variant: GemmVariant,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    match variant {
+        GemmVariant::Scalar => gemm_nn(m, n, k, a, b, c),
+        GemmVariant::Simd => simd::gemm_nn_simd(m, n, k, a, b, c),
+    }
+}
+
 /// Rows of the register tile (accumulators live in `MR × NR` registers).
 pub const MR: usize = 4;
 /// Columns of the register tile — 8 f32 lanes, one AVX2/VSX vector.
@@ -84,7 +117,7 @@ pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
 /// One `mc × nc` cache block of C, accumulated over a `kc`-deep panel:
 /// swept by `MR × NR` register tiles with scalar edge tiles.
 #[allow(clippy::too_many_arguments)]
-fn block_kernel(
+pub(crate) fn block_kernel(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],

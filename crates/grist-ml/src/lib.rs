@@ -28,8 +28,12 @@ pub use batch::{
 };
 pub use data::{ChannelNormalizer, Dataset, Sample, TrainingPeriod, TRAINING_PERIODS};
 pub use ensemble::CnnEnsemble;
-pub use flops::{achieved_peak_fraction, compare_radiation, RadiationComparison, WorkloadMix};
-pub use gemm::{gemm_flops, gemm_nn};
+pub use flops::{
+    achieved_peak_fraction, compare_radiation, gemm_lane_utilization, RadiationComparison,
+    WorkloadMix,
+};
+pub use gemm::simd::{gemm_nn_simd, F32x8, Lanes, LANE_WIDTH, MR_SIMD, NR_SIMD};
+pub use gemm::{gemm_flops, gemm_nn, gemm_nn_with, GemmVariant};
 pub use models::{RadiationMlp, TendencyCnn, CNN_INPUT_CHANNELS, CNN_OUTPUT_CHANNELS};
 pub use optim::{Adam, AdamConfig};
 pub use tensor::{mse_loss, Conv1d, Dense, Param, Relu};

@@ -223,6 +223,11 @@ pub struct SdpdModelConfig {
     /// Communication can only hide under compute that exists, so the hidden
     /// time is capped at the per-step dynamics compute.
     pub overlap_factor: f64,
+    /// Halo surface coefficient: halo cells ≈ coeff · √(local cells). The
+    /// default 3.5 is the analytic compact-patch guess; `bench_scaling`
+    /// overrides it with the coefficient measured from the partitioner's
+    /// [`grist_mesh::SurfaceProfile`] (committed in `BENCH_partition.json`).
+    pub halo_surface_coeff: f64,
 }
 
 impl Default for SdpdModelConfig {
@@ -245,6 +250,7 @@ impl Default for SdpdModelConfig {
             msg_software_latency: 120.0e-6,
             latency_growth_per_doubling: 0.22,
             overlap_factor: 0.0,
+            halo_surface_coeff: 3.5,
         }
     }
 }
@@ -259,6 +265,15 @@ impl SdpdModelConfig {
         self.dyn_kernel_groups = costs.kernel_groups_per_step;
         self.exchanges_per_dyn_step = costs.exchanges_per_step;
         self.overlap_factor = overlap_factor.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replace the analytic halo surface coefficient with one measured from
+    /// the partitioner (`SurfaceProfile::surface_coeff`). Clamped away from
+    /// degenerate values so a pathological partition cannot zero out the
+    /// communication term.
+    pub fn with_measured_surface(mut self, surface_coeff: f64) -> Self {
+        self.halo_surface_coeff = surface_coeff.clamp(0.5, 10.0);
         self
     }
 }
@@ -368,7 +383,8 @@ impl SdpdModel {
         };
 
         // --- communication per dynamics step ---
-        let halo_cells = (3.5 * (local_cells as f64).sqrt()).min(local_cells as f64);
+        let halo_cells =
+            (self.cfg.halo_surface_coeff * (local_cells as f64).sqrt()).min(local_cells as f64);
         let msg_bytes = halo_cells / 6.0 * nlev as f64 * self.cfg.exchange_vars * elem;
         let profile = ExchangeProfile {
             procs,
@@ -619,6 +635,32 @@ mod tests {
         assert!(r1.sdpd > r0.sdpd, "hidden comm must raise SDPD");
         // Comm can hide at most under the compute that runs concurrently.
         assert!(r0.comm_s - r1.comm_s <= 0.5 * r0.dyn_s + 1e-9);
+    }
+
+    #[test]
+    fn measured_surface_coeff_scales_comm_and_is_clamped() {
+        let base = model();
+        let mut wider = model();
+        wider.cfg = wider.cfg.with_measured_surface(7.0);
+        let g = grid("G12");
+        let r0 = base.project(&g, MIX_PHY, 524_288);
+        let r1 = wider.project(&g, MIX_PHY, 524_288);
+        assert_eq!(r0.dyn_s, r1.dyn_s, "surface coeff must only touch comm");
+        assert_eq!(r0.physics_s, r1.physics_s);
+        assert!(r1.comm_s > r0.comm_s, "2× the halo must cost more comm");
+        // Degenerate measurements clamp instead of zeroing the comm term.
+        assert_eq!(
+            SdpdModelConfig::default()
+                .with_measured_surface(0.0)
+                .halo_surface_coeff,
+            0.5
+        );
+        assert_eq!(
+            SdpdModelConfig::default()
+                .with_measured_surface(1e9)
+                .halo_surface_coeff,
+            10.0
+        );
     }
 
     #[test]

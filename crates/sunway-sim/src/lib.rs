@@ -44,20 +44,22 @@ pub use arch::SunwaySpec;
 pub use distributor::{AllocPolicy, PoolAllocator};
 pub use dma::{
     amortization_threshold, effective_bandwidth, simulate_dma_batch, simulate_dma_batch_metered,
-    DmaCompletion, DmaRequest,
+    staged_loop_time, DmaCompletion, DmaRequest,
 };
 pub use fault::{FaultError, FaultPlan, FaultSite};
 pub use json::{Json, JsonError};
 pub use ldcache::{simulate_streams, Access, LdCache};
 pub use metrics::{KernelStats, Metrics, MetricsSnapshot, SpanGuard, SpanStats};
-pub use omnicopy::{omnicopy, CopyStats, LdmArena, LdmOverflow, Space};
+pub use omnicopy::{
+    omnicopy, stage_chunks, CopyStats, LdmArena, LdmOverflow, PipelineReport, Space,
+};
 pub use perf::{
     fig9_kernels, fig9_table, kernel_time, kernel_time_metered, stream_hit_ratio,
     stream_hit_ratio_metered, ExecTarget, KernelSpec, PerfModel,
 };
 pub use substrate::{
-    format_kernel_report, kernel_report_rows, ColumnsMut, ExecTargetKind, KernelReportRow,
-    Substrate,
+    format_kernel_report, kernel_report_rows, ColumnsMut, DmaMode, ExecTargetKind, KernelMode,
+    KernelReportRow, Substrate,
 };
 pub use swgomp::{JobServer, JobStats};
 pub use trace::{

@@ -28,6 +28,7 @@ use crate::swgomp::JobServer;
 use crate::trace::{self, EventKind};
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -38,6 +39,104 @@ pub enum ExecTargetKind {
     Serial,
     /// Offload through the SWGOMP job server to emulated CPE teams.
     CpeTeams,
+}
+
+/// Which microkernel implementation lane-aware hot loops select.
+///
+/// The scalar path is the *bitwise-reference oracle*: the SIMD lane kernels
+/// keep one accumulator per output element walking `k` in the same order
+/// (no FMA contraction), so both modes produce identical bits — the CI
+/// kernel matrix asserts exactly that. Selected per-substrate; the
+/// `GRIST_SIMD` env var (`scalar` | `simd`) sets the default for every
+/// substrate built in the process, which is how the CI matrix drives whole
+/// test suites through one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Plain scalar loops — the equivalence oracle.
+    ScalarReference,
+    /// Explicit lane-group kernels (`grist_ml::gemm::simd`, the dycore
+    /// lane helpers). Production default.
+    #[default]
+    Simd,
+}
+
+impl KernelMode {
+    /// Read `GRIST_SIMD` (`scalar`/`scalar-reference`/`0`/`off` vs.
+    /// `simd`/`1`/`on`); unset defaults to [`KernelMode::Simd`]. Unknown
+    /// values panic so a typo'd CI matrix cell cannot silently test the
+    /// wrong kernel.
+    pub fn from_env() -> Self {
+        match std::env::var("GRIST_SIMD").ok().as_deref() {
+            None | Some("") => KernelMode::Simd,
+            Some("scalar") | Some("scalar-reference") | Some("0") | Some("off") => {
+                KernelMode::ScalarReference
+            }
+            Some("simd") | Some("1") | Some("on") => KernelMode::Simd,
+            Some(other) => panic!("GRIST_SIMD={other:?}: expected `scalar` or `simd`"),
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            KernelMode::ScalarReference => 0,
+            KernelMode::Simd => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        if v == 0 {
+            KernelMode::ScalarReference
+        } else {
+            KernelMode::Simd
+        }
+    }
+}
+
+/// How LDM staging transfers are scheduled by the omnicopy pipeline.
+///
+/// Both modes move the same bytes in the same chunks (DMA counters are
+/// identical); double buffering only changes *when* the get of chunk `k+1`
+/// is issued — overlapped with the compute of chunk `k`. Selected
+/// per-substrate; the `GRIST_DMA` env var (`sync` | `double`) sets the
+/// process-wide default. Defaults to [`DmaMode::Synchronous`] so existing
+/// counter baselines are unaffected unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DmaMode {
+    /// get → compute → put, one chunk at a time.
+    #[default]
+    Synchronous,
+    /// Two LDM buffer slots; prefetch of chunk `k+1` overlaps compute of
+    /// chunk `k` (the SWGOMP/O2ATH `omnicopy` idiom).
+    DoubleBuffered,
+}
+
+impl DmaMode {
+    /// Read `GRIST_DMA` (`sync`/`synchronous` vs. `double`/
+    /// `double-buffered`); unset defaults to [`DmaMode::Synchronous`].
+    /// Unknown values panic (see [`KernelMode::from_env`]).
+    pub fn from_env() -> Self {
+        match std::env::var("GRIST_DMA").ok().as_deref() {
+            None | Some("") => DmaMode::Synchronous,
+            Some("sync") | Some("synchronous") => DmaMode::Synchronous,
+            Some("double") | Some("double-buffered") | Some("db") => DmaMode::DoubleBuffered,
+            Some(other) => panic!("GRIST_DMA={other:?}: expected `sync` or `double`"),
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            DmaMode::Synchronous => 0,
+            DmaMode::DoubleBuffered => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        if v == 0 {
+            DmaMode::Synchronous
+        } else {
+            DmaMode::DoubleBuffered
+        }
+    }
 }
 
 /// One row of a kernel report, ready for display. `name` is the full
@@ -95,6 +194,30 @@ struct SubstrateInner {
     /// Armed chaos schedule, shared by every clone. `None` (the default)
     /// keeps the dispatch path infallible and fault-free.
     fault: Mutex<Option<FaultPlan>>,
+    /// [`KernelMode`] discriminant, shared by every clone (atomics so the
+    /// CI matrix and benches can flip modes without rebuilding substrates).
+    kernel_mode: AtomicU8,
+    /// [`DmaMode`] discriminant, shared by every clone.
+    dma_mode: AtomicU8,
+}
+
+impl SubstrateInner {
+    fn new(
+        kind: ExecTargetKind,
+        server: Option<JobServer>,
+        policy: AllocPolicy,
+        metrics: Metrics,
+    ) -> Self {
+        SubstrateInner {
+            kind,
+            server,
+            policy,
+            metrics,
+            fault: Mutex::new(None),
+            kernel_mode: AtomicU8::new(KernelMode::from_env().to_u8()),
+            dma_mode: AtomicU8::new(DmaMode::from_env().to_u8()),
+        }
+    }
 }
 
 /// A cheap-to-clone handle selecting the execution target for named kernels.
@@ -134,13 +257,12 @@ impl Substrate {
     /// into a single world-wide view.
     pub fn serial_with_metrics(metrics: Metrics) -> Self {
         Substrate {
-            inner: Arc::new(SubstrateInner {
-                kind: ExecTargetKind::Serial,
-                server: None,
-                policy: AllocPolicy::Distributed,
+            inner: Arc::new(SubstrateInner::new(
+                ExecTargetKind::Serial,
+                None,
+                AllocPolicy::Distributed,
                 metrics,
-                fault: Mutex::new(None),
-            }),
+            )),
         }
     }
 
@@ -154,13 +276,12 @@ impl Substrate {
     /// see [`Self::serial_with_metrics`].
     pub fn cpe_teams_with_metrics(n_cpes: usize, metrics: Metrics) -> Self {
         Substrate {
-            inner: Arc::new(SubstrateInner {
-                kind: ExecTargetKind::CpeTeams,
-                server: Some(JobServer::new(n_cpes)),
-                policy: AllocPolicy::Distributed,
+            inner: Arc::new(SubstrateInner::new(
+                ExecTargetKind::CpeTeams,
+                Some(JobServer::new(n_cpes)),
+                AllocPolicy::Distributed,
                 metrics,
-                fault: Mutex::new(None),
-            }),
+            )),
         }
     }
 
@@ -168,18 +289,41 @@ impl Substrate {
     /// ablation, which compares Aligned vs. Distributed).
     pub fn with_policy(n_cpes: usize, policy: AllocPolicy) -> Self {
         Substrate {
-            inner: Arc::new(SubstrateInner {
-                kind: ExecTargetKind::CpeTeams,
-                server: Some(JobServer::new(n_cpes)),
+            inner: Arc::new(SubstrateInner::new(
+                ExecTargetKind::CpeTeams,
+                Some(JobServer::new(n_cpes)),
                 policy,
-                metrics: Metrics::default(),
-                fault: Mutex::new(None),
-            }),
+                Metrics::default(),
+            )),
         }
     }
 
     pub fn kind(&self) -> ExecTargetKind {
         self.inner.kind
+    }
+
+    /// Which microkernel implementation kernels dispatched through this
+    /// substrate should use (shared by every clone).
+    pub fn kernel_mode(&self) -> KernelMode {
+        KernelMode::from_u8(self.inner.kernel_mode.load(Ordering::Relaxed))
+    }
+
+    /// Override the [`KernelMode`] for this substrate and every clone.
+    pub fn set_kernel_mode(&self, mode: KernelMode) {
+        self.inner
+            .kernel_mode
+            .store(mode.to_u8(), Ordering::Relaxed);
+    }
+
+    /// How LDM staging pipelines dispatched through this substrate schedule
+    /// their transfers (shared by every clone).
+    pub fn dma_mode(&self) -> DmaMode {
+        DmaMode::from_u8(self.inner.dma_mode.load(Ordering::Relaxed))
+    }
+
+    /// Override the [`DmaMode`] for this substrate and every clone.
+    pub fn set_dma_mode(&self, mode: DmaMode) {
+        self.inner.dma_mode.store(mode.to_u8(), Ordering::Relaxed);
     }
 
     pub fn is_offload(&self) -> bool {
@@ -691,6 +835,24 @@ mod tests {
         assert!(sub.fault_plan().is_none());
         sub.run("calm", 64, |_| {});
         assert_eq!(sub.metrics().counter("fault.injected"), 0);
+    }
+
+    #[test]
+    fn kernel_and_dma_modes_are_shared_by_clones() {
+        let sub = Substrate::cpe_teams(2);
+        let clone = sub.clone();
+        // Unset env defaults: simd + sync (skip when a CI matrix cell pins
+        // the env, since constructors read it).
+        if std::env::var_os("GRIST_SIMD").is_none() {
+            assert_eq!(sub.kernel_mode(), KernelMode::Simd);
+        }
+        if std::env::var_os("GRIST_DMA").is_none() {
+            assert_eq!(sub.dma_mode(), DmaMode::Synchronous);
+        }
+        clone.set_kernel_mode(KernelMode::ScalarReference);
+        clone.set_dma_mode(DmaMode::DoubleBuffered);
+        assert_eq!(sub.kernel_mode(), KernelMode::ScalarReference);
+        assert_eq!(sub.dma_mode(), DmaMode::DoubleBuffered);
     }
 
     #[test]

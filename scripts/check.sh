@@ -26,6 +26,15 @@ for seed in 42 7 1234; do
     CHAOS_SEED=$seed cargo run --release -p grist-bench --bin chaos_smoke
 done
 
+echo "== kernel matrix (scalar/simd x sync/double vs scalar-sync oracle) =="
+for simd in scalar simd; do
+    for dma in sync double; do
+        echo "-- GRIST_SIMD=$simd GRIST_DMA=$dma"
+        GRIST_SIMD=$simd GRIST_DMA=$dma \
+            cargo test --release -q -p grist-core --test integration_kernels
+    done
+done
+
 echo "== trace report (traced multi-rank chaos run + attribution) =="
 cargo run --release -p grist-bench --bin trace_report -- \
     target/trace.json target/trace_report.json
@@ -35,10 +44,15 @@ cargo run --release -p grist-bench --bin bench_smoke -- target/bench_smoke.json
 cargo run --release -p grist-bench --bin bench_compare -- \
     BENCH_0002.json target/bench_smoke.json --tolerance 10
 
-echo "== bench ml (batched >= 3x per-column) vs committed baseline =="
+echo "== bench ml (batched >= 3x per-column, simd gemm >= 1.5x scalar) vs committed baseline =="
 cargo run --release -p grist-bench --bin bench_ml -- target/bench_ml.json
 cargo run --release -p grist-bench --bin bench_compare -- \
     BENCH_0004.json target/bench_ml.json --tolerance 10
+
+echo "== bench partition (edge-cut / halo-surface quality) vs committed baseline =="
+cargo run --release -p grist-bench --bin bench_partition -- target/bench_partition.json
+cargo run --release -p grist-bench --bin bench_compare -- \
+    BENCH_partition.json target/bench_partition.json --tolerance 10
 
 echo "== bench scaling (overlap gate + SDPD projections) vs committed baseline =="
 cargo run --release -p grist-bench --bin bench_scaling -- target/bench_scaling.json
