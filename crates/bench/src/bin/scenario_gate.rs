@@ -1,0 +1,160 @@
+//! Replay the committed scenario matrix and fail on any drift — the CI
+//! conformance gate for `scenarios/*.json`.
+//!
+//! Usage:
+//!   cargo run --release -p grist-bench --bin scenario_gate -- \
+//!       [--dir scenarios] [--out target/scenarios] [--update]
+//!
+//! Each scenario document is parsed strictly (`grist-scenario-v1`), run
+//! TWICE, and the two artifacts compared bitwise to each other — a scenario
+//! that is not two-run stable is a harness bug and fails the gate before
+//! any golden comparison. The stable artifact is then compared bitwise
+//! against the committed `golden` block: state hashes, diagnostic bit
+//! patterns, and exact counters must all match.
+//!
+//! `--update` rewrites every scenario file with the freshly computed golden
+//! block instead of comparing (for intentional physics/kernel changes —
+//! review the diff). Per-scenario artifacts and metrics snapshots are
+//! always written to `--out` for CI upload.
+//!
+//! Exit codes: 0 = all pinned and matching, 1 = drift / missing golden /
+//! unstable scenario, 2 = bad usage or unreadable input.
+
+use grist_core::{parse_scenario_file, scenario_file_json, ScenarioRunner};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: scenario_gate [--dir scenarios] [--out target/scenarios] [--update]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from("scenarios");
+    let mut out = PathBuf::from("target/scenarios");
+    let mut update = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--dir" => match argv.next() {
+                Some(v) => dir = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--out" => match argv.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--update" => update = true,
+            _ => return usage(),
+        }
+    }
+
+    let mut files: Vec<PathBuf> = match fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("scenario_gate: cannot read {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("scenario_gate: no *.json scenarios in {}", dir.display());
+        return ExitCode::from(2);
+    }
+    if let Err(e) = fs::create_dir_all(&out) {
+        eprintln!("scenario_gate: cannot create {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+
+    let runner = ScenarioRunner::new();
+    let mut failures = 0usize;
+    for path in &files {
+        match gate_one(&runner, path, &out, update) {
+            Ok(msg) => println!("PASS {}: {msg}", path.display()),
+            Err(msg) => {
+                failures += 1;
+                eprintln!("FAIL {}: {msg}", path.display());
+            }
+        }
+    }
+    println!(
+        "scenario_gate: {} scenario(s), {} failure(s){}",
+        files.len(),
+        failures,
+        if update { " [golden pins updated]" } else { "" }
+    );
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn gate_one(
+    runner: &ScenarioRunner,
+    path: &Path,
+    out: &Path,
+    update: bool,
+) -> Result<String, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let (config, golden) = parse_scenario_file(&text).map_err(|e| e.to_string())?;
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("scenario");
+    if config.name != stem {
+        return Err(format!(
+            "config.name {:?} does not match file stem {stem:?}",
+            config.name
+        ));
+    }
+
+    // Two independent runs: the artifact must be bitwise reproducible
+    // before it is worth comparing against anything.
+    let first = runner.run(&config).map_err(|e| e.to_string())?;
+    let second = runner.run(&config).map_err(|e| e.to_string())?;
+    let instability = first.artifact.diff(&second.artifact);
+    if !instability.is_empty() {
+        return Err(format!("not two-run stable: {}", instability.join("; ")));
+    }
+
+    fs::write(
+        out.join(format!("{}.artifact.json", config.name)),
+        scenario_file_json(&config, Some(&first.artifact)),
+    )
+    .map_err(|e| format!("cannot write artifact: {e}"))?;
+    fs::write(
+        out.join(format!("{}.metrics.json", config.name)),
+        &first.metrics_json,
+    )
+    .map_err(|e| format!("cannot write metrics: {e}"))?;
+
+    if update {
+        fs::write(path, scenario_file_json(&config, Some(&first.artifact)))
+            .map_err(|e| format!("cannot rewrite pin: {e}"))?;
+        return Ok(format!(
+            "pinned {} hash(es), {} diagnostic(s), {} counter(s)",
+            first.artifact.hashes.len(),
+            first.artifact.diagnostics.len(),
+            first.artifact.counters.len()
+        ));
+    }
+
+    let golden = golden.ok_or_else(|| {
+        "no golden block committed (run with --update and review the diff)".to_string()
+    })?;
+    let drift = golden.diff(&first.artifact);
+    if !drift.is_empty() {
+        return Err(format!("drift from golden pin: {}", drift.join("; ")));
+    }
+    Ok(format!(
+        "{} hash(es), {} diagnostic(s), {} counter(s) bitwise-stable",
+        golden.hashes.len(),
+        golden.diagnostics.len(),
+        golden.counters.len()
+    ))
+}

@@ -344,6 +344,31 @@ impl<R: Real> GristModel<R> {
     }
 }
 
+/// FNV-1a fingerprint over the IEEE-754 bit patterns of `chunks`, in order —
+/// the same hash family as [`GristModel::state_hash`], exposed so scenario
+/// pins can fingerprint arbitrary field collections (SWE states, initial
+/// conditions) with one shared definition.
+pub fn hash_f64_bits(chunks: &[&[f64]]) -> u64 {
+    let mut h = Fnv::new();
+    for c in chunks {
+        h.update(c);
+    }
+    h.finish()
+}
+
+/// FNV-1a fingerprint of a `u32` sequence (little-endian bytes) — used to
+/// pin partition assignments in scenario goldens.
+pub fn hash_u32_seq(values: &[u32]) -> u64 {
+    let mut h = Fnv::new();
+    for v in values {
+        for b in v.to_le_bytes() {
+            h.0 ^= b as u64;
+            h.0 = h.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h.finish()
+}
+
 /// Minimal FNV-1a over f64 bit patterns.
 struct Fnv(u64);
 

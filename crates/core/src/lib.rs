@@ -22,8 +22,12 @@ pub mod history;
 pub mod mlsuite;
 pub mod model;
 pub mod overlap;
+pub mod scenario;
 
-pub use cases::{add_baroclinic_jet, add_supercell_patch, add_tropical_cyclone, TropicalCyclone};
+pub use cases::{
+    add_baroclinic_jet, add_supercell_patch, add_tropical_cyclone, apply_held_suarez, HeldSuarez,
+    TropicalCyclone,
+};
 pub use checkpoint::{decode_bits, encode_bits, Checkpoint, CheckpointError, CHECKPOINT_SCHEMA};
 pub use config::{table2_grids, table3_schemes, GridSpec, RecoveryPolicy, RunConfig, Scheme};
 pub use coupling::{apply_tendencies, extract_columns, SurfaceState};
@@ -37,3 +41,8 @@ pub use history::{read_snapshot, HistoryRecord, HistoryWriter, Snapshot};
 pub use mlsuite::{MlOutput, MlSuite, ScratchPool, DEFAULT_ML_BLOCK};
 pub use model::{GristModel, HaloHook, HaloPhase, PhysicsEngine, RecoveryOutcome};
 pub use overlap::{swe_dyn_step, DynStepMode};
+pub use scenario::{
+    parse_scenario_file, scenario_file_json, CaseSpec, FaultSpec, PhysicsChoice, RefinementSpec,
+    Scenario, ScenarioArtifact, ScenarioError, ScenarioRun, ScenarioRunner, TargetSpec,
+    SCENARIO_SCHEMA,
+};

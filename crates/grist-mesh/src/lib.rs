@@ -28,8 +28,8 @@ pub mod vec3;
 pub use halo::{HaloLayout, PhaseSplit, RankLocale};
 pub use hexmesh::{Csr, HexMesh};
 pub use icosahedron::Triangulation;
-pub use partition::{Partition, PartitionQuality, SurfaceProfile};
-pub use quality::{mesh_quality, MeshQuality, QualityStat};
+pub use partition::{Partition, PartitionQuality, RefinementWindow, SurfaceProfile};
+pub use quality::{mesh_quality, windowed_mesh_quality, MeshQuality, QualityStat};
 pub use reorder::{aligned_edge_order, bfs_cell_order, edge_index_span, permute_mesh, Permutation};
 pub use vec3::{spherical_triangle_area, Vec3};
 

@@ -18,6 +18,66 @@ pub struct Partition {
     pub part: Vec<u32>,
 }
 
+/// A lat/lon window whose cells carry extra computational weight — the
+/// first cut of variable-resolution regional refinement ("seamless"
+/// global-to-regional, the GRIST lineage's namesake capability). A cell
+/// inside the window stands in for `weight` cells of a locally densified
+/// grid, so a refinement-aware partition assigns *fewer* cells to the
+/// ranks that own the window, keeping per-rank work balanced when the
+/// regional grid is refined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementWindow {
+    /// Window bounds \[rad\]; latitudes in (-π/2, π/2), longitudes in
+    /// (-π, π] matching [`crate::Vec3::lon`]. `lon_min > lon_max` wraps
+    /// across the antimeridian.
+    pub lat_min: f64,
+    pub lat_max: f64,
+    pub lon_min: f64,
+    pub lon_max: f64,
+    /// Computational weight of a window cell relative to an exterior cell
+    /// (≥ 1; e.g. 4.0 ≈ one 2× horizontal refinement level).
+    pub weight: f64,
+}
+
+impl RefinementWindow {
+    /// Whether the (lat, lon) point \[rad\] falls inside the window.
+    pub fn contains(&self, lat: f64, lon: f64) -> bool {
+        if lat < self.lat_min || lat > self.lat_max {
+            return false;
+        }
+        if self.lon_min <= self.lon_max {
+            (self.lon_min..=self.lon_max).contains(&lon)
+        } else {
+            // Antimeridian wrap: inside if east of lon_min OR west of lon_max.
+            lon >= self.lon_min || lon <= self.lon_max
+        }
+    }
+
+    /// Per-cell weight vector over `mesh` (`weight` inside, 1 outside).
+    pub fn weights(&self, mesh: &HexMesh) -> Vec<f64> {
+        mesh.cell_xyz
+            .iter()
+            .map(|p| {
+                if self.contains(p.lat(), p.lon()) {
+                    self.weight
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Cells inside the window.
+    pub fn cells(&self, mesh: &HexMesh) -> Vec<u32> {
+        (0..mesh.n_cells() as u32)
+            .filter(|&c| {
+                let p = mesh.cell_xyz[c as usize];
+                self.contains(p.lat(), p.lon())
+            })
+            .collect()
+    }
+}
+
 /// Quality metrics of a [`Partition`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionQuality {
@@ -103,6 +163,70 @@ impl Partition {
         }
     }
 
+    /// Refinement-aware partition: like [`Self::build`], but every cell in
+    /// `window` carries `window.weight` computational weight and the
+    /// bisection balances *weighted* load, so the ranks owning the refined
+    /// region receive proportionally fewer cells.
+    pub fn build_refined(
+        mesh: &HexMesh,
+        n_parts: usize,
+        refine_passes: usize,
+        window: &RefinementWindow,
+    ) -> Self {
+        assert!(window.weight >= 1.0, "refinement weight must be ≥ 1");
+        Self::build_weighted(mesh, n_parts, refine_passes, &window.weights(mesh))
+    }
+
+    /// Weighted partition: recursive inertial bisection splitting at the
+    /// weighted median, with KL refinement restricted to equal-weight swaps
+    /// (so boundary smoothing can never unbalance the weighted load).
+    pub fn build_weighted(
+        mesh: &HexMesh,
+        n_parts: usize,
+        refine_passes: usize,
+        weights: &[f64],
+    ) -> Self {
+        assert!(n_parts >= 1);
+        assert_eq!(weights.len(), mesh.n_cells(), "one weight per cell");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w > 0.0),
+            "weights must be positive and finite"
+        );
+        let n = mesh.n_cells();
+        let mut part = vec![0u32; n];
+        let all: Vec<u32> = (0..n as u32).collect();
+        let mut next_id = 0u32;
+        bisect_recursive_weighted(
+            mesh,
+            &all,
+            n_parts,
+            refine_passes,
+            weights,
+            &mut part,
+            &mut next_id,
+        );
+        debug_assert_eq!(next_id as usize, n_parts);
+        Partition { n_parts, part }
+    }
+
+    /// [`Self::quality`] with the load measured in `weights` instead of cell
+    /// counts: `imbalance` becomes `max part weight / mean part weight`.
+    /// Edge cut and part degree are weight-independent and identical to
+    /// [`Self::quality`].
+    pub fn weighted_quality(&self, mesh: &HexMesh, weights: &[f64]) -> PartitionQuality {
+        assert_eq!(weights.len(), mesh.n_cells());
+        let mut loads = vec![0.0f64; self.n_parts];
+        for (c, &p) in self.part.iter().enumerate() {
+            loads[p as usize] += weights[c];
+        }
+        let mean = weights.iter().sum::<f64>() / self.n_parts as f64;
+        let q = self.quality(mesh);
+        PartitionQuality {
+            imbalance: loads.iter().fold(0.0f64, |a, &b| a.max(b)) / mean,
+            ..q
+        }
+    }
+
     /// Measure the halo surface-to-volume profile: for every part, the set
     /// of distinct remote cells adjacent to its owned cells (its one-deep
     /// halo), reduced to the mean/worst ratios and the surface coefficient.
@@ -165,9 +289,74 @@ fn bisect_recursive(
     bisect_recursive(mesh, &right, k_right, refine_passes, part, next_id);
 }
 
+/// Weighted twin of [`bisect_recursive`]: subtree targets and split points
+/// follow the cumulative cell weight instead of the cell count.
+fn bisect_recursive_weighted(
+    mesh: &HexMesh,
+    cells: &[u32],
+    k: usize,
+    refine_passes: usize,
+    weights: &[f64],
+    part: &mut [u32],
+    next_id: &mut u32,
+) {
+    if k == 1 {
+        let id = *next_id;
+        *next_id += 1;
+        for &c in cells {
+            part[c as usize] = id;
+        }
+        return;
+    }
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    let total: f64 = cells.iter().map(|&c| weights[c as usize]).sum();
+    let target_weight = total * k_left as f64 / k as f64;
+    let (mut left, mut right) = inertial_split_weighted(mesh, cells, target_weight, weights);
+    if refine_passes > 0 {
+        kl_refine_weighted(mesh, &mut left, &mut right, weights, refine_passes);
+    }
+    bisect_recursive_weighted(mesh, &left, k_left, refine_passes, weights, part, next_id);
+    bisect_recursive_weighted(mesh, &right, k_right, refine_passes, weights, part, next_id);
+}
+
 /// Split `cells` by the plane through the weighted median along the direction
 /// of largest coordinate extent (a cheap inertial axis).
 fn inertial_split(mesh: &HexMesh, cells: &[u32], target_left: usize) -> (Vec<u32>, Vec<u32>) {
+    let keyed = cells_by_principal_axis(mesh, cells);
+    let left = keyed[..target_left].iter().map(|&(_, c)| c).collect();
+    let right = keyed[target_left..].iter().map(|&(_, c)| c).collect();
+    (left, right)
+}
+
+/// Weighted twin of [`inertial_split`]: walk the axis-sorted cells until the
+/// accumulated weight first reaches `target_weight` (every subset gets at
+/// least one cell).
+fn inertial_split_weighted(
+    mesh: &HexMesh,
+    cells: &[u32],
+    target_weight: f64,
+    weights: &[f64],
+) -> (Vec<u32>, Vec<u32>) {
+    let keyed = cells_by_principal_axis(mesh, cells);
+    let mut acc = 0.0f64;
+    let mut split = keyed.len() - 1; // leave ≥ 1 cell on the right
+    for (i, &(_, c)) in keyed.iter().enumerate() {
+        acc += weights[c as usize];
+        if acc >= target_weight && i + 1 < keyed.len() {
+            split = i + 1;
+            break;
+        }
+    }
+    let split = split.max(1);
+    let left = keyed[..split].iter().map(|&(_, c)| c).collect();
+    let right = keyed[split..].iter().map(|&(_, c)| c).collect();
+    (left, right)
+}
+
+/// Sort `cells` along the direction of largest coordinate extent (a cheap
+/// inertial axis), ties broken by cell id for determinism.
+fn cells_by_principal_axis(mesh: &HexMesh, cells: &[u32]) -> Vec<(f64, u32)> {
     // Principal direction: covariance power iteration (3 iterations suffice
     // for a split direction).
     let n = cells.len() as f64;
@@ -207,9 +396,7 @@ fn inertial_split(mesh: &HexMesh, cells: &[u32], target_left: usize) -> (Vec<u32
         .map(|&c| (mesh.cell_xyz[c as usize].dot(dir), c))
         .collect();
     keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-    let left = keyed[..target_left].iter().map(|&(_, c)| c).collect();
-    let right = keyed[target_left..].iter().map(|&(_, c)| c).collect();
-    (left, right)
+    keyed
 }
 
 /// Greedy Kernighan–Lin-style refinement: repeatedly swap the boundary pair
@@ -265,6 +452,74 @@ fn kl_refine(
                 } else {
                     break;
                 }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Weighted twin of [`kl_refine`]: only cells with bitwise-equal weights may
+/// swap, so the weighted balance achieved by the split is preserved exactly.
+fn kl_refine_weighted(
+    mesh: &HexMesh,
+    left: &mut [u32],
+    right: &mut [u32],
+    weights: &[f64],
+    passes: usize,
+) {
+    use std::collections::{HashMap, HashSet};
+    for _ in 0..passes {
+        let lset: HashSet<u32> = left.iter().copied().collect();
+        let gain = |c: u32, in_left: bool| -> i64 {
+            let mut g = 0i64;
+            for &nb in mesh.cell_neighbors.row(c as usize) {
+                let nb_left = lset.contains(&nb);
+                if nb_left == in_left {
+                    g -= 1;
+                } else {
+                    g += 1;
+                }
+            }
+            g
+        };
+        // Best candidate per weight class (f64 bit pattern) on each side.
+        let mut best_l: HashMap<u64, (i64, usize)> = HashMap::new();
+        for (i, &c) in left.iter().enumerate() {
+            let g = gain(c, true);
+            let key = weights[c as usize].to_bits();
+            let e = best_l.entry(key).or_insert((g, i));
+            if g > e.0 {
+                *e = (g, i);
+            }
+        }
+        let mut best_r: HashMap<u64, (i64, usize)> = HashMap::new();
+        for (j, &c) in right.iter().enumerate() {
+            let g = gain(c, false);
+            let key = weights[c as usize].to_bits();
+            let e = best_r.entry(key).or_insert((g, j));
+            if g > e.0 {
+                *e = (g, j);
+            }
+        }
+        // Pick the class with the best pair gain, deterministically (ties
+        // broken by weight bit pattern).
+        let mut best: Option<(i64, u64, usize, usize)> = None;
+        for (&key, &(gl, i)) in &best_l {
+            let Some(&(gr, j)) = best_r.get(&key) else {
+                continue;
+            };
+            let adjacent = mesh
+                .cell_neighbors
+                .row(left[i] as usize)
+                .contains(&right[j]);
+            let pair_gain = gl + gr - if adjacent { 2 } else { 0 };
+            if best.is_none_or(|(bg, bk, _, _)| pair_gain > bg || (pair_gain == bg && key < bk)) {
+                best = Some((pair_gain, key, i, j));
+            }
+        }
+        match best {
+            Some((pair_gain, _, i, j)) if pair_gain > 0 => {
+                std::mem::swap(&mut left[i], &mut right[j]);
             }
             _ => break,
         }
@@ -388,5 +643,98 @@ mod tests {
         let p = Partition::build(&mesh, 6, 1);
         let q = p.quality(&mesh);
         assert!(q.imbalance < 1.05, "imbalance {}", q.imbalance);
+    }
+
+    fn test_window() -> RefinementWindow {
+        RefinementWindow {
+            lat_min: 0.1,
+            lat_max: 0.7,
+            lon_min: -0.5,
+            lon_max: 0.9,
+            weight: 4.0,
+        }
+    }
+
+    #[test]
+    fn refinement_window_contains_and_wraps() {
+        let w = test_window();
+        assert!(w.contains(0.4, 0.0));
+        assert!(!w.contains(-0.2, 0.0));
+        assert!(!w.contains(0.4, 2.0));
+        // Antimeridian wrap: lon_min > lon_max.
+        let wrap = RefinementWindow {
+            lon_min: 3.0,
+            lon_max: -3.0,
+            ..w
+        };
+        assert!(wrap.contains(0.4, 3.1));
+        assert!(wrap.contains(0.4, -3.1));
+        assert!(!wrap.contains(0.4, 0.0));
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted_build() {
+        // With all weights 1.0 the weighted median and the count median agree
+        // up to split-index rounding; the partition must be equally balanced.
+        let mesh = HexMesh::build(3);
+        let w = vec![1.0; mesh.n_cells()];
+        let p = Partition::build_weighted(&mesh, 8, 2, &w);
+        let q = p.weighted_quality(&mesh, &w);
+        assert!(q.imbalance < 1.05, "imbalance {}", q.imbalance);
+        assert_eq!(q.edge_cut, p.quality(&mesh).edge_cut);
+    }
+
+    #[test]
+    fn refined_build_balances_weighted_load() {
+        let mesh = HexMesh::build(4);
+        let window = test_window();
+        let n_window = window.cells(&mesh).len();
+        assert!(n_window > 20, "window too small: {n_window} cells");
+        let p = Partition::build_refined(&mesh, 8, 2, &window);
+        // Weighted load must stay balanced...
+        let wq = p.weighted_quality(&mesh, &window.weights(&mesh));
+        assert!(wq.imbalance < 1.05, "weighted imbalance {}", wq.imbalance);
+        // ...which forces raw cell counts to be *unbalanced*: ranks owning
+        // the 4x-weighted window hold far fewer cells.
+        let q = p.quality(&mesh);
+        assert!(q.imbalance > 1.1, "cell imbalance only {}", q.imbalance);
+        let min_cells = (0..8).map(|r| p.cells_of(r).len()).min().unwrap();
+        let mean = mesh.n_cells() as f64 / 8.0;
+        assert!(
+            (min_cells as f64) < 0.8 * mean,
+            "window ranks not lightened: min {min_cells} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn weighted_refinement_does_not_worsen_a_single_bisection() {
+        // Equal-weight-class swaps only fire on positive pair gain, so a
+        // single weighted bisection's cut is monotone under refinement.
+        let mesh = HexMesh::build(4);
+        let w = test_window().weights(&mesh);
+        let raw = Partition::build_weighted(&mesh, 2, 0, &w);
+        let refined = Partition::build_weighted(&mesh, 2, 16, &w);
+        assert!(refined.quality(&mesh).edge_cut <= raw.quality(&mesh).edge_cut);
+        // And refinement must preserve the weighted balance bitwise.
+        assert_eq!(
+            raw.weighted_quality(&mesh, &w).imbalance.to_bits(),
+            refined.weighted_quality(&mesh, &w).imbalance.to_bits()
+        );
+    }
+
+    #[test]
+    fn weighted_build_is_deterministic() {
+        let mesh = HexMesh::build(3);
+        let window = test_window();
+        let a = Partition::build_refined(&mesh, 6, 2, &window);
+        let b = Partition::build_refined(&mesh, 6, 2, &window);
+        assert_eq!(a.part, b.part);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per cell")]
+    fn weighted_build_rejects_wrong_length() {
+        let mesh = HexMesh::build(2);
+        let _ = Partition::build_weighted(&mesh, 2, 0, &[1.0, 2.0]);
     }
 }

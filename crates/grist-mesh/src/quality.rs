@@ -5,6 +5,7 @@
 //! (spring dynamics / SCVT — not implemented, DESIGN.md) would buy.
 
 use crate::hexmesh::HexMesh;
+use crate::partition::RefinementWindow;
 
 /// Summary statistics of one scalar quality measure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +99,83 @@ pub fn mesh_quality(mesh: &HexMesh) -> MeshQuality {
     }
 }
 
+/// [`mesh_quality`] restricted to a [`RefinementWindow`]: cell statistics
+/// over the window's cells, edge statistics over edges whose *both* cells
+/// fall inside. Gates that a regional-refinement target sits on a patch of
+/// the grid at least as regular as the globe — the precondition for locally
+/// densifying it without wrecking the operators.
+///
+/// Panics if the window contains no cell or no interior edge.
+pub fn windowed_mesh_quality(mesh: &HexMesh, window: &RefinementWindow) -> MeshQuality {
+    let in_window: Vec<bool> = mesh
+        .cell_xyz
+        .iter()
+        .map(|p| window.contains(p.lat(), p.lon()))
+        .collect();
+    let n_in = in_window.iter().filter(|&&b| b).count();
+    assert!(n_in > 0, "refinement window contains no cells");
+    let edges: Vec<usize> = (0..mesh.n_edges())
+        .filter(|&e| {
+            let [c1, c2] = mesh.edge_cells[e];
+            in_window[c1 as usize] && in_window[c2 as usize]
+        })
+        .collect();
+    assert!(
+        !edges.is_empty(),
+        "refinement window contains no interior edges"
+    );
+
+    let mean_area: f64 = mesh
+        .cell_area
+        .iter()
+        .zip(&in_window)
+        .filter(|&(_, &b)| b)
+        .map(|(&a, _)| a)
+        .sum::<f64>()
+        / n_in as f64;
+    let cell_area = QualityStat::from_iter(
+        mesh.cell_area
+            .iter()
+            .zip(&in_window)
+            .filter(|&(_, &b)| b)
+            .map(|(&a, _)| a / mean_area),
+    );
+
+    let orthogonality_defect = QualityStat::from_iter(
+        edges
+            .iter()
+            .map(|&e| mesh.edge_normal[e].dot(mesh.edge_tangent[e]).abs()),
+    );
+
+    let bisection_defect = QualityStat::from_iter(edges.iter().map(|&e| {
+        let [c1, c2] = mesh.edge_cells[e];
+        let mid_cells =
+            ((mesh.cell_xyz[c1 as usize] + mesh.cell_xyz[c2 as usize]) * 0.5).normalized();
+        let [v1, v2] = mesh.edge_verts[e];
+        let cross = ((mesh.vert_xyz[v1 as usize] + mesh.vert_xyz[v2 as usize]) * 0.5).normalized();
+        cross.arc_dist(mid_cells) / mesh.edge_de[e]
+    }));
+
+    let cell_regularity =
+        QualityStat::from_iter((0..mesh.n_cells()).filter(|&c| in_window[c]).map(|c| {
+            let mut lo = f64::INFINITY;
+            let mut hi = 0.0f64;
+            for &e in mesh.cell_edges.row(c) {
+                let d = mesh.edge_de[e as usize];
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+            hi / lo
+        }));
+
+    MeshQuality {
+        cell_area,
+        orthogonality_defect,
+        bisection_defect,
+        cell_regularity,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +231,41 @@ mod tests {
             q.cell_regularity.mean
         );
         assert!(q.cell_regularity.min >= 1.0);
+    }
+
+    #[test]
+    fn windowed_quality_matches_global_class() {
+        // A mid-latitude window sees the same grid family as the globe:
+        // its stats must land inside (or match) the global bounds.
+        let mesh = HexMesh::build(4);
+        let window = RefinementWindow {
+            lat_min: 0.1,
+            lat_max: 0.8,
+            lon_min: -0.6,
+            lon_max: 0.9,
+            weight: 4.0,
+        };
+        let global = mesh_quality(&mesh);
+        let local = windowed_mesh_quality(&mesh, &window);
+        assert!(local.orthogonality_defect.max <= global.orthogonality_defect.max + 1e-15);
+        assert!(local.cell_regularity.max <= global.cell_regularity.max);
+        assert!(local.cell_regularity.min >= 1.0);
+        assert!((local.cell_area.mean - 1.0).abs() < 1e-12);
+        assert!(local.bisection_defect.max <= global.bisection_defect.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cells")]
+    fn empty_window_panics() {
+        let mesh = HexMesh::build(3);
+        let window = RefinementWindow {
+            lat_min: 0.2,
+            lat_max: 0.1, // inverted: empty
+            lon_min: 0.0,
+            lon_max: 0.1,
+            weight: 2.0,
+        };
+        let _ = windowed_mesh_quality(&mesh, &window);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Property tests for `Partition::build` / `build_weighted` invariants.
+//!
+//! Seeded sweeps over (level, n_parts, refine_passes) asserting the
+//! contracts every consumer of the partitioner relies on:
+//!
+//! 1. every cell is assigned exactly once, to a valid part id;
+//! 2. part sizes stay within the recursive-bisection balance bound;
+//! 3. KL refinement (`refine_passes > 0`) never worsens the edge cut of a
+//!    single bisection, and stays within a tight factor for k-way builds;
+//! 4. weighted builds obey the same coverage rules and keep *weighted*
+//!    balance, with refinement preserving the split weights bitwise.
+
+use grist_mesh::{HexMesh, Partition, RefinementWindow};
+
+/// xorshift64* — a tiny deterministic generator so the sweep is seeded and
+/// reproducible without pulling in any dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo + 1) as u64) as usize
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn assert_exact_cover(p: &Partition, mesh: &HexMesh, n_parts: usize, ctx: &str) {
+    assert_eq!(p.n_parts, n_parts, "{ctx}: n_parts");
+    assert_eq!(p.part.len(), mesh.n_cells(), "{ctx}: one entry per cell");
+    assert!(
+        p.part.iter().all(|&x| (x as usize) < n_parts),
+        "{ctx}: part id out of range"
+    );
+    // Every part id must actually be used (recursive bisection guarantees
+    // non-empty subsets), and the per-part lists must tile the cell set.
+    let mut counts = vec![0usize; n_parts];
+    for &x in &p.part {
+        counts[x as usize] += 1;
+    }
+    assert!(
+        counts.iter().all(|&c| c > 0),
+        "{ctx}: empty part in {counts:?}"
+    );
+    let total: usize = (0..n_parts).map(|r| p.cells_of(r).len()).sum();
+    assert_eq!(total, mesh.n_cells(), "{ctx}: cells_of does not tile");
+}
+
+#[test]
+fn every_cell_assigned_exactly_once_across_sweep() {
+    let mut rng = Rng(0x5eed_0001);
+    for level in [2u32, 3] {
+        let mesh = HexMesh::build(level);
+        for _ in 0..8 {
+            let n_parts = rng.in_range(1, 17);
+            let passes = rng.in_range(0, 4);
+            let p = Partition::build(&mesh, n_parts, passes);
+            assert_exact_cover(
+                &p,
+                &mesh,
+                n_parts,
+                &format!("level {level} parts {n_parts} passes {passes}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn part_sizes_stay_within_balance_bound() {
+    // Recursive bisection with proportional targets keeps every part within
+    // one cell of its share per split level; across ≤ 5 levels of recursion
+    // a 5% envelope is generous and has held since the seed.
+    let mut rng = Rng(0x5eed_0002);
+    let mesh = HexMesh::build(4);
+    for _ in 0..10 {
+        let n_parts = rng.in_range(2, 24);
+        let passes = rng.in_range(0, 3);
+        let q = Partition::build(&mesh, n_parts, passes).quality(&mesh);
+        assert!(
+            q.imbalance < 1.05,
+            "parts {n_parts} passes {passes}: imbalance {}",
+            q.imbalance
+        );
+    }
+}
+
+#[test]
+fn refinement_never_worsens_a_single_bisection_cut() {
+    // For k = 2 the KL sweep only ever applies positive-gain swaps, so the
+    // refined cut is monotonically non-increasing in refine_passes.
+    for level in [2u32, 3, 4] {
+        let mesh = HexMesh::build(level);
+        let raw = Partition::build(&mesh, 2, 0).quality(&mesh).edge_cut;
+        let mut prev = raw;
+        for passes in [1usize, 2, 4, 8, 16] {
+            let cut = Partition::build(&mesh, 2, passes).quality(&mesh).edge_cut;
+            assert!(
+                cut <= prev,
+                "level {level}: cut rose {prev} -> {cut} at {passes} passes"
+            );
+            prev = cut;
+        }
+        assert!(prev <= raw);
+    }
+}
+
+#[test]
+fn kway_refinement_stays_within_factor_of_raw() {
+    // k-way cuts are not strictly monotone (refined bisections reshape the
+    // subsets fed to deeper splits) but must stay in the same quality class.
+    let mut rng = Rng(0x5eed_0003);
+    let mesh = HexMesh::build(4);
+    for _ in 0..6 {
+        let n_parts = rng.in_range(3, 16);
+        let raw = Partition::build(&mesh, n_parts, 0).quality(&mesh).edge_cut;
+        let refined = Partition::build(&mesh, n_parts, 4).quality(&mesh).edge_cut;
+        assert!(
+            (refined as f64) < 1.25 * raw as f64,
+            "parts {n_parts}: refined cut {refined} vs raw {raw}"
+        );
+    }
+}
+
+#[test]
+fn weighted_builds_cover_and_balance_weighted_load() {
+    let mut rng = Rng(0x5eed_0004);
+    let mesh = HexMesh::build(3);
+    for round in 0..6 {
+        let n_parts = rng.in_range(2, 12);
+        let passes = rng.in_range(0, 3);
+        let window = RefinementWindow {
+            lat_min: rng.uniform(-0.8, 0.0),
+            lat_max: rng.uniform(0.1, 0.9),
+            lon_min: rng.uniform(-2.0, 0.0),
+            lon_max: rng.uniform(0.1, 2.0),
+            weight: rng.uniform(1.5, 6.0),
+        };
+        let weights = window.weights(&mesh);
+        let p = Partition::build_weighted(&mesh, n_parts, passes, &weights);
+        assert_exact_cover(
+            &p,
+            &mesh,
+            n_parts,
+            &format!("round {round} parts {n_parts} passes {passes}"),
+        );
+        let wq = p.weighted_quality(&mesh, &weights);
+        // The window boundary quantizes the achievable split, so the
+        // weighted bound is looser than the unweighted 1.05 — but must stay
+        // far from the weight ratio itself (no part hoards the window).
+        assert!(
+            wq.imbalance < 1.30,
+            "round {round} parts {n_parts}: weighted imbalance {}",
+            wq.imbalance
+        );
+    }
+}
+
+#[test]
+fn weighted_refinement_preserves_split_weights_bitwise() {
+    let mesh = HexMesh::build(3);
+    let window = RefinementWindow {
+        lat_min: -0.2,
+        lat_max: 0.6,
+        lon_min: 0.3,
+        lon_max: 1.8,
+        weight: 3.0,
+    };
+    let weights = window.weights(&mesh);
+    let sum_of = |p: &Partition, rank: usize| -> u64 {
+        p.cells_of(rank)
+            .iter()
+            .map(|&c| weights[c as usize])
+            .sum::<f64>()
+            .to_bits()
+    };
+    let raw = Partition::build_weighted(&mesh, 2, 0, &weights);
+    let refined = Partition::build_weighted(&mesh, 2, 8, &weights);
+    // Equal-weight-class swaps: each side's total weight is bitwise stable.
+    assert_eq!(sum_of(&raw, 0), sum_of(&refined, 0));
+    assert_eq!(sum_of(&raw, 1), sum_of(&refined, 1));
+    // And the cut is monotone, as in the unweighted case.
+    assert!(refined.quality(&mesh).edge_cut <= raw.quality(&mesh).edge_cut);
+}

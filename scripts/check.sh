@@ -39,6 +39,10 @@ echo "== trace report (traced multi-rank chaos run + attribution) =="
 cargo run --release -p grist-bench --bin trace_report -- \
     target/trace.json target/trace_report.json
 
+echo "== scenario regression matrix (bitwise golden-hash gate) =="
+cargo run --release -p grist-bench --bin scenario_gate -- --out target/scenarios
+cargo test --release -q --test integration_scenarios
+
 echo "== bench smoke vs committed baseline =="
 cargo run --release -p grist-bench --bin bench_smoke -- target/bench_smoke.json
 cargo run --release -p grist-bench --bin bench_compare -- \
