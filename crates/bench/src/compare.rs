@@ -14,6 +14,11 @@
 //!   are gated only *upward* at the looser `time_tolerance`, and only for
 //!   entries whose baseline time clears `min_time_ns` (tiny kernels jitter
 //!   by orders of magnitude).
+//! * **Serving projections** (`BENCH_serve.json`) are wall-derived, so they
+//!   get the loose wall band instead of the deterministic one:
+//!   `serve.latency.*` (p50/p99) flags only *upward* past `time_tolerance`,
+//!   and `serve.qps.*` is higher-is-better, flagging only a collapse below
+//!   `old / (1 + time_tolerance/100)`.
 //!
 //! The optional `trace` section (tracing-overhead measurement, see
 //! `crate::smoke::trace_overhead`) is gated **absolutely** rather than
@@ -207,21 +212,29 @@ pub fn compare_docs(
             continue;
         };
         let band = cfg.tolerance / 100.0;
-        let regressed = if *o == 0.0 {
+        let time_band = cfg.time_tolerance / 100.0;
+        let (regressed, limit_pct) = if *o == 0.0 {
             // No meaningful relative band exists; any appearance flags with
             // the explicit zero-baseline diagnostic.
-            n != 0.0
+            (n != 0.0, cfg.tolerance)
+        } else if key.starts_with("serve.latency.") {
+            // Wall-derived latency percentile: upward-only, wall band.
+            (n > o * (1.0 + time_band), cfg.time_tolerance)
+        } else if key.starts_with("serve.qps.") {
+            // Wall-derived throughput: higher is better; only a collapse
+            // beyond the wall band flags.
+            (n < o / (1.0 + time_band), cfg.time_tolerance)
         } else if key.starts_with("sdpd.") {
-            n < o * (1.0 - band)
+            (n < o * (1.0 - band), cfg.tolerance)
         } else {
-            (n - o).abs() > o.abs() * band
+            ((n - o).abs() > o.abs() * band, cfg.tolerance)
         };
         if regressed {
             out.push(Regression {
                 what: format!("projection {key}"),
                 old: *o,
                 new: n,
-                limit_pct: cfg.tolerance,
+                limit_pct,
             });
         }
     }
@@ -531,6 +544,58 @@ mod tests {
         let r = compare_docs(&old, &doc(50_000_000, 16, 1000, 240.0), &cfg).unwrap();
         assert_eq!(r.len(), 1, "{r:?}");
         assert!(r[0].what.contains("sdpd"));
+    }
+
+    /// A serve-style document with latency/qps projections.
+    fn serve_doc(p50_ms: f64, p99_ms: f64, qps: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "schema": "grist-bench-v1",
+              "projections": {{
+                "serve.latency.p50_ms": {p50_ms},
+                "serve.latency.p99_ms": {p99_ms},
+                "serve.qps.traffic": {qps}
+              }},
+              "metrics": {{}}
+            }}"#
+        ))
+        .expect("serve doc parses")
+    }
+
+    #[test]
+    fn serve_latency_projections_are_upward_only_at_the_wall_band() {
+        let old = serve_doc(1.0, 4.0, 5000.0);
+        // The default time_tolerance is 400%. Faster, and moderately
+        // slower (3x < 5x), both pass.
+        let cfg = CompareConfig::default();
+        assert!(compare_docs(&old, &serve_doc(0.2, 1.0, 5000.0), &cfg)
+            .unwrap()
+            .is_empty());
+        assert!(compare_docs(&old, &serve_doc(3.0, 12.0, 5000.0), &cfg)
+            .unwrap()
+            .is_empty());
+        // 6x slower p99 flags, with the wall-band limit in the message.
+        let r = compare_docs(&old, &serve_doc(1.0, 24.0, 5000.0), &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].what.contains("serve.latency.p99_ms"), "{}", r[0]);
+        assert_eq!(r[0].limit_pct, cfg.time_tolerance);
+    }
+
+    #[test]
+    fn serve_qps_projection_is_higher_is_better_at_the_wall_band() {
+        let old = serve_doc(1.0, 4.0, 5000.0);
+        let cfg = CompareConfig::default();
+        // Faster serving never flags; a 2x drop stays inside the 5x band.
+        assert!(compare_docs(&old, &serve_doc(1.0, 4.0, 50_000.0), &cfg)
+            .unwrap()
+            .is_empty());
+        assert!(compare_docs(&old, &serve_doc(1.0, 4.0, 2500.0), &cfg)
+            .unwrap()
+            .is_empty());
+        // A 10x collapse flags.
+        let r = compare_docs(&old, &serve_doc(1.0, 4.0, 500.0), &cfg).unwrap();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].what.contains("serve.qps.traffic"), "{}", r[0]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub mod compare;
 pub mod ml;
 pub mod partition;
+pub mod serve;
 pub mod smoke;
 
 use std::fs;

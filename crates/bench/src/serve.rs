@@ -1,0 +1,542 @@
+//! The pinned serving benchmark behind `BENCH_serve.json`: batched query
+//! dispatch ([`grist_serve::QueryEngine::serve_batch`]) against the
+//! per-query reference path ([`grist_serve::QueryEngine::serve_one_percol`])
+//! on a real ensemble's published snapshots, plus a threaded traffic phase
+//! measuring end-to-end latency through the [`grist_serve::ForecastServer`]
+//! front-end.
+//!
+//! Two phases:
+//!
+//! * **Phase A (deterministic)** — run the pinned ensemble to completion in
+//!   the foreground, then time both serving paths over the same query set
+//!   with the derived-product cache **disabled**, so every query pays its
+//!   full ML dispatch and the ratio isolates batching. Every batched answer
+//!   is then verified **bitwise** against a recompute from the source
+//!   epoch's checkpoint in the [`crate::compare`]-gated document: a fresh
+//!   model restores the published [`grist_serve::EpochView`], re-extracts
+//!   columns, and re-runs the pinned suite per column. The counters and
+//!   kernel call/item counts this phase emits are deterministic and held to
+//!   the tight tolerance.
+//! * **Phase B (traffic)** — a fresh store, the ensemble advancing on a
+//!   background thread, and client threads hammering the server while it
+//!   runs. Per-query latencies (p50/p99) and aggregate throughput land in
+//!   `serve.latency.*` / `serve.qps.*` projections, which the compare gate
+//!   holds to the loose wall band (upward-only / higher-is-better), and as
+//!   gauges on the metrics registry (informational; gauges are not gated).
+//!
+//! The `bench_serve` binary enforces the acceptance floor: batched ≥ 2× the
+//! per-query path. The bitwise recompute check has no tolerance at all — a
+//! single differing bit panics the run.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use grist_core::{extract_columns, GristModel, RunConfig};
+use grist_serve::{
+    default_suite, derive, run_ensemble, spawn_ensemble, EnsembleConfig, ForecastServer,
+    PoolTarget, Product, ProductData, Query, QueryEngine, Response, Select, ServeConfig,
+    SnapshotStore,
+};
+use sunway_sim::{Json, Substrate};
+
+use crate::smoke::SCHEMA;
+
+/// Pinned configuration. Changing any of these invalidates the committed
+/// `BENCH_serve.json`; regenerate it when you do.
+pub const SERVE_LEVEL: u32 = 2;
+pub const SERVE_NLEV: usize = 10;
+pub const SERVE_MEMBERS: usize = 3;
+pub const SERVE_POOLS: usize = 2;
+pub const SERVE_EPOCHS: usize = 2;
+pub const SERVE_DYN_STEPS_PER_EPOCH: usize = 2;
+/// Queries per timed pass (Phase A) — mixed precip/t2m over all members.
+pub const SERVE_QUERIES: usize = 96;
+/// Batch size the batched path chunks the query set into.
+pub const SERVE_BATCH: usize = 32;
+/// Timed passes per path (one extra warm-up pass pays restores + arenas).
+pub const SERVE_ITERS: usize = 2;
+/// Phase B front-end sizing and synthetic traffic volume.
+pub const SERVE_WORKERS: usize = 4;
+pub const SERVE_MAX_BATCH: usize = 32;
+pub const SERVE_CLIENTS: usize = 4;
+pub const SERVE_CLIENT_QUERIES: usize = 60;
+pub const SERVE_PERTURB: f64 = 1e-5;
+
+/// One bench run's knobs (the test suite shrinks them; `run_serve` pins
+/// them).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    pub level: u32,
+    pub nlev: usize,
+    pub members: usize,
+    pub rank_pools: usize,
+    pub epochs: usize,
+    pub dyn_steps_per_epoch: usize,
+    pub queries: usize,
+    pub serve_batch: usize,
+    pub iters: usize,
+    pub workers: usize,
+    pub max_batch: usize,
+    pub clients: usize,
+    pub client_queries: usize,
+    pub perturb_scale: f64,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            level: SERVE_LEVEL,
+            nlev: SERVE_NLEV,
+            members: SERVE_MEMBERS,
+            rank_pools: SERVE_POOLS,
+            epochs: SERVE_EPOCHS,
+            dyn_steps_per_epoch: SERVE_DYN_STEPS_PER_EPOCH,
+            queries: SERVE_QUERIES,
+            serve_batch: SERVE_BATCH,
+            iters: SERVE_ITERS,
+            workers: SERVE_WORKERS,
+            max_batch: SERVE_MAX_BATCH,
+            clients: SERVE_CLIENTS,
+            client_queries: SERVE_CLIENT_QUERIES,
+            perturb_scale: SERVE_PERTURB,
+        }
+    }
+}
+
+/// The assembled document plus the headline numbers the binary gates on.
+#[derive(Debug)]
+pub struct ServeBench {
+    pub doc: Json,
+    /// Batched / per-query throughput ratio (Phase A, cache disabled).
+    pub speedup: f64,
+    /// Products checked bitwise against a checkpoint recompute. The check
+    /// itself panics on any mismatch, so a positive count means it ran.
+    pub verified_products: u64,
+    /// Phase B end-to-end latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// Phase B aggregate queries per second through the front-end.
+    pub qps: f64,
+}
+
+fn ensemble_config(cfg: &ServeBenchConfig, run: &RunConfig) -> EnsembleConfig {
+    EnsembleConfig {
+        members: cfg.members,
+        rank_pools: cfg.rank_pools,
+        epochs: cfg.epochs,
+        dyn_steps_per_epoch: cfg.dyn_steps_per_epoch,
+        run: run.clone(),
+        perturb_scale: cfg.perturb_scale,
+        target: PoolTarget::Serial,
+    }
+}
+
+/// The deterministic Phase A query set: derived products only (both paths
+/// pay one ML dispatch per queried cell once the cache is off).
+fn timing_queries(cfg: &ServeBenchConfig, ncells: usize) -> Vec<Query> {
+    (0..cfg.queries)
+        .map(|i| {
+            let product = if i % 2 == 0 {
+                Product::Precip
+            } else {
+                Product::T2m
+            };
+            Query::cell(i % cfg.members, (i * 13) % ncells, product)
+        })
+        .collect()
+}
+
+/// Recompute every served product from the *published checkpoint* of the
+/// epoch each response claims, and demand bitwise equality. This is the
+/// benchmark's correctness anchor: the fast path may not drift from the
+/// model state by a single bit. Returns the number of products checked.
+fn verify_against_checkpoints(
+    store: &SnapshotStore,
+    run: &RunConfig,
+    queries: &[Query],
+    responses: &[Result<Response, grist_serve::ServeError>],
+) -> u64 {
+    let sub = Substrate::serial();
+    let mut verified = 0u64;
+    for (q, r) in queries.iter().zip(responses) {
+        let r = r.as_ref().expect("verification query must be served");
+        let view = store
+            .get(r.member, r.epoch)
+            .expect("served epoch must still be in the store");
+        assert_eq!(
+            view.state_hash, r.state_hash,
+            "response hash must be the published hash"
+        );
+        let mut model = GristModel::<f64>::with_substrate(run.clone(), sub.clone());
+        model
+            .restore(&view.checkpoint)
+            .expect("published checkpoint restores");
+        assert_eq!(
+            model.state_hash(),
+            view.state_hash,
+            "checkpoint restores to the published state"
+        );
+        let cols = extract_columns(&mut model.solver, &model.state, &model.surface);
+        match &r.data {
+            ProductData::Columns(states) => {
+                for (&c, s) in r.cells.iter().zip(states) {
+                    let col = &cols[c];
+                    assert!(
+                        s.p == col.p
+                            && s.t == col.t
+                            && s.qv == col.qv
+                            && s.u == col.u
+                            && s.v == col.v
+                            && s.tskin == col.tskin,
+                        "served column state differs from the checkpoint at cell {c}"
+                    );
+                    verified += 1;
+                }
+            }
+            ProductData::Scalars(vals) => {
+                let mut suite = default_suite(run.nlev);
+                suite.sub = sub.clone();
+                let qcols: Vec<_> = r.cells.iter().map(|&c| cols[c].clone()).collect();
+                let outs = suite.step_columns_per_column(&qcols);
+                for (((col, out), &got), &c) in qcols.iter().zip(&outs).zip(vals).zip(&r.cells) {
+                    let d = derive(col, out);
+                    let want = match q.product {
+                        Product::T2m => d.t2m,
+                        _ => d.precip,
+                    };
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "served {:?} at cell {c} differs from the checkpoint recompute \
+                         ({got} vs {want})",
+                        q.product
+                    );
+                    verified += 1;
+                }
+            }
+        }
+    }
+    verified
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Run the pinned serving benchmark and assemble the `BENCH_serve.json`
+/// document.
+pub fn run_serve() -> ServeBench {
+    run_serve_with(ServeBenchConfig::default())
+}
+
+/// [`run_serve`] with explicit knobs (tests use a miniature configuration).
+pub fn run_serve_with(cfg: ServeBenchConfig) -> ServeBench {
+    let run = RunConfig::for_level(cfg.level, cfg.nlev);
+
+    // ---- Phase A: deterministic batched-vs-per-query measurement. ----
+    // Keep every published epoch around: the recompute verifier needs the
+    // source checkpoint of whatever epoch each response was served from.
+    let store = Arc::new(SnapshotStore::new(cfg.members, cfg.epochs + 1));
+    run_ensemble::<f64>(&ensemble_config(&cfg, &run), &store);
+
+    let sub = Substrate::serial();
+    let engine = QueryEngine::<f64>::new(
+        Arc::clone(&store),
+        run.clone(),
+        sub.clone(),
+        default_suite(run.nlev),
+    )
+    .with_cache(false); // every query pays its dispatch: the ratio is pure batching
+    let ncells = engine.n_cells();
+    let queries = timing_queries(&cfg, ncells);
+
+    // Warm-up pays the replica restores and the scratch-arena growth once.
+    for q in &queries {
+        engine.serve_one_percol(q).expect("warm-up query");
+    }
+    let t0 = Instant::now();
+    for _ in 0..cfg.iters {
+        for q in &queries {
+            std::hint::black_box(engine.serve_one_percol(q).expect("percol query"));
+        }
+    }
+    let percol_s = t0.elapsed().as_secs_f64();
+
+    for chunk in queries.chunks(cfg.serve_batch) {
+        engine.serve_batch(chunk); // warm-up
+    }
+    let t0 = Instant::now();
+    for _ in 0..cfg.iters {
+        for chunk in queries.chunks(cfg.serve_batch) {
+            std::hint::black_box(engine.serve_batch(chunk));
+        }
+    }
+    let batched_s = t0.elapsed().as_secs_f64();
+
+    let q_total = (cfg.iters * cfg.queries) as f64;
+    let qps_of = |secs: f64| q_total / secs.max(1e-12);
+    let speedup = qps_of(batched_s) / qps_of(percol_s).max(1e-12);
+
+    // The verification set: the full timing set plus the non-scalar shapes
+    // (raw columns, point and region selectors) so every product kind is
+    // anchored to a checkpoint recompute.
+    let mut verify_queries = queries.clone();
+    verify_queries.push(Query::cell(0, 0, Product::ColumnState));
+    verify_queries.push(Query::point(0, 0.4, 1.0, Product::T2m));
+    verify_queries.push(Query {
+        member: cfg.members - 1,
+        select: Select::Region {
+            lat: (-2.0, 2.0),
+            lon: (-4.0, 4.0),
+        },
+        product: Product::Precip,
+    });
+    let responses = engine.serve_batch(&verify_queries);
+    let verified_products = verify_against_checkpoints(&store, &run, &verify_queries, &responses);
+
+    // ---- Phase B: synthetic heavy traffic against a live ensemble. ----
+    let traffic_store = Arc::new(SnapshotStore::new(cfg.members, cfg.epochs + 1));
+    let ensemble = spawn_ensemble::<f64>(ensemble_config(&cfg, &run), Arc::clone(&traffic_store));
+    while (0..cfg.members).any(|m| traffic_store.latest(m).is_none()) {
+        std::thread::yield_now();
+    }
+    let traffic_engine = Arc::new(QueryEngine::<f64>::new(
+        Arc::clone(&traffic_store),
+        run.clone(),
+        Substrate::serial(),
+        default_suite(run.nlev),
+    ));
+    let server = Arc::new(ForecastServer::start(
+        Arc::clone(&traffic_engine),
+        ServeConfig {
+            workers: cfg.workers,
+            max_batch: cfg.max_batch,
+        },
+    ));
+    let t0 = Instant::now();
+    let clients: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..cfg.clients)
+        .map(|client| {
+            let server = Arc::clone(&server);
+            let members = cfg.members;
+            let n = cfg.client_queries;
+            std::thread::spawn(move || {
+                (0..n)
+                    .map(|i| {
+                        let product = match (client + i) % 3 {
+                            0 => Product::Precip,
+                            1 => Product::T2m,
+                            _ => Product::ColumnState,
+                        };
+                        let q = Query::cell(
+                            (client + i) % members,
+                            (client * 37 + i * 11) % ncells,
+                            product,
+                        );
+                        let t = Instant::now();
+                        server.query_blocking(q).expect("traffic query");
+                        t.elapsed().as_secs_f64() * 1e3
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let mut lat_ms: Vec<f64> = clients
+        .into_iter()
+        .flat_map(|c| c.join().expect("traffic client panicked"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+    ensemble.join();
+    drop(traffic_engine);
+    if let Ok(server) = Arc::try_unwrap(server) {
+        server.shutdown();
+    }
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50_ms, p99_ms) = (percentile(&lat_ms, 0.50), percentile(&lat_ms, 0.99));
+    let qps = lat_ms.len() as f64 / wall_s.max(1e-12);
+
+    // ---- Assemble the document. ----
+    // Deterministic projections get the tight band; the `serve.latency.*` /
+    // `serve.qps.*` keys get the loose wall-derived gate (see
+    // `crate::compare`).
+    let n = |x: f64| Json::Num(x);
+    let projections = Json::Obj(vec![
+        ("serve.queries_per_pass".into(), n(cfg.queries as f64)),
+        (
+            "serve.batches_per_pass".into(),
+            n(cfg.queries.div_ceil(cfg.serve_batch) as f64),
+        ),
+        (
+            "serve.verified_products".into(),
+            n(verified_products as f64),
+        ),
+        (
+            "serve.ensemble_publishes".into(),
+            n((cfg.members * (cfg.epochs + 1)) as f64),
+        ),
+        ("serve.latency.p50_ms".into(), n(p50_ms)),
+        ("serve.latency.p99_ms".into(), n(p99_ms)),
+        ("serve.qps.traffic".into(), n(qps)),
+        ("serve.qps.batched".into(), n(qps_of(batched_s))),
+        ("serve.qps.percol".into(), n(qps_of(percol_s))),
+    ]);
+
+    // Host-dependent headline numbers; the compare gate ignores this
+    // section entirely.
+    let report = Json::Obj(vec![
+        ("percol_qps".into(), n(qps_of(percol_s))),
+        ("batched_qps".into(), n(qps_of(batched_s))),
+        ("speedup_batched_over_percol".into(), n(speedup)),
+        ("traffic.total_queries".into(), n(lat_ms.len() as f64)),
+        ("traffic.wall_s".into(), n(wall_s)),
+        ("traffic.qps".into(), n(qps)),
+        ("traffic.p50_ms".into(), n(p50_ms)),
+        ("traffic.p99_ms".into(), n(p99_ms)),
+        (
+            "traffic.max_ms".into(),
+            n(lat_ms.last().copied().unwrap_or(0.0)),
+        ),
+    ]);
+
+    // The metrics section is the Phase A engine registry: its counters and
+    // kernel call/item counts are deterministic. Phase B latency lands on
+    // it as gauges — preserved in the artifact, ignored by the gate.
+    let metrics = engine.substrate().metrics();
+    metrics.gauge_set("serve.latency.p50_ms", p50_ms);
+    metrics.gauge_set("serve.latency.p99_ms", p99_ms);
+    metrics.gauge_set("serve.qps.traffic", qps);
+    let snap = metrics.snapshot();
+
+    let config = Json::Obj(vec![
+        ("level".into(), n(cfg.level as f64)),
+        ("nlev".into(), n(cfg.nlev as f64)),
+        ("members".into(), n(cfg.members as f64)),
+        ("rank_pools".into(), n(cfg.rank_pools as f64)),
+        ("epochs".into(), n(cfg.epochs as f64)),
+        (
+            "dyn_steps_per_epoch".into(),
+            n(cfg.dyn_steps_per_epoch as f64),
+        ),
+        ("queries".into(), n(cfg.queries as f64)),
+        ("serve_batch".into(), n(cfg.serve_batch as f64)),
+        ("iters".into(), n(cfg.iters as f64)),
+        ("workers".into(), n(cfg.workers as f64)),
+        ("max_batch".into(), n(cfg.max_batch as f64)),
+        ("clients".into(), n(cfg.clients as f64)),
+        ("client_queries".into(), n(cfg.client_queries as f64)),
+        ("perturb_scale".into(), n(cfg.perturb_scale)),
+    ]);
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("config".into(), config),
+        ("projections".into(), projections),
+        ("report".into(), report),
+        ("metrics".into(), snap.to_json_value()),
+    ]);
+
+    ServeBench {
+        doc,
+        speedup,
+        verified_products,
+        p50_ms,
+        p99_ms,
+        qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunway_sim::MetricsSnapshot;
+
+    fn tiny() -> ServeBenchConfig {
+        ServeBenchConfig {
+            level: 2,
+            nlev: 6,
+            members: 2,
+            rank_pools: 2,
+            epochs: 1,
+            dyn_steps_per_epoch: 1,
+            queries: 12,
+            serve_batch: 4,
+            iters: 1,
+            workers: 2,
+            max_batch: 4,
+            clients: 2,
+            client_queries: 6,
+            perturb_scale: 1e-6,
+        }
+    }
+
+    #[test]
+    fn document_has_the_bench_schema_and_sections() {
+        let b = run_serve_with(tiny());
+        assert_eq!(b.doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        for section in ["config", "projections", "report", "metrics"] {
+            assert!(b.doc.get(section).is_some(), "missing {section}");
+        }
+        assert!(b.speedup.is_finite() && b.speedup > 0.0);
+        assert!(b.qps > 0.0 && b.p50_ms >= 0.0 && b.p99_ms >= b.p50_ms);
+        // The verification set covered the timing queries plus the column,
+        // point, and region extras.
+        assert!(b.verified_products as usize > tiny().queries);
+    }
+
+    #[test]
+    fn latency_lands_in_projections_and_gauges() {
+        let b = run_serve_with(tiny());
+        let p = |key: &str| {
+            b.doc
+                .get("projections")
+                .and_then(|p| p.get(key))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing projection {key}"))
+        };
+        assert_eq!(p("serve.latency.p50_ms"), b.p50_ms);
+        assert_eq!(p("serve.latency.p99_ms"), b.p99_ms);
+        assert_eq!(p("serve.qps.traffic"), b.qps);
+        let snap = MetricsSnapshot::from_json_value(b.doc.get("metrics").unwrap()).unwrap();
+        assert_eq!(snap.gauge("serve.latency.p50_ms"), Some(b.p50_ms));
+        assert_eq!(snap.gauge("serve.qps.traffic"), Some(b.qps));
+    }
+
+    #[test]
+    fn deterministic_quantities_survive_the_compare_gate() {
+        let cfg = tiny();
+        let a = run_serve_with(cfg);
+        let b = run_serve_with(cfg);
+        // Counters, kernel counts, and the deterministic projections must
+        // agree exactly; wall-derived latency/qps jitters between runs on a
+        // tiny configuration, so give the wall band effectively no limit —
+        // the tight band still applies to everything deterministic.
+        let r = crate::compare::compare_docs(
+            &a.doc,
+            &b.doc,
+            &crate::compare::CompareConfig {
+                tolerance: 0.0,
+                time_tolerance: 1e12,
+                min_time_ns: u64::MAX,
+            },
+        )
+        .unwrap();
+        assert!(r.is_empty(), "nondeterministic bench document: {r:?}");
+        // Both passes dispatched the same ML cells: the batched path saves
+        // calls, never work.
+        let snap = MetricsSnapshot::from_json_value(a.doc.get("metrics").unwrap()).unwrap();
+        let percol = &snap.kernels["serve_percol/ml/ml_physics_columns"];
+        assert_eq!(
+            percol.items,
+            ((cfg.iters + 1) * cfg.queries) as u64,
+            "one per-column dispatch per query per pass"
+        );
+        let batches = snap.counters["serve.batches"];
+        assert!(
+            batches < snap.counters["serve.queries"],
+            "batching happened: {batches} batches"
+        );
+    }
+}

@@ -226,6 +226,21 @@ impl<R: Real> GristModel<R> {
     /// (diagnostic caches like `last_diag` are rebuilt by the next physics
     /// step). Ticks `recovery.restores` on success.
     pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        // Working precision must match before anything else: an f64 document
+        // restored into an f32 model with identical shapes used to pass every
+        // check below and silently truncate each field through `from_f64`.
+        let precision = ck
+            .doc
+            .get("precision")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| CheckpointError::new("missing precision tag"))?;
+        if precision != R::NAME {
+            return Err(CheckpointError::new(format!(
+                "precision mismatch: checkpoint captured from an {precision} model cannot \
+                 restore into an {} model",
+                R::NAME
+            )));
+        }
         let shape_of = |key: &str| {
             ck.doc
                 .get("shape")
@@ -456,6 +471,40 @@ mod tests {
         let mut m = m;
         let err = m.restore(&other).unwrap_err();
         assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn cross_precision_restore_is_rejected_naming_both_precisions() {
+        // Regression: the shapes of an f64 and an f32 model at the same
+        // resolution are identical, so `restore` used to accept the foreign
+        // document and quietly narrow every field through `from_f64`.
+        let cfg = RunConfig::for_level(2, 6);
+        let ck64 = GristModel::<f64>::new(cfg.clone()).checkpoint();
+        let ck32 = GristModel::<f32>::new(cfg.clone()).checkpoint();
+
+        let mut m32 = GristModel::<f32>::new(cfg.clone());
+        m32.advance(m32.config.dt_phy);
+        let hash = m32.state_hash();
+        let err = m32.restore(&ck64).unwrap_err();
+        assert!(
+            err.to_string().contains("precision mismatch")
+                && err.to_string().contains("f64")
+                && err.to_string().contains("f32"),
+            "{err}"
+        );
+        assert_eq!(m32.state_hash(), hash, "rejection must not touch state");
+        assert_eq!(m32.metrics().counter("recovery.restores"), 0);
+
+        let mut m64 = GristModel::<f64>::new(cfg);
+        let err = m64.restore(&ck32).unwrap_err();
+        assert!(err.to_string().contains("precision mismatch"), "{err}");
+
+        // A document missing the tag entirely is rejected, not assumed.
+        let mut doc_text = ck64.to_json();
+        doc_text = doc_text.replace("\"precision\": \"f64\",", "");
+        let untagged = Checkpoint::from_json(&doc_text).unwrap();
+        let err = m64.restore(&untagged).unwrap_err();
+        assert!(err.to_string().contains("precision"), "{err}");
     }
 
     #[test]

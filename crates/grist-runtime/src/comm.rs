@@ -75,7 +75,17 @@ impl RankCtx {
             }
         }
         loop {
-            let env = self.inbox.recv().expect("world alive");
+            // A disconnected inbox means every peer sender (including the
+            // hub's) is gone — the world tore down around us. Surface it
+            // with the same rank/tag context as an explicit abort instead
+            // of a bare `expect` panic.
+            let env = self.inbox.recv().unwrap_or_else(|_| {
+                panic!(
+                    "world aborted: every peer channel dropped while rank {} \
+                     was blocked in recv(from={from}, tag={tag})",
+                    self.rank
+                )
+            });
             let data = match env.body {
                 Body::Data(data) => data,
                 Body::Abort { failed_rank } => panic!(
@@ -219,6 +229,31 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recv_on_a_torn_down_world_panics_with_rank_and_tag_context() {
+        // Regression: a disconnected inbox used to surface as the bare
+        // `expect("world alive")` with no hint of who was waiting on what.
+        let (_tx, inbox) = {
+            let (tx, rx) = channel::<Envelope>();
+            drop(tx);
+            ((), rx)
+        };
+        let mut ctx = RankCtx {
+            rank: 3,
+            n_ranks: 4,
+            peers: Vec::new(),
+            inbox,
+            parked: HashMap::new(),
+            stats: Arc::new(CommStats::default()),
+        };
+        let payload = catch_unwind(AssertUnwindSafe(|| ctx.recv(1, 9)))
+            .expect_err("recv on a dead world must panic");
+        let msg = panic_message(payload.as_ref());
+        for needle in ["world aborted", "rank 3", "from=1", "tag=9"] {
+            assert!(msg.contains(needle), "panic {msg:?} lacks {needle:?}");
+        }
+    }
 
     #[test]
     fn ring_pass_delivers_in_order() {

@@ -1,0 +1,217 @@
+//! The request front-end: a thread pool draining an mpsc queue, forming
+//! batches opportunistically.
+//!
+//! `submit` is async in the offline-safe sense: it enqueues and returns a
+//! [`PendingResponse`] immediately; the caller collects the answer whenever
+//! it likes. Each worker blocks for one job, then drains up to
+//! `max_batch - 1` more that are already queued — so under heavy traffic
+//! batches grow toward `max_batch` and every batch becomes one
+//! `ScratchPool`-backed ML dispatch, while an idle server answers a lone
+//! query with no added latency.
+
+use crate::engine::{Query, QueryEngine, Response, ServeError};
+use grist_dycore::Real;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Front-end sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Largest batch one worker serves in one engine call.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_batch: 32,
+        }
+    }
+}
+
+struct Job {
+    query: Query,
+    reply: Sender<Result<Response, ServeError>>,
+}
+
+/// A submitted query's future answer.
+pub struct PendingResponse {
+    rx: Receiver<Result<Response, ServeError>>,
+}
+
+impl PendingResponse {
+    /// Block until the answer arrives. A worker that disappeared (server
+    /// shut down with the job queued) surfaces as `Disconnected`.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// The serving front-end. Dropping it (or calling [`Self::shutdown`])
+/// closes the queue and joins the workers.
+pub struct ForecastServer {
+    tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<u64>>,
+}
+
+impl ForecastServer {
+    /// Start `cfg.workers` threads serving queries against `engine`.
+    pub fn start<R: Real>(engine: Arc<QueryEngine<R>>, cfg: ServeConfig) -> Self {
+        assert!(cfg.workers >= 1 && cfg.max_batch >= 1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                let max_batch = cfg.max_batch;
+                std::thread::spawn(move || {
+                    let mut served = 0u64;
+                    loop {
+                        // Hold the queue lock only while forming the batch;
+                        // serving runs with the queue free for peers.
+                        let mut batch = Vec::with_capacity(max_batch);
+                        {
+                            let queue = rx.lock().expect("queue poisoned");
+                            match queue.recv() {
+                                Ok(job) => batch.push(job),
+                                Err(_) => break, // queue closed: shutdown
+                            }
+                            while batch.len() < max_batch {
+                                match queue.try_recv() {
+                                    Ok(job) => batch.push(job),
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                        let queries: Vec<Query> = batch.iter().map(|j| j.query.clone()).collect();
+                        let results = engine.serve_batch(&queries);
+                        served += batch.len() as u64;
+                        for (job, result) in batch.into_iter().zip(results) {
+                            // A client that gave up on its PendingResponse
+                            // just drops the answer.
+                            let _ = job.reply.send(result);
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        ForecastServer {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueue a query; returns immediately.
+    pub fn submit(&self, query: Query) -> Result<PendingResponse, ServeError> {
+        let (reply, rx) = channel();
+        self.tx
+            .as_ref()
+            .ok_or(ServeError::Disconnected)?
+            .send(Job { query, reply })
+            .map_err(|_| ServeError::Disconnected)?;
+        Ok(PendingResponse { rx })
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    pub fn query_blocking(&self, query: Query) -> Result<Response, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Close the queue, join every worker, and return the total number of
+    /// queries served.
+    pub fn shutdown(mut self) -> u64 {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> u64 {
+        drop(self.tx.take());
+        self.workers
+            .drain(..)
+            .map(|w| w.join().expect("serve worker panicked"))
+            .sum()
+    }
+}
+
+impl Drop for ForecastServer {
+    fn drop(&mut self) {
+        if self.tx.is_some() {
+            self.drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{default_suite, Product};
+    use crate::store::{EpochView, SnapshotStore};
+    use grist_core::{GristModel, RunConfig};
+    use sunway_sim::Substrate;
+
+    fn served_engine(cfg: &RunConfig) -> Arc<QueryEngine<f64>> {
+        let store = Arc::new(SnapshotStore::new(1, 2));
+        let model = GristModel::<f64>::new(cfg.clone());
+        store.publish(EpochView {
+            member: 0,
+            epoch: model.dyn_steps() as u64,
+            state_hash: model.state_hash(),
+            checkpoint: model.checkpoint(),
+        });
+        Arc::new(QueryEngine::new(
+            store,
+            cfg.clone(),
+            Substrate::serial(),
+            default_suite(cfg.nlev),
+        ))
+    }
+
+    #[test]
+    fn concurrent_submits_all_answer_and_match_direct_serving() {
+        let cfg = RunConfig::for_level(2, 6);
+        let engine = served_engine(&cfg);
+        let server = ForecastServer::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 3,
+                max_batch: 8,
+            },
+        );
+        let pending: Vec<(Query, PendingResponse)> = (0..40)
+            .map(|i| {
+                let product = if i % 2 == 0 {
+                    Product::Precip
+                } else {
+                    Product::T2m
+                };
+                let q = Query::cell(0, i % engine.n_cells(), product);
+                let p = server.submit(q.clone()).unwrap();
+                (q, p)
+            })
+            .collect();
+        for (q, p) in pending {
+            let served = p.wait().unwrap();
+            let direct = engine.serve_one_percol(&q).unwrap();
+            assert_eq!(served, direct, "served answer must be bit-identical");
+        }
+        let served = server.shutdown();
+        assert_eq!(served, 40);
+        // Batching happened: fewer engine batches than queries.
+        let batches = engine.substrate().metrics().counter("serve.batches");
+        assert!(batches <= 40, "{batches} batches for 40 queries");
+    }
+
+    #[test]
+    fn shutdown_disconnects_cleanly() {
+        let cfg = RunConfig::for_level(2, 6);
+        let engine = served_engine(&cfg);
+        let server = ForecastServer::start(engine, ServeConfig::default());
+        let p = server.submit(Query::cell(0, 0, Product::T2m)).unwrap();
+        assert!(p.wait().is_ok());
+        server.shutdown();
+    }
+}

@@ -2,10 +2,21 @@
 //!
 //! The workspace builds fully offline (see README "Offline builds"), so
 //! serde is not available; the observability layer needs only a small,
-//! dependency-free subset: objects, arrays, strings, finite numbers, bools,
-//! and null. Numbers are carried as `f64`, which is exact for the integer
+//! dependency-free subset: objects, arrays, strings, numbers, bools, and
+//! null. Numbers are carried as `f64`, which is exact for the integer
 //! counters the metrics registry emits up to 2^53 (wall-clock nanoseconds
 //! overflow that after ~104 days of accumulated kernel time).
+//!
+//! # Non-finite numbers (pinned convention)
+//!
+//! JSON has no literal for NaN or ±Inf, and a diagnostic export must never
+//! abort the run that produced it. A non-finite [`Json::Num`] therefore
+//! serializes as a *bit-pattern string*, `"f64:<16 lowercase hex digits>"`
+//! (the raw IEEE-754 bits, the same wire format checkpoint fields use), so
+//! the emitted document stays standard JSON and the value — including any
+//! NaN payload — survives losslessly. The parser is plain JSON and reads
+//! the token back as a [`Json::Str`]; [`Json::as_f64`] decodes the prefix
+//! form, so numeric accessors round-trip every `f64` bit pattern exactly.
 
 use std::fmt::Write as _;
 
@@ -65,9 +76,12 @@ impl Json {
         }
     }
 
+    /// Numeric value, also decoding the `"f64:<16 hex>"` bit-pattern string
+    /// the writer emits for non-finite numbers (see the module docs).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            Json::Str(s) => parse_f64_bits(s),
             _ => None,
         }
     }
@@ -167,13 +181,30 @@ fn push_indent(out: &mut String, levels: usize) {
 }
 
 fn write_num(out: &mut String, x: f64) {
-    assert!(x.is_finite(), "JSON numbers must be finite, got {x}");
-    if x.fract() == 0.0 && x.abs() < 9.0e15 {
+    if !x.is_finite() {
+        // Pinned convention (module docs): NaN/±Inf become bit-pattern
+        // strings so the document stays standard JSON and `as_f64` can
+        // recover the exact bits.
+        let _ = write!(out, "\"f64:{:016x}\"", x.to_bits());
+    } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
         let _ = write!(out, "{}", x as i64);
     } else {
         // `{:?}` round-trips f64 exactly through parse.
         let _ = write!(out, "{x:?}");
     }
+}
+
+/// Decode the `"f64:<16 lowercase hex digits>"` bit-pattern form.
+fn parse_f64_bits(s: &str) -> Option<f64> {
+    let hex = s.strip_prefix("f64:")?;
+    if hex.len() != 16
+        || !hex
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
 }
 
 fn write_str(out: &mut String, s: &str) {
@@ -422,6 +453,42 @@ mod tests {
         assert_eq!(Json::parse(&text).unwrap(), v);
         // Integers print without a fraction.
         assert!(text.contains("12582912"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_numbers_round_trip_as_bit_pattern_strings() {
+        // Regression: `write_num` used to assert finiteness, so one NaN
+        // wall-time or diagnostic aborted the whole metrics/trace export.
+        let quiet_nan = f64::from_bits(0x7ff8_0000_dead_beef); // payloaded NaN
+        for x in [f64::NAN, quiet_nan, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Json::Num(x).pretty();
+            let back = Json::parse(&text).expect("stays standard JSON");
+            let y = back.as_f64().expect("bit-pattern string decodes");
+            assert_eq!(y.to_bits(), x.to_bits(), "lossless for {x}");
+        }
+        assert_eq!(
+            Json::Num(f64::INFINITY).pretty().trim(),
+            "\"f64:7ff0000000000000\""
+        );
+        // Finite numbers keep the plain literal form.
+        assert_eq!(Json::Num(2.5).pretty().trim(), "2.5");
+    }
+
+    #[test]
+    fn as_f64_rejects_malformed_bit_pattern_strings() {
+        for bad in [
+            "f64:",
+            "f64:123",               // too short
+            "f64:7ff00000000000000", // too long
+            "f64:7FF0000000000000",  // uppercase is not the pinned form
+            "f64:7ffz000000000000",  // non-hex
+            "not a number",
+        ] {
+            assert_eq!(Json::Str(bad.into()).as_f64(), None, "accepted {bad:?}");
+        }
+        // The sanctioned form decodes even when embedded in a document.
+        let doc = Json::parse(r#"{"p99": "f64:7ff8000000000000"}"#).unwrap();
+        assert!(doc.get("p99").unwrap().as_f64().unwrap().is_nan());
     }
 
     #[test]

@@ -5,6 +5,10 @@
 #                        CPE-teams substrate; override the path with $1)
 #   BENCH_scaling.json — halo-overlap gate + counter-calibrated SDPD
 #                        weak/strong-scaling projections (bench_scaling)
+#   BENCH_serve.json   — serving layer: batched-vs-per-query dispatch with
+#                        bitwise checkpoint verification, plus traffic
+#                        latency/qps under the thread-pool front-end
+#                        (bench_serve; gated >= 2x batched speedup)
 # The smoke document's "trace" section carries the tracing-overhead
 # measurement; bench_smoke itself fails when disabled tracing costs >= 1%
 # of the smoke window, and bench_compare re-checks the same absolute
@@ -24,3 +28,6 @@ cargo run --release -p grist-bench --bin bench_smoke -- "${out}"
 
 echo "== bench scaling -> BENCH_scaling.json =="
 cargo run --release -p grist-bench --bin bench_scaling -- BENCH_scaling.json
+
+echo "== bench serve -> BENCH_serve.json =="
+cargo run --release -p grist-bench --bin bench_serve -- BENCH_serve.json

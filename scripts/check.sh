@@ -58,6 +58,12 @@ cargo run --release -p grist-bench --bin bench_partition -- target/bench_partiti
 cargo run --release -p grist-bench --bin bench_compare -- \
     BENCH_partition.json target/bench_partition.json --tolerance 10
 
+echo "== serving layer (snapshot isolation + batched >= 2x per-query) vs committed baseline =="
+cargo test --release -q --test integration_serve
+cargo run --release -p grist-bench --bin bench_serve -- target/bench_serve.json
+cargo run --release -p grist-bench --bin bench_compare -- \
+    BENCH_serve.json target/bench_serve.json --tolerance 10
+
 echo "== bench scaling (overlap gate + SDPD projections) vs committed baseline =="
 cargo run --release -p grist-bench --bin bench_scaling -- target/bench_scaling.json
 cargo run --release -p grist-bench --bin bench_compare -- \

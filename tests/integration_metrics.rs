@@ -68,6 +68,33 @@ fn metrics_json_round_trips_exactly() {
     }
 }
 
+/// A registry holding non-finite gauge values must still export to JSON
+/// and round-trip bit-exactly: gauges serialize their IEEE-754 bit pattern
+/// (the pinned `"f64:<hex>"` convention in `sunway_sim::json`), so NaN
+/// payloads and infinities survive the text format the `BENCH_*.json`
+/// pipeline stores.
+#[test]
+fn metrics_json_round_trips_non_finite_gauges() {
+    let m = run_model(Substrate::serial());
+    let nan_payload = f64::from_bits(0x7ff8_0000_dead_beef);
+    m.metrics().gauge_set("diag.cfl_max", f64::INFINITY);
+    m.metrics().gauge_set("diag.blowup_residual", f64::NAN);
+    m.metrics().gauge_set("diag.tagged_nan", nan_payload);
+    m.metrics().gauge_set("diag.neg_inf", f64::NEG_INFINITY);
+
+    let json = m.metrics_json();
+    let parsed = MetricsSnapshot::from_json(&json).expect("non-finite export must parse");
+    assert_eq!(parsed, m.metrics_snapshot());
+    assert_eq!(parsed.gauge("diag.cfl_max"), Some(f64::INFINITY));
+    assert_eq!(parsed.gauge("diag.neg_inf"), Some(f64::NEG_INFINITY));
+    assert_eq!(
+        parsed.gauge("diag.tagged_nan").map(f64::to_bits),
+        Some(nan_payload.to_bits()),
+        "NaN payload bits must survive the JSON round-trip"
+    );
+    assert!(parsed.gauge("diag.blowup_residual").unwrap().is_nan());
+}
+
 /// Reset must empty every section — kernels, spans, and counters — so a
 /// baseline captured after a warm-up window starts from zero, and the
 /// registry must keep working afterwards.
