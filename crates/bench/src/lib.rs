@@ -8,6 +8,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod compare;
 pub mod ml;
+pub mod obs;
 pub mod partition;
 pub mod serve;
 pub mod smoke;

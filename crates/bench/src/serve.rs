@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use grist_core::{extract_columns, GristModel, RunConfig};
+use grist_obs::Histogram;
 use grist_serve::{
     default_suite, derive, run_ensemble, spawn_ensemble, EnsembleConfig, ForecastServer,
     PoolTarget, Product, ProductData, Query, QueryEngine, Response, Select, ServeConfig,
@@ -219,14 +220,6 @@ fn verify_against_checkpoints(
     verified
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
-    sorted_ms[idx]
-}
-
 /// Run the pinned serving benchmark and assemble the `BENCH_serve.json`
 /// document.
 pub fn run_serve() -> ServeBench {
@@ -317,46 +310,48 @@ pub fn run_serve_with(cfg: ServeBenchConfig) -> ServeBench {
             max_batch: cfg.max_batch,
         },
     ));
+    // Per-query latencies stream into the shared log-bucketed histogram
+    // (grist-obs) — the same implementation the live telemetry plane uses,
+    // so the bench and the SLO gate can never disagree on what "p99" means.
+    let lat_hist = Arc::new(Histogram::new());
     let t0 = Instant::now();
-    let clients: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..cfg.clients)
+    let clients: Vec<std::thread::JoinHandle<()>> = (0..cfg.clients)
         .map(|client| {
             let server = Arc::clone(&server);
+            let lat_hist = Arc::clone(&lat_hist);
             let members = cfg.members;
             let n = cfg.client_queries;
             std::thread::spawn(move || {
-                (0..n)
-                    .map(|i| {
-                        let product = match (client + i) % 3 {
-                            0 => Product::Precip,
-                            1 => Product::T2m,
-                            _ => Product::ColumnState,
-                        };
-                        let q = Query::cell(
-                            (client + i) % members,
-                            (client * 37 + i * 11) % ncells,
-                            product,
-                        );
-                        let t = Instant::now();
-                        server.query_blocking(q).expect("traffic query");
-                        t.elapsed().as_secs_f64() * 1e3
-                    })
-                    .collect()
+                for i in 0..n {
+                    let product = match (client + i) % 3 {
+                        0 => Product::Precip,
+                        1 => Product::T2m,
+                        _ => Product::ColumnState,
+                    };
+                    let q = Query::cell(
+                        (client + i) % members,
+                        (client * 37 + i * 11) % ncells,
+                        product,
+                    );
+                    let t = Instant::now();
+                    server.query_blocking(q).expect("traffic query");
+                    lat_hist.record(t.elapsed().as_nanos() as u64);
+                }
             })
         })
         .collect();
-    let mut lat_ms: Vec<f64> = clients
-        .into_iter()
-        .flat_map(|c| c.join().expect("traffic client panicked"))
-        .collect();
+    for c in clients {
+        c.join().expect("traffic client panicked");
+    }
     let wall_s = t0.elapsed().as_secs_f64();
     ensemble.join();
     drop(traffic_engine);
     if let Ok(server) = Arc::try_unwrap(server) {
         server.shutdown();
     }
-    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let (p50_ms, p99_ms) = (percentile(&lat_ms, 0.50), percentile(&lat_ms, 0.99));
-    let qps = lat_ms.len() as f64 / wall_s.max(1e-12);
+    let lat = lat_hist.snapshot();
+    let (p50_ms, p99_ms) = (lat.percentile_ms(0.50), lat.percentile_ms(0.99));
+    let qps = lat.count as f64 / wall_s.max(1e-12);
 
     // ---- Assemble the document. ----
     // Deterministic projections get the tight band; the `serve.latency.*` /
@@ -390,15 +385,12 @@ pub fn run_serve_with(cfg: ServeBenchConfig) -> ServeBench {
         ("percol_qps".into(), n(qps_of(percol_s))),
         ("batched_qps".into(), n(qps_of(batched_s))),
         ("speedup_batched_over_percol".into(), n(speedup)),
-        ("traffic.total_queries".into(), n(lat_ms.len() as f64)),
+        ("traffic.total_queries".into(), n(lat.count as f64)),
         ("traffic.wall_s".into(), n(wall_s)),
         ("traffic.qps".into(), n(qps)),
         ("traffic.p50_ms".into(), n(p50_ms)),
         ("traffic.p99_ms".into(), n(p99_ms)),
-        (
-            "traffic.max_ms".into(),
-            n(lat_ms.last().copied().unwrap_or(0.0)),
-        ),
+        ("traffic.max_ms".into(), n(lat.max as f64 / 1e6)),
     ]);
 
     // The metrics section is the Phase A engine registry: its counters and
@@ -502,6 +494,59 @@ mod tests {
         let snap = MetricsSnapshot::from_json_value(b.doc.get("metrics").unwrap()).unwrap();
         assert_eq!(snap.gauge("serve.latency.p50_ms"), Some(b.p50_ms));
         assert_eq!(snap.gauge("serve.qps.traffic"), Some(b.qps));
+    }
+
+    /// Satellite pin: the shared histogram percentile and the retired
+    /// sort-and-index estimator use the same rank convention, so on a
+    /// seeded sample they land in the same bucket — exactly equal once the
+    /// sample is quantized to bucket lower bounds, and within the layout's
+    /// 1/16 relative quantization on raw values.
+    #[test]
+    fn histogram_percentiles_agree_with_sort_and_index_on_a_seeded_sample() {
+        use grist_obs::{bucket_index, bucket_lo};
+        // The retired estimator, kept as the pin's reference.
+        fn sort_index(sorted: &[u64], p: f64) -> u64 {
+            sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+        }
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        let mut sample: Vec<u64> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 200_000_000 // ns-scale latencies up to 200 ms
+            })
+            .collect();
+        let h = Histogram::new();
+        for &v in &sample {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        sample.sort_unstable();
+        for p in [0.50, 0.90, 0.99] {
+            let reference = sort_index(&sample, p);
+            let got = snap.percentile(p);
+            assert_eq!(
+                got,
+                bucket_lo(bucket_index(reference)),
+                "p{p}: same rank, same bucket"
+            );
+            assert!(
+                got <= reference && (reference - got) as f64 <= reference as f64 / 16.0,
+                "p{p}: {got} vs {reference} exceeds the 1/16 quantization bound"
+            );
+        }
+        // Pre-quantized sample (bucket_lo∘bucket_index is monotone, so the
+        // sorted order survives): the two methods agree exactly.
+        let quantized: Vec<u64> = sample.iter().map(|&v| bucket_lo(bucket_index(v))).collect();
+        let h2 = Histogram::new();
+        for &v in &quantized {
+            h2.record(v);
+        }
+        let snap2 = h2.snapshot();
+        for p in [0.0, 0.50, 0.90, 0.99, 1.0] {
+            assert_eq!(snap2.percentile(p), sort_index(&quantized, p), "p{p}");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod health;
 pub mod history;
 pub mod mlsuite;
 pub mod model;
+pub mod observe;
 pub mod overlap;
 pub mod scenario;
 

@@ -1,0 +1,126 @@
+//! Wiring the model loop into the live telemetry plane.
+//!
+//! [`GristModel::advance_observed`] is the observed counterpart of
+//! [`GristModel::advance`]: same integration, plus one epoch-advance timing
+//! record and one streaming physics sample into an
+//! [`ObsPlane`] — mass and total energy from the
+//! analytic budget (conservation drift), CFL margin and NaN census from the
+//! health scan, and the tracer's live ring-drop count. The plane's
+//! `HealthWatch` turns threshold crossings into typed alerts, which the
+//! caller gets back per epoch (and the SLO's alert budget sees globally).
+//!
+//! When the plane is disabled the whole sampling block is skipped behind
+//! one relaxed atomic load — `advance_observed` then costs exactly one
+//! `Instant::now` pair over plain `advance`.
+
+use crate::health::{HealthThresholds, RunState};
+use crate::model::GristModel;
+use grist_dycore::{energy_budget, Real};
+use grist_obs::{Alert, HealthSample, ObsPlane};
+use std::time::Instant;
+
+impl<R: Real> GristModel<R> {
+    /// Advance `seconds` of model time, recording the epoch's wall time and
+    /// one health sample into `plane`. Returns the alerts this epoch raised
+    /// (empty for a healthy epoch or a disabled plane).
+    pub fn advance_observed(&mut self, seconds: f64, plane: &ObsPlane) -> Vec<Alert> {
+        let t0 = Instant::now();
+        self.advance(seconds);
+        plane.record_epoch_advance_ns(t0.elapsed().as_nanos() as u64);
+        self.sample_health(plane)
+    }
+
+    /// Sample the streaming diagnostics into `plane` without advancing:
+    /// energy/mass budget, health scan (under the watch's CFL/wind bounds,
+    /// so both layers agree on "unstable"), and live trace drops.
+    pub fn sample_health(&mut self, plane: &ObsPlane) -> Vec<Alert> {
+        if !plane.is_enabled() {
+            return Vec::new();
+        }
+        let wt = plane.watch().thresholds();
+        let report = self.health_with(&HealthThresholds {
+            max_wind: wt.max_wind,
+            max_cfl: wt.max_cfl,
+        });
+        let budget = energy_budget(&mut self.solver, &self.state);
+        plane.ingest_health(HealthSample {
+            epoch: self.dyn_steps() as u64,
+            mass: budget.mass,
+            energy: budget.total(),
+            cfl: report.cfl,
+            max_abs_u: report.max_abs_u,
+            non_finite: report.non_finite + report.non_physical,
+            corrupt: report.state == RunState::Corrupt,
+            trace_dropped: self.metrics().tracer().dropped_total(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+    use grist_obs::AlertKind;
+
+    fn model() -> GristModel<f64> {
+        GristModel::<f64>::new(RunConfig::for_level(2, 6))
+    }
+
+    #[test]
+    fn observed_advance_matches_plain_advance_bitwise() {
+        let plane = ObsPlane::default();
+        let mut observed = model();
+        let mut plain = model();
+        for _ in 0..3 {
+            observed.advance_observed(observed.config.dt_dyn, &plane);
+            plain.advance(plain.config.dt_dyn);
+        }
+        assert_eq!(
+            observed.state_hash(),
+            plain.state_hash(),
+            "observation must not perturb the integration"
+        );
+        let epochs = plane.epoch_advance_snapshot();
+        assert_eq!(epochs.count, 3);
+        assert!(epochs.min > 0, "epoch advance took measurable time");
+        assert_eq!(plane.watch().ingested(), 3);
+    }
+
+    #[test]
+    fn healthy_short_run_raises_no_alerts() {
+        let plane = ObsPlane::default();
+        let mut m = model();
+        for _ in 0..5 {
+            let alerts = m.advance_observed(m.config.dt_dyn, &plane);
+            assert!(alerts.is_empty(), "unexpected alerts: {alerts:?}");
+        }
+        assert_eq!(plane.watch().alert_count(), 0);
+    }
+
+    #[test]
+    fn corrupted_state_raises_a_corrupt_alert() {
+        let plane = ObsPlane::default();
+        let mut m = model();
+        m.sample_health(&plane); // healthy baseline
+        m.state.u.set(0, 0, f64::NAN);
+        let alerts = m.sample_health(&plane);
+        assert!(
+            alerts.iter().any(|a| a.kind == AlertKind::Corrupt),
+            "NaN poke must alert: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_plane_skips_sampling_entirely() {
+        let plane = ObsPlane::disabled();
+        let mut m = model();
+        let scans_before = m.metrics().counter("health.scans");
+        assert!(m.advance_observed(m.config.dt_dyn, &plane).is_empty());
+        assert_eq!(
+            m.metrics().counter("health.scans"),
+            scans_before,
+            "no health scan on the disabled path"
+        );
+        assert!(plane.epoch_advance_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Lock-free log-bucketed streaming histograms (HDR-style).
+//!
+//! The registry's counters answer "how much in total"; the tracer answers
+//! "when". Neither answers the question that localizes a serving or scaling
+//! pathology: *what does the distribution look like while the system runs* —
+//! the p99 that an SLO gates on, the long tail a mean hides. A
+//! [`Histogram`] records `u64` values (nanoseconds, batch sizes, …) into a
+//! fixed array of atomic buckets, so recording is wait-free (a handful of
+//! relaxed atomic RMWs, no lock, no allocation) and any thread can read a
+//! consistent-enough [`HistSnapshot`] at any time.
+//!
+//! # Bucket layout (`log16-v1`, pinned)
+//!
+//! Values `0..16` get exact unit buckets; every larger value lands in one of
+//! 16 sub-buckets per power of two (4 bits of mantissa kept), giving a
+//! relative quantization error below 1/16 = 6.25% across the whole `u64`
+//! range with [`HIST_BUCKETS`] = 976 buckets total:
+//!
+//! ```text
+//! index(v) = v                                          v < 16
+//!          = (top - 3)·16 + ((v >> (top - 4)) & 15)     otherwise,
+//!            where top = 63 - clz(v)  (bit index of the leading one)
+//! ```
+//!
+//! The layout is part of the `grist-obs-v1` dashboard contract: bucket
+//! indices serialize into JSON, and every percentile a report prints must be
+//! recomputable *bitwise* from those counts alone (see
+//! [`HistSnapshot::percentile`], which is a pure function of the counts).
+//!
+//! # Percentile convention
+//!
+//! [`HistSnapshot::percentile`] uses the same rank convention as the
+//! sort-and-index estimator it replaced in `bench::serve`:
+//! `rank = round(p · (n − 1))` (0-based), returning the **lower bound** of
+//! the bucket containing the rank-th smallest recorded value. On a sample
+//! quantized to bucket lower bounds the two methods agree exactly; on raw
+//! samples they differ by at most one bucket width (< 6.25% relative).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use sunway_sim::Json;
+
+/// Mantissa bits kept per value (sub-buckets per octave = 2^4 = 16).
+pub const HIST_SUB_BITS: u32 = 4;
+/// Sub-buckets per power of two.
+pub const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+/// Total bucket count for the full `u64` domain under the `log16-v1` layout.
+pub const HIST_BUCKETS: usize = (64 - HIST_SUB_BITS as usize + 1) * HIST_SUB;
+/// The layout tag serialized with every snapshot.
+pub const HIST_LAYOUT: &str = "log16-v1";
+
+/// Bucket index of a value under the pinned `log16-v1` layout.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < HIST_SUB as u64 {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros();
+        let sub = ((v >> (top - HIST_SUB_BITS)) & (HIST_SUB as u64 - 1)) as usize;
+        (top - HIST_SUB_BITS + 1) as usize * HIST_SUB + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (the percentile representative).
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    debug_assert!(i < HIST_BUCKETS);
+    if i < HIST_SUB {
+        i as u64
+    } else {
+        let group = (i / HIST_SUB) as u32; // >= 1
+        let sub = (i % HIST_SUB) as u64;
+        let top = group + HIST_SUB_BITS - 1;
+        (HIST_SUB as u64 + sub) << (top - HIST_SUB_BITS)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[inline]
+pub fn bucket_hi(i: usize) -> u64 {
+    if i + 1 < HIST_BUCKETS {
+        bucket_lo(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// A wait-free streaming histogram over `u64` values.
+///
+/// `record` costs a few relaxed atomic RMWs and never blocks; `snapshot`
+/// reads every bucket without stopping writers (a snapshot taken mid-record
+/// may be ahead/behind by in-flight records on individual fields, but any
+/// snapshot taken after writers quiesce is exact).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value. Wait-free; callable from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current bucket counts and scalar stats.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: bucket counts plus exact count/sum/max/min.
+/// Mergeable ([`Self::merge`]) and JSON round-trippable
+/// ([`Self::to_json`]/[`Self::from_json`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// One count per `log16-v1` bucket (length [`HIST_BUCKETS`]).
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    /// Largest value recorded, tracked exactly (0 when empty).
+    pub max: u64,
+    /// Smallest value recorded, tracked exactly (`u64::MAX` when empty).
+    pub min: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            counts: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+}
+
+impl HistSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values (0 when empty). Exact: the sum is
+    /// accumulated from raw values, not bucket representatives.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The p-th percentile (p in `[0, 1]`) as the lower bound of the bucket
+    /// holding the rank-th smallest value, `rank = round(p·(n−1))`.
+    ///
+    /// A **pure function of the bucket counts**: re-reading the counts from
+    /// a serialized snapshot reproduces every reported percentile bitwise.
+    /// Quantization error is below 6.25% of the true sample percentile.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return bucket_lo(i);
+            }
+        }
+        // Unreachable when count equals the bucket total; safe fallback for
+        // a torn concurrent snapshot where count ran ahead of the buckets.
+        bucket_lo(
+            self.counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .unwrap_or(HIST_BUCKETS - 1),
+        )
+    }
+
+    /// [`Self::percentile`] converted from nanoseconds to milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        self.percentile(p) as f64 / 1e6
+    }
+
+    /// Element-wise sum of two snapshots: the histogram of the union of the
+    /// two recorded populations (`merge(a, b) == snapshot(records_a ∪
+    /// records_b)` exactly, bucket by bucket).
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+            min: self.min.min(other.min),
+        }
+    }
+
+    /// Serialize with sparse bucket encoding: only non-zero buckets appear,
+    /// keyed by decimal index. `min` is omitted when empty (it is the
+    /// sentinel `u64::MAX`, which a JSON number cannot hold exactly).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<(String, Json)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i.to_string(), Json::Num(c as f64)))
+            .collect();
+        let mut fields = vec![
+            ("layout".into(), Json::Str(HIST_LAYOUT.into())),
+            ("count".into(), Json::Num(self.count as f64)),
+            ("sum".into(), Json::Num(self.sum as f64)),
+            ("max".into(), Json::Num(self.max as f64)),
+        ];
+        if self.count > 0 {
+            fields.push(("min".into(), Json::Num(self.min as f64)));
+        }
+        fields.push(("buckets".into(), Json::Obj(buckets)));
+        Json::Obj(fields)
+    }
+
+    /// Rebuild from [`Self::to_json`] output. Rejects unknown layouts and
+    /// out-of-range bucket indices.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let layout = v
+            .get("layout")
+            .and_then(Json::as_str)
+            .ok_or("histogram: missing layout")?;
+        if layout != HIST_LAYOUT {
+            return Err(format!(
+                "histogram: layout {layout:?} is not {HIST_LAYOUT:?}"
+            ));
+        }
+        let num = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram: bad or missing field {k:?}"))
+        };
+        let mut snap = HistSnapshot {
+            count: num("count")?,
+            sum: num("sum")?,
+            max: num("max")?,
+            ..HistSnapshot::default()
+        };
+        if snap.count > 0 {
+            snap.min = num("min")?;
+        }
+        let buckets = v
+            .get("buckets")
+            .and_then(Json::as_obj)
+            .ok_or("histogram: missing buckets object")?;
+        for (key, val) in buckets {
+            let i: usize = key
+                .parse()
+                .map_err(|_| format!("histogram: bad bucket index {key:?}"))?;
+            if i >= HIST_BUCKETS {
+                return Err(format!("histogram: bucket index {i} out of range"));
+            }
+            let c = val
+                .as_u64()
+                .ok_or_else(|| format!("histogram: bucket {i}: not a count"))?;
+            snap.counts[i] = c;
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_pinned() {
+        // The log16-v1 contract: these mappings may never change without a
+        // new layout tag (serialized snapshots would silently re-bucket).
+        assert_eq!(HIST_BUCKETS, 976);
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize, "unit bucket {v}");
+        }
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 32, "sub-bucket width 2 at 32..64");
+        assert_eq!(bucket_index(34), 33);
+        assert_eq!(bucket_index(1_000), bucket_index(1_023));
+        assert_ne!(bucket_index(1_023), bucket_index(1_024));
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_domain() {
+        // Lower bounds are strictly increasing, every value lands in the
+        // bucket whose [lo, hi] range contains it, and ranges tile.
+        for i in 1..HIST_BUCKETS {
+            assert!(bucket_lo(i) > bucket_lo(i - 1), "bucket {i} not monotone");
+            assert_eq!(bucket_hi(i - 1), bucket_lo(i) - 1, "gap before bucket {i}");
+        }
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_hi(HIST_BUCKETS - 1), u64::MAX);
+        for v in [0, 1, 15, 16, 17, 100, 999, 65_535, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(
+                bucket_lo(i) <= v && v <= bucket_hi(i),
+                "value {v} bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_error_stays_below_one_sixteenth() {
+        let mut v = 17u64;
+        while v < u64::MAX / 3 {
+            let lo = bucket_lo(bucket_index(v));
+            assert!(lo <= v);
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err < 1.0 / 16.0, "value {v}: error {err}");
+            v = v * 3 + 1;
+        }
+    }
+
+    #[test]
+    fn percentiles_and_stats_from_a_known_population() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.mean(), 50.5);
+        // rank(0.5) = round(0.5·99) = 50 (0-based) → value 51, bucket lo 48.
+        assert_eq!(s.percentile(0.50), bucket_lo(bucket_index(51)));
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.percentile(1.0), bucket_lo(bucket_index(100)));
+        // Small exact-bucket population: percentiles are exact.
+        let h2 = Histogram::new();
+        for v in [2u64, 4, 6, 8, 10] {
+            h2.record(v);
+        }
+        assert_eq!(h2.snapshot().percentile(0.5), 6);
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_defined() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max, 0);
+        let back = HistSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let (a, b, c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for i in 0..500u64 {
+            let v = i * i % 7919;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, c.snapshot(), "merge must equal combined recording");
+    }
+
+    #[test]
+    fn json_round_trip_is_exact_and_percentiles_reproduce_bitwise() {
+        let h = Histogram::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 50_000_000); // ns-scale values up to 50 ms
+        }
+        let s = h.snapshot();
+        let back = HistSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(back.percentile(p), s.percentile(p));
+            assert_eq!(
+                back.percentile_ms(p).to_bits(),
+                s.percentile_ms(p).to_bits(),
+                "p{p} must reproduce bitwise from serialized bucket counts"
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_layouts_and_bad_buckets() {
+        let s = Histogram::new().snapshot();
+        let mut doc = s.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str("log8-v0".into());
+        }
+        assert!(HistSnapshot::from_json(&doc)
+            .unwrap_err()
+            .contains("layout"));
+        let bad = Json::Obj(vec![
+            ("layout".into(), Json::Str(HIST_LAYOUT.into())),
+            ("count".into(), Json::Num(1.0)),
+            ("sum".into(), Json::Num(1.0)),
+            ("max".into(), Json::Num(1.0)),
+            ("min".into(), Json::Num(1.0)),
+            (
+                "buckets".into(),
+                Json::Obj(vec![("99999".into(), Json::Num(1.0))]),
+            ),
+        ]);
+        assert!(HistSnapshot::from_json(&bad)
+            .unwrap_err()
+            .contains("out of range"));
+    }
+}

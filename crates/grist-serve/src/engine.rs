@@ -23,7 +23,7 @@ use grist_dycore::Real;
 use grist_physics::Column;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
-use sunway_sim::Substrate;
+use sunway_sim::{flow_scope, EventKind, Substrate};
 
 /// What a query asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -407,8 +407,28 @@ impl<R: Real> QueryEngine<R> {
     /// every uncached derived cell across the whole batch. Results align
     /// with `queries`.
     pub fn serve_batch(&self, queries: &[Query]) -> Vec<Result<Response, ServeError>> {
+        self.serve_batch_traced(queries, &[])
+    }
+
+    /// [`Self::serve_batch`] carrying request-scoped flow IDs (one per
+    /// query, 0 = untraced; see `ObsPlane::mint_trace_id` in `grist-obs`).
+    /// Each live ID gets a `FlowStep` on this worker's lane as the batch
+    /// opens, and rides the thread-local flow scope into every substrate
+    /// dispatch under the batch, joining the served answer to its kernel
+    /// spans in the Perfetto export. With tracing disabled or no IDs this
+    /// is byte-for-byte `serve_batch`.
+    pub fn serve_batch_traced(
+        &self,
+        queries: &[Query],
+        trace_ids: &[u64],
+    ) -> Vec<Result<Response, ServeError>> {
         let _span = self.sub.span("serve");
         let m = self.sub.metrics();
+        let tracer = m.tracer();
+        for &id in trace_ids {
+            tracer.record_flow(EventKind::FlowStep, "request", id);
+        }
+        let _flow = flow_scope(trace_ids);
         m.counter_add("serve.batches", 1);
         m.counter_add("serve.queries", queries.len() as u64);
 

@@ -11,6 +11,7 @@
 use crate::store::{EpochView, SnapshotStore};
 use grist_core::{GristModel, RunConfig};
 use grist_dycore::Real;
+use grist_obs::ObsPlane;
 use grist_runtime::run_world;
 use std::sync::Arc;
 use sunway_sim::Substrate;
@@ -101,6 +102,27 @@ fn publish_member<R: Real>(store: &SnapshotStore, member: usize, model: &GristMo
 /// Run the ensemble to completion on the calling thread (blocks until every
 /// pool finishes). Returns one report per rank pool.
 pub fn run_ensemble<R: Real>(cfg: &EnsembleConfig, store: &Arc<SnapshotStore>) -> Vec<RankReport> {
+    run_ensemble_inner::<R>(cfg, store, None)
+}
+
+/// [`run_ensemble`] reporting into a telemetry plane: every member advance
+/// records an epoch-advance duration, and each member samples its physics
+/// health (mass/energy drift, CFL, NaN census) into the plane's
+/// `HealthWatch` after every epoch. The integration itself is bitwise
+/// unchanged.
+pub fn run_ensemble_observed<R: Real>(
+    cfg: &EnsembleConfig,
+    store: &Arc<SnapshotStore>,
+    plane: &Arc<ObsPlane>,
+) -> Vec<RankReport> {
+    run_ensemble_inner::<R>(cfg, store, Some(plane))
+}
+
+fn run_ensemble_inner<R: Real>(
+    cfg: &EnsembleConfig,
+    store: &Arc<SnapshotStore>,
+    plane: Option<&Arc<ObsPlane>>,
+) -> Vec<RankReport> {
     assert_eq!(
         cfg.members,
         store.n_members(),
@@ -132,7 +154,12 @@ pub fn run_ensemble<R: Real>(cfg: &EnsembleConfig, store: &Arc<SnapshotStore>) -
         let advance_s = cfg.dyn_steps_per_epoch as f64 * cfg.run.dt_dyn;
         for e in 0..cfg.epochs {
             for (model, &m) in models.iter_mut().zip(&mine) {
-                model.advance(advance_s);
+                match plane {
+                    Some(p) => {
+                        model.advance_observed(advance_s, p);
+                    }
+                    None => model.advance(advance_s),
+                }
                 publish_member(store, m, model);
                 publishes += 1;
             }
@@ -166,6 +193,18 @@ impl EnsembleHandle {
 pub fn spawn_ensemble<R: Real>(cfg: EnsembleConfig, store: Arc<SnapshotStore>) -> EnsembleHandle {
     EnsembleHandle {
         thread: std::thread::spawn(move || run_ensemble::<R>(&cfg, &store)),
+    }
+}
+
+/// [`spawn_ensemble`] reporting into a telemetry plane (see
+/// [`run_ensemble_observed`]).
+pub fn spawn_ensemble_observed<R: Real>(
+    cfg: EnsembleConfig,
+    store: Arc<SnapshotStore>,
+    plane: Arc<ObsPlane>,
+) -> EnsembleHandle {
+    EnsembleHandle {
+        thread: std::thread::spawn(move || run_ensemble_observed::<R>(&cfg, &store, &plane)),
     }
 }
 
@@ -204,6 +243,32 @@ mod tests {
             assert_eq!(epochs, vec![0, 2, 4], "member {member} epoch ladder");
             assert!(store.latest(member).is_some());
         }
+    }
+
+    #[test]
+    fn observed_ensemble_matches_plain_and_feeds_the_plane() {
+        let store_plain = Arc::new(SnapshotStore::new(2, 8));
+        let store_obs = Arc::new(SnapshotStore::new(2, 8));
+        let cfg = small_cfg(2, 2);
+        let plane = Arc::new(ObsPlane::default());
+        run_ensemble::<f64>(&cfg, &store_plain);
+        run_ensemble_observed::<f64>(&cfg, &store_obs, &plane);
+        for member in 0..2 {
+            assert_eq!(
+                store_plain.latest(member).unwrap().state_hash,
+                store_obs.latest(member).unwrap().state_hash,
+                "member {member}: observation must not perturb the trajectory"
+            );
+        }
+        // 2 members × 2 epochs of observed advances, all sampled.
+        assert_eq!(plane.epoch_advance_snapshot().count, 4);
+        assert_eq!(plane.watch().ingested(), 4);
+        assert_eq!(
+            plane.watch().alert_count(),
+            0,
+            "healthy ensemble must not alert: {:?}",
+            plane.watch().alerts()
+        );
     }
 
     #[test]

@@ -11,8 +11,11 @@
 
 use crate::engine::{Query, QueryEngine, Response, ServeError};
 use grist_dycore::Real;
+use grist_obs::ObsPlane;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use sunway_sim::{EventKind, Metrics};
 
 /// Front-end sizing.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +38,10 @@ impl Default for ServeConfig {
 struct Job {
     query: Query,
     reply: Sender<Result<Response, ServeError>>,
+    /// Request-scoped flow ID (0 = untraced; see [`ObsPlane::mint_trace_id`]).
+    trace_id: u64,
+    /// Enqueue time — the latency clock the telemetry plane reads.
+    submitted: Instant,
 }
 
 /// A submitted query's future answer.
@@ -55,18 +62,36 @@ impl PendingResponse {
 pub struct ForecastServer {
     tx: Option<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<u64>>,
+    obs: Option<Arc<ObsPlane>>,
+    /// The engine's registry (shared handle) — flow begins are recorded on
+    /// the submitting thread's lane through it.
+    metrics: Metrics,
 }
 
 impl ForecastServer {
     /// Start `cfg.workers` threads serving queries against `engine`.
     pub fn start<R: Real>(engine: Arc<QueryEngine<R>>, cfg: ServeConfig) -> Self {
+        Self::start_with_obs(engine, cfg, None)
+    }
+
+    /// [`Self::start`] wired into a telemetry plane. Each submitted query
+    /// gets a minted trace ID (flow-joined to its kernels in the Perfetto
+    /// export); each served batch records its size and every member's
+    /// queue-to-answer latency, then re-evaluates the SLO policy.
+    pub fn start_with_obs<R: Real>(
+        engine: Arc<QueryEngine<R>>,
+        cfg: ServeConfig,
+        obs: Option<Arc<ObsPlane>>,
+    ) -> Self {
         assert!(cfg.workers >= 1 && cfg.max_batch >= 1);
+        let metrics = engine.substrate().metrics().clone();
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..cfg.workers)
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let engine = Arc::clone(&engine);
+                let obs = obs.clone();
                 let max_batch = cfg.max_batch;
                 std::thread::spawn(move || {
                     let mut served = 0u64;
@@ -88,12 +113,24 @@ impl ForecastServer {
                             }
                         }
                         let queries: Vec<Query> = batch.iter().map(|j| j.query.clone()).collect();
-                        let results = engine.serve_batch(&queries);
+                        let ids: Vec<u64> = batch.iter().map(|j| j.trace_id).collect();
+                        let results = engine.serve_batch_traced(&queries, &ids);
                         served += batch.len() as u64;
+                        let tracer = engine.substrate().metrics().tracer();
                         for (job, result) in batch.into_iter().zip(results) {
                             // A client that gave up on its PendingResponse
                             // just drops the answer.
                             let _ = job.reply.send(result);
+                            tracer.record_flow(EventKind::FlowEnd, "request", job.trace_id);
+                            if let Some(plane) = &obs {
+                                plane.record_serve_latency_ns(
+                                    job.submitted.elapsed().as_nanos() as u64
+                                );
+                            }
+                        }
+                        if let Some(plane) = &obs {
+                            plane.record_batch_size(queries.len() as u64);
+                            plane.evaluate_slo();
                         }
                     }
                     served
@@ -103,16 +140,32 @@ impl ForecastServer {
         ForecastServer {
             tx: Some(tx),
             workers,
+            obs,
+            metrics,
         }
+    }
+
+    /// The telemetry plane this server reports into, if any.
+    pub fn obs(&self) -> Option<&Arc<ObsPlane>> {
+        self.obs.as_ref()
     }
 
     /// Enqueue a query; returns immediately.
     pub fn submit(&self, query: Query) -> Result<PendingResponse, ServeError> {
         let (reply, rx) = channel();
+        let trace_id = self.obs.as_ref().map_or(0, |p| p.mint_trace_id());
+        self.metrics
+            .tracer()
+            .record_flow(EventKind::FlowBegin, "request", trace_id);
         self.tx
             .as_ref()
             .ok_or(ServeError::Disconnected)?
-            .send(Job { query, reply })
+            .send(Job {
+                query,
+                reply,
+                trace_id,
+                submitted: Instant::now(),
+            })
             .map_err(|_| ServeError::Disconnected)?;
         Ok(PendingResponse { rx })
     }
@@ -203,6 +256,81 @@ mod tests {
         // Batching happened: fewer engine batches than queries.
         let batches = engine.substrate().metrics().counter("serve.batches");
         assert!(batches <= 40, "{batches} batches for 40 queries");
+    }
+
+    #[test]
+    fn observed_server_records_latency_batches_and_joined_flows() {
+        use sunway_sim::EventKind;
+        let cfg = RunConfig::for_level(2, 6);
+        let engine = served_engine(&cfg);
+        engine.substrate().metrics().tracer().enable();
+        let plane = Arc::new(ObsPlane::default());
+        let server = ForecastServer::start_with_obs(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 2,
+                max_batch: 8,
+            },
+            Some(Arc::clone(&plane)),
+        );
+        const N: usize = 24;
+        let pending: Vec<PendingResponse> = (0..N)
+            .map(|i| {
+                server
+                    .submit(Query::cell(0, i % engine.n_cells(), Product::Precip))
+                    .unwrap()
+            })
+            .collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        server.shutdown();
+
+        // Every query got a latency record; batch sizes sum to the total.
+        let lat = plane.serve_latency_snapshot();
+        assert_eq!(lat.count, N as u64);
+        assert!(lat.min > 0, "queue-to-answer latency is nonzero");
+        assert_eq!(plane.batch_size_snapshot().sum, N as u64);
+        // The SLO ran at least once per batch and generously holds.
+        assert!(plane.slo_evals() >= 1);
+        let status = plane.last_slo_status().expect("slo evaluated");
+        assert!(status.ok(), "smoke SLO breached: {:?}", status.violated);
+
+        // Flow join: one begin + one end per query, and at least one step
+        // per query (the serving batch stamps every member's ID).
+        let snap = engine.substrate().metrics().tracer().snapshot();
+        assert_eq!(snap.count_kind(EventKind::FlowBegin), N);
+        assert_eq!(snap.count_kind(EventKind::FlowEnd), N);
+        assert!(snap.count_kind(EventKind::FlowStep) >= N);
+        // The batch's cache-miss dispatch stamped flow steps on the kernel
+        // name, scoping requests down to substrate lanes.
+        let dispatch_steps = snap
+            .lanes
+            .iter()
+            .flat_map(|l| &l.events)
+            .filter(|e| e.kind == EventKind::FlowStep && e.name != "request")
+            .count();
+        assert!(dispatch_steps > 0, "no dispatch-level flow steps recorded");
+        // And the whole document exports as valid Chrome JSON with flows.
+        let stats = sunway_sim::validate_chrome(&snap.to_chrome_json()).unwrap();
+        assert_eq!(
+            stats.flows,
+            snap.count_kind(EventKind::FlowBegin)
+                + snap.count_kind(EventKind::FlowStep)
+                + snap.count_kind(EventKind::FlowEnd)
+        );
+    }
+
+    #[test]
+    fn unobserved_server_mints_no_ids_and_stays_bit_identical() {
+        let cfg = RunConfig::for_level(2, 6);
+        let engine = served_engine(&cfg);
+        let server = ForecastServer::start(Arc::clone(&engine), ServeConfig::default());
+        let q = Query::cell(0, 3, Product::T2m);
+        let served = server.query_blocking(q.clone()).unwrap();
+        assert_eq!(served, engine.serve_one_percol(&q).unwrap());
+        assert!(server.obs().is_none());
+        server.shutdown();
     }
 
     #[test]

@@ -63,6 +63,6 @@ pub use substrate::{
 };
 pub use swgomp::{JobServer, JobStats};
 pub use trace::{
-    analyze, validate_chrome, ChromeStats, EventKind, RooflineInputs, TraceEvent, TraceReport,
-    TraceSnapshot, Tracer,
+    analyze, flow_scope, validate_chrome, ChromeStats, EventKind, FlowScope, RooflineInputs,
+    TraceEvent, TraceReport, TraceSnapshot, Tracer,
 };

@@ -272,13 +272,20 @@ impl Metrics {
         self.counter_add("ldm.local_bytes", stats.local_bytes.load(Ordering::Relaxed));
     }
 
-    /// Freeze every kernel, span, and counter into a snapshot.
+    /// Freeze every kernel, span, and counter into a snapshot. Tracer ring
+    /// evictions surface here as a synthetic `trace.dropped_events` counter
+    /// (only when non-zero, so untraced runs keep their exact counter sets).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let trace_dropped = self.inner.trace.dropped_total();
         let st = self.inner.state.lock().expect("metrics poisoned");
+        let mut counters = st.counters.clone();
+        if trace_dropped > 0 {
+            counters.insert("trace.dropped_events".to_string(), trace_dropped);
+        }
         MetricsSnapshot {
             kernels: st.kernels.clone(),
             spans: st.spans.clone(),
-            counters: st.counters.clone(),
+            counters,
             gauges: st.gauges.clone(),
         }
     }
@@ -716,6 +723,29 @@ mod tests {
         assert_eq!(snap.kernels["beta/kb"].calls, 1);
         assert_eq!(snap.spans["alpha"].calls, 1);
         assert_eq!(snap.spans["beta"].calls, 1);
+    }
+
+    #[test]
+    fn ring_evictions_surface_as_a_dropped_events_counter() {
+        let m = Metrics::default();
+        // Untraced (and traced-but-unfull) registries keep their counter
+        // set untouched — no synthetic zero entry.
+        assert!(!m.snapshot().counters.contains_key("trace.dropped_events"));
+        m.tracer().enable_with_capacity(2);
+        for i in 0..6u64 {
+            m.tracer()
+                .record_instant(EventKind::Fault, &format!("f{i}"), 1, 0);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.get("trace.dropped_events"), Some(&4));
+        // And it rides into the JSON export next to ordinary counters.
+        let json = snap.to_json_value();
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("trace.dropped_events"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
     }
 
     #[test]

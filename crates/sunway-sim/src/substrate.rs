@@ -548,6 +548,9 @@ impl Substrate {
             if bytes > 0 {
                 tracer.record_instant(EventKind::Dma, qname, transactions, bytes);
             }
+            // Stamp any request flow IDs active on this thread (see
+            // `trace::flow_scope`) so served queries join their kernels.
+            tracer.record_scoped_flows(qname);
         }
         metrics.record_kernel(name, nanos, n_items as u64, bytes);
     }

@@ -95,6 +95,14 @@ pub enum EventKind {
     Checkpoint,
     /// A checkpoint was restored after corruption (`recovery.restores`).
     Restore,
+    /// A request-scoped flow opened: a trace ID was minted for a submitted
+    /// query (`items` carries the flow ID; exports as Chrome `s`).
+    FlowBegin,
+    /// The flow passed through a stage on another lane — the serving batch,
+    /// then each substrate dispatch under it (exports as Chrome `t`).
+    FlowStep,
+    /// The flow's answer was delivered (exports as Chrome `f`).
+    FlowEnd,
 }
 
 impl EventKind {
@@ -112,6 +120,7 @@ impl EventKind {
             EventKind::Degradation => "degrade",
             EventKind::Checkpoint => "checkpoint",
             EventKind::Restore => "restore",
+            EventKind::FlowBegin | EventKind::FlowStep | EventKind::FlowEnd => "flow",
         }
     }
 
@@ -126,6 +135,25 @@ impl EventKind {
                 | EventKind::Checkpoint
                 | EventKind::Restore
         )
+    }
+
+    /// Flow-arrow kinds (exported as Chrome `s`/`t`/`f` events carrying a
+    /// numeric flow `id` in [`TraceEvent::items`]).
+    pub fn is_flow(self) -> bool {
+        matches!(
+            self,
+            EventKind::FlowBegin | EventKind::FlowStep | EventKind::FlowEnd
+        )
+    }
+
+    /// The Chrome `ph` letter for a flow kind (`None` otherwise).
+    pub fn flow_ph(self) -> Option<&'static str> {
+        match self {
+            EventKind::FlowBegin => Some("s"),
+            EventKind::FlowStep => Some("t"),
+            EventKind::FlowEnd => Some("f"),
+            _ => None,
+        }
     }
 }
 
@@ -215,6 +243,7 @@ thread_local! {
     static RANK: Cell<u32> = const { Cell::new(0) };
     static CACHED: RefCell<Option<CachedLane>> = const { RefCell::new(None) };
     static CHUNK_T0: Cell<Option<Instant>> = const { Cell::new(None) };
+    static FLOW_IDS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Stable per-thread lane id (process-global, assigned on first use).
@@ -247,6 +276,36 @@ pub fn thread_rank() -> u32 {
 /// wrapper; a plain thread-local store, no atomics.
 pub fn chunk_begin() {
     CHUNK_T0.with(|c| c.set(Some(Instant::now())));
+}
+
+/// RAII guard restoring the calling thread's flow scope on drop (see
+/// [`flow_scope`]).
+#[must_use = "the scope ends when the guard drops"]
+pub struct FlowScope {
+    prev_len: usize,
+}
+
+/// Install request-scoped flow IDs on the calling thread for the lifetime
+/// of the returned guard. While the guard lives, every
+/// [`Tracer::record_scoped_flows`] call on this thread emits one
+/// [`EventKind::FlowStep`] per active ID — this is how a batch of request
+/// IDs rides from the serving worker into the substrate dispatch without
+/// widening any kernel signature. Scopes nest (inner guards extend the set);
+/// the reserved "untraced" ID 0 is filtered out. Plain thread-local pushes,
+/// no atomics.
+pub fn flow_scope(ids: &[u64]) -> FlowScope {
+    FLOW_IDS.with(|f| {
+        let mut v = f.borrow_mut();
+        let prev_len = v.len();
+        v.extend(ids.iter().copied().filter(|&id| id != 0));
+        FlowScope { prev_len }
+    })
+}
+
+impl Drop for FlowScope {
+    fn drop(&mut self) {
+        FLOW_IDS.with(|f| f.borrow_mut().truncate(self.prev_len));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -385,6 +444,42 @@ impl Tracer {
             let dur = t0.elapsed().as_nanos() as u64;
             self.push(EventKind::Chunk, name, Some(t0), dur, items, 0);
         }
+    }
+
+    /// Record one flow-arrow point event (`kind` must be a flow kind; the
+    /// flow `id` lands in [`TraceEvent::items`]). No-op when disabled or for
+    /// the reserved "untraced" ID 0.
+    pub fn record_flow(&self, kind: EventKind, name: &str, id: u64) {
+        debug_assert!(kind.is_flow(), "record_flow wants a flow kind");
+        if id == 0 || !self.is_enabled() {
+            return;
+        }
+        self.push(kind, name, None, 0, id, 0);
+    }
+
+    /// Emit one [`EventKind::FlowStep`] per flow ID active on the calling
+    /// thread (see [`flow_scope`]) — called by the substrate's traced
+    /// dispatch right after the kernel event, so the step files on the same
+    /// lane at the dispatch position. No-op when disabled or out of scope.
+    pub fn record_scoped_flows(&self, name: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ids = FLOW_IDS.with(|f| f.borrow().clone());
+        for id in ids {
+            self.push(EventKind::FlowStep, name, None, 0, id, 0);
+        }
+    }
+
+    /// Events evicted from full rings so far, summed across lanes — the
+    /// live counterpart of [`TraceSnapshot::dropped`], surfaced as the
+    /// `trace.dropped_events` counter in the metrics JSON.
+    pub fn dropped_total(&self) -> u64 {
+        let sh = self.shared.lock().expect("tracer poisoned");
+        sh.lanes
+            .values()
+            .map(|ring| ring.lock().expect("ring poisoned").dropped)
+            .sum()
     }
 
     fn push(
@@ -620,6 +715,25 @@ fn lane_chrome_events(lane: &LaneTrace, out: &mut Vec<Json>) {
         }
         let ts = e.t0_ns.max(last_ts);
         last_ts = ts;
+        if let Some(ph) = e.kind.flow_ph() {
+            // Flow arrows: point records carrying the request's flow `id`,
+            // named uniformly so Perfetto joins s → t… → f across lanes.
+            let mut fields = vec![
+                ("ph".into(), Json::Str(ph.into())),
+                ("pid".into(), pid.clone()),
+                ("tid".into(), tid.clone()),
+                ("ts".into(), ts_us(ts)),
+                ("name".into(), Json::Str(e.name.clone())),
+                ("cat".into(), Json::Str(e.kind.category().into())),
+                ("id".into(), Json::Num(e.items as f64)),
+            ];
+            if e.kind == EventKind::FlowEnd {
+                // Bind the arrow head to the enclosing slice.
+                fields.push(("bp".into(), Json::Str("e".into())));
+            }
+            out.push(Json::Obj(fields));
+            continue;
+        }
         let mut fields = vec![
             (
                 "ph".into(),
@@ -657,6 +771,8 @@ pub struct ChromeStats {
     pub begins: usize,
     pub ends: usize,
     pub instants: usize,
+    /// Flow-arrow records (`s`/`t`/`f`).
+    pub flows: usize,
     pub metadata: usize,
     /// Distinct `(pid, tid)` lanes.
     pub lanes: usize,
@@ -666,8 +782,9 @@ pub struct ChromeStats {
 
 /// Validate a Chrome `trace_event` document: every event carries
 /// `ph`/`pid`/`tid`/`ts`, timestamps are finite, non-negative, and
-/// non-decreasing per lane, and every lane's `B`/`E` events are balanced
-/// with matching names. Returns counting stats on success.
+/// non-decreasing per lane, every lane's `B`/`E` events are balanced with
+/// matching names, and every flow record (`s`/`t`/`f`) carries a numeric
+/// `id`. Returns counting stats on success.
 pub fn validate_chrome(doc: &Json) -> Result<ChromeStats, String> {
     let evs = doc
         .get("traceEvents")
@@ -736,6 +853,12 @@ pub fn validate_chrome(doc: &Json) -> Result<ChromeStats, String> {
                 stats.ends += 1;
             }
             "i" => stats.instants += 1,
+            "s" | "t" | "f" => {
+                e.get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow {ph:?} without a numeric id"))?;
+                stats.flows += 1;
+            }
             other => return Err(format!("event {i}: unsupported ph {other:?}")),
         }
     }
@@ -1244,6 +1367,106 @@ mod tests {
         // Sequence numbers stay ordered after un-rotation.
         let seqs: Vec<u64> = snap.lanes[0].events.iter().map(|e| e.seq).collect();
         assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn flow_events_export_as_joined_arrows_and_validate() {
+        let t = Tracer::default();
+        t.enable();
+        // One request's life: begin on the server thread, step on the
+        // worker (batch + dispatch via flow scope), end back on the server.
+        t.record_flow(EventKind::FlowBegin, "request", 42);
+        t.record_flow(EventKind::FlowStep, "serve", 42);
+        {
+            let _scope = flow_scope(&[42, 0]); // 0 is filtered out
+            t.record_scoped_flows("serve/step_columns");
+        }
+        t.record_scoped_flows("after-scope"); // out of scope: no event
+        t.record_flow(EventKind::FlowEnd, "request", 42);
+        t.record_flow(EventKind::FlowBegin, "request", 0); // untraced id: dropped
+
+        let snap = t.snapshot();
+        assert_eq!(snap.count_kind(EventKind::FlowBegin), 1);
+        assert_eq!(snap.count_kind(EventKind::FlowStep), 2);
+        assert_eq!(snap.count_kind(EventKind::FlowEnd), 1);
+        let ids: Vec<u64> = snap.lanes[0]
+            .events
+            .iter()
+            .filter(|e| e.kind.is_flow())
+            .map(|e| e.items)
+            .collect();
+        assert!(ids.iter().all(|&id| id == 42));
+
+        let doc = snap.to_chrome_json();
+        let stats = validate_chrome(&doc).expect("flow document validates");
+        assert_eq!(stats.flows, 4);
+        // Every flow record carries ph s/t/f, cat "flow", and the id.
+        let evs = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let flows: Vec<&Json> = evs
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("ph").and_then(Json::as_str),
+                    Some("s") | Some("t") | Some("f")
+                )
+            })
+            .collect();
+        assert_eq!(flows.len(), 4);
+        for f in &flows {
+            assert_eq!(f.get("cat").and_then(Json::as_str), Some("flow"));
+            assert_eq!(f.get("id").and_then(Json::as_u64), Some(42));
+        }
+        assert_eq!(
+            flows
+                .iter()
+                .filter(|f| f.get("bp").and_then(Json::as_str) == Some("e"))
+                .count(),
+            1,
+            "exactly the FlowEnd binds to the enclosing slice end"
+        );
+    }
+
+    #[test]
+    fn nested_flow_scopes_stack_and_unwind() {
+        let t = Tracer::default();
+        t.enable();
+        let _outer = flow_scope(&[1, 2]);
+        {
+            let _inner = flow_scope(&[3]);
+            t.record_scoped_flows("k");
+        }
+        t.record_scoped_flows("k");
+        let snap = t.snapshot();
+        let ids: Vec<u64> = snap.lanes[0].events.iter().map(|e| e.items).collect();
+        assert_eq!(ids, [1, 2, 3, 1, 2], "inner scope extends, then unwinds");
+    }
+
+    #[test]
+    fn validate_chrome_rejects_flow_records_without_ids() {
+        let doc = Json::Obj(vec![(
+            "traceEvents".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("ph".into(), Json::Str("s".into())),
+                ("pid".into(), Json::Num(0.0)),
+                ("tid".into(), Json::Num(0.0)),
+                ("ts".into(), Json::Num(1.0)),
+                ("name".into(), Json::Str("request".into())),
+            ])]),
+        )]);
+        let err = validate_chrome(&doc).unwrap_err();
+        assert!(err.contains("without a numeric id"), "{err}");
+    }
+
+    #[test]
+    fn dropped_total_tracks_ring_evictions_live() {
+        let t = Tracer::default();
+        t.enable_with_capacity(2);
+        assert_eq!(t.dropped_total(), 0);
+        for i in 0..5u64 {
+            t.record_instant(EventKind::Dma, &format!("d{i}"), i, 0);
+        }
+        assert_eq!(t.dropped_total(), 3);
+        assert_eq!(t.snapshot().dropped, 3, "live count matches snapshot");
     }
 
     #[test]

@@ -64,6 +64,10 @@ cargo run --release -p grist-bench --bin bench_serve -- target/bench_serve.json
 cargo run --release -p grist-bench --bin bench_compare -- \
     BENCH_serve.json target/bench_serve.json --tolerance 10
 
+echo "== telemetry plane (SLO + health-alert + disabled-overhead gates) =="
+cargo run --release -p grist-bench --bin obs_report -- \
+    target/obs_dashboard.json target/obs_report.md
+
 echo "== bench scaling (overlap gate + SDPD projections) vs committed baseline =="
 cargo run --release -p grist-bench --bin bench_scaling -- target/bench_scaling.json
 cargo run --release -p grist-bench --bin bench_compare -- \
